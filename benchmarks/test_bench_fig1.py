@@ -1,0 +1,35 @@
+"""Benchmark: Figure 1 — Randomized Gauss-Seidel vs CG residual curves.
+
+Paper claims checked in-line (shape, not absolute values):
+
+* RGS's residual is well below CG's throughout the early sweeps (the
+  low-accuracy regime the paper's big-data motivation targets);
+* CG eventually overtakes RGS (the Krylov asymptotics), so a crossover
+  exists within the horizon.
+"""
+
+from repro.bench import run_fig1
+
+from conftest import persist_and_print
+
+
+def test_fig1_convergence_curves(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig1(sweeps=200), rounds=1, iterations=1
+    )
+    persist_and_print("fig1_convergence", result.table())
+
+    rgs = result.rgs_residuals
+    cg = result.cg_residuals
+    # Early regime: RGS clearly ahead (paper: dramatically so).
+    for sweep in (5, 10, 20):
+        assert rgs[sweep] < 0.7 * cg[sweep], (
+            f"RGS should lead CG at sweep {sweep}: {rgs[sweep]:.3e} vs {cg[sweep]:.3e}"
+        )
+    # Late regime: CG overtakes (a crossover exists inside the horizon).
+    crossover = result.crossover_sweep()
+    assert crossover is not None, "CG never overtook RGS within the horizon"
+    assert crossover > 20, "CG should not win already in the low-accuracy regime"
+    # Both make real progress.
+    assert rgs[-1] < 1e-2 * rgs[0]
+    assert cg[-1] < 1e-2 * cg[0]

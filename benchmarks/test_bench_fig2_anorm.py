@@ -1,0 +1,26 @@
+"""Benchmark: Figure 2 (right) — A-norm error after 10 sweeps vs threads.
+
+Shape claims (paper): the asynchronous A-norm error stays very close to
+the synchronous method's (sometimes better), at every thread count.
+"""
+
+from repro.bench import run_fig2_right
+
+from conftest import persist_and_print
+
+
+def test_fig2_right_anorm_error(benchmark, social_bench):
+    result = benchmark.pedantic(run_fig2_right, rounds=1, iterations=1)
+    persist_and_print("fig2_right_anorm", result.table())
+
+    sync = result.sync_error
+    assert sync > 0
+    for p, e_atomic, e_nonatomic in zip(
+        result.threads, result.asyrgs_error, result.nonatomic_error
+    ):
+        assert e_atomic < 10 * sync, f"A-norm error diverged at P={p}"
+        assert e_nonatomic < 10 * sync
+        assert e_atomic > 0.1 * sync
+    # Error does not systematically explode with thread count: the
+    # largest thread count stays within a small factor of the serial one.
+    assert result.asyrgs_error[-1] < 3 * result.asyrgs_error[0]

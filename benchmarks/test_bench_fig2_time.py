@@ -1,0 +1,28 @@
+"""Benchmark: Figure 2 (left) — time of 10 sweeps, AsyRGS vs CG.
+
+Shape claims (paper, Section 9): AsyRGS scales almost linearly (≈48× at
+64 threads with the full RHS block), CG's speedup saturates well below
+it (<29× at 64), and serially RGS is slightly faster than CG.
+"""
+
+from repro.bench import run_fig2_left
+
+from conftest import persist_and_print
+
+
+def test_fig2_left_scaling(benchmark, social_bench):
+    result = benchmark.pedantic(run_fig2_left, rounds=1, iterations=1)
+    persist_and_print("fig2_left_scaling", result.table())
+
+    asy64 = result.asyrgs_speedup[-1]
+    cg64 = result.cg_speedup[-1]
+    # Serial anchor: RGS faster than CG, modestly.
+    assert result.asyrgs_time[0] < result.cg_time[0]
+    assert result.cg_time[0] / result.asyrgs_time[0] < 1.35
+    # AsyRGS near-linear; CG saturating clearly below it.
+    assert asy64 > 35
+    assert cg64 < 30
+    assert asy64 > 1.3 * cg64
+    # Speedups are monotone in thread count for both methods.
+    assert all(b > a for a, b in zip(result.asyrgs_speedup, result.asyrgs_speedup[1:]))
+    assert all(b >= a for a, b in zip(result.cg_speedup, result.cg_speedup[1:]))

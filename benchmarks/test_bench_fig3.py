@@ -1,0 +1,38 @@
+"""Benchmark: Figure 3 — Flexible CG with the AsyRGS preconditioner.
+
+Shape claims (paper): solve time improves markedly with threads for both
+2 and 10 inner sweeps; the number of outer iterations does NOT grow with
+thread count (the preconditioner's quality survives asynchronism), with
+more run-to-run variability at 2 inner sweeps than at 10.
+"""
+
+from repro.bench import run_fig3
+
+from conftest import persist_and_print
+
+
+def test_fig3_fcg_scaling(benchmark, social_bench):
+    result = benchmark.pedantic(
+        lambda: run_fig3(threads=(1, 2, 4, 8, 16, 32, 64), repetitions=3),
+        rounds=1,
+        iterations=1,
+    )
+    persist_and_print("fig3_fcg", result.table())
+
+    for s in result.inner_sweeps:
+        times = result.times[s]
+        outer = result.outer[s]
+        # Times drop substantially from 1 to 64 threads.
+        speedup = times[0] / times[-1]
+        assert speedup > 8, f"FCG speedup too low at {s} inner sweeps: {speedup:.1f}"
+        # Modeled time is monotone non-increasing in threads.
+        assert all(b <= a * 1.02 for a, b in zip(times, times[1:]))
+        # Outer iterations roughly flat in P: no asynchronism penalty
+        # (paper observes no growth; allow small fluctuation).
+        assert max(outer) <= 1.25 * min(outer), (
+            f"outer iterations grew with threads at {s} sweeps: {outer}"
+        )
+    # More inner sweeps => fewer outer iterations at every thread count.
+    s_lo, s_hi = min(result.inner_sweeps), max(result.inner_sweeps)
+    for i in range(len(result.threads)):
+        assert result.outer[s_hi][i] < result.outer[s_lo][i]

@@ -1,0 +1,53 @@
+"""Benchmark: the motivation dichotomy and the future-work extensions.
+
+Claims staged (paper Sections 1–2 and 10):
+
+* on a diagonally dominant matrix (ρ(|M|) < 1) every method converges —
+  the classical comfort zone;
+* on a general SPD matrix with ρ(|M|) > 1, Jacobi and chaotic relaxation
+  **diverge** while randomized Gauss-Seidel converges both synchronously
+  and asynchronously — the gap the paper's randomization closes;
+* owner-computes restricted randomization (the distributed-memory form
+  the paper defers) converges at a comparable sweep budget;
+* realized delays under row-cost modeling sit far below the worst-case
+  bound on skewed matrices — the pessimism the paper's conclusions call
+  out.
+"""
+
+from repro.bench import run_extensions, run_motivation
+
+from conftest import persist_and_print
+
+
+def test_motivation_dichotomy(benchmark):
+    result = benchmark.pedantic(run_motivation, rounds=1, iterations=1)
+    persist_and_print("motivation", result.table())
+
+    # Thresholds hold on the two fixtures.
+    assert result.rho_abs_dominant < 1.0
+    assert result.rho_abs_non_dominant > 1.0
+    # Everything converges in the classical comfort zone.
+    for method, (converged, diverged, _) in result.dominant.items():
+        assert converged and not diverged, f"{method} failed on the DD matrix"
+    # The dichotomy on the general SPD matrix.
+    nd = result.non_dominant
+    assert nd["Jacobi (sync)"][1], "Jacobi should diverge when rho(|M|) > 1"
+    assert nd["chaotic relaxation"][1], "chaotic relaxation should diverge"
+    assert nd["RGS (sync)"][0], "RGS must converge on any SPD matrix"
+    assert nd["AsyRGS (async)"][0], "AsyRGS must converge on any SPD matrix"
+
+
+def test_extensions_future_work(benchmark):
+    result = benchmark.pedantic(run_extensions, rounds=1, iterations=1)
+    persist_and_print("extensions", result.table())
+
+    # Owner-computes converges with both partitions, within 2x of the
+    # unrestricted sweep budget.
+    assert result.unrestricted_sweeps > 0
+    for partition, sweeps in result.owner_sweeps.items():
+        assert sweeps > 0, f"{partition} owner-computes did not converge"
+        assert sweeps < 2 * result.unrestricted_sweeps + 10
+    # Realized delays are far below the hard bound on the skewed Gram.
+    assert result.delay_stats["median"] < 0.5 * result.delay_stats["hard_bound"]
+    # Realistic delays hurt no more than worst-case delays.
+    assert result.error_rowcost <= 1.1 * result.error_worstcase

@@ -1,0 +1,42 @@
+"""Benchmark: Table 1 — the inner-sweep trade-off at 64 threads.
+
+Shape claims (paper): as inner sweeps increase, outer iterations
+decrease while total matrix operations ``outer × (inner + 1)`` increase
+(single-sweep excepted), mat-ops/second increases (better parallel
+efficiency in the asynchronous phase), and the best *time* sits at a
+small sweep count (paper: 2 inner sweeps).
+"""
+
+from repro.bench import run_table1
+
+from conftest import persist_and_print
+
+
+def test_table1_inner_sweep_tradeoff(benchmark, social_bench):
+    result = benchmark.pedantic(
+        lambda: run_table1(threads=64, repetitions=3), rounds=1, iterations=1
+    )
+    persist_and_print("table1_tradeoff", result.table())
+
+    rows = result.rows  # ordered 30, 20, 10, 5, 3, 2, 1
+    by_sweeps = {r["inner_sweeps"]: r for r in rows}
+    assert all(r["converged"] for r in rows)
+
+    # Outer iterations decrease monotonically with inner sweeps.
+    sweeps_sorted = sorted(by_sweeps)
+    outs = [by_sweeps[s]["outer_iterations"] for s in sweeps_sorted]
+    assert all(b < a for a, b in zip(outs, outs[1:])), (
+        f"outer iterations must fall as sweeps rise: {list(zip(sweeps_sorted, outs))}"
+    )
+
+    # Total mat-ops at the largest sweep count exceed those at the
+    # time-optimal small count (the paper's 1178 vs 552).
+    assert by_sweeps[30]["mat_ops"] > by_sweeps[2]["mat_ops"]
+
+    # Mat-ops/second increases with sweeps (the efficiency column).
+    mops = [by_sweeps[s]["mat_ops_per_second"] for s in sweeps_sorted]
+    assert mops[-1] > mops[0], "mat-ops/s should improve with inner sweeps"
+
+    # The time optimum sits at a small sweep count (paper: 2).
+    best = result.best_time_sweeps()
+    assert best <= 5, f"expected a small-sweep time optimum, got {best}"

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Why randomization? Chaotic relaxation vs AsyRGS (paper Sections 1–2).
+
+Chazan & Miranker (1969) proved chaotic relaxation — asynchronous Jacobi
+— converges for all admissible schedules **iff** ``ρ(|M|) < 1`` for the
+Jacobi matrix ``M = I − D⁻¹A``, which essentially restricts classical
+asynchronous solvers to diagonally dominant matrices. The paper's point:
+randomizing the update order lifts that restriction to *all* SPD
+matrices. This example stages the dichotomy live.
+
+Run:  python examples/chaotic_vs_randomized.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    AsyRGS,
+    chaotic_relaxation,
+    jacobi,
+    jacobi_spectral_radius,
+    randomized_gauss_seidel,
+)
+from repro.rng import CounterRNG
+from repro.workloads import equicorrelation_blocks, random_unit_diagonal_spd
+
+
+def run_methods(A, label):
+    n = A.shape[0]
+    x_star = CounterRNG(3).normal(0, n)
+    b = A.matvec(x_star)
+    rho_abs = jacobi_spectral_radius(A, absolute=True)
+    print(f"\n{label}: n = {n}, rho(|M|) = {rho_abs:.2f} "
+          f"({'classical methods admissible' if rho_abs < 1 else 'OUTSIDE the Chazan-Miranker class'})")
+    j = jacobi(A, b, sweeps=300, tol=1e-8)
+    c = chaotic_relaxation(A, b, sweeps=300, round_size=n, tol=1e-8)
+    g = randomized_gauss_seidel(A, b, sweeps=300, tol=1e-8)
+    a = AsyRGS(A, b, nproc=8).solve(tol=1e-8, max_sweeps=300)
+    for name, res, div in (
+        ("Jacobi (synchronous)", j.history.final, j.diverged),
+        ("chaotic relaxation (async Jacobi)", c.history.final, c.diverged),
+        ("randomized Gauss-Seidel", g.history.final, False),
+        ("AsyRGS (async randomized GS)", a.history.final, False),
+    ):
+        status = "DIVERGED" if div else f"residual {res:.2e}"
+        print(f"  {name:36s} {status}")
+
+
+def main() -> None:
+    # Inside the classical comfort zone: strictly diagonally dominant.
+    dominant = random_unit_diagonal_spd(60, nnz_per_row=5, offdiag_scale=0.8, seed=1)
+    run_methods(dominant, "diagonally dominant SPD")
+
+    # Outside it: equicorrelation blocks, SPD with rho(|M|) = (k-1)a ≈ 2.4.
+    hard = equicorrelation_blocks(
+        n_blocks=12, block_size=5, correlation=0.6, jitter=0.1, seed=2
+    )
+    run_methods(hard, "equicorrelation SPD (NOT diagonally dominant)")
+
+    print(
+        "\nThe randomized methods converge on both matrices; the classical "
+        "ones only inside\nthe diagonally-dominant class — the gap the "
+        "paper's randomization closes."
+    )
+
+
+if __name__ == "__main__":
+    main()

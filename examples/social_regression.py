@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""The paper's motivating workload: social-media linear regression.
+
+Section 9's scenario: a Gram matrix of a term–document corpus, many label
+right-hand sides solved *together*, and a downstream application that
+only needs low accuracy — the regime where basic iterations beat Krylov
+methods and asynchrony is nearly free.
+
+This example:
+
+1. generates the synthetic social-media problem (Zipf terms, power-law
+   documents, correlated columns — see repro/workloads/social_media.py),
+2. reports the row-skew statistics that make it hostile to synchronous
+   load balancing,
+3. solves all labels to low accuracy with AsyRGS at several simulated
+   processor counts on the SAME random direction sequence (the paper's
+   Random123 technique), showing the price of asynchrony,
+4. compares against block CG at the same accuracy.
+
+Run:  python examples/social_regression.py
+"""
+
+import numpy as np
+
+from repro import PhasedSimulator, social_media_problem
+from repro.core import randomized_gauss_seidel, relative_residual
+from repro.krylov import block_conjugate_gradient
+from repro.rng import DirectionStream
+
+TARGET = 3e-2  # low accuracy: "big data applications typically require
+               # very low accuracy" (paper, Section 1)
+
+
+def main() -> None:
+    prob = social_media_problem(
+        n_terms=600, n_docs=2500, n_labels=6, mean_doc_len=10, seed=7
+    )
+    G, B = prob.G, prob.B
+    n = prob.n
+    print(f"Gram matrix: n = {n}, nnz = {G.nnz}, labels = {B.shape[1]}")
+    print(
+        "row nnz: min {min:.0f}, mean {mean:.0f}, max {max:.0f} "
+        "(skew ratio {skew_ratio:.0f})".format(**prob.stats)
+    )
+
+    # Synchronous baseline on a fixed direction stream.
+    directions = DirectionStream(n, seed=42)
+    sync = randomized_gauss_seidel(
+        G, B, sweeps=60, directions=directions,
+        metric=lambda x: relative_residual(G, x, B), tol=TARGET,
+    )
+    sweeps_needed = sync.iterations // n
+    print(
+        f"\nsynchronous RGS reached {TARGET:.0e} in {sweeps_needed} sweeps "
+        f"(relative residual {sync.history.final:.2e})"
+    )
+
+    # Asynchronous runs at increasing processor counts, SAME directions.
+    print("\nprice of asynchrony (same direction sequence, 10 sweeps):")
+    print("  procs  relative residual")
+    ref = None
+    for nproc in (1, 4, 16, 64):
+        sim = PhasedSimulator(
+            G, B, nproc=nproc, directions=DirectionStream(n, seed=42)
+        )
+        out = sim.run(np.zeros_like(B), 10 * n)
+        res = relative_residual(G, out.x, B)
+        ref = res if ref is None else ref
+        print(f"  {nproc:5d}  {res:.4e}   ({res / ref:5.2f}x the serial residual)")
+
+    # Block CG at the same low accuracy.
+    cg = block_conjugate_gradient(G, B, tol=TARGET, max_iterations=500)
+    print(
+        f"\nblock CG needed {cg.iterations} iterations for the same target "
+        f"(residual {cg.residuals[-1]:.2e})"
+    )
+    print(
+        "each CG iteration costs about one RGS sweep, so at this accuracy "
+        f"RGS is ~{cg.iterations / max(1, sweeps_needed):.1f}x cheaper — "
+        "the paper's standalone-solver regime."
+    )
+
+
+if __name__ == "__main__":
+    main()

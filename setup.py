@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+the package installs in environments whose setuptools/pip lack PEP-660
+editable-wheel support (``pip install -e . --no-build-isolation`` falls
+back through here, and ``python setup.py develop`` works directly).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""Experiment drivers behind ``benchmarks/`` — one per paper table/figure
+plus the ablation studies. See DESIGN.md's per-experiment index."""
+
+from .ablations import (
+    run_beta_sweep,
+    run_consistency_gap,
+    run_delay_schedules,
+    run_direction_strategies,
+    run_tau_sweep,
+    run_theory_envelope,
+)
+from .fig1_convergence import Fig1Result, run_fig1
+from .motivation import (
+    ExtensionsResult,
+    MotivationResult,
+    run_extensions,
+    run_motivation,
+)
+from .fig2_scaling import (
+    DEFAULT_THREADS,
+    Fig2CenterResult,
+    Fig2LeftResult,
+    Fig2RightResult,
+    run_fig2_center,
+    run_fig2_left,
+    run_fig2_right,
+)
+from .fig3_fcg import (
+    FCGRun,
+    Fig3Result,
+    Table1Result,
+    run_fcg_once,
+    run_fig3,
+    run_table1,
+)
+from .reporting import render_series, render_table, results_dir, save_json
+
+__all__ = [
+    "DEFAULT_THREADS",
+    "ExtensionsResult",
+    "FCGRun",
+    "Fig1Result",
+    "MotivationResult",
+    "run_extensions",
+    "run_motivation",
+    "Fig2CenterResult",
+    "Fig2LeftResult",
+    "Fig2RightResult",
+    "Fig3Result",
+    "Table1Result",
+    "render_series",
+    "render_table",
+    "results_dir",
+    "run_beta_sweep",
+    "run_consistency_gap",
+    "run_delay_schedules",
+    "run_direction_strategies",
+    "run_fcg_once",
+    "run_fig1",
+    "run_fig2_center",
+    "run_fig2_left",
+    "run_fig2_right",
+    "run_fig3",
+    "run_table1",
+    "run_tau_sweep",
+    "run_theory_envelope",
+    "save_json",
+]

@@ -1,0 +1,223 @@
+"""Figure 2 — AsyRGS scaling and the price of asynchrony.
+
+Three panels on the social-media Gram system, threads ∈ {1, …, 64}:
+
+* **left** — modeled time of 10 sweeps of AsyRGS vs 10 iterations of the
+  round-robin SIMD CG (51→8 RHS block). Expected shape: AsyRGS near-linear
+  (paper: ≈48× at 64), CG saturating (<29×), serial RGS slightly faster.
+* **center** — relative residual after 10 sweeps: AsyRGS (atomic),
+  AsyRGS (non-atomic), synchronous RGS, all on the *same* Philox direction
+  sequence. Expected: same order of magnitude, no atomic/non-atomic gap.
+* **right** — relative A-norm error after 10 sweeps on a manufactured
+  single-RHS system (``b = A x*``). Expected: async ≈ sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import randomized_gauss_seidel, relative_a_norm_error, relative_residual
+from ..execution import MachineModel, PhasedSimulator
+from ..rng import CounterRNG, DirectionStream
+from ..workloads import get_problem
+from .reporting import render_table, save_json
+
+__all__ = [
+    "Fig2LeftResult",
+    "Fig2CenterResult",
+    "Fig2RightResult",
+    "run_fig2_left",
+    "run_fig2_center",
+    "run_fig2_right",
+    "DEFAULT_THREADS",
+]
+
+DEFAULT_THREADS = (1, 2, 4, 8, 16, 32, 64)
+
+
+@dataclass
+class Fig2LeftResult:
+    problem: str
+    threads: list[int]
+    asyrgs_time: list[float]
+    cg_time: list[float]
+    asyrgs_speedup: list[float] = field(default_factory=list)
+    cg_speedup: list[float] = field(default_factory=list)
+
+    def table(self) -> str:
+        rows = list(
+            zip(self.threads, self.asyrgs_time, self.asyrgs_speedup,
+                self.cg_time, self.cg_speedup)
+        )
+        return render_table(
+            ["threads", "AsyRGS time", "AsyRGS speedup", "CG time", "CG speedup"],
+            rows,
+            title=f"Figure 2 (left) — 10 sweeps/iterations on {self.problem} "
+                  "(modeled seconds; shape comparison only)",
+        )
+
+
+def run_fig2_left(
+    problem: str = "social-bench",
+    *,
+    threads=DEFAULT_THREADS,
+    sweeps: int = 10,
+    seed: int = 0,
+    model: MachineModel | None = None,
+) -> Fig2LeftResult:
+    """Regenerate Figure 2 (left): modeled time vs thread count."""
+    prob = get_problem(problem)
+    B = prob.B if prob.B is not None else prob.b[:, None]
+    nrhs = B.shape[1]
+    n = prob.n
+    machine = model if model is not None else MachineModel.bgq_like()
+    asy_times = []
+    cg_times = []
+    for p in threads:
+        sim = PhasedSimulator(
+            prob.A, B, nproc=p, directions=DirectionStream(n, seed=seed)
+        )
+        run = sim.run(np.zeros_like(B), sweeps * n)
+        asy_times.append(
+            machine.asyrgs_time(run.total_row_nnz, run.iterations, p, nrhs=nrhs)
+        )
+        cg_times.append(machine.cg_time(prob.A, sweeps, p, nrhs=nrhs))
+    result = Fig2LeftResult(
+        problem=problem,
+        threads=list(threads),
+        asyrgs_time=asy_times,
+        cg_time=cg_times,
+        asyrgs_speedup=[asy_times[0] / t for t in asy_times],
+        cg_speedup=[cg_times[0] / t for t in cg_times],
+    )
+    save_json("fig2_left_scaling", result.__dict__)
+    return result
+
+
+@dataclass
+class Fig2CenterResult:
+    problem: str
+    threads: list[int]
+    asyrgs_residual: list[float]
+    nonatomic_residual: list[float]
+    sync_residual: float
+
+    def table(self) -> str:
+        rows = [
+            (p, a, na, self.sync_residual)
+            for p, a, na in zip(
+                self.threads, self.asyrgs_residual, self.nonatomic_residual
+            )
+        ]
+        return render_table(
+            ["threads", "AsyRGS", "AsyRGS non-atomic", "sync RGS"],
+            rows,
+            title=f"Figure 2 (center) — relative residual after 10 sweeps on "
+                  f"{self.problem} (fixed directions)",
+        )
+
+
+def run_fig2_center(
+    problem: str = "social-bench",
+    *,
+    threads=DEFAULT_THREADS,
+    sweeps: int = 10,
+    seed: int = 0,
+) -> Fig2CenterResult:
+    """Regenerate Figure 2 (center): residual after 10 sweeps vs threads,
+    atomic vs non-atomic writes, against the synchronous baseline — all
+    three consuming the identical direction sequence (the paper's
+    Random123 experiment)."""
+    prob = get_problem(problem)
+    B = prob.B if prob.B is not None else prob.b[:, None]
+    n = prob.n
+    sync = randomized_gauss_seidel(
+        prob.A, B, sweeps=sweeps,
+        directions=DirectionStream(n, seed=seed), record_history=False,
+    )
+    sync_res = relative_residual(prob.A, sync.x, B)
+    asy_res = []
+    nonatomic_res = []
+    for p in threads:
+        for atomic, sink in ((True, asy_res), (False, nonatomic_res)):
+            sim = PhasedSimulator(
+                prob.A, B, nproc=p, atomic=atomic,
+                directions=DirectionStream(n, seed=seed),
+            )
+            run = sim.run(np.zeros_like(B), sweeps * n)
+            sink.append(relative_residual(prob.A, run.x, B))
+    result = Fig2CenterResult(
+        problem=problem,
+        threads=list(threads),
+        asyrgs_residual=asy_res,
+        nonatomic_residual=nonatomic_res,
+        sync_residual=sync_res,
+    )
+    save_json("fig2_center_residual", result.__dict__)
+    return result
+
+
+@dataclass
+class Fig2RightResult:
+    problem: str
+    threads: list[int]
+    asyrgs_error: list[float]
+    nonatomic_error: list[float]
+    sync_error: float
+
+    def table(self) -> str:
+        rows = [
+            (p, a, na, self.sync_error)
+            for p, a, na in zip(self.threads, self.asyrgs_error, self.nonatomic_error)
+        ]
+        return render_table(
+            ["threads", "AsyRGS", "AsyRGS non-atomic", "sync RGS"],
+            rows,
+            title=f"Figure 2 (right) — relative A-norm error after 10 sweeps "
+                  f"on {self.problem} (manufactured solution)",
+        )
+
+
+def run_fig2_right(
+    problem: str = "social-bench",
+    *,
+    threads=DEFAULT_THREADS,
+    sweeps: int = 10,
+    seed: int = 0,
+) -> Fig2RightResult:
+    """Regenerate Figure 2 (right): A-norm error after 10 sweeps.
+
+    The paper manufactures a known solution by solving one original RHS
+    to high accuracy; we manufacture directly: ``x*`` random (Philox),
+    ``b = A x*``.
+    """
+    prob = get_problem(problem)
+    n = prob.n
+    x_star = CounterRNG(seed, stream=0xF16).normal(0, n)
+    b = prob.A.matvec(x_star)
+    sync = randomized_gauss_seidel(
+        prob.A, b, sweeps=sweeps,
+        directions=DirectionStream(n, seed=seed), record_history=False,
+    )
+    sync_err = relative_a_norm_error(prob.A, sync.x, x_star)
+    asy_err = []
+    nonatomic_err = []
+    for p in threads:
+        for atomic, sink in ((True, asy_err), (False, nonatomic_err)):
+            sim = PhasedSimulator(
+                prob.A, b, nproc=p, atomic=atomic,
+                directions=DirectionStream(n, seed=seed),
+            )
+            run = sim.run(np.zeros(n), sweeps * n)
+            sink.append(relative_a_norm_error(prob.A, run.x, x_star))
+    result = Fig2RightResult(
+        problem=problem,
+        threads=list(threads),
+        asyrgs_error=asy_err,
+        nonatomic_error=nonatomic_err,
+        sync_error=sync_err,
+    )
+    save_json("fig2_right_anorm", result.__dict__)
+    return result

@@ -1,0 +1,258 @@
+"""Figure 3 and Table 1 — Flexible CG preconditioned with AsyRGS.
+
+Figure 3 (left): modeled solve time vs thread count for 2 and 10 inner
+preconditioner sweeps. Expected shape: good speedups for both (paper:
+>32× at 2 sweeps, ≈30× at 10), with the higher-sweep configuration
+showing better *mat-ops/second* scaling (more work in the asynchronous
+phase).
+
+Figure 3 (right): outer FCG iterations vs thread count. Expected: roughly
+flat in P (the preconditioner's quality does not visibly degrade with
+asynchronism), with more run-to-run variability at 2 inner sweeps.
+
+Table 1: at 64 threads, inner sweeps ∈ {30, 20, 10, 5, 3, 2, 1}: median
+outer iterations, total matrix operations ``outer × (inner + 1)``,
+modeled time, and mat-ops/second. Expected shape: outer iterations fall
+as sweeps rise; total mat-ops rises (except sweep 1); mat-ops/s rises
+with sweeps; the best *time* sits at a small sweep count (paper: 2).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..execution import MachineModel
+from ..krylov import AsyRGSPreconditioner, flexible_conjugate_gradient
+from ..workloads import get_problem
+from .reporting import render_table, save_json
+
+__all__ = [
+    "FCGRun",
+    "Fig3Result",
+    "Table1Result",
+    "run_fcg_once",
+    "run_fig3",
+    "run_table1",
+]
+
+
+@dataclass
+class FCGRun:
+    """One preconditioned FCG solve, with the cost model's accounting."""
+
+    threads: int
+    inner_sweeps: int
+    outer_iterations: int
+    converged: bool
+    mat_ops: int
+    modeled_time: float
+
+    @property
+    def mat_ops_per_second(self) -> float:
+        return self.mat_ops / self.modeled_time if self.modeled_time > 0 else 0.0
+
+
+def run_fcg_once(
+    A,
+    b,
+    *,
+    threads: int,
+    inner_sweeps: int,
+    tol: float = 1e-8,
+    run_id: int = 0,
+    max_iterations: int = 2000,
+    machine: MachineModel | None = None,
+    direction_seed: int = 0,
+) -> FCGRun:
+    """One FCG solve with an AsyRGS preconditioner at a given thread count.
+
+    ``run_id`` varies the asynchronous schedule only (jitter seed), never
+    the random directions — the paper's repetition protocol.
+    """
+    machine = machine if machine is not None else MachineModel.bgq_like()
+    jitter = max(0, threads // 4) if threads > 1 else 0
+    M = AsyRGSPreconditioner(
+        A,
+        sweeps=inner_sweeps,
+        nproc=threads,
+        jitter=jitter,
+        schedule_seed=1000 * run_id + 7,
+        direction_seed=direction_seed,
+    )
+    result = flexible_conjugate_gradient(
+        A, b, preconditioner=M, tol=tol, max_iterations=max_iterations
+    )
+    iters_per_apply, nnz_per_apply = M.work_per_application()
+    time = machine.fcg_time(
+        A,
+        result.iterations,
+        threads,
+        precond_row_nnz_per_apply=nnz_per_apply,
+        precond_iterations_per_apply=iters_per_apply,
+    )
+    return FCGRun(
+        threads=threads,
+        inner_sweeps=inner_sweeps,
+        outer_iterations=result.iterations,
+        converged=result.converged,
+        mat_ops=result.matrix_applications,
+        modeled_time=time,
+    )
+
+
+@dataclass
+class Fig3Result:
+    problem: str
+    threads: list[int]
+    inner_sweeps: list[int]
+    #: time[s][p] — modeled seconds for inner_sweeps[s] at threads[p]
+    times: dict[int, list[float]]
+    #: outer[s][p] — median outer iterations
+    outer: dict[int, list[int]]
+    #: spread[s][p] — (min, max) outer iterations across repetitions
+    spread: dict[int, list[tuple[int, int]]]
+
+    def table(self) -> str:
+        headers = ["threads"]
+        for s in self.inner_sweeps:
+            headers += [f"time({s} sw)", f"speedup({s} sw)", f"outer({s} sw)"]
+        rows = []
+        for i, p in enumerate(self.threads):
+            row = [p]
+            for s in self.inner_sweeps:
+                t = self.times[s][i]
+                row += [t, self.times[s][0] / t, self.outer[s][i]]
+            rows.append(row)
+        return render_table(
+            headers, rows,
+            title=f"Figure 3 — FCG + AsyRGS preconditioner on {self.problem} "
+                  "(modeled seconds; shape comparison only)",
+        )
+
+
+def run_fig3(
+    problem: str = "social-bench",
+    *,
+    threads=(1, 2, 4, 8, 16, 32, 64),
+    inner_sweeps=(2, 10),
+    repetitions: int = 3,
+    tol: float = 1e-8,
+    seed: int = 0,
+) -> Fig3Result:
+    """Regenerate Figure 3 (both panels)."""
+    prob = get_problem(problem)
+    A, b = prob.A, prob.b
+    times: dict[int, list[float]] = {s: [] for s in inner_sweeps}
+    outer: dict[int, list[int]] = {s: [] for s in inner_sweeps}
+    spread: dict[int, list[tuple[int, int]]] = {s: [] for s in inner_sweeps}
+    for s in inner_sweeps:
+        for p in threads:
+            reps = max(1, repetitions if p > 1 else 1)
+            runs = [
+                run_fcg_once(
+                    A, b, threads=p, inner_sweeps=s, tol=tol,
+                    run_id=r, direction_seed=seed,
+                )
+                for r in range(reps)
+            ]
+            iters = [r.outer_iterations for r in runs]
+            med = int(statistics.median(iters))
+            med_run = min(runs, key=lambda r: abs(r.outer_iterations - med))
+            times[s].append(med_run.modeled_time)
+            outer[s].append(med)
+            spread[s].append((min(iters), max(iters)))
+    result = Fig3Result(
+        problem=problem,
+        threads=list(threads),
+        inner_sweeps=list(inner_sweeps),
+        times=times,
+        outer=outer,
+        spread=spread,
+    )
+    save_json(
+        "fig3_fcg",
+        {
+            "problem": problem,
+            "threads": list(threads),
+            "inner_sweeps": list(inner_sweeps),
+            "times": {str(k): v for k, v in times.items()},
+            "outer": {str(k): v for k, v in outer.items()},
+            "spread": {str(k): v for k, v in spread.items()},
+        },
+    )
+    return result
+
+
+@dataclass
+class Table1Result:
+    problem: str
+    threads: int
+    rows: list[dict]
+
+    def table(self) -> str:
+        data = [
+            (
+                r["inner_sweeps"],
+                r["outer_iterations"],
+                r["mat_ops"],
+                r["modeled_time"],
+                r["mat_ops_per_second"],
+            )
+            for r in self.rows
+        ]
+        return render_table(
+            ["Inner sweeps", "Outer its", "Outer×(Inner+1)", "Time", "Mat-ops/sec"],
+            data,
+            title=f"Table 1 — FCG + AsyRGS inner-sweep trade-off on "
+                  f"{self.problem}, {self.threads} threads "
+                  "(modeled seconds; shape comparison only)",
+        )
+
+    def best_time_sweeps(self) -> int:
+        return min(self.rows, key=lambda r: r["modeled_time"])["inner_sweeps"]
+
+
+def run_table1(
+    problem: str = "social-bench",
+    *,
+    threads: int = 64,
+    sweep_counts=(30, 20, 10, 5, 3, 2, 1),
+    repetitions: int = 3,
+    tol: float = 1e-8,
+    seed: int = 0,
+) -> Table1Result:
+    """Regenerate Table 1 (median of ``repetitions`` runs per row)."""
+    prob = get_problem(problem)
+    A, b = prob.A, prob.b
+    rows = []
+    for s in sweep_counts:
+        runs = [
+            run_fcg_once(
+                A, b, threads=threads, inner_sweeps=s, tol=tol,
+                run_id=r, direction_seed=seed,
+            )
+            for r in range(max(1, repetitions))
+        ]
+        iters = [r.outer_iterations for r in runs]
+        med = int(statistics.median(iters))
+        med_run = min(runs, key=lambda r: abs(r.outer_iterations - med))
+        rows.append(
+            {
+                "inner_sweeps": s,
+                "outer_iterations": med,
+                "outer_spread": (min(iters), max(iters)),
+                "mat_ops": med * (s + 1),
+                "modeled_time": med_run.modeled_time,
+                "mat_ops_per_second": med * (s + 1) / med_run.modeled_time,
+                "converged": all(r.converged for r in runs),
+            }
+        )
+    result = Table1Result(problem=problem, threads=threads, rows=rows)
+    save_json(
+        "table1_tradeoff",
+        {"problem": problem, "threads": threads, "rows": rows},
+    )
+    return result

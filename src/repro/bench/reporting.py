@@ -1,0 +1,76 @@
+"""Plain-text rendering and persistence of experiment results.
+
+Benchmarks print the same rows/series the paper reports, as ASCII tables,
+and persist a machine-readable JSON next to them (``results/`` by
+default) so EXPERIMENTS.md can be regenerated from artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["render_table", "render_series", "save_json", "results_dir"]
+
+
+def results_dir() -> Path:
+    """Directory for experiment artifacts (override with REPRO_RESULTS)."""
+    root = os.environ.get("REPRO_RESULTS", "results")
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], *, title: str = "") -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence[Any], ys: Sequence[Any], *, x_label: str = "x", y_label: str = "y") -> str:
+    """Render an (x, y) series as a two-column table."""
+    return render_table([x_label, y_label], list(zip(xs, ys)), title=name)
+
+
+def save_json(name: str, payload: dict) -> Path:
+    """Persist an experiment payload under ``results/<name>.json``."""
+    path = results_dir() / f"{name}.json"
+    with path.open("w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=_json_default)
+    return path
+
+
+def _json_default(obj):
+    import numpy as np
+
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"cannot serialize {type(obj)!r}")

@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``
+    Solve a MatrixMarket SPD system with AsyRGS, RGS, CG, or FCG+AsyRGS.
+``estimate``
+    Spectral / conditioning / theory diagnostics for a matrix, including
+    the Theorem 2–4 hypothesis report for a given (τ, β).
+``experiment``
+    Run one of the paper-reproduction experiment drivers (fig1,
+    fig2-left/center/right, fig3, table1, and the ablations) and print
+    its table.
+``problems``
+    List the named workload registry.
+
+Every command is importable (``repro.cli.main([...])``) for testing; the
+module performs no work at import time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Asynchronous randomized linear solvers "
+        "(Avron, Druinsky & Gupta, IPDPS 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve a MatrixMarket SPD system")
+    p_solve.add_argument("matrix", help="MatrixMarket .mtx file (SPD)")
+    p_solve.add_argument(
+        "--method",
+        choices=["asyrgs", "rgs", "cg", "fcg"],
+        default="asyrgs",
+    )
+    p_solve.add_argument("--rhs", default=None, help="optional whitespace RHS file")
+    p_solve.add_argument("--nproc", type=int, default=8, help="simulated processors")
+    p_solve.add_argument("--beta", default="1.0", help="step size or 'auto'")
+    p_solve.add_argument("--tol", type=float, default=1e-8)
+    p_solve.add_argument("--max-sweeps", type=int, default=2000)
+    p_solve.add_argument("--inner-sweeps", type=int, default=2, help="FCG inner sweeps")
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument("--output", default=None, help="write solution vector here")
+
+    p_est = sub.add_parser("estimate", help="conditioning / theory diagnostics")
+    p_est.add_argument("matrix", help="MatrixMarket .mtx file")
+    p_est.add_argument("--tau", type=int, default=None, help="delay bound to report on")
+    p_est.add_argument("--beta", type=float, default=1.0)
+    p_est.add_argument("--lanczos-steps", type=int, default=60)
+
+    p_exp = sub.add_parser("experiment", help="run a paper-reproduction experiment")
+    p_exp.add_argument(
+        "name",
+        choices=[
+            "fig1", "fig2-left", "fig2-center", "fig2-right", "fig3", "table1",
+            "tau-sweep", "beta-sweep", "consistency-gap", "delay-schedules",
+            "theory-envelope", "direction-strategies", "motivation", "extensions",
+        ],
+    )
+    p_exp.add_argument("--problem", default=None, help="named problem override")
+
+    sub.add_parser("problems", help="list the named workload registry")
+    return parser
+
+
+def _load_system(args):
+    from .sparse import read_matrix_market
+
+    A = read_matrix_market(args.matrix)
+    if getattr(args, "rhs", None):
+        b = np.loadtxt(args.rhs, dtype=np.float64).reshape(-1)
+    else:
+        # Default: the all-ones image b = A·1 (known solution).
+        b = A.matvec(np.ones(A.shape[0]))
+    return A, b
+
+
+def _cmd_solve(args) -> int:
+    from .core import AsyRGS, randomized_gauss_seidel
+    from .krylov import (
+        AsyRGSPreconditioner,
+        conjugate_gradient,
+        flexible_conjugate_gradient,
+    )
+
+    A, b = _load_system(args)
+    beta = args.beta if args.beta == "auto" else float(args.beta)
+    if args.method == "asyrgs":
+        solver = AsyRGS(A, b, nproc=args.nproc, beta=beta, seed=args.seed)
+        result = solver.solve(tol=args.tol, max_sweeps=args.max_sweeps)
+        x, converged = result.x, result.converged
+        print(
+            f"AsyRGS (nproc={args.nproc}, beta={solver.beta:.4g}): "
+            f"{result.sweeps} sweeps, residual {result.history.final:.3e}, "
+            f"converged={converged}"
+        )
+    elif args.method == "rgs":
+        result = randomized_gauss_seidel(
+            A, b, sweeps=args.max_sweeps, tol=args.tol,
+            beta=1.0 if beta == "auto" else beta,
+        )
+        x, converged = result.x, result.converged
+        print(
+            f"RGS: {result.iterations // A.shape[0]} sweeps, "
+            f"residual {result.history.final:.3e}, converged={converged}"
+        )
+    elif args.method == "cg":
+        result = conjugate_gradient(A, b, tol=args.tol, max_iterations=args.max_sweeps)
+        x, converged = result.x, result.converged
+        print(
+            f"CG: {result.iterations} iterations, residual "
+            f"{result.residuals[-1]:.3e}, converged={converged}"
+        )
+    else:  # fcg
+        M = AsyRGSPreconditioner(
+            A, sweeps=args.inner_sweeps, nproc=args.nproc,
+            jitter=max(0, args.nproc // 4), direction_seed=args.seed,
+        )
+        result = flexible_conjugate_gradient(
+            A, b, preconditioner=M, tol=args.tol, max_iterations=args.max_sweeps
+        )
+        x, converged = result.x, result.converged
+        print(
+            f"FCG+AsyRGS ({args.inner_sweeps} inner sweeps): "
+            f"{result.iterations} outer iterations, residual "
+            f"{result.residuals[-1]:.3e}, converged={converged}"
+        )
+    if args.output:
+        np.savetxt(args.output, x)
+        print(f"solution written to {args.output}")
+    return 0 if converged else 1
+
+
+def _cmd_estimate(args) -> int:
+    from .core import bound_report, epoch_length, rho_infinity, rho_two
+    from .estimation import spectrum_estimate
+    from .sparse import read_matrix_market, row_nnz_statistics, symmetric_rescale
+
+    A = read_matrix_market(args.matrix)
+    print(f"matrix: shape {A.shape}, nnz {A.nnz}")
+    stats = row_nnz_statistics(A)
+    print(
+        "row nnz: min {min:.0f}, mean {mean:.1f}, max {max:.0f} "
+        "(skew {skew_ratio:.1f})".format(**stats)
+    )
+    A_unit, _ = symmetric_rescale(A)
+    est = spectrum_estimate(A_unit, steps=args.lanczos_steps)
+    print(
+        f"unit-diagonal rescaling: lambda_min ~ {est.lambda_min:.4g}, "
+        f"lambda_max ~ {est.lambda_max:.4g}, kappa ~ {est.kappa:.4g}"
+    )
+    print(f"rho = {rho_infinity(A_unit):.4g}, rho2 = {rho_two(A_unit):.4g}")
+    n = A.shape[0]
+    if est.lambda_max < n:
+        print(f"epoch length T0 = {epoch_length(est.lambda_max, n)} updates")
+    if args.tau is not None:
+        print()
+        for line in bound_report(A_unit, tau=args.tau, beta=args.beta).lines():
+            print(line)
+    return 0
+
+
+_EXPERIMENTS = {
+    "fig1": ("run_fig1", {}),
+    "fig2-left": ("run_fig2_left", {}),
+    "fig2-center": ("run_fig2_center", {}),
+    "fig2-right": ("run_fig2_right", {}),
+    "fig3": ("run_fig3", {}),
+    "table1": ("run_table1", {}),
+    "tau-sweep": ("run_tau_sweep", {}),
+    "beta-sweep": ("run_beta_sweep", {}),
+    "consistency-gap": ("run_consistency_gap", {}),
+    "delay-schedules": ("run_delay_schedules", {}),
+    "theory-envelope": ("run_theory_envelope", {}),
+    "direction-strategies": ("run_direction_strategies", {}),
+    "motivation": ("run_motivation", {}),
+    "extensions": ("run_extensions", {}),
+}
+
+
+def _cmd_experiment(args) -> int:
+    import inspect
+
+    import repro.bench as bench
+
+    fn_name, kwargs = _EXPERIMENTS[args.name]
+    fn = getattr(bench, fn_name)
+    if args.problem:
+        if "problem" not in inspect.signature(fn).parameters:
+            print(f"experiment {args.name!r} does not take a problem override")
+            return 2
+        kwargs = dict(kwargs, problem=args.problem)
+    result = fn(**kwargs)
+    print(result.table())
+    return 0
+
+
+def _cmd_problems(_args) -> int:
+    from .workloads import available_problems, get_problem
+
+    for name in available_problems():
+        prob = get_problem(name)
+        print(
+            f"{name:14s} n={prob.n:6d} nnz={prob.A.nnz:9d} "
+            f"kind={prob.meta.get('kind', '?')}"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "solve": _cmd_solve,
+        "estimate": _cmd_estimate,
+        "experiment": _cmd_experiment,
+        "problems": _cmd_problems,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

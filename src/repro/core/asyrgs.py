@@ -1,0 +1,311 @@
+"""AsyRGS — the paper's asynchronous randomized Gauss-Seidel solver.
+
+This module is the user-facing façade over the execution substrate. It
+packages the two simulation engines behind one solver object and
+implements the **epoch scheme** from the discussion of Theorem 2: run
+asynchronously for ≈ n updates, synchronize (a segment boundary — every
+processor's updates become visible), check the residual, repeat. The
+number of synchronization points is what the theory trades against the
+convergence rate, and what the cost model charges barriers for.
+
+Typical use::
+
+    solver = AsyRGS(A, b, nproc=16)
+    result = solver.solve(tol=1e-4, max_sweeps=200)
+
+or, for explicit delay-model studies::
+
+    solver = AsyRGS(A, b, delay_model=UniformDelay(tau=32, seed=7),
+                    engine="general", beta="auto")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ModelError, ShapeError
+from ..rng import DirectionStream
+from ..sparse import CSRMatrix
+from ..execution import (
+    AsyncSimulator,
+    DelayModel,
+    PhasedSimulator,
+    ProcessorPhaseDelay,
+    WriteModel,
+)
+from .residuals import ConvergenceHistory, relative_residual
+from .stepsize import auto_step_size
+from .theory import rho_infinity
+
+__all__ = ["AsyRGSResult", "AsyRGS"]
+
+
+@dataclass
+class AsyRGSResult:
+    """Outcome of an asynchronous solve.
+
+    Attributes
+    ----------
+    x:
+        Final iterate.
+    iterations:
+        Total coordinate updates applied.
+    sweeps:
+        Completed sweeps (``iterations / n`` rounded down).
+    converged:
+        Whether the tolerance was reached (``False`` without a tolerance).
+    history:
+        Per-epoch metric record.
+    total_row_nnz:
+        Σ over updates of ``nnz(row)`` — input to the cost model.
+    sync_points:
+        Number of synchronization (epoch) boundaries executed.
+    lost_writes:
+        Updates destroyed by write races (non-atomic modes).
+    beta:
+        The step size actually used (useful with ``beta="auto"``).
+    """
+
+    x: np.ndarray
+    iterations: int
+    sweeps: int
+    converged: bool
+    history: ConvergenceHistory | None
+    total_row_nnz: int
+    sync_points: int
+    lost_writes: int
+    beta: float
+
+
+class AsyRGS:
+    """Asynchronous randomized Gauss-Seidel solver.
+
+    Parameters
+    ----------
+    A:
+        System matrix (positive diagonal required; SPD for the theory).
+    b:
+        Right-hand side, shape ``(n,)`` or ``(n, k)``.
+    nproc:
+        Number of simulated processors. With ``engine="phased"`` this is
+        the round size; with ``engine="general"`` it parameterizes the
+        default delay model :class:`ProcessorPhaseDelay`.
+    delay_model:
+        Explicit delay schedule (``engine="general"`` only); overrides
+        ``nproc``'s default model.
+    engine:
+        ``"phased"`` — the vectorized round-based engine (used by the
+        scaling benches); ``"general"`` — the per-update engine supporting
+        arbitrary delay and write models.
+    beta:
+        Step size in ``(0, 2)``, or ``"auto"`` to use the theory-optimal
+        step for the configured τ and read-consistency model
+        (Section 6 / :mod:`repro.core.stepsize`).
+    directions:
+        Coordinate stream shared across configurations (defaults to seed 0).
+    atomic / write_model / jitter / seed:
+        Forwarded to the chosen engine (see
+        :mod:`repro.execution.simulator`).
+    """
+
+    def __init__(
+        self,
+        A: CSRMatrix,
+        b: np.ndarray,
+        *,
+        nproc: int = 1,
+        delay_model: DelayModel | None = None,
+        engine: str = "phased",
+        beta: float | str = 1.0,
+        directions: DirectionStream | None = None,
+        atomic: bool = True,
+        write_model: WriteModel | None = None,
+        jitter: int = 0,
+        seed: int = 0,
+    ):
+        if engine not in ("phased", "general"):
+            raise ModelError(f"unknown engine {engine!r}; use 'phased' or 'general'")
+        if engine == "phased" and delay_model is not None:
+            raise ModelError("delay_model is only supported by the 'general' engine")
+        if engine == "phased" and write_model is not None:
+            raise ModelError(
+                "the phased engine models write races via atomic=False; "
+                "write_model is only supported by the 'general' engine"
+            )
+        if not A.is_square():
+            raise ShapeError(f"AsyRGS needs a square matrix, got {A.shape}")
+        self.A = A
+        self.b = np.asarray(b, dtype=np.float64)
+        self.n = A.shape[0]
+        self.engine = engine
+        self.nproc = int(nproc)
+        if self.nproc < 1:
+            raise ModelError(f"nproc must be at least 1, got {nproc}")
+        self.directions = (
+            directions if directions is not None else DirectionStream(self.n, seed=0)
+        )
+        if engine == "general":
+            self.delay_model = (
+                delay_model
+                if delay_model is not None
+                else ProcessorPhaseDelay(self.nproc, seed=seed)
+            )
+            tau = self.delay_model.tau
+            consistent = self.delay_model.is_consistent
+        else:
+            self.delay_model = None
+            tau = self.nproc + int(jitter) - 1
+            consistent = True
+        self.tau = int(tau)
+        if beta == "auto":
+            self.beta = auto_step_size(
+                A, tau=self.tau, consistent=consistent, rho=rho_infinity(A)
+            )
+        else:
+            self.beta = float(beta)
+            if not 0.0 < self.beta < 2.0:
+                raise ModelError(f"step size beta must lie in (0, 2), got {self.beta}")
+        if engine == "phased":
+            self._sim = PhasedSimulator(
+                A,
+                self.b,
+                nproc=self.nproc,
+                directions=self.directions,
+                beta=self.beta,
+                atomic=atomic,
+                jitter=int(jitter),
+                seed=seed,
+            )
+        else:
+            self._sim = AsyncSimulator(
+                A,
+                self.b,
+                delay_model=self.delay_model,
+                directions=self.directions,
+                beta=self.beta,
+                write_model=write_model,
+            )
+
+    # ------------------------------------------------------------------
+
+    def _zero_like_b(self) -> np.ndarray:
+        return np.zeros_like(self.b)
+
+    def run_sweeps(
+        self,
+        sweeps: int,
+        x0: np.ndarray | None = None,
+        *,
+        record_history: bool = True,
+        metric=None,
+        start_iteration: int = 0,
+    ) -> AsyRGSResult:
+        """Run a fixed number of sweeps without synchronization points.
+
+        The entire run is a single asynchronous segment — the regime of
+        Theorem 2(b)/3(b)/4(b) (no occasional synchronization). The metric
+        history is still recorded once per sweep: that read models a
+        monitoring thread and does not synchronize the execution.
+        """
+        sweeps = int(sweeps)
+        if sweeps < 0:
+            raise ModelError("sweeps must be non-negative")
+        x = self._zero_like_b() if x0 is None else np.array(x0, dtype=np.float64)
+        if metric is None:
+            metric = lambda xv: relative_residual(self.A, xv, self.b)  # noqa: E731
+        history = (
+            ConvergenceHistory(label="AsyRGS", unit="sweep", metric="metric")
+            if record_history
+            else None
+        )
+        if history is not None:
+            history.record(0, metric(x))
+        result = self._sim.run(
+            x,
+            sweeps * self.n,
+            start_iteration=start_iteration,
+            checkpoint_every=self.n if record_history else None,
+            checkpoint_metric=metric if record_history else None,
+        )
+        if history is not None:
+            for it, value in result.checkpoints:
+                history.record((it - start_iteration) // self.n, value)
+        return AsyRGSResult(
+            x=result.x,
+            iterations=result.iterations,
+            sweeps=sweeps,
+            converged=False,
+            history=history,
+            total_row_nnz=result.total_row_nnz,
+            sync_points=0,
+            lost_writes=result.lost_writes,
+            beta=self.beta,
+        )
+
+    def solve(
+        self,
+        tol: float,
+        max_sweeps: int,
+        x0: np.ndarray | None = None,
+        *,
+        sync_every_sweeps: int = 1,
+        metric=None,
+        record_history: bool = True,
+    ) -> AsyRGSResult:
+        """Solve to tolerance with the epoch scheme of Theorem 2's discussion.
+
+        Runs ``sync_every_sweeps`` sweeps asynchronously, synchronizes
+        (segment boundary — all pending updates become visible to every
+        simulated processor), evaluates the metric, and repeats until
+        ``metric(x) < tol`` or the sweep budget is exhausted.
+        """
+        tol = float(tol)
+        max_sweeps = int(max_sweeps)
+        sync_every = int(sync_every_sweeps)
+        if sync_every < 1:
+            raise ModelError("sync_every_sweeps must be at least 1")
+        x = self._zero_like_b() if x0 is None else np.array(x0, dtype=np.float64)
+        if metric is None:
+            metric = lambda xv: relative_residual(self.A, xv, self.b)  # noqa: E731
+        history = (
+            ConvergenceHistory(label="AsyRGS-epochs", unit="sweep", metric="metric")
+            if record_history
+            else None
+        )
+        value = metric(x)
+        if history is not None:
+            history.record(0, value)
+        converged = value < tol
+        iterations = 0
+        total_nnz = 0
+        lost = 0
+        sync_points = 0
+        sweeps_done = 0
+        while not converged and sweeps_done < max_sweeps:
+            take = min(sync_every, max_sweeps - sweeps_done)
+            result = self._sim.run(
+                x, take * self.n, start_iteration=iterations
+            )
+            x = result.x
+            iterations += result.iterations
+            total_nnz += result.total_row_nnz
+            lost += result.lost_writes
+            sweeps_done += take
+            sync_points += 1
+            value = metric(x)
+            if history is not None:
+                history.record(sweeps_done, value)
+            converged = value < tol
+        return AsyRGSResult(
+            x=x,
+            iterations=iterations,
+            sweeps=sweeps_done,
+            converged=converged,
+            history=history,
+            total_row_nnz=total_nnz,
+            sync_points=sync_points,
+            lost_writes=lost,
+            beta=self.beta,
+        )

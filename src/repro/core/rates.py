@@ -1,0 +1,128 @@
+"""Empirical convergence-rate estimation.
+
+The theory speaks in per-iteration contraction factors; experiments
+produce residual histories. This module connects them:
+
+* :func:`fit_linear_rate` — least-squares fit of ``log(value)`` against
+  the iteration count, returning the per-unit contraction factor and the
+  fit quality (the paper's "linear convergence" is a straight line in
+  this log plot);
+* :func:`observed_nu` — invert the Theorem 2(a) epoch factor
+  ``1 − ν/2κ`` from a measured per-epoch contraction, giving the
+  *effective* ν an execution achieved — directly comparable with
+  ``ν_τ(β)`` to quantify the bound's pessimism;
+* :func:`sweeps_to_tolerance` — budget prediction from a fitted rate.
+
+Used by the ablation reports and available to downstream users tuning
+τ/β trade-offs on their own matrices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ModelError
+from .residuals import ConvergenceHistory
+
+__all__ = ["RateFit", "fit_linear_rate", "observed_nu", "sweeps_to_tolerance"]
+
+
+@dataclass(frozen=True)
+class RateFit:
+    """A fitted linear (geometric) convergence rate.
+
+    Attributes
+    ----------
+    factor:
+        Per-iteration-unit contraction factor ρ̂ (value ≈ C·ρ̂^iteration).
+    log10_slope:
+        Slope of the log₁₀ plot per iteration unit (= log₁₀ ρ̂).
+    r_squared:
+        Coefficient of determination of the log-linear fit; near 1 means
+        the convergence really is linear (the theorems' regime).
+    points:
+        Number of history points used.
+    """
+
+    factor: float
+    log10_slope: float
+    r_squared: float
+    points: int
+
+    @property
+    def halving_iterations(self) -> float:
+        """Iteration units needed to halve the metric."""
+        if self.factor >= 1.0:
+            return math.inf
+        return math.log(0.5) / math.log(self.factor)
+
+
+def fit_linear_rate(
+    history: ConvergenceHistory, *, skip: int = 0, floor: float = 1e-300
+) -> RateFit:
+    """Fit a geometric rate to a convergence history.
+
+    Parameters
+    ----------
+    skip:
+        Leading records to ignore (transient before the asymptotic rate;
+        randomized methods typically show a faster initial phase).
+    floor:
+        Values at or below this are dropped (converged-to-zero tails
+        carry no rate information and would corrupt the log).
+    """
+    its, vals = history.as_arrays()
+    if skip:
+        its, vals = its[int(skip):], vals[int(skip):]
+    keep = vals > floor
+    its, vals = its[keep], vals[keep]
+    if its.size < 2:
+        raise ModelError(
+            f"need at least two usable history points to fit a rate, got {its.size}"
+        )
+    x = its.astype(np.float64)
+    y = np.log10(vals)
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return RateFit(
+        factor=float(10.0**slope),
+        log10_slope=float(slope),
+        r_squared=float(r2),
+        points=int(its.size),
+    )
+
+
+def observed_nu(contraction: float, kappa: float) -> float:
+    """Invert Theorem 2(a): given a measured per-epoch squared-error
+    contraction ``E₊/E = 1 − ν/2κ``, return the effective ν.
+
+    Values above the theoretical ``ν_τ(β)`` quantify how pessimistic the
+    bound was for the observed execution.
+    """
+    contraction = float(contraction)
+    kappa = float(kappa)
+    if not 0.0 <= contraction <= 1.0:
+        raise ModelError(f"contraction must lie in [0, 1], got {contraction}")
+    if kappa < 1.0:
+        raise ModelError(f"kappa must be at least 1, got {kappa}")
+    return 2.0 * kappa * (1.0 - contraction)
+
+
+def sweeps_to_tolerance(fit: RateFit, start_value: float, tol: float) -> int:
+    """Predicted iteration units to bring ``start_value`` below ``tol``
+    at the fitted rate."""
+    start_value = float(start_value)
+    tol = float(tol)
+    if start_value <= 0 or tol <= 0:
+        raise ModelError("start_value and tol must be positive")
+    if tol >= start_value:
+        return 0
+    if fit.factor >= 1.0:
+        raise ModelError("non-contracting rate never reaches the tolerance")
+    return int(math.ceil(math.log(tol / start_value) / math.log(fit.factor)))

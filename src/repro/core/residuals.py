@@ -1,0 +1,161 @@
+"""Error and residual measurement for the solvers and experiments.
+
+The paper reports three convergence measures, all implemented here:
+
+* the **relative residual** ``‖b − Ax‖₂ / ‖b‖₂`` (Figures 1, 2-center);
+  for multi-RHS blocks the Frobenius version ``‖B − AX‖_F / ‖B‖_F``;
+* the **A-norm of the error** ``‖x − x*‖_A`` (the quantity the theory
+  bounds; Figure 2-right reports ``‖x − x*‖_A / ‖x*‖_A``);
+* the **expected squared A-norm error** ``E_m`` — estimated in the benches
+  by averaging over seeds.
+
+:class:`ConvergenceHistory` is the shared recorder: solvers append
+``(iteration, value)`` pairs and experiments read uniform series from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from ..sparse import CSRMatrix
+
+__all__ = [
+    "residual_norm",
+    "relative_residual",
+    "a_norm",
+    "a_norm_error",
+    "relative_a_norm_error",
+    "ConvergenceHistory",
+]
+
+
+def residual_norm(A: CSRMatrix, x: np.ndarray, b: np.ndarray) -> float:
+    """``‖b − Ax‖`` — Euclidean for vectors, Frobenius for RHS blocks."""
+    x = np.asarray(x, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if x.shape != b.shape:
+        raise ShapeError(f"x {x.shape} and b {b.shape} must have matching shapes")
+    r = b - (A.matvec(x) if x.ndim == 1 else A.matmat(x))
+    return float(np.linalg.norm(r))
+
+
+def relative_residual(A: CSRMatrix, x: np.ndarray, b: np.ndarray) -> float:
+    """``‖b − Ax‖ / ‖b‖`` (paper's Figures 1 and 2-center measure).
+
+    A zero right-hand side returns the absolute residual norm.
+    """
+    denom = float(np.linalg.norm(b))
+    num = residual_norm(A, x, b)
+    return num / denom if denom > 0 else num
+
+
+def a_norm(A: CSRMatrix, v: np.ndarray) -> float:
+    """``‖v‖_A = sqrt(vᵀ A v)`` for SPD ``A``.
+
+    Clamps tiny negative rounding noise to zero; a genuinely negative
+    quadratic form (beyond rounding) raises, since it witnesses that A is
+    not positive definite.
+    """
+    v = np.asarray(v, dtype=np.float64)
+    if v.ndim == 1:
+        quad = float(v @ A.matvec(v))
+        scale = float(v @ v)
+    else:
+        Av = A.matmat(v)
+        quad = float(np.sum(v * Av))
+        scale = float(np.sum(v * v))
+    if quad < 0:
+        if scale > 0 and quad > -1e-10 * max(scale, 1.0):
+            quad = 0.0
+        else:
+            from ..exceptions import NotPositiveDefiniteError
+
+            raise NotPositiveDefiniteError(
+                f"quadratic form vᵀAv = {quad:g} is negative; A is not SPD"
+            )
+    return float(np.sqrt(quad))
+
+
+def a_norm_error(A: CSRMatrix, x: np.ndarray, x_star: np.ndarray) -> float:
+    """``‖x − x*‖_A`` — the error functional of the paper's analysis."""
+    x = np.asarray(x, dtype=np.float64)
+    x_star = np.asarray(x_star, dtype=np.float64)
+    if x.shape != x_star.shape:
+        raise ShapeError(f"x {x.shape} and x* {x_star.shape} must have matching shapes")
+    return a_norm(A, x - x_star)
+
+
+def relative_a_norm_error(A: CSRMatrix, x: np.ndarray, x_star: np.ndarray) -> float:
+    """``‖x − x*‖_A / ‖x*‖_A`` (paper's Figure 2-right measure)."""
+    denom = a_norm(A, x_star)
+    num = a_norm_error(A, x, x_star)
+    return num / denom if denom > 0 else num
+
+
+@dataclass
+class ConvergenceHistory:
+    """Uniform recorder of a convergence trajectory.
+
+    Attributes
+    ----------
+    label:
+        Name of the method/configuration (used by the bench reports).
+    iterations:
+        Iteration counter at each record (solver-specific unit: coordinate
+        updates, sweeps, or Krylov iterations — noted in ``unit``).
+    values:
+        Recorded metric at each point.
+    unit:
+        The iteration unit ("update", "sweep", "iteration").
+    metric:
+        The metric name ("relative_residual", "a_norm_error", …).
+    """
+
+    label: str = ""
+    unit: str = "iteration"
+    metric: str = "relative_residual"
+    iterations: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, iteration: int, value: float) -> None:
+        if self.iterations and iteration < self.iterations[-1]:
+            raise ValueError(
+                f"history iterations must be non-decreasing "
+                f"({iteration} after {self.iterations[-1]})"
+            )
+        self.iterations.append(int(iteration))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def final(self) -> float:
+        if not self.values:
+            raise ValueError("empty history has no final value")
+        return self.values[-1]
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return (
+            np.asarray(self.iterations, dtype=np.int64),
+            np.asarray(self.values, dtype=np.float64),
+        )
+
+    def first_below(self, threshold: float) -> int | None:
+        """Earliest recorded iteration with value below ``threshold``
+        (``None`` if never reached)."""
+        for it, v in zip(self.iterations, self.values):
+            if v < threshold:
+                return it
+        return None
+
+    def reduction_factor(self) -> float:
+        """``values[-1] / values[0]`` — overall reduction achieved."""
+        if len(self.values) < 2:
+            raise ValueError("need at least two records to compute a reduction")
+        if self.values[0] == 0:
+            return 0.0
+        return self.values[-1] / self.values[0]

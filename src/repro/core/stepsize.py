@@ -1,0 +1,96 @@
+"""Step-size control for asynchronous iterations (paper Section 6).
+
+The synchronous bound (2) is optimized by the unit step ``β = 1``, but
+under asynchrony the *progress* term of the error recursion is ``O(β)``
+while the *interference* term is ``O(β²)`` — so the optimal step shrinks
+with the delay bound τ:
+
+* consistent reads (Theorem 3): ``ν_τ(β) = 2β − β² − 2ρτβ²`` is maximized
+  at ``β̃ = 1/(1 + 2ρτ)``, giving ``ν_τ(β̃) = 1/(1 + 2ρτ)``; any
+  ``0 < β < 2/(1 + 2ρτ)`` keeps the bound convergent — **any** delay bound
+  admits a convergent step size;
+* inconsistent reads (Theorem 4): ``ω_τ(β) = 2β(1 − β − ρ₂τ²β/2)`` is
+  maximized at ``β* = 1/(2 + ρ₂τ²)``, and convergence of the bound needs
+  ``0 < β < 1/(1 + ρ₂τ²/2)`` — strictly below 1.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ModelError
+from ..sparse import CSRMatrix
+
+__all__ = [
+    "optimal_beta_consistent",
+    "optimal_beta_inconsistent",
+    "max_beta_consistent",
+    "max_beta_inconsistent",
+    "auto_step_size",
+]
+
+
+def optimal_beta_consistent(rho: float, tau: int) -> float:
+    """``β̃ = 1/(1 + 2ρτ)`` — maximizes ``ν_τ(β)`` (Theorem 3 discussion)."""
+    rho = float(rho)
+    tau = int(tau)
+    if rho < 0:
+        raise ModelError(f"rho must be non-negative, got {rho}")
+    if tau < 0:
+        raise ModelError(f"tau must be non-negative, got {tau}")
+    return 1.0 / (1.0 + 2.0 * rho * tau)
+
+
+def optimal_beta_inconsistent(rho2: float, tau: int) -> float:
+    """``β* = 1/(2 + ρ₂τ²)`` — maximizes ``ω_τ(β)`` (Theorem 4)."""
+    rho2 = float(rho2)
+    tau = int(tau)
+    if rho2 < 0:
+        raise ModelError(f"rho2 must be non-negative, got {rho2}")
+    if tau < 0:
+        raise ModelError(f"tau must be non-negative, got {tau}")
+    return 1.0 / (2.0 + rho2 * tau * tau)
+
+
+def max_beta_consistent(rho: float, tau: int) -> float:
+    """Supremum of steps with a convergent Theorem-3 bound:
+    ``ν_τ(β) > 0  ⇔  0 < β < 2/(1 + 2ρτ)``."""
+    return 2.0 * optimal_beta_consistent(rho, tau)
+
+
+def max_beta_inconsistent(rho2: float, tau: int) -> float:
+    """Supremum of steps with a convergent Theorem-4 bound:
+    ``ω_τ(β) > 0  ⇔  0 < β < 1/(1 + ρ₂τ²/2)``."""
+    rho2 = float(rho2)
+    tau = int(tau)
+    if rho2 < 0 or tau < 0:
+        raise ModelError("rho2 and tau must be non-negative")
+    return 1.0 / (1.0 + rho2 * tau * tau / 2.0)
+
+
+def auto_step_size(
+    A: CSRMatrix | None,
+    *,
+    tau: int,
+    consistent: bool,
+    rho: float | None = None,
+    rho2: float | None = None,
+) -> float:
+    """The theory-optimal step size for a configured execution model.
+
+    Either pass the matrix (the needed ρ/ρ₂ is computed) or the
+    pre-computed coefficient. The paper notes τ is rarely known exactly;
+    the ``τ = O(P)`` guideline of the reference scenario is the intended
+    source of the ``tau`` argument.
+    """
+    from .theory import rho_infinity, rho_two
+
+    if consistent:
+        if rho is None:
+            if A is None:
+                raise ModelError("need A or rho= for the consistent-model step size")
+            rho = rho_infinity(A)
+        return optimal_beta_consistent(rho, tau)
+    if rho2 is None:
+        if A is None:
+            raise ModelError("need A or rho2= for the inconsistent-model step size")
+        rho2 = rho_two(A)
+    return optimal_beta_inconsistent(rho2, tau)

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch the library's failures with a
+single ``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array or matrix has an incompatible or malformed shape."""
+
+
+class StructureError(ReproError, ValueError):
+    """A sparse matrix violates a structural invariant.
+
+    Raised for malformed CSR data (non-monotone ``indptr``, out-of-range
+    column indices, unsorted rows when sortedness is required), or when an
+    operation requires a structural property the matrix lacks (for example
+    symmetry or a full diagonal).
+    """
+
+
+class NotSymmetricError(StructureError):
+    """An operation requiring a symmetric matrix received an unsymmetric one."""
+
+
+class NotPositiveDefiniteError(ReproError, ValueError):
+    """An operation requiring positive definiteness detected a violation.
+
+    This library cannot always verify positive definiteness cheaply; the
+    error is raised when a definite witness of indefiniteness appears, such
+    as a non-positive diagonal entry or a negative Rayleigh quotient
+    encountered inside an iterative method.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative method failed to reach its tolerance within its budget.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Last observed residual measure (solver-specific normalization).
+    """
+
+    def __init__(self, message: str, *, iterations: int, residual: float):
+        super().__init__(message)
+        self.iterations = int(iterations)
+        self.residual = float(residual)
+
+
+class ModelError(ReproError, ValueError):
+    """An execution-model configuration is invalid or internally inconsistent.
+
+    Raised for, e.g., a delay model that violates the bounded-asynchronism
+    assumption (A-3), a step size outside the admissible interval for the
+    requested consistency model, or a cost model with non-physical
+    parameters.
+    """

@@ -1,0 +1,47 @@
+"""Asynchronous execution substrate.
+
+Delay models (the paper's ``k(j)``/``K(j)`` schedules), write-race models,
+the per-update and vectorized phased simulators, a real-threads backend,
+execution traces, and the machine cost model that converts measured
+operation counts into modeled wall-clock shapes.
+"""
+
+from .cost_model import MachineModel, round_robin_imbalance
+from .delays import (
+    AdversarialDelay,
+    DelayModel,
+    FixedDelay,
+    InconsistentAdversarial,
+    InconsistentUniform,
+    ProcessorPhaseDelay,
+    UniformDelay,
+    ZeroDelay,
+)
+from .shared_memory import AtomicWrites, LossyWrites, SharedVector, WriteModel
+from .simulator import AsyncSimulator, PhasedSimulator, SimulationResult
+from .threads import ThreadedAsyRGS, ThreadedRunResult
+from .trace import ExecutionTrace, replay_trace
+
+__all__ = [
+    "AdversarialDelay",
+    "AsyncSimulator",
+    "AtomicWrites",
+    "DelayModel",
+    "ExecutionTrace",
+    "FixedDelay",
+    "InconsistentAdversarial",
+    "InconsistentUniform",
+    "LossyWrites",
+    "MachineModel",
+    "PhasedSimulator",
+    "ProcessorPhaseDelay",
+    "SharedVector",
+    "SimulationResult",
+    "ThreadedAsyRGS",
+    "ThreadedRunResult",
+    "UniformDelay",
+    "WriteModel",
+    "ZeroDelay",
+    "replay_trace",
+    "round_robin_imbalance",
+]

@@ -1,0 +1,221 @@
+"""Bounded-delay models: the ``k(j)`` / ``K(j)`` schedules of the paper.
+
+The paper's two asynchronous execution models (Section 4) are fully
+described by which *recent* updates each iteration fails to observe:
+
+* **Consistent read** (iteration (8)): iteration ``j`` reads the iterate
+  ``x_{k(j)}`` with ``j − τ ≤ k(j) ≤ j`` (Assumption A-3, eq. (6)); the
+  missed updates are the contiguous suffix ``{k(j), …, j−1}``.
+* **Inconsistent read** (iteration (9)): iteration ``j`` observes an
+  arbitrary subset ``K(j)`` with ``{0,…,j−τ−1} ⊆ K(j)`` (eq. (7)); the
+  missed updates are any subset of the window ``{j−τ, …, j−1}``.
+
+A :class:`DelayModel` hence answers one question: *which iterations inside
+the window does update* ``j`` *miss?* Assumption A-4 (delays independent
+of the random directions) is honored by drawing all delay randomness from
+a dedicated counter-based stream keyed by the iteration index — the delay
+schedule is a pure function of ``(model seed, j)``, never of the
+directions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..rng import CounterRNG
+
+__all__ = [
+    "DelayModel",
+    "ZeroDelay",
+    "FixedDelay",
+    "UniformDelay",
+    "AdversarialDelay",
+    "ProcessorPhaseDelay",
+    "InconsistentUniform",
+    "InconsistentAdversarial",
+]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class DelayModel:
+    """Base class: a bounded-asynchronism schedule with delay bound τ.
+
+    Subclasses implement :meth:`missed`, returning the sorted iteration
+    indices in ``[max(0, j−τ), j−1]`` whose updates iteration ``j`` does
+    *not* observe. Consistent-read models return contiguous suffixes and
+    set ``is_consistent = True``.
+    """
+
+    #: Whether every view this model produces satisfies the consistent-read
+    #: assumption (A-2) — i.e. missed sets are contiguous suffixes.
+    is_consistent: bool = True
+
+    def __init__(self, tau: int):
+        tau = int(tau)
+        if tau < 0:
+            raise ModelError(f"delay bound tau must be non-negative, got {tau}")
+        self.tau = tau
+
+    def missed(self, j: int) -> np.ndarray:
+        """Sorted int64 array of window iterations missed by update ``j``."""
+        raise NotImplementedError
+
+    def lag(self, j: int) -> int:
+        """For consistent models, ``j − k(j)`` (number of missed updates)."""
+        return int(self.missed(j).size)
+
+    def window_start(self, j: int) -> int:
+        """First iteration index inside ``j``'s delay window."""
+        return max(0, int(j) - self.tau)
+
+    def _suffix(self, j: int, lag: int) -> np.ndarray:
+        """Missed-set helper for consistent models: ``{j−lag, …, j−1}``."""
+        j = int(j)
+        lag = min(int(lag), j, self.tau)
+        if lag <= 0:
+            return _EMPTY
+        return np.arange(j - lag, j, dtype=np.int64)
+
+    def validate_window(self, j: int, missed: np.ndarray) -> None:
+        """Assert the bounded-asynchronism invariant (used by tests)."""
+        j = int(j)
+        if missed.size == 0:
+            return
+        if missed.min() < self.window_start(j) or missed.max() >= j:
+            raise ModelError(
+                f"delay model emitted miss outside window [{self.window_start(j)}, {j})"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(tau={self.tau})"
+
+
+class ZeroDelay(DelayModel):
+    """No asynchrony: every update sees all previous updates (τ = 0).
+
+    With this model the simulator reproduces synchronous randomized
+    Gauss-Seidel exactly — the identity used throughout the test suite.
+    """
+
+    def __init__(self):
+        super().__init__(0)
+
+    def missed(self, j: int) -> np.ndarray:
+        return _EMPTY
+
+
+class FixedDelay(DelayModel):
+    """Constant lag: ``k(j) = max(0, j − lag)`` for every ``j``.
+
+    Models processors in lockstep pipeline fashion; with ``lag = P − 1``
+    this is the classic "every processor misses everyone else's in-flight
+    update" picture of P equal-speed processors.
+    """
+
+    def __init__(self, lag: int):
+        super().__init__(int(lag))
+        self._lag = int(lag)
+
+    def missed(self, j: int) -> np.ndarray:
+        return self._suffix(j, self._lag)
+
+
+class UniformDelay(DelayModel):
+    """Random lag, uniform on ``{0, …, min(j, τ)}``, independent per
+    iteration (keyed counter stream → Assumption A-4 holds by
+    construction)."""
+
+    def __init__(self, tau: int, seed: int = 0):
+        super().__init__(tau)
+        self._rng = CounterRNG(seed, stream=0xDE1A)
+
+    def missed(self, j: int) -> np.ndarray:
+        j = int(j)
+        bound = min(j, self.tau)
+        if bound == 0:
+            return _EMPTY
+        lag = int(self._rng.randint(j, 1, bound + 1)[0])
+        return self._suffix(j, lag)
+
+
+class AdversarialDelay(DelayModel):
+    """Worst case of Theorem 2: always the maximum admissible lag τ.
+
+    The convergence analysis assumes this everywhere; comparing it with
+    :class:`UniformDelay` measures the pessimism of the bound.
+    """
+
+    def missed(self, j: int) -> np.ndarray:
+        return self._suffix(j, self.tau)
+
+
+class ProcessorPhaseDelay(DelayModel):
+    """P equal-speed processors interleaving round-robin.
+
+    Processor ``p = j mod P`` computes update ``j`` from the state it read
+    one full round earlier, so it misses the ``P − 1`` updates committed by
+    the other processors in between, plus a per-iteration jitter of up to
+    ``jitter`` extra missed updates (modeling variable row costs). The
+    delay bound is ``τ = P − 1 + jitter``.
+    """
+
+    def __init__(self, nproc: int, jitter: int = 0, seed: int = 0):
+        nproc = int(nproc)
+        jitter = int(jitter)
+        if nproc < 1:
+            raise ModelError(f"need at least one processor, got {nproc}")
+        if jitter < 0:
+            raise ModelError(f"jitter must be non-negative, got {jitter}")
+        super().__init__(nproc - 1 + jitter)
+        self.nproc = nproc
+        self.jitter = jitter
+        self._rng = CounterRNG(seed, stream=0x9A5E) if jitter else None
+
+    def missed(self, j: int) -> np.ndarray:
+        base = self.nproc - 1
+        if self._rng is not None and self.jitter:
+            base += int(self._rng.randint(j, 1, self.jitter + 1)[0])
+        return self._suffix(j, base)
+
+
+class InconsistentUniform(DelayModel):
+    """Inconsistent reads: each window update is missed independently.
+
+    Update ``t ∈ {j−τ, …, j−1}`` is excluded from ``K(j)`` with
+    probability ``miss_prob``, independently (again from a keyed stream,
+    honoring A-4). This produces genuinely non-suffix missed sets — views
+    that never existed in memory — which is precisely what separates
+    iteration (9) from iteration (8).
+    """
+
+    is_consistent = False
+
+    def __init__(self, tau: int, miss_prob: float = 0.5, seed: int = 0):
+        super().__init__(tau)
+        miss_prob = float(miss_prob)
+        if not 0.0 <= miss_prob <= 1.0:
+            raise ModelError(f"miss_prob must be in [0, 1], got {miss_prob}")
+        self.miss_prob = miss_prob
+        self._rng = CounterRNG(seed, stream=0x1C05)
+
+    def missed(self, j: int) -> np.ndarray:
+        j = int(j)
+        start = self.window_start(j)
+        width = j - start
+        if width == 0 or self.miss_prob == 0.0:
+            return _EMPTY
+        u = self._rng.uniform(j * self.tau, width)
+        window = np.arange(start, j, dtype=np.int64)
+        return window[u < self.miss_prob]
+
+
+class InconsistentAdversarial(DelayModel):
+    """Worst case of Theorem 4: every window update is missed,
+    ``K(j) = {0, …, j−τ−1}`` exactly."""
+
+    is_consistent = False
+
+    def missed(self, j: int) -> np.ndarray:
+        return self._suffix(j, self.tau)

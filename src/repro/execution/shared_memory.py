@@ -1,0 +1,139 @@
+"""Shared-memory write semantics: atomic vs racy (lost) writes.
+
+The paper's Assumption A-1 requires the single-coordinate update
+``(x)_r ← (x)_r + βγ`` to be atomic, and Section 9 tests a *non-atomic*
+variant experimentally (finding no noticeable difference). This module
+models both:
+
+* :class:`AtomicWrites` — every update lands; the paper's formal model.
+* :class:`LossyWrites` — when update ``j`` did not observe an earlier
+  update ``t`` *to the same coordinate* (``t`` is in ``j``'s missed set),
+  the two updates raced on a read-modify-write; with probability
+  ``loss_prob`` the later write overwrites the earlier one, destroying
+  ``δ_t``. This is exactly the failure mode hardware atomics prevent.
+
+:class:`SharedVector` is the thin wrapper the real ``threading`` backend
+uses: a NumPy array plus an optional lock and an update counter, letting
+tests compare locked (atomic) and unlocked (racy) execution on actual
+threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..rng import CounterRNG
+
+__all__ = ["WriteModel", "AtomicWrites", "LossyWrites", "SharedVector"]
+
+
+class WriteModel:
+    """Decides whether a racing pair of writes destroys the earlier one."""
+
+    def lost(self, j: int, t: int) -> bool:
+        """Whether update ``t``'s write is destroyed by update ``j``
+        (``t`` raced with ``j`` on the same coordinate)."""
+        raise NotImplementedError
+
+
+class AtomicWrites(WriteModel):
+    """Hardware-atomic updates: no write is ever lost (Assumption A-1)."""
+
+    def lost(self, j: int, t: int) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "AtomicWrites()"
+
+
+class LossyWrites(WriteModel):
+    """Non-atomic read-modify-write updates with overwrite races.
+
+    Parameters
+    ----------
+    loss_prob:
+        Probability that a racing pair destroys the earlier delta. A real
+        unlocked ``x[r] += d`` loses the race only when the interleaving
+        is exactly read-read-write-write, so values well below 1 are the
+        physically plausible regime; ``1.0`` is the adversarial extreme.
+    seed:
+        Counter-RNG seed; the decision for the pair ``(j, t)`` is a pure
+        function of ``(seed, j, t)`` — replayable.
+    """
+
+    def __init__(self, loss_prob: float = 0.5, seed: int = 0):
+        loss_prob = float(loss_prob)
+        if not 0.0 <= loss_prob <= 1.0:
+            raise ModelError(f"loss_prob must be in [0, 1], got {loss_prob}")
+        self.loss_prob = loss_prob
+        self._rng = CounterRNG(seed, stream=0x10557)
+
+    def lost(self, j: int, t: int) -> bool:
+        if self.loss_prob == 0.0:
+            return False
+        # Cantor-style pairing keeps distinct (j, t) pairs on distinct
+        # stream positions.
+        pos = (int(j) + int(t)) * (int(j) + int(t) + 1) // 2 + int(t)
+        return bool(self._rng.uniform(pos, 1)[0] < self.loss_prob)
+
+    def __repr__(self) -> str:
+        return f"LossyWrites(loss_prob={self.loss_prob})"
+
+
+class SharedVector:
+    """A NumPy vector shared by real threads, with selectable write safety.
+
+    Parameters
+    ----------
+    values:
+        Initial contents (copied).
+    atomic:
+        When ``True``, updates take a lock, making the read-modify-write
+        indivisible — the faithful implementation of Assumption A-1 in
+        CPython. When ``False``, updates are plain ``x[r] += d``
+        (GIL-serialized bytecode, but the read and write are separate
+        operations, so genuine lost updates are possible under preemption).
+    """
+
+    def __init__(self, values: np.ndarray, *, atomic: bool = True):
+        self._x = np.array(values, dtype=np.float64)
+        self._atomic = bool(atomic)
+        self._lock = threading.Lock() if self._atomic else None
+        self._updates = 0
+        self._count_lock = threading.Lock()
+
+    @property
+    def atomic(self) -> bool:
+        return self._atomic
+
+    @property
+    def update_count(self) -> int:
+        """Total number of committed updates across all threads."""
+        return self._updates
+
+    def snapshot(self) -> np.ndarray:
+        """A copy of the current contents (not linearized w.r.t. writers)."""
+        return self._x.copy()
+
+    def view(self) -> np.ndarray:
+        """The live array. Readers get whatever is in memory — this is the
+        inconsistent-read path by construction."""
+        return self._x
+
+    def add(self, index: int, delta: float) -> None:
+        """Commit ``x[index] += delta`` under the configured write model."""
+        if self._atomic:
+            with self._lock:
+                self._x[index] += delta
+        else:
+            self._x[index] += delta
+        with self._count_lock:
+            self._updates += 1
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        """Read a set of entries (no snapshot: entries may interleave with
+        concurrent writes, exactly the paper's read model)."""
+        return self._x[indices]

@@ -1,0 +1,149 @@
+"""Real-``threading`` backend for AsyRGS.
+
+This executes Algorithm 1 of the paper on genuine OS threads sharing one
+NumPy vector — the honest shared-memory code path, races included. Under
+CPython the GIL serializes bytecode, so this backend demonstrates
+*correctness under real concurrency* (and lets tests compare locked vs
+unlocked updates); it cannot demonstrate speedup, which is why all scaling
+experiments go through the simulators plus the cost model (see DESIGN.md,
+substitutions table).
+
+Each thread draws its coordinates from a round-robin view of the shared
+:class:`~repro.rng.DirectionStream`, so the union of directions consumed
+by P threads equals the serial sequence — the paper's Random123 technique.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ModelError, ShapeError
+from ..rng import DirectionStream, interleave_counts
+from ..sparse import CSRMatrix
+from .shared_memory import SharedVector
+from .simulator import _prepare_system
+
+__all__ = ["ThreadedAsyRGS", "ThreadedRunResult"]
+
+
+@dataclass
+class ThreadedRunResult:
+    """Outcome of a threaded run: final iterate and per-thread accounting."""
+
+    x: np.ndarray
+    iterations: int
+    per_thread_iterations: list[int]
+    atomic: bool
+
+
+class ThreadedAsyRGS:
+    """Asynchronous randomized Gauss-Seidel on real threads.
+
+    Parameters
+    ----------
+    A, b:
+        The system (single right-hand side; positive diagonal required).
+    nthreads:
+        Number of OS threads.
+    beta:
+        Step size.
+    atomic:
+        Locked updates (Assumption A-1) when ``True``; plain unlocked
+        read-modify-write when ``False``.
+    directions:
+        Shared coordinate stream; defaults to seed 0.
+    """
+
+    def __init__(
+        self,
+        A: CSRMatrix,
+        b: np.ndarray,
+        *,
+        nthreads: int,
+        beta: float = 1.0,
+        atomic: bool = True,
+        directions: DirectionStream | None = None,
+    ):
+        b, diag, n = _prepare_system(A, b)
+        if b.ndim != 1:
+            raise ShapeError("the threaded backend runs single-RHS systems")
+        nthreads = int(nthreads)
+        if nthreads < 1:
+            raise ModelError(f"nthreads must be at least 1, got {nthreads}")
+        self.A = A
+        self.b = b
+        self.n = n
+        self._diag = diag
+        self.nthreads = nthreads
+        self.beta = float(beta)
+        if not 0.0 < self.beta < 2.0:
+            raise ModelError(f"step size beta must lie in (0, 2), got {self.beta}")
+        self.atomic = bool(atomic)
+        self.directions = directions if directions is not None else DirectionStream(n, seed=0)
+        if self.directions.n != n:
+            raise ModelError("direction stream dimension mismatch")
+
+    def _worker(
+        self,
+        tid: int,
+        shared: SharedVector,
+        count: int,
+        barrier: threading.Barrier,
+        done_counts: list[int],
+    ) -> None:
+        A, b, beta, diag = self.A, self.b, self.beta, self._diag
+        view = self.directions.for_processor(tid, self.nthreads)
+        x = shared.view()  # live array: reads may interleave with writes
+        barrier.wait()
+        block = 512
+        local = 0
+        while local < count:
+            take = min(block, count - local)
+            rows = view.directions(local, take)
+            for r in rows:
+                r = int(r)
+                s, e = A.indptr[r], A.indptr[r + 1]
+                cols = A.indices[s:e]
+                vals = A.data[s:e]
+                # Line 5-6 of Algorithm 1: read the needed entries (no
+                # snapshot, so this is the inconsistent-read regime) and
+                # compute the step.
+                gamma = (b[r] - float(vals @ x[cols])) / diag[r]
+                # Line 7: the update, atomic or not per configuration.
+                shared.add(r, beta * gamma)
+            local += take
+        done_counts[tid] = count
+
+    def run(self, x0: np.ndarray, num_iterations: int) -> ThreadedRunResult:
+        """Apply ``num_iterations`` updates split round-robin over threads."""
+        num_iterations = int(num_iterations)
+        if num_iterations < 0:
+            raise ModelError("num_iterations must be non-negative")
+        x0 = np.asarray(x0, dtype=np.float64)
+        if x0.shape != (self.n,):
+            raise ShapeError(f"x0 has shape {x0.shape}, expected ({self.n},)")
+        shared = SharedVector(x0, atomic=self.atomic)
+        counts = interleave_counts(num_iterations, self.nthreads)
+        barrier = threading.Barrier(self.nthreads)
+        done: list[int] = [0] * self.nthreads
+        threads = [
+            threading.Thread(
+                target=self._worker,
+                args=(tid, shared, int(counts[tid]), barrier, done),
+                name=f"asyrgs-{tid}",
+            )
+            for tid in range(self.nthreads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return ThreadedRunResult(
+            x=shared.snapshot(),
+            iterations=int(sum(done)),
+            per_thread_iterations=done,
+            atomic=self.atomic,
+        )

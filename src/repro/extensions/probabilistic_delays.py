@@ -1,0 +1,125 @@
+"""Probabilistic, cost-driven delay modeling — Section 10 future work.
+
+The paper's bounds use the *maximum* delay τ, and its conclusions call
+this "rather pessimistic" for matrices with imbalanced row sizes,
+suggesting that "a probabilistic modeling of the delays might lead to a
+convergence result that will be more descriptive." This module provides
+that modeling experimentally:
+
+* :class:`RowCostDelay` — the delay of update ``j`` is generated from the
+  *actual row costs* of the updates in flight: a processor picking a
+  heavy row stays busy longer, so the updates committed meanwhile are the
+  ones it misses. Concretely, the lag of update ``j`` is the number of
+  updates whose (cost-weighted) execution intervals overlap ``j``'s,
+  realized by sampling lags from the row-cost distribution of the matrix
+  scaled by the processor count.
+* :func:`effective_tau` — summary statistics of the realized delay
+  distribution (mean, quantiles, max) for plugging into the theory: using
+  a high quantile instead of the max is exactly the "more descriptive"
+  relaxation the paper anticipates.
+
+The ablation compares convergence under ``RowCostDelay`` on the skewed
+social Gram against the worst-case model at the same maximum delay,
+quantifying the pessimism gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..execution.delays import DelayModel
+from ..rng import CounterRNG
+from ..sparse import CSRMatrix
+
+__all__ = ["RowCostDelay", "effective_tau"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class RowCostDelay(DelayModel):
+    """Delays driven by the matrix's row-cost distribution.
+
+    Model: P equal-rate processors; executing the update for row ``r``
+    takes time proportional to ``c_overhead + nnz(r)``. While a processor
+    works on its row, the other ``P − 1`` processors commit updates at the
+    aggregate rate implied by the *mean* row cost. The lag of an update
+    that picked row ``r`` is therefore approximately
+
+        ``lag ≈ (P − 1) · cost(r) / mean_cost``
+
+    — heavy rows read proportionally staler data, which is precisely the
+    effect the paper's conclusions single out for skewed matrices. The
+    row behind each lag is sampled i.i.d. from the matrix's own row-cost
+    distribution (Philox-keyed per iteration; Assumption A-4 holds: the
+    sampled costs are independent of the solver's direction stream).
+
+    The hard bound τ is ``(P − 1) · max_cost / mean_cost`` (clipped), so
+    the model slots into every theorem as-is, while its *realized* delays
+    are far smaller most of the time.
+    """
+
+    def __init__(
+        self,
+        A: CSRMatrix,
+        nproc: int,
+        *,
+        overhead: float = 2.0,
+        tau_cap: int | None = None,
+        seed: int = 0,
+    ):
+        nproc = int(nproc)
+        if nproc < 1:
+            raise ModelError(f"need at least one processor, got {nproc}")
+        counts = A.row_nnz().astype(np.float64) + float(overhead)
+        if counts.size == 0:
+            raise ModelError("cannot build a row-cost model for an empty matrix")
+        mean_cost = float(counts.mean())
+        max_cost = float(counts.max())
+        tau = int(np.ceil((nproc - 1) * max_cost / mean_cost))
+        if tau_cap is not None:
+            tau = min(tau, int(tau_cap))
+        super().__init__(tau)
+        self.nproc = nproc
+        self._costs = counts
+        self._mean_cost = mean_cost
+        self._rng = CounterRNG(seed, stream=0xC057)
+
+    def lag_for(self, j: int) -> int:
+        """The sampled lag of update ``j`` (pure function of (seed, j))."""
+        j = int(j)
+        if self.nproc == 1:
+            return 0
+        pick = int(self._rng.randint(j, 1, self._costs.size)[0])
+        lag = (self.nproc - 1) * self._costs[pick] / self._mean_cost
+        return min(int(lag), self.tau, j)
+
+    def missed(self, j: int) -> np.ndarray:
+        lag = self.lag_for(j)
+        if lag <= 0:
+            return _EMPTY
+        return self._suffix(j, lag)
+
+
+def effective_tau(
+    model: RowCostDelay, horizon: int = 10000, *, quantile: float = 0.95
+) -> dict[str, float]:
+    """Summary of the realized delay distribution over ``horizon`` steps.
+
+    Returns mean, median, the requested quantile, and the hard bound —
+    the numbers to feed into ``nu_tau``/``omega_tau`` instead of the
+    worst case, per the paper's "more descriptive" suggestion.
+    """
+    if not 0.0 < quantile < 1.0:
+        raise ModelError(f"quantile must lie in (0, 1), got {quantile}")
+    horizon = int(horizon)
+    # Sample beyond the warm-up region so lags are not clipped by j.
+    start = model.tau + 1
+    lags = np.array([model.lag_for(start + k) for k in range(horizon)], dtype=np.float64)
+    return {
+        "mean": float(lags.mean()),
+        "median": float(np.median(lags)),
+        f"q{int(quantile * 100)}": float(np.quantile(lags, quantile)),
+        "max_observed": float(lags.max()),
+        "hard_bound": float(model.tau),
+    }

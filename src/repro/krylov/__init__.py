@@ -1,0 +1,22 @@
+"""Krylov substrate: CG, flexible CG, and preconditioners (incl. AsyRGS)."""
+
+from .cg import CGResult, block_conjugate_gradient, conjugate_gradient
+from .fcg import FCGResult, flexible_conjugate_gradient
+from .precond import (
+    AsyRGSPreconditioner,
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+    Preconditioner,
+)
+
+__all__ = [
+    "AsyRGSPreconditioner",
+    "CGResult",
+    "FCGResult",
+    "IdentityPreconditioner",
+    "JacobiPreconditioner",
+    "Preconditioner",
+    "block_conjugate_gradient",
+    "conjugate_gradient",
+    "flexible_conjugate_gradient",
+]

@@ -1,0 +1,167 @@
+"""Notay's Flexible Conjugate Gradients (FCG).
+
+Plain CG assumes the preconditioner is one fixed SPD operator; AsyRGS is
+not — every application is a different (randomized, asynchronous) linear
+process. Flexible CG (Notay, SISC 2000) restores robustness by explicitly
+A-orthogonalizing each new preconditioned residual against previous search
+directions instead of trusting the short recurrence. Following the paper
+("we do not use truncation or restarts"), the default orthogonalizes
+against the *full* direction history; a truncation window is available
+for the ablation of that choice.
+
+Per outer iteration the method performs one matrix application, one
+preconditioner application, and (window + 2) inner products — the counts
+the cost model charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConvergenceError, ModelError, ShapeError
+from ..sparse import CSRMatrix
+from .precond import IdentityPreconditioner, Preconditioner
+
+__all__ = ["FCGResult", "flexible_conjugate_gradient"]
+
+
+@dataclass
+class FCGResult:
+    """Outcome of a flexible-CG solve.
+
+    Attributes
+    ----------
+    x:
+        Final iterate.
+    iterations:
+        Outer iterations (= matrix applications = preconditioner
+        applications).
+    converged:
+        Whether the relative-residual tolerance was met.
+    residuals:
+        Relative residual after 0, 1, 2, … outer iterations.
+    matrix_applications:
+        Total times the matrix was applied *including* inner
+        preconditioner sweeps, in sweep-equivalents: the paper's
+        ``Outer × (Inner + 1)`` accounting when the preconditioner is
+        AsyRGS with ``Inner`` sweeps.
+    """
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residuals: list[float]
+    matrix_applications: int
+
+
+def flexible_conjugate_gradient(
+    A: CSRMatrix,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    *,
+    preconditioner: Preconditioner | None = None,
+    tol: float = 1e-8,
+    max_iterations: int | None = None,
+    truncation: int | None = None,
+    inner_sweeps_hint: int | None = None,
+    raise_on_stall: bool = False,
+) -> FCGResult:
+    """Solve SPD ``A x = b`` with flexible CG.
+
+    Parameters
+    ----------
+    preconditioner:
+        Any :class:`~repro.krylov.precond.Preconditioner`; may change
+        between applications (the flexible case). Defaults to identity.
+    tol:
+        Relative-residual convergence threshold (paper uses ``1e-8``).
+    truncation:
+        Number of previous directions to A-orthogonalize against;
+        ``None`` (default) keeps the full history, per the paper.
+    inner_sweeps_hint:
+        Inner sweeps per preconditioner application, used only for the
+        ``matrix_applications = outer × (inner + 1)`` accounting of the
+        paper's Table 1. When omitted it is read from the
+        preconditioner's ``sweeps`` attribute when present, else 0.
+    """
+    if not A.is_square():
+        raise ShapeError(f"FCG needs a square matrix, got {A.shape}")
+    n = A.shape[0]
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (n,):
+        raise ShapeError(f"b has shape {b.shape}, expected ({n},)")
+    if max_iterations is None:
+        max_iterations = 10 * n
+    if truncation is not None and truncation < 0:
+        raise ModelError(f"truncation must be non-negative, got {truncation}")
+    M = preconditioner if preconditioner is not None else IdentityPreconditioner()
+    if inner_sweeps_hint is None:
+        inner_sweeps_hint = int(getattr(M, "sweeps", 0))
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    if x.shape != (n,):
+        raise ShapeError(f"x0 has shape {x.shape}, expected ({n},)")
+    r = b - A.matvec(x)
+    b_norm = float(np.linalg.norm(b))
+    scale = b_norm if b_norm > 0 else 1.0
+    residuals = [float(np.linalg.norm(r)) / scale]
+    if residuals[0] < tol:
+        return FCGResult(
+            x=x, iterations=0, converged=True, residuals=residuals,
+            matrix_applications=0,
+        )
+    # Direction history: p_i, A p_i, and (p_i, A p_i).
+    dirs: list[np.ndarray] = []
+    a_dirs: list[np.ndarray] = []
+    curvatures: list[float] = []
+    converged = False
+    k = 0
+    for k in range(1, int(max_iterations) + 1):
+        z = M.apply(r)
+        p = z.copy()
+        window = (
+            range(len(dirs))
+            if truncation is None
+            else range(max(0, len(dirs) - truncation), len(dirs))
+        )
+        for i in window:
+            coeff = float(a_dirs[i] @ z) / curvatures[i]
+            p -= coeff * dirs[i]
+        Ap = A.matvec(p)
+        pAp = float(p @ Ap)
+        if pAp <= 0:
+            # A nondeterministic inner solve can occasionally produce a
+            # numerically degenerate direction; restarting from the
+            # residual (steepest descent step) is the standard remedy.
+            p = r.copy()
+            Ap = A.matvec(p)
+            pAp = float(p @ Ap)
+            if pAp <= 0:
+                raise ModelError(
+                    f"non-positive curvature (pᵀAp = {pAp:g}) even on the "
+                    "residual direction; A is not SPD"
+                )
+        alpha = float(p @ r) / pAp
+        x += alpha * p
+        r -= alpha * Ap
+        dirs.append(p)
+        a_dirs.append(Ap)
+        curvatures.append(pAp)
+        residuals.append(float(np.linalg.norm(r)) / scale)
+        if residuals[-1] < tol:
+            converged = True
+            break
+    if not converged and raise_on_stall:
+        raise ConvergenceError(
+            f"FCG did not reach tol={tol:g} in {k} iterations",
+            iterations=k,
+            residual=residuals[-1],
+        )
+    return FCGResult(
+        x=x,
+        iterations=k,
+        converged=converged,
+        residuals=residuals,
+        matrix_applications=k * (inner_sweeps_hint + 1),
+    )

@@ -1,0 +1,181 @@
+"""Preconditioners, including the paper's AsyRGS inner solver.
+
+A preconditioner is any object with ``apply(r) -> z`` approximating
+``A⁻¹r``. The headline instance is :class:`AsyRGSPreconditioner` —
+Section 9's use of the asynchronous solver as the inner method of a
+flexible Krylov iteration: each application runs ``s`` sweeps of
+asynchronous randomized Gauss-Seidel on ``A z = r`` from ``z = 0``.
+Because the execution is asynchronous, the operator *changes between
+applications* (and between runs); that nondeterminism is why the outer
+method must be flexible.
+
+The preconditioner accounts for its own work (updates and Σ row-nnz per
+application) so the cost model can charge the inner phase accurately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ModelError, ShapeError
+from ..rng import DirectionStream
+from ..sparse import CSRMatrix
+from ..execution import PhasedSimulator
+
+__all__ = [
+    "Preconditioner",
+    "IdentityPreconditioner",
+    "JacobiPreconditioner",
+    "AsyRGSPreconditioner",
+]
+
+
+class Preconditioner:
+    """Protocol: ``apply(r)`` returns an approximation of ``A⁻¹ r``."""
+
+    #: Whether repeated applications realize the *same* linear operator.
+    #: Flexible outer methods are required when this is ``False``.
+    deterministic: bool = True
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class IdentityPreconditioner(Preconditioner):
+    """No preconditioning: ``z = r``."""
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        return np.asarray(r, dtype=np.float64).copy()
+
+    def __repr__(self) -> str:
+        return "IdentityPreconditioner()"
+
+
+class JacobiPreconditioner(Preconditioner):
+    """Diagonal scaling ``z = D⁻¹ r`` — the classical point-Jacobi M."""
+
+    def __init__(self, A: CSRMatrix):
+        diag = A.diagonal()
+        if np.any(diag <= 0):
+            bad = int(np.argmin(diag))
+            raise ModelError(
+                f"A[{bad},{bad}] = {diag[bad]:g} is not positive; Jacobi "
+                "preconditioning needs a positive diagonal"
+            )
+        self._inv_diag = 1.0 / diag
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        r = np.asarray(r, dtype=np.float64)
+        if r.shape != self._inv_diag.shape:
+            raise ShapeError(
+                f"residual has shape {r.shape}, expected {self._inv_diag.shape}"
+            )
+        return self._inv_diag * r
+
+    def __repr__(self) -> str:
+        return f"JacobiPreconditioner(n={self._inv_diag.shape[0]})"
+
+
+class AsyRGSPreconditioner(Preconditioner):
+    """``s`` sweeps of asynchronous randomized Gauss-Seidel on ``A z = r``.
+
+    Parameters
+    ----------
+    A:
+        The system matrix (also the preconditioning matrix).
+    sweeps:
+        Inner sweeps per application (the paper's Table 1 knob).
+    nproc:
+        Simulated thread count of the inner asynchronous phase.
+    beta:
+        Inner step size.
+    atomic:
+        Atomic (default) or overwrite-racy inner writes.
+    jitter:
+        Round-size jitter of the phased engine — the source of run-to-run
+        nondeterminism. Zero makes the preconditioner deterministic.
+    schedule_seed:
+        Seed of the jitter schedule; vary it across repeated solves to
+        model rescheduled executions (paper: five runs, median), while
+        ``direction_seed`` stays fixed (paper: "the random choices are
+        fixed ... non-determinism is only due to asynchronism").
+    direction_seed:
+        Seed of the shared direction stream.
+
+    Notes
+    -----
+    Each application consumes a fresh segment of the direction stream
+    (offset advanced by ``sweeps·n`` per application), so successive
+    applications are independent samples of the same randomized operator —
+    and two preconditioners configured identically replay identically.
+    """
+
+    def __init__(
+        self,
+        A: CSRMatrix,
+        *,
+        sweeps: int = 2,
+        nproc: int = 1,
+        beta: float = 1.0,
+        atomic: bool = True,
+        jitter: int = 0,
+        schedule_seed: int = 0,
+        direction_seed: int = 0,
+    ):
+        if not A.is_square():
+            raise ShapeError(f"preconditioner needs a square matrix, got {A.shape}")
+        sweeps = int(sweeps)
+        if sweeps < 1:
+            raise ModelError(f"sweeps must be at least 1, got {sweeps}")
+        self.A = A
+        self.n = A.shape[0]
+        self.sweeps = sweeps
+        self.nproc = int(nproc)
+        self.beta = float(beta)
+        self.atomic = bool(atomic)
+        self.jitter = int(jitter)
+        self.schedule_seed = int(schedule_seed)
+        self.directions = DirectionStream(self.n, seed=int(direction_seed))
+        self.deterministic = False  # asynchronous inner solves vary
+        # Work accounting for the cost model.
+        self.applications = 0
+        self.total_iterations = 0
+        self.total_row_nnz = 0
+        self._offset = 0
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        r = np.asarray(r, dtype=np.float64)
+        if r.shape != (self.n,):
+            raise ShapeError(f"residual has shape {r.shape}, expected ({self.n},)")
+        sim = PhasedSimulator(
+            self.A,
+            r,
+            nproc=self.nproc,
+            directions=self.directions,
+            beta=self.beta,
+            atomic=self.atomic,
+            jitter=self.jitter,
+            seed=self.schedule_seed + 0x5EED * self.applications,
+        )
+        budget = self.sweeps * self.n
+        result = sim.run(np.zeros(self.n), budget, start_iteration=self._offset)
+        self._offset += budget
+        self.applications += 1
+        self.total_iterations += result.iterations
+        self.total_row_nnz += result.total_row_nnz
+        return result.x
+
+    def work_per_application(self) -> tuple[int, int]:
+        """Average ``(iterations, Σ row-nnz)`` per application so far."""
+        if self.applications == 0:
+            return (self.sweeps * self.n, self.sweeps * self.A.nnz)
+        return (
+            self.total_iterations // self.applications,
+            self.total_row_nnz // self.applications,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AsyRGSPreconditioner(n={self.n}, sweeps={self.sweeps}, "
+            f"nproc={self.nproc}, beta={self.beta}, atomic={self.atomic})"
+        )

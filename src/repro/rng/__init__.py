@@ -1,0 +1,11 @@
+"""Counter-based RNG substrate (from-scratch Philox-4x32-10).
+
+Provides random-access random numbers: every draw is a pure function of
+``(key, index)``, the property the paper exploits (via Random123) to fix
+the randomized directions while varying processor counts.
+"""
+
+from .philox import CounterRNG, philox4x32
+from .streams import DirectionStream, interleave_counts
+
+__all__ = ["CounterRNG", "philox4x32", "DirectionStream", "interleave_counts"]

@@ -1,0 +1,226 @@
+"""Philox-4x32-10 counter-based pseudo-random generator.
+
+The paper fixes the randomized directions across thread counts using the
+Random123 library (Salmon et al., SC'11) because a *counter-based* RNG
+makes the j-th random number a pure function of ``(key, j)`` — random
+access, no sequential state. This module implements the same generator,
+Philox-4x32-10, from scratch, vectorized over blocks of counters with
+NumPy ``uint32``/``uint64`` arithmetic.
+
+Verified against the known-answer vectors shipped with Random123
+(see ``tests/rng/test_philox.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["philox4x32", "CounterRNG"]
+
+# Round multipliers and Weyl key increments from the Philox specification.
+_M0 = np.uint64(0xD2511F53)
+_M1 = np.uint64(0xCD9E8D57)
+_W0 = np.uint32(0x9E3779B9)
+_W1 = np.uint32(0xBB67AE85)
+_MASK32 = np.uint64(0xFFFFFFFF)
+_ROUNDS = 10
+
+
+def _mulhilo(a: np.uint64, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split 64-bit products ``a * b`` into (hi32, lo32) uint32 arrays."""
+    prod = a * b.astype(np.uint64)
+    lo = (prod & _MASK32).astype(np.uint32)
+    hi = (prod >> np.uint64(32)).astype(np.uint32)
+    return hi, lo
+
+
+def philox4x32(counters: np.ndarray, key: np.ndarray, rounds: int = _ROUNDS) -> np.ndarray:
+    """Apply the Philox-4x32 bijection to a batch of counter blocks.
+
+    Parameters
+    ----------
+    counters:
+        ``uint32`` array of shape ``(N, 4)`` — N counter blocks.
+    key:
+        ``uint32`` array of shape ``(2,)``.
+    rounds:
+        Number of rounds (10 is the standard, crypto-strength-for-
+        simulation choice).
+
+    Returns
+    -------
+    ``uint32`` array of shape ``(N, 4)`` of output blocks.
+    """
+    counters = np.asarray(counters, dtype=np.uint32)
+    if counters.ndim != 2 or counters.shape[1] != 4:
+        raise ValueError(f"counters must have shape (N, 4), got {counters.shape}")
+    key = np.asarray(key, dtype=np.uint32)
+    if key.shape != (2,):
+        raise ValueError(f"key must have shape (2,), got {key.shape}")
+    c0 = counters[:, 0].copy()
+    c1 = counters[:, 1].copy()
+    c2 = counters[:, 2].copy()
+    c3 = counters[:, 3].copy()
+    k0 = np.uint32(key[0])
+    k1 = np.uint32(key[1])
+    for r in range(int(rounds)):
+        if r:
+            # Weyl-sequence key schedule (bump before every round after the
+            # first); the additions wrap modulo 2³² by design.
+            k0 = np.uint32((int(k0) + int(_W0)) & 0xFFFFFFFF)
+            k1 = np.uint32((int(k1) + int(_W1)) & 0xFFFFFFFF)
+        hi0, lo0 = _mulhilo(_M0, c0)
+        hi1, lo1 = _mulhilo(_M1, c2)
+        new_c0 = hi1 ^ c1 ^ k0
+        new_c1 = lo1
+        new_c2 = hi0 ^ c3 ^ k1
+        new_c3 = lo0
+        c0, c1, c2, c3 = new_c0, new_c1, new_c2, new_c3
+    return np.stack([c0, c1, c2, c3], axis=1)
+
+
+def _key_from_seed(seed: int) -> np.ndarray:
+    """Derive a 2x32 Philox key from a Python integer seed (any size).
+
+    Large seeds are folded by hashing successive 64-bit limbs through the
+    Philox bijection itself, so distinct seeds give unrelated keys.
+    """
+    seed = int(seed)
+    if seed < 0:
+        seed = -seed * 2 + 1  # fold negatives into distinct positives
+    limbs = []
+    if seed == 0:
+        limbs = [0]
+    while seed:
+        limbs.append(seed & 0xFFFFFFFFFFFFFFFF)
+        seed >>= 64
+    key = np.zeros(2, dtype=np.uint32)
+    for limb in limbs:
+        ctr = np.array(
+            [[limb & 0xFFFFFFFF, (limb >> 32) & 0xFFFFFFFF, key[0], key[1]]],
+            dtype=np.uint32,
+        )
+        out = philox4x32(ctr, np.array([0x243F6A88, 0x85A308D3], dtype=np.uint32))
+        key = out[0, :2].copy()
+    return key
+
+
+class CounterRNG:
+    """Random-access uniform random numbers keyed by ``(seed, stream)``.
+
+    Every output word is a pure function of ``(key, index)`` — calling
+    :meth:`uint32` twice with the same arguments returns identical values,
+    regardless of what was generated in between. This is the property that
+    lets the reproduction pin the direction sequence ``d_0, d_1, …`` while
+    varying processor counts and delay models (paper Section 9, the
+    Random123 experiment).
+
+    Parameters
+    ----------
+    seed:
+        Arbitrary Python integer.
+    stream:
+        Sub-stream identifier; distinct streams from the same seed are
+        statistically independent (they occupy disjoint counter prefixes).
+    """
+
+    def __init__(self, seed: int, stream: int = 0):
+        self._seed = int(seed)
+        self._stream = int(stream)
+        base = _key_from_seed(seed)
+        if stream:
+            ctr = np.array(
+                [[self._stream & 0xFFFFFFFF, (self._stream >> 32) & 0xFFFFFFFF, base[0], base[1]]],
+                dtype=np.uint32,
+            )
+            base = philox4x32(ctr, np.array([0x13198A2E, 0x03707344], dtype=np.uint32))[0, :2].copy()
+        self._key = base
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    @property
+    def stream(self) -> int:
+        return self._stream
+
+    def split(self, stream: int) -> "CounterRNG":
+        """Return an independent sub-stream generator (pure, no state)."""
+        return CounterRNG(self._seed, stream=self._stream * 0x1_0000_0000 + int(stream) + 1)
+
+    def __repr__(self) -> str:
+        return f"CounterRNG(seed={self._seed}, stream={self._stream})"
+
+    # ------------------------------------------------------------------
+    # Word generation
+    # ------------------------------------------------------------------
+
+    def uint32(self, start: int, count: int) -> np.ndarray:
+        """Words ``start .. start+count-1`` of the keyed stream, as uint32."""
+        start = int(start)
+        count = int(count)
+        if start < 0 or count < 0:
+            raise ValueError("start and count must be non-negative")
+        if count == 0:
+            return np.empty(0, dtype=np.uint32)
+        first_block = start // 4
+        last_block = (start + count - 1) // 4
+        nblocks = last_block - first_block + 1
+        blocks = np.arange(first_block, last_block + 1, dtype=np.uint64)
+        counters = np.zeros((nblocks, 4), dtype=np.uint32)
+        counters[:, 0] = (blocks & _MASK32).astype(np.uint32)
+        counters[:, 1] = (blocks >> np.uint64(32)).astype(np.uint32)
+        out = philox4x32(counters, self._key).reshape(-1)
+        offset = start - first_block * 4
+        return out[offset : offset + count]
+
+    def uint64(self, start: int, count: int) -> np.ndarray:
+        """``count`` uint64 words; word i consumes u32 words ``2i, 2i+1``."""
+        w = self.uint32(2 * int(start), 2 * int(count)).astype(np.uint64)
+        return (w[0::2] << np.uint64(32)) | w[1::2]
+
+    def uniform(self, start: int, count: int) -> np.ndarray:
+        """Doubles in ``[0, 1)`` with full 53-bit mantissa randomness."""
+        u = self.uint64(start, count)
+        return (u >> np.uint64(11)).astype(np.float64) * (2.0**-53)
+
+    def randint(self, start: int, count: int, n: int) -> np.ndarray:
+        """Integers uniform over ``{0, …, n−1}`` at stream positions
+        ``start .. start+count-1``.
+
+        Uses the multiply-shift map ``(w * n) >> 32`` on 32-bit words,
+        whose bias is below ``n / 2³²`` — negligible for every matrix
+        dimension this library targets (documented trade-off; an exact
+        rejection sampler would forfeit random access).
+        """
+        n = int(n)
+        if n <= 0:
+            raise ValueError(f"randint upper bound must be positive, got {n}")
+        if n > 0xFFFFFFFF:
+            raise ValueError("randint upper bound must fit in 32 bits")
+        w = self.uint32(start, count).astype(np.uint64)
+        return ((w * np.uint64(n)) >> np.uint64(32)).astype(np.int64)
+
+    def normal(self, start: int, count: int) -> np.ndarray:
+        """Standard normal deviates via Box–Muller on stream positions
+        ``2*start .. 2*(start+count)-1`` (two uniforms per deviate)."""
+        count = int(count)
+        u1 = self.uniform(2 * int(start), count)
+        u2 = self.uniform(2 * int(start) + count, count)
+        # Guard the log against an exact zero (probability 2^-53 per draw).
+        u1 = np.maximum(u1, 2.0**-53)
+        return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+
+    def permutation(self, start: int, n: int) -> np.ndarray:
+        """A deterministic pseudo-random permutation of ``0..n-1`` drawn
+        from stream positions starting at ``start`` (Fisher–Yates keyed by
+        the stream)."""
+        n = int(n)
+        perm = np.arange(n, dtype=np.int64)
+        if n <= 1:
+            return perm
+        draws = self.randint(start, n - 1, 0x7FFFFFFF)
+        for i in range(n - 1, 0, -1):
+            j = int(draws[n - 1 - i] % np.uint64(i + 1))
+            perm[i], perm[j] = perm[j], perm[i]
+        return perm

@@ -1,0 +1,102 @@
+"""MatrixMarket coordinate-format I/O for :class:`~repro.sparse.csr.CSRMatrix`.
+
+Supports the ``matrix coordinate real general|symmetric`` header family,
+which is sufficient for persisting every workload this library generates
+and for importing externally produced SPD test matrices.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import StructureError
+from .coo import COOBuilder
+from .csr import CSRMatrix
+
+__all__ = ["write_matrix_market", "read_matrix_market"]
+
+_HEADER = "%%MatrixMarket matrix coordinate real {symmetry}\n"
+
+
+def write_matrix_market(A: CSRMatrix, path, *, symmetric: bool | None = None) -> None:
+    """Write ``A`` to ``path`` in MatrixMarket coordinate format.
+
+    Parameters
+    ----------
+    symmetric:
+        ``True`` stores only the lower triangle with a ``symmetric`` header
+        (the matrix must actually be symmetric); ``False`` stores all
+        entries with a ``general`` header; ``None`` (default) auto-detects.
+    """
+    if symmetric is None:
+        symmetric = A.is_square() and A.is_symmetric()
+    if symmetric and not A.is_symmetric():
+        raise StructureError("symmetric=True but the matrix is not symmetric")
+    path = Path(path)
+    entry_rows = np.repeat(np.arange(A.shape[0], dtype=np.int64), A.row_nnz())
+    cols = A.indices
+    vals = A.data
+    if symmetric:
+        keep = cols <= entry_rows
+        entry_rows, cols, vals = entry_rows[keep], cols[keep], vals[keep]
+    with path.open("w") as fh:
+        fh.write(_HEADER.format(symmetry="symmetric" if symmetric else "general"))
+        fh.write(f"% written by repro.sparse.io; nnz(stored)={vals.size}\n")
+        fh.write(f"{A.shape[0]} {A.shape[1]} {vals.size}\n")
+        buf = io.StringIO()
+        for r, c, v in zip(entry_rows + 1, cols + 1, vals):
+            # repr(float) round-trips doubles exactly (shortest exact form).
+            buf.write(f"{int(r)} {int(c)} {float(v)!r}\n")
+        fh.write(buf.getvalue())
+
+
+def read_matrix_market(path) -> CSRMatrix:
+    """Read a MatrixMarket coordinate file into a CSR matrix.
+
+    Symmetric files are expanded to full storage (both triangles).
+    """
+    path = Path(path)
+    with path.open() as fh:
+        header = fh.readline()
+        parts = header.strip().split()
+        if (
+            len(parts) < 5
+            or parts[0] != "%%MatrixMarket"
+            or parts[1].lower() != "matrix"
+            or parts[2].lower() != "coordinate"
+        ):
+            raise StructureError(f"unsupported MatrixMarket header: {header.strip()!r}")
+        field = parts[3].lower()
+        symmetry = parts[4].lower()
+        if field not in ("real", "integer"):
+            raise StructureError(f"unsupported MatrixMarket field: {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise StructureError(f"unsupported MatrixMarket symmetry: {symmetry!r}")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        dims = line.split()
+        if len(dims) != 3:
+            raise StructureError(f"malformed size line: {line.strip()!r}")
+        nrows, ncols, nnz = (int(d) for d in dims)
+        builder = COOBuilder(nrows, ncols)
+        count = 0
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            r_s, c_s, v_s = line.split()[:3]
+            r, c, v = int(r_s) - 1, int(c_s) - 1, float(v_s)
+            if symmetry == "symmetric":
+                builder.add_symmetric(r, c, v)
+            else:
+                builder.add(r, c, v)
+            count += 1
+        if count != nnz:
+            raise StructureError(
+                f"file declared {nnz} entries but contained {count}"
+            )
+    return builder.to_csr()

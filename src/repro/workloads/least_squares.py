@@ -1,0 +1,110 @@
+"""Overdetermined least-squares problem generators (paper Section 8).
+
+Instances for the unsymmetric/least-squares algorithm: sparse full-column-
+rank ``A ∈ R^{m×n}`` (m ≥ n) with a known generating solution, in two
+flavours — consistent (``b = A x*`` exactly) and noisy (``b = A x* + e``),
+matching Theorem 5's two regimes (``A x* = b`` vs genuine least squares).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..rng import CounterRNG
+from ..sparse import COOBuilder, CSRMatrix
+
+__all__ = ["LeastSquaresProblem", "random_least_squares"]
+
+
+@dataclass
+class LeastSquaresProblem:
+    """A generated least-squares instance.
+
+    Attributes
+    ----------
+    A:
+        The m×n matrix (full column rank by construction).
+    b:
+        Right-hand side.
+    x_generating:
+        The vector used to generate ``b`` (equals the minimizer only in
+        the consistent, noise-free case).
+    noise:
+        The added residual component (zeros when consistent).
+    """
+
+    A: CSRMatrix
+    b: np.ndarray
+    x_generating: np.ndarray
+    noise: np.ndarray
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.A.shape
+
+    @property
+    def consistent(self) -> bool:
+        return not np.any(self.noise)
+
+
+def random_least_squares(
+    m: int,
+    n: int,
+    *,
+    nnz_per_row: int = 5,
+    noise_scale: float = 0.0,
+    column_norm: float | None = 1.0,
+    seed: int = 0,
+) -> LeastSquaresProblem:
+    """Generate a sparse overdetermined system with known structure.
+
+    Construction: random sparse entries plus an embedded scaled identity
+    on the first ``n`` rows, which guarantees full column rank. With
+    ``column_norm`` set (default 1, the paper's normalization), columns
+    are rescaled to that Euclidean norm.
+
+    Parameters
+    ----------
+    noise_scale:
+        Standard deviation of the residual noise added to ``b``
+        (``0`` produces a consistent system, Theorem 5's first regime).
+    """
+    m = int(m)
+    n = int(n)
+    if m < n or n < 1:
+        raise ModelError(f"need m >= n >= 1, got ({m}, {n})")
+    rng = CounterRNG(seed, stream=0x15D5)
+    builder = COOBuilder(m, n)
+    # Embedded identity: row i gets entry (i, i) for i < n.
+    builder.add_batch(
+        np.arange(n, dtype=np.int64),
+        np.arange(n, dtype=np.int64),
+        np.full(n, 2.0),
+    )
+    n_extra = m * max(0, int(nnz_per_row) - 1)
+    if n_extra:
+        rows = rng.randint(0, n_extra, m)
+        cols = rng.split(1).randint(0, n_extra, n)
+        vals = rng.split(2).normal(0, n_extra)
+        builder.add_batch(rows, cols, 0.5 * vals)
+    A = builder.to_csr()
+    if column_norm is not None:
+        col_norms = np.sqrt(
+            np.bincount(A.indices, weights=A.data * A.data, minlength=n)
+        )
+        if np.any(col_norms == 0):
+            raise ModelError("generated a zero column; increase nnz_per_row")
+        A = A.scale_cols(float(column_norm) / col_norms)
+    x_gen = rng.split(3).normal(0, n)
+    b = A.matvec(x_gen)
+    noise = np.zeros(m)
+    if noise_scale > 0:
+        noise = float(noise_scale) * rng.split(4).normal(0, m)
+        # Project the noise away from the column space cheaply enough for
+        # test purposes: leave it raw — the minimizer simply shifts, and
+        # callers use the normal equations for the exact answer.
+        b = b + noise
+    return LeastSquaresProblem(A=A, b=b, x_generating=x_gen, noise=noise)

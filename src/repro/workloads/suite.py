@@ -1,0 +1,188 @@
+"""Named problem registry shared by benches, examples, and tests.
+
+Every experiment in the repository refers to problems by name through
+:func:`get_problem`, so sizes and seeds are defined exactly once and the
+EXPERIMENTS.md provenance is unambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..rng import CounterRNG
+from ..sparse import CSRMatrix, row_nnz_statistics
+from .laplacian import laplacian_2d, laplacian_3d
+from .random_spd import (
+    banded_spd,
+    diagonally_dominant,
+    equicorrelation_blocks,
+    random_unit_diagonal_spd,
+)
+from .social_media import social_media_problem
+
+__all__ = ["Problem", "get_problem", "available_problems", "register_problem"]
+
+
+@dataclass
+class Problem:
+    """A named SPD benchmark instance.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    A:
+        The SPD matrix.
+    b:
+        Default right-hand side (single vector).
+    B:
+        Optional multi-RHS block (social workloads).
+    x_star:
+        Known solution when the instance was manufactured (``b = A x*``),
+        else ``None``.
+    meta:
+        Row statistics and generator parameters.
+    """
+
+    name: str
+    A: CSRMatrix
+    b: np.ndarray
+    B: np.ndarray | None = None
+    x_star: np.ndarray | None = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return self.A.shape[0]
+
+
+_REGISTRY: dict[str, Callable[[], Problem]] = {}
+
+
+def register_problem(name: str):
+    """Decorator registering a zero-argument problem factory."""
+
+    def wrap(fn: Callable[[], Problem]) -> Callable[[], Problem]:
+        if name in _REGISTRY:
+            raise ModelError(f"problem {name!r} is already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return wrap
+
+
+def available_problems() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def get_problem(name: str) -> Problem:
+    """Instantiate a registered problem (fresh instance every call)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown problem {name!r}; available: {', '.join(available_problems())}"
+        ) from None
+    return factory()
+
+
+def _rhs_for(A: CSRMatrix, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """Manufacture ``b = A x*`` with a Philox-keyed random solution."""
+    x_star = CounterRNG(seed, stream=0xB0B).normal(0, A.shape[0])
+    return A.matvec(x_star), x_star
+
+
+@register_problem("social-small")
+def _social_small() -> Problem:
+    prob = social_media_problem(n_terms=300, n_docs=1200, n_labels=4, seed=11)
+    return Problem(
+        name="social-small",
+        A=prob.G,
+        b=prob.B[:, 0].copy(),
+        B=prob.B,
+        meta={"kind": "social", **prob.stats},
+    )
+
+
+@register_problem("social-bench")
+def _social_bench() -> Problem:
+    # mean_doc_len well below the vocabulary size reproduces the paper's
+    # row-size skew (min nnz 1, max nnz ≈ n, heavy mean/max gap).
+    prob = social_media_problem(
+        n_terms=1200, n_docs=5000, n_labels=8, mean_doc_len=10.0, seed=17
+    )
+    return Problem(
+        name="social-bench",
+        A=prob.G,
+        b=prob.B[:, 0].copy(),
+        B=prob.B,
+        meta={"kind": "social", **prob.stats},
+    )
+
+
+@register_problem("laplace2d")
+def _laplace2d() -> Problem:
+    A = laplacian_2d(40, 40)
+    b, x_star = _rhs_for(A, 23)
+    return Problem(
+        name="laplace2d", A=A, b=b, x_star=x_star,
+        meta={"kind": "laplacian", **row_nnz_statistics(A)},
+    )
+
+
+@register_problem("laplace3d")
+def _laplace3d() -> Problem:
+    A = laplacian_3d(12, 12, 12)
+    b, x_star = _rhs_for(A, 29)
+    return Problem(
+        name="laplace3d", A=A, b=b, x_star=x_star,
+        meta={"kind": "laplacian", **row_nnz_statistics(A)},
+    )
+
+
+@register_problem("diagdom")
+def _diagdom() -> Problem:
+    A = diagonally_dominant(800, nnz_per_row=8, margin=0.2, seed=31)
+    b, x_star = _rhs_for(A, 37)
+    return Problem(
+        name="diagdom", A=A, b=b, x_star=x_star,
+        meta={"kind": "diagonally-dominant", **row_nnz_statistics(A)},
+    )
+
+
+@register_problem("banded")
+def _banded() -> Problem:
+    A = banded_spd(1000, bandwidth=4, decay=0.5, seed=41)
+    b, x_star = _rhs_for(A, 43)
+    return Problem(
+        name="banded", A=A, b=b, x_star=x_star,
+        meta={"kind": "banded", **row_nnz_statistics(A)},
+    )
+
+
+@register_problem("unitdiag")
+def _unitdiag() -> Problem:
+    A = random_unit_diagonal_spd(600, nnz_per_row=6, offdiag_scale=0.85, seed=47)
+    b, x_star = _rhs_for(A, 53)
+    return Problem(
+        name="unitdiag", A=A, b=b, x_star=x_star,
+        meta={"kind": "unit-diagonal", **row_nnz_statistics(A)},
+    )
+
+
+@register_problem("equicorr")
+def _equicorr() -> Problem:
+    """SPD but outside the Chazan–Miranker class (ρ(|M|) ≈ 2.5):
+    the matrix family classical asynchronous methods fail on."""
+    A = equicorrelation_blocks(
+        n_blocks=60, block_size=5, correlation=0.6, jitter=0.1, seed=59
+    )
+    b, x_star = _rhs_for(A, 61)
+    return Problem(
+        name="equicorr", A=A, b=b, x_star=x_star,
+        meta={"kind": "equicorrelation", **row_nnz_statistics(A)},
+    )

@@ -1,0 +1,57 @@
+"""Unit tests for the motivation/extensions experiment drivers."""
+
+import pytest
+
+from repro.bench import run_extensions, run_motivation
+
+
+@pytest.fixture(autouse=True)
+def tmp_results(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS", str(tmp_path / "results"))
+
+
+class TestMotivationDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_motivation(sweeps=200, tol=1e-6)
+
+    def test_spectral_thresholds(self, result):
+        assert result.rho_abs_dominant < 1.0
+        assert result.rho_abs_non_dominant > 1.0
+
+    def test_all_methods_reported(self, result):
+        expected = {"Jacobi (sync)", "chaotic relaxation", "RGS (sync)", "AsyRGS (async)"}
+        assert set(result.dominant) == expected
+        assert set(result.non_dominant) == expected
+
+    def test_dichotomy(self, result):
+        assert result.non_dominant["Jacobi (sync)"][1]  # diverged
+        assert result.non_dominant["RGS (sync)"][0]  # converged
+        assert result.non_dominant["AsyRGS (async)"][0]
+
+    def test_table_renders(self, result):
+        table = result.table()
+        assert "DIVERGED" in table
+        assert "Motivation" in table
+
+
+class TestExtensionsDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_extensions(tol=1e-4)
+
+    def test_owner_computes_converges(self, result):
+        assert result.unrestricted_sweeps > 0
+        assert all(v > 0 for v in result.owner_sweeps.values())
+
+    def test_delay_stats_complete(self, result):
+        for key in ("mean", "median", "q95", "max_observed", "hard_bound"):
+            assert key in result.delay_stats
+
+    def test_realistic_vs_worstcase_errors(self, result):
+        assert result.error_rowcost <= 1.1 * result.error_worstcase
+
+    def test_table_renders(self, result):
+        table = result.table()
+        assert "owner-computes" in table
+        assert "hard_bound" in table

@@ -1,0 +1,161 @@
+"""Unit tests for the AsyRGS solver facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import AsyRGS, randomized_gauss_seidel
+from repro.exceptions import ModelError
+from repro.execution import InconsistentUniform, LossyWrites, UniformDelay
+from repro.rng import DirectionStream
+from repro.workloads import random_unit_diagonal_spd
+
+from ..conftest import manufactured_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    A = random_unit_diagonal_spd(45, nnz_per_row=5, offdiag_scale=0.7, seed=21)
+    b, x_star = manufactured_system(A, seed=22)
+    return A, b, x_star
+
+
+class TestEngines:
+    def test_phased_solver_converges(self, system):
+        A, b, x_star = system
+        s = AsyRGS(A, b, nproc=8)
+        r = s.solve(tol=1e-8, max_sweeps=300)
+        assert r.converged
+        assert np.abs(r.x - x_star).max() < 1e-6
+
+    def test_general_solver_converges(self, system):
+        A, b, x_star = system
+        s = AsyRGS(A, b, nproc=8, engine="general")
+        r = s.solve(tol=1e-8, max_sweeps=300)
+        assert r.converged
+        assert np.abs(r.x - x_star).max() < 1e-6
+
+    def test_custom_delay_model(self, system):
+        A, b, x_star = system
+        s = AsyRGS(A, b, engine="general", delay_model=UniformDelay(12, seed=3))
+        r = s.solve(tol=1e-6, max_sweeps=300)
+        assert r.converged
+
+    def test_inconsistent_model_with_auto_beta(self, system):
+        A, b, _ = system
+        s = AsyRGS(
+            A, b, engine="general",
+            delay_model=InconsistentUniform(6, miss_prob=0.5, seed=4),
+            beta="auto",
+        )
+        assert 0 < s.beta < 1  # Theorem 4 regime
+        r = s.solve(tol=1e-5, max_sweeps=400)
+        assert r.converged
+
+    def test_nproc_one_matches_synchronous(self, system):
+        A, b, _ = system
+        n = A.shape[0]
+        s = AsyRGS(A, b, nproc=1, directions=DirectionStream(n, seed=5))
+        r = s.run_sweeps(4)
+        ref = randomized_gauss_seidel(
+            A, b, sweeps=4, directions=DirectionStream(n, seed=5),
+            record_history=False,
+        )
+        np.testing.assert_allclose(r.x, ref.x, rtol=1e-12, atol=1e-14)
+
+    def test_unknown_engine_rejected(self, system):
+        A, b, _ = system
+        with pytest.raises(ModelError):
+            AsyRGS(A, b, engine="warp")
+
+    def test_delay_model_with_phased_rejected(self, system):
+        A, b, _ = system
+        with pytest.raises(ModelError):
+            AsyRGS(A, b, engine="phased", delay_model=UniformDelay(2))
+
+    def test_write_model_with_phased_rejected(self, system):
+        A, b, _ = system
+        with pytest.raises(ModelError):
+            AsyRGS(A, b, engine="phased", write_model=LossyWrites(0.5))
+
+
+class TestEpochScheme:
+    def test_sync_points_counted(self, system):
+        A, b, _ = system
+        s = AsyRGS(A, b, nproc=4)
+        r = s.solve(tol=1e-20, max_sweeps=10, sync_every_sweeps=2)
+        assert r.sync_points == 5
+        assert r.sweeps == 10
+
+    def test_sync_every_sweeps_validated(self, system):
+        A, b, _ = system
+        s = AsyRGS(A, b, nproc=4)
+        with pytest.raises(ModelError):
+            s.solve(tol=1e-4, max_sweeps=10, sync_every_sweeps=0)
+
+    def test_history_per_epoch(self, system):
+        A, b, _ = system
+        s = AsyRGS(A, b, nproc=4)
+        r = s.solve(tol=1e-20, max_sweeps=6, sync_every_sweeps=3)
+        assert r.history.iterations == [0, 3, 6]
+
+    def test_budget_respected_when_not_converging(self, system):
+        A, b, _ = system
+        s = AsyRGS(A, b, nproc=4)
+        r = s.solve(tol=1e-30, max_sweeps=7, sync_every_sweeps=3)
+        assert r.sweeps == 7
+        assert not r.converged
+
+
+class TestRunSweeps:
+    def test_free_running_history(self, system):
+        A, b, _ = system
+        s = AsyRGS(A, b, nproc=8)
+        r = s.run_sweeps(5)
+        assert r.sync_points == 0
+        assert r.history.iterations == [0, 1, 2, 3, 4, 5]
+        assert r.history.values[-1] < r.history.values[0]
+
+    def test_zero_sweeps(self, system):
+        A, b, _ = system
+        s = AsyRGS(A, b, nproc=2)
+        r = s.run_sweeps(0)
+        assert r.iterations == 0
+        np.testing.assert_array_equal(r.x, np.zeros(A.shape[0]))
+
+    def test_multirhs_run(self, system):
+        A, b, _ = system
+        B = np.stack([b, 2 * b], axis=1)
+        s = AsyRGS(A, B, nproc=4)
+        r = s.run_sweeps(30, record_history=False)
+        res = B - A.matmat(r.x)
+        assert np.linalg.norm(res) / np.linalg.norm(B) < 1e-2
+
+
+class TestStepSize:
+    def test_auto_beta_consistent(self, system):
+        A, b, _ = system
+        s = AsyRGS(A, b, nproc=16, beta="auto")
+        from repro.core import optimal_beta_consistent, rho_infinity
+
+        assert s.beta == pytest.approx(optimal_beta_consistent(rho_infinity(A), s.tau))
+
+    def test_explicit_beta_used(self, system):
+        A, b, _ = system
+        s = AsyRGS(A, b, nproc=4, beta=0.6)
+        assert s.beta == 0.6
+        r = s.run_sweeps(1, record_history=False)
+        assert r.beta == 0.6
+
+    def test_invalid_beta(self, system):
+        A, b, _ = system
+        with pytest.raises(ModelError):
+            AsyRGS(A, b, nproc=4, beta=-0.5)
+
+
+class TestNonAtomic:
+    def test_nonatomic_converges_and_counts(self, system):
+        A, b, x_star = system
+        s = AsyRGS(A, b, nproc=16, atomic=False)
+        r = s.run_sweeps(100, record_history=False)
+        assert r.lost_writes > 0
+        assert np.abs(r.x - x_star).max() < 1e-4

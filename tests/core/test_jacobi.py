@@ -1,0 +1,168 @@
+"""Unit tests for Jacobi / chaotic relaxation (the historical baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    chaotic_relaxation,
+    jacobi,
+    jacobi_spectral_radius,
+    randomized_gauss_seidel,
+)
+from repro.exceptions import ModelError, ShapeError
+from repro.sparse import CSRMatrix
+from repro.workloads import laplacian_2d, random_unit_diagonal_spd
+
+from ..conftest import manufactured_system
+
+
+@pytest.fixture(scope="module")
+def dominant():
+    """Unit-diagonal strictly diagonally dominant ⇒ Jacobi and chaotic
+    relaxation both converge (ρ(|M|) < 1)."""
+    A = random_unit_diagonal_spd(40, nnz_per_row=4, offdiag_scale=0.7, seed=31)
+    b, x_star = manufactured_system(A, seed=32)
+    return A, b, x_star
+
+
+@pytest.fixture(scope="module")
+def non_dominant():
+    """SPD but NOT (generalized) diagonally dominant: the Chazan–Miranker
+    condition fails, ρ(|M|) = (k−1)·a > 1.
+
+    The classic family: block-diagonal equicorrelation blocks
+    ``(1−a)·I + a·𝟙𝟙ᵀ`` of size k. Eigenvalues are ``1 + (k−1)a > 0`` and
+    ``1 − a > 0`` — SPD for any ``a ∈ (0, 1)`` — while the Jacobi matrix
+    has spectral radius ``(k−1)a``, which exceeds 1 once ``a > 1/(k−1)``.
+    Here k = 5, a = 0.6: ρ(M) = ρ(|M|) = 2.4.
+    """
+    k, blocks, a = 5, 6, 0.6
+    n = k * blocks
+    dense = np.zeros((n, n))
+    block = (1 - a) * np.eye(k) + a * np.ones((k, k))
+    for t in range(blocks):
+        dense[t * k : (t + 1) * k, t * k : (t + 1) * k] = block
+    w = np.linalg.eigvalsh(dense)
+    assert w[0] > 0, "fixture must be SPD"
+    A = CSRMatrix.from_dense(dense, tol=1e-14)
+    x_star = np.random.default_rng(7).normal(size=n)
+    return A, A.matvec(x_star), x_star
+
+
+class TestSynchronousJacobi:
+    def test_converges_on_dominant(self, dominant):
+        A, b, x_star = dominant
+        r = jacobi(A, b, sweeps=500, tol=1e-10)
+        assert r.converged and not r.diverged
+        np.testing.assert_allclose(r.x, x_star, atol=1e-8)
+
+    def test_matches_closed_form_sweep(self, dominant):
+        A, b, _ = dominant
+        x0 = np.linspace(-1, 1, A.shape[0])
+        r = jacobi(A, b, x0=x0, sweeps=1, record_history=False)
+        expected = x0 + (b - A.matvec(x0)) / A.diagonal()
+        np.testing.assert_allclose(r.x, expected, atol=1e-14)
+
+    def test_diverges_on_non_dominant(self, non_dominant):
+        A, b, _ = non_dominant
+        r = jacobi(A, b, sweeps=2000)
+        assert r.diverged, "Jacobi should diverge when rho(M) > 1"
+
+    def test_history_recorded(self, dominant):
+        A, b, _ = dominant
+        r = jacobi(A, b, sweeps=5)
+        assert len(r.history) == 6
+
+    def test_validation(self, dominant):
+        A, b, _ = dominant
+        with pytest.raises(ShapeError):
+            jacobi(A, np.ones(3))
+        zero_diag = CSRMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(ModelError):
+            jacobi(zero_diag, np.ones(2))
+
+
+class TestChaoticRelaxation:
+    def test_full_round_equals_jacobi(self, dominant):
+        """round_size = n with cyclic directions is exactly one Jacobi
+        sweep per round — the identity tying the historical method into
+        the phased execution substrate."""
+        A, b, _ = dominant
+        n = A.shape[0]
+        x0 = np.linspace(0.5, -0.5, n)
+        cr = chaotic_relaxation(A, b, x0=x0, sweeps=3, round_size=n,
+                                record_history=False)
+        jc = jacobi(A, b, x0=x0, sweeps=3, record_history=False)
+        np.testing.assert_allclose(cr.x, jc.x, rtol=1e-12, atol=1e-14)
+
+    def test_round_one_is_gauss_seidel(self, dominant):
+        """round_size = 1 with cyclic directions is classical
+        Gauss-Seidel (each update sees all previous ones)."""
+        A, b, _ = dominant
+        n = A.shape[0]
+        from repro.core import CyclicDirections
+
+        cr = chaotic_relaxation(A, b, sweeps=2, round_size=1, record_history=False)
+        gs = randomized_gauss_seidel(
+            A, b, sweeps=2, directions=CyclicDirections(n), record_history=False
+        )
+        np.testing.assert_allclose(cr.x, gs.x, rtol=1e-12, atol=1e-14)
+
+    def test_converges_on_dominant_any_round(self, dominant):
+        A, b, x_star = dominant
+        for rs in (1, 7, A.shape[0]):
+            r = chaotic_relaxation(A, b, sweeps=400, round_size=rs, tol=1e-8)
+            assert r.converged, f"round_size={rs}"
+
+    def test_diverges_on_non_dominant(self, non_dominant):
+        A, b, _ = non_dominant
+        r = chaotic_relaxation(A, b, sweeps=2000, round_size=A.shape[0])
+        assert r.diverged
+
+    def test_gauss_seidel_converges_where_jacobi_diverges(self, non_dominant):
+        """The motivating contrast: on the same SPD matrix, chaotic
+        relaxation diverges while the Gauss-Seidel-type iteration (the
+        paper's foundation) converges."""
+        A, b, x_star = non_dominant
+        bad = chaotic_relaxation(A, b, sweeps=500, round_size=A.shape[0])
+        assert bad.diverged
+        good = randomized_gauss_seidel(A, b, sweeps=500, tol=1e-8)
+        assert good.converged
+        np.testing.assert_allclose(good.x, x_star, atol=1e-5)
+
+    def test_round_size_validation(self, dominant):
+        A, b, _ = dominant
+        with pytest.raises(ModelError):
+            chaotic_relaxation(A, b, round_size=0)
+        with pytest.raises(ModelError):
+            chaotic_relaxation(A, b, round_size=A.shape[0] + 1)
+
+
+class TestSpectralRadius:
+    def test_plain_radius_matches_numpy(self, dominant):
+        A, _, _ = dominant
+        dense = A.to_dense()
+        M = np.eye(A.shape[0]) - dense / np.diag(dense)[:, None]
+        expected = np.abs(np.linalg.eigvals(M)).max()
+        got = jacobi_spectral_radius(A, iterations=3000)
+        assert got == pytest.approx(expected, rel=1e-2)
+
+    def test_absolute_radius_matches_numpy(self, non_dominant):
+        A, _, _ = non_dominant
+        dense = A.to_dense()
+        M = np.eye(A.shape[0]) - dense / np.diag(dense)[:, None]
+        expected = np.abs(np.linalg.eigvals(np.abs(M))).max()
+        got = jacobi_spectral_radius(A, absolute=True, iterations=3000)
+        assert got == pytest.approx(expected, rel=1e-2)
+
+    def test_thresholds_explain_behavior(self, dominant, non_dominant):
+        """ρ(|M|) < 1 on the dominant fixture, > 1 on the other —
+        exactly the Chazan–Miranker dichotomy the runs exhibit."""
+        A_ok, _, _ = dominant
+        A_bad, _, _ = non_dominant
+        assert jacobi_spectral_radius(A_ok, absolute=True) < 1.0
+        assert jacobi_spectral_radius(A_bad, absolute=True) > 1.0
+
+    def test_identity_radius_zero(self):
+        I = CSRMatrix.identity(5)
+        assert jacobi_spectral_radius(I, iterations=50) == pytest.approx(0.0, abs=1e-12)

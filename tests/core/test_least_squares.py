@@ -1,0 +1,155 @@
+"""Unit tests for the least-squares solvers (Section 8 / Theorem 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AsyncLeastSquares,
+    column_squared_norms,
+    normal_equations,
+    rcd_least_squares,
+)
+from repro.exceptions import ModelError, ShapeError
+from repro.execution import AsyncSimulator, InconsistentUniform, UniformDelay, ZeroDelay
+from repro.rng import DirectionStream
+from repro.sparse import CSRMatrix
+from repro.workloads import random_least_squares
+
+
+@pytest.fixture(scope="module")
+def consistent():
+    return random_least_squares(60, 25, nnz_per_row=4, seed=1)
+
+
+@pytest.fixture(scope="module")
+def noisy():
+    return random_least_squares(80, 30, nnz_per_row=4, noise_scale=0.3, seed=2)
+
+
+def dense_lstsq(prob):
+    return np.linalg.lstsq(prob.A.to_dense(), prob.b, rcond=None)[0]
+
+
+class TestHelpers:
+    def test_normal_equations_match_dense(self, consistent):
+        N, c = normal_equations(consistent.A, consistent.b)
+        d = consistent.A.to_dense()
+        np.testing.assert_allclose(N.to_dense(), d.T @ d, atol=1e-12)
+        np.testing.assert_allclose(c, d.T @ consistent.b, atol=1e-12)
+
+    def test_normal_equations_shape_check(self, consistent):
+        with pytest.raises(ShapeError):
+            normal_equations(consistent.A, np.ones(3))
+
+    def test_column_squared_norms(self, consistent):
+        d = consistent.A.to_dense()
+        np.testing.assert_allclose(
+            column_squared_norms(consistent.A), (d * d).sum(axis=0), atol=1e-12
+        )
+
+
+class TestSynchronousRCD:
+    def test_consistent_system_solved(self, consistent):
+        r = rcd_least_squares(consistent.A, consistent.b, sweeps=200, tol=1e-10)
+        assert r.converged
+        np.testing.assert_allclose(r.x, consistent.x_generating, atol=1e-6)
+
+    def test_noisy_system_reaches_normal_solution(self, noisy):
+        x_ls = dense_lstsq(noisy)
+        r = rcd_least_squares(noisy.A, noisy.b, sweeps=600, record_history=False)
+        np.testing.assert_allclose(r.x, x_ls, atol=1e-5)
+
+    def test_residual_norm_reported(self, noisy):
+        r = rcd_least_squares(noisy.A, noisy.b, sweeps=300, record_history=False)
+        expected = np.linalg.norm(noisy.b - noisy.A.matvec(r.x))
+        assert r.residual_norm == pytest.approx(expected, rel=1e-10)
+
+    def test_history_decreases(self, consistent):
+        r = rcd_least_squares(consistent.A, consistent.b, sweeps=30)
+        assert r.history.values[-1] < r.history.values[0]
+
+    def test_relaxation(self, consistent):
+        r = rcd_least_squares(
+            consistent.A, consistent.b, sweeps=300, beta=0.7, record_history=False
+        )
+        np.testing.assert_allclose(r.x, consistent.x_generating, atol=1e-4)
+
+    def test_budget_validation(self, consistent):
+        with pytest.raises(ModelError):
+            rcd_least_squares(consistent.A, consistent.b)
+        with pytest.raises(ModelError):
+            rcd_least_squares(consistent.A, consistent.b, sweeps=1, iterations=5)
+
+    def test_zero_column_rejected(self):
+        A = CSRMatrix.from_dense(np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 0.0]]))
+        with pytest.raises(ModelError):
+            rcd_least_squares(A, np.ones(3), sweeps=1)
+
+
+class TestTheorem5Equivalence:
+    """Iteration (21) must coincide, update for update, with AsyRGS
+    applied to the explicitly formed normal equations."""
+
+    @pytest.mark.parametrize(
+        "model_factory",
+        [
+            lambda: ZeroDelay(),
+            lambda: UniformDelay(5, seed=4),
+            lambda: InconsistentUniform(4, miss_prob=0.6, seed=5),
+        ],
+        ids=["zero", "uniform", "inconsistent"],
+    )
+    def test_matches_normal_equation_asyrgs(self, consistent, model_factory):
+        A, b = consistent.A, consistent.b
+        n = A.shape[1]
+        N, c = normal_equations(A, b)
+        beta = 0.6
+        direct = AsyncLeastSquares(
+            A, b, delay_model=model_factory(),
+            directions=DirectionStream(n, seed=6), beta=beta,
+        ).run(np.zeros(n), 400)
+        oracle = AsyncSimulator(
+            N, c, delay_model=model_factory(),
+            directions=DirectionStream(n, seed=6), beta=beta,
+        ).run(np.zeros(n), 400)
+        np.testing.assert_allclose(direct.x, oracle.x, rtol=1e-10, atol=1e-12)
+
+
+class TestAsyncLS:
+    def test_converges_consistent(self, consistent):
+        als = AsyncLeastSquares(
+            consistent.A, consistent.b,
+            delay_model=UniformDelay(6, seed=7), beta=0.8,
+        )
+        r = als.run(np.zeros(consistent.A.shape[1]), 8000)
+        np.testing.assert_allclose(r.x, consistent.x_generating, atol=1e-4)
+
+    def test_converges_noisy_to_ls_solution(self, noisy):
+        x_ls = dense_lstsq(noisy)
+        als = AsyncLeastSquares(
+            noisy.A, noisy.b, delay_model=UniformDelay(4, seed=8), beta=0.7,
+        )
+        r = als.run(np.zeros(noisy.A.shape[1]), 12000)
+        np.testing.assert_allclose(r.x, x_ls, atol=1e-3)
+
+    def test_checkpoints(self, consistent):
+        A, b = consistent.A, consistent.b
+        als = AsyncLeastSquares(A, b, delay_model=ZeroDelay())
+        r = als.run(
+            np.zeros(A.shape[1]), 200,
+            checkpoint_every=50,
+            checkpoint_metric=lambda x: float(np.linalg.norm(b - A.matvec(x))),
+        )
+        assert r.history is not None and len(r.history) == 4
+
+    def test_validation(self, consistent):
+        A, b = consistent.A, consistent.b
+        with pytest.raises(ModelError):
+            AsyncLeastSquares(A, b, beta=0.0)
+        with pytest.raises(ShapeError):
+            AsyncLeastSquares(A, np.ones(3))
+        als = AsyncLeastSquares(A, b)
+        with pytest.raises(ShapeError):
+            als.run(np.zeros(5), 10)
+        with pytest.raises(ModelError):
+            als.run(np.zeros(A.shape[1]), -1)

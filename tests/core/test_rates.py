@@ -1,0 +1,107 @@
+"""Unit tests for empirical rate estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConvergenceHistory,
+    fit_linear_rate,
+    observed_nu,
+    randomized_gauss_seidel,
+    sweeps_to_tolerance,
+)
+from repro.exceptions import ModelError
+from repro.workloads import random_unit_diagonal_spd
+
+from ..conftest import manufactured_system
+
+
+def geometric_history(factor: float, n: int = 20, start: float = 1.0):
+    h = ConvergenceHistory()
+    for k in range(n):
+        h.record(k, start * factor**k)
+    return h
+
+
+class TestFit:
+    def test_exact_geometric_recovered(self):
+        fit = fit_linear_rate(geometric_history(0.7))
+        assert fit.factor == pytest.approx(0.7, rel=1e-10)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-12)
+        assert fit.points == 20
+
+    def test_skip_ignores_transient(self):
+        h = ConvergenceHistory()
+        # Fast transient then slower asymptotic rate.
+        values = [1.0, 0.1, 0.05, 0.025, 0.0125, 0.00625]
+        for k, v in enumerate(values):
+            h.record(k, v)
+        fit_all = fit_linear_rate(h)
+        fit_tail = fit_linear_rate(h, skip=2)
+        assert fit_tail.factor == pytest.approx(0.5, rel=1e-10)
+        assert fit_all.factor < fit_tail.factor  # transient steepens the fit
+
+    def test_floor_drops_converged_tail(self):
+        h = geometric_history(0.5, n=10)
+        h.record(10, 0.0)  # exact zero would break the log
+        fit = fit_linear_rate(h)
+        assert fit.factor == pytest.approx(0.5, rel=1e-10)
+
+    def test_too_few_points(self):
+        h = ConvergenceHistory()
+        h.record(0, 1.0)
+        with pytest.raises(ModelError):
+            fit_linear_rate(h)
+
+    def test_halving_iterations(self):
+        fit = fit_linear_rate(geometric_history(0.5))
+        assert fit.halving_iterations == pytest.approx(1.0)
+        stalled = fit_linear_rate(geometric_history(1.0))
+        assert math.isinf(stalled.halving_iterations)
+
+    def test_fit_on_real_solver_history(self):
+        """RGS on a well-conditioned SPD system shows a clean linear rate
+        (r² near 1) — the theorems' qualitative claim."""
+        A = random_unit_diagonal_spd(60, nnz_per_row=5, offdiag_scale=0.7, seed=9)
+        b, _ = manufactured_system(A, seed=10)
+        r = randomized_gauss_seidel(A, b, sweeps=40)
+        # floor drops the rounding-noise plateau near machine precision.
+        fit = fit_linear_rate(r.history, skip=3, floor=1e-10)
+        assert 0 < fit.factor < 1
+        assert fit.r_squared > 0.97
+
+
+class TestObservedNu:
+    def test_inverts_epoch_factor(self):
+        # contraction = 1 - nu/(2 kappa)
+        nu, kappa = 0.8, 10.0
+        contraction = 1 - nu / (2 * kappa)
+        assert observed_nu(contraction, kappa) == pytest.approx(nu)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            observed_nu(1.5, 10.0)
+        with pytest.raises(ModelError):
+            observed_nu(0.5, 0.5)
+
+
+class TestBudgetPrediction:
+    def test_exact_prediction(self):
+        fit = fit_linear_rate(geometric_history(0.5))
+        assert sweeps_to_tolerance(fit, 1.0, 1e-3) == 10  # 2^-10 < 1e-3
+
+    def test_already_converged(self):
+        fit = fit_linear_rate(geometric_history(0.5))
+        assert sweeps_to_tolerance(fit, 1e-8, 1e-3) == 0
+
+    def test_nonconverging_rate_rejected(self):
+        fit = fit_linear_rate(geometric_history(1.0))
+        with pytest.raises(ModelError):
+            sweeps_to_tolerance(fit, 1.0, 0.5)
+
+    def test_invalid_values(self):
+        fit = fit_linear_rate(geometric_history(0.5))
+        with pytest.raises(ModelError):
+            sweeps_to_tolerance(fit, -1.0, 0.5)

@@ -1,0 +1,142 @@
+"""Unit tests for error/residual measures and convergence histories."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConvergenceHistory,
+    a_norm,
+    a_norm_error,
+    relative_a_norm_error,
+    relative_residual,
+    residual_norm,
+)
+from repro.exceptions import NotPositiveDefiniteError, ShapeError
+from repro.sparse import CSRMatrix
+from repro.workloads import laplacian_2d
+
+
+@pytest.fixture(scope="module")
+def A():
+    return laplacian_2d(6, 6)
+
+
+class TestResidualNorms:
+    def test_zero_residual_at_solution(self, A):
+        x = np.linspace(0, 1, A.shape[0])
+        b = A.matvec(x)
+        assert residual_norm(A, x, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_matches_dense_computation(self, A):
+        n = A.shape[0]
+        x = np.cos(np.arange(n, dtype=float))
+        b = np.ones(n)
+        expected = np.linalg.norm(b - A.to_dense() @ x)
+        assert residual_norm(A, x, b) == pytest.approx(expected)
+
+    def test_relative_residual_normalization(self, A):
+        n = A.shape[0]
+        b = 2.0 * np.ones(n)
+        x = np.zeros(n)
+        assert relative_residual(A, x, b) == pytest.approx(1.0)
+
+    def test_relative_residual_zero_rhs(self, A):
+        n = A.shape[0]
+        x = np.ones(n)
+        # With b = 0, returns the absolute residual ‖Ax‖.
+        assert relative_residual(A, x, np.zeros(n)) == pytest.approx(
+            np.linalg.norm(A.matvec(x))
+        )
+
+    def test_multirhs_frobenius(self, A):
+        n = A.shape[0]
+        X = np.stack([np.ones(n), np.zeros(n)], axis=1)
+        B = np.stack([np.zeros(n), np.ones(n)], axis=1)
+        expected = np.linalg.norm(B - A.to_dense() @ X)
+        assert residual_norm(A, X, B) == pytest.approx(expected)
+
+    def test_shape_mismatch(self, A):
+        with pytest.raises(ShapeError):
+            residual_norm(A, np.ones(3), np.ones(A.shape[0]))
+
+
+class TestANorm:
+    def test_matches_quadratic_form(self, A):
+        n = A.shape[0]
+        v = np.sin(np.arange(n, dtype=float))
+        expected = np.sqrt(v @ A.to_dense() @ v)
+        assert a_norm(A, v) == pytest.approx(expected)
+
+    def test_zero_vector(self, A):
+        assert a_norm(A, np.zeros(A.shape[0])) == 0.0
+
+    def test_matrix_argument_sums_columns(self, A):
+        n = A.shape[0]
+        V = np.stack([np.ones(n), np.arange(n, dtype=float)], axis=1)
+        expected = np.sqrt(sum(V[:, j] @ A.to_dense() @ V[:, j] for j in range(2)))
+        assert a_norm(A, V) == pytest.approx(expected)
+
+    def test_indefinite_matrix_detected(self):
+        M = CSRMatrix.from_dense(np.diag([1.0, -1.0]))
+        with pytest.raises(NotPositiveDefiniteError):
+            a_norm(M, np.array([0.0, 1.0]))
+
+    def test_error_measures(self, A):
+        n = A.shape[0]
+        x_star = np.linspace(1, 2, n)
+        x = x_star + 0.1
+        err = a_norm_error(A, x, x_star)
+        assert err == pytest.approx(a_norm(A, 0.1 * np.ones(n)))
+        rel = relative_a_norm_error(A, x, x_star)
+        assert rel == pytest.approx(err / a_norm(A, x_star))
+
+    def test_error_shape_mismatch(self, A):
+        with pytest.raises(ShapeError):
+            a_norm_error(A, np.ones(3), np.ones(A.shape[0]))
+
+
+class TestConvergenceHistory:
+    def test_record_and_read(self):
+        h = ConvergenceHistory(label="x")
+        h.record(0, 1.0)
+        h.record(5, 0.5)
+        assert len(h) == 2
+        assert h.final == 0.5
+        its, vals = h.as_arrays()
+        np.testing.assert_array_equal(its, [0, 5])
+        np.testing.assert_array_equal(vals, [1.0, 0.5])
+
+    def test_monotone_iterations_enforced(self):
+        h = ConvergenceHistory()
+        h.record(5, 1.0)
+        with pytest.raises(ValueError):
+            h.record(3, 0.5)
+
+    def test_final_empty_raises(self):
+        with pytest.raises(ValueError):
+            _ = ConvergenceHistory().final
+
+    def test_first_below(self):
+        h = ConvergenceHistory()
+        for it, v in [(0, 1.0), (1, 0.3), (2, 0.05), (3, 0.01)]:
+            h.record(it, v)
+        assert h.first_below(0.1) == 2
+        assert h.first_below(1e-9) is None
+
+    def test_reduction_factor(self):
+        h = ConvergenceHistory()
+        h.record(0, 2.0)
+        h.record(1, 0.5)
+        assert h.reduction_factor() == pytest.approx(0.25)
+
+    def test_reduction_factor_needs_two_points(self):
+        h = ConvergenceHistory()
+        h.record(0, 1.0)
+        with pytest.raises(ValueError):
+            h.reduction_factor()
+
+    def test_reduction_factor_zero_start(self):
+        h = ConvergenceHistory()
+        h.record(0, 0.0)
+        h.record(1, 0.0)
+        assert h.reduction_factor() == 0.0

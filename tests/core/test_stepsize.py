@@ -1,0 +1,85 @@
+"""Unit tests for step-size policies (Section 6)."""
+
+import pytest
+
+from repro.core import (
+    auto_step_size,
+    max_beta_consistent,
+    max_beta_inconsistent,
+    optimal_beta_consistent,
+    optimal_beta_inconsistent,
+    rho_infinity,
+    rho_two,
+)
+from repro.exceptions import ModelError
+from repro.workloads import random_unit_diagonal_spd
+
+
+@pytest.fixture(scope="module")
+def A():
+    return random_unit_diagonal_spd(30, nnz_per_row=4, offdiag_scale=0.7, seed=2)
+
+
+class TestOptimalSteps:
+    def test_zero_tau_recovers_unit_or_half(self):
+        assert optimal_beta_consistent(0.05, 0) == 1.0
+        assert optimal_beta_inconsistent(0.05, 0) == 0.5
+
+    def test_consistent_decreases_with_tau(self):
+        betas = [optimal_beta_consistent(0.02, t) for t in (0, 5, 50, 500)]
+        assert all(b2 < b1 for b1, b2 in zip(betas, betas[1:]))
+
+    def test_inconsistent_decreases_quadratically(self):
+        b10 = optimal_beta_inconsistent(0.01, 10)
+        b100 = optimal_beta_inconsistent(0.01, 100)
+        # τ² scaling: 100× larger denominator term.
+        assert b100 < b10 / 10
+
+    def test_consistent_formula(self):
+        assert optimal_beta_consistent(0.1, 5) == pytest.approx(1 / 2.0)
+
+    def test_inconsistent_formula(self):
+        assert optimal_beta_inconsistent(0.1, 2) == pytest.approx(1 / 2.4)
+
+    def test_max_is_twice_optimal_consistent(self):
+        assert max_beta_consistent(0.03, 7) == pytest.approx(
+            2 * optimal_beta_consistent(0.03, 7)
+        )
+
+    def test_max_beta_inconsistent_below_one(self):
+        assert max_beta_inconsistent(0.05, 10) < 1.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ModelError):
+            max_beta_inconsistent(-1.0, 2)
+
+
+class TestAutoStepSize:
+    def test_auto_consistent_from_matrix(self, A):
+        b = auto_step_size(A, tau=8, consistent=True)
+        assert b == pytest.approx(optimal_beta_consistent(rho_infinity(A), 8))
+
+    def test_auto_inconsistent_from_matrix(self, A):
+        b = auto_step_size(A, tau=8, consistent=False)
+        assert b == pytest.approx(optimal_beta_inconsistent(rho_two(A), 8))
+
+    def test_auto_with_explicit_rho(self):
+        assert auto_step_size(None, tau=4, consistent=True, rho=0.125) == pytest.approx(
+            1 / 2.0
+        )
+
+    def test_auto_with_explicit_rho2(self):
+        b = auto_step_size(None, tau=3, consistent=False, rho2=0.1)
+        assert b == pytest.approx(1 / 2.9)
+
+    def test_auto_requires_matrix_or_coefficient(self):
+        with pytest.raises(ModelError):
+            auto_step_size(None, tau=4, consistent=True)
+        with pytest.raises(ModelError):
+            auto_step_size(None, tau=4, consistent=False)
+
+    def test_auto_in_valid_range(self, A):
+        for tau in (0, 1, 16, 256):
+            for consistent in (True, False):
+                b = auto_step_size(A, tau=tau, consistent=consistent)
+                assert 0 < b <= 1.0

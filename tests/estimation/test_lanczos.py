@@ -1,0 +1,86 @@
+"""Unit tests for Lanczos tridiagonalization and the Sturm eigensolver."""
+
+import numpy as np
+import pytest
+
+from repro.estimation import lanczos, tridiagonal_eigenvalues
+from repro.exceptions import ShapeError
+from repro.sparse import CSRMatrix
+from repro.workloads import laplacian_1d, laplacian_2d, random_unit_diagonal_spd
+
+
+class TestTridiagonalEigenvalues:
+    def test_diagonal_case(self):
+        vals = tridiagonal_eigenvalues(np.array([3.0, 1.0, 2.0]), np.zeros(2))
+        np.testing.assert_allclose(vals, [1.0, 2.0, 3.0], atol=1e-10)
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        alphas = rng.normal(size=12)
+        betas = rng.normal(size=11)
+        T = np.diag(alphas) + np.diag(betas, 1) + np.diag(betas, -1)
+        expected = np.linalg.eigvalsh(T)
+        got = tridiagonal_eigenvalues(alphas, betas)
+        np.testing.assert_allclose(got, expected, atol=1e-8)
+
+    def test_known_laplacian_spectrum(self):
+        """Eigenvalues of [−1, 2, −1] are 2 − 2cos(kπ/(n+1))."""
+        n = 15
+        alphas = np.full(n, 2.0)
+        betas = np.full(n - 1, -1.0)
+        got = tridiagonal_eigenvalues(alphas, betas)
+        expected = 2.0 - 2.0 * np.cos(np.arange(1, n + 1) * np.pi / (n + 1))
+        np.testing.assert_allclose(got, np.sort(expected), atol=1e-8)
+
+    def test_single_element(self):
+        np.testing.assert_allclose(
+            tridiagonal_eigenvalues(np.array([4.2]), np.zeros(0)), [4.2], atol=1e-10
+        )
+
+    def test_empty(self):
+        assert tridiagonal_eigenvalues(np.zeros(0), np.zeros(0)).size == 0
+
+    def test_mismatched_betas_rejected(self):
+        with pytest.raises(ShapeError):
+            tridiagonal_eigenvalues(np.zeros(3), np.zeros(5))
+
+
+class TestLanczos:
+    def test_full_run_recovers_spectrum_edges(self):
+        A = laplacian_1d(30)
+        w = np.linalg.eigvalsh(A.to_dense())
+        r = lanczos(A, steps=30, seed=1)
+        assert r.ritz_max == pytest.approx(w[-1], rel=1e-6)
+        assert r.ritz_min == pytest.approx(w[0], rel=1e-4)
+
+    def test_partial_run_gives_inner_estimates(self):
+        A = laplacian_2d(8, 8)
+        w = np.linalg.eigvalsh(A.to_dense())
+        r = lanczos(A, steps=25, seed=2)
+        assert w[0] - 1e-8 <= r.ritz_min
+        assert r.ritz_max <= w[-1] + 1e-8
+
+    def test_breakdown_on_low_rank(self):
+        """A rank-1-plus-identity-free matrix exhausts its Krylov space
+        immediately."""
+        A = CSRMatrix.from_diagonal(np.full(10, 3.0))
+        r = lanczos(A, steps=10, seed=3)
+        assert r.breakdown
+        assert r.steps < 10
+        assert r.ritz_max == pytest.approx(3.0, rel=1e-10)
+
+    def test_steps_capped_at_dimension(self):
+        A = random_unit_diagonal_spd(12, nnz_per_row=3, seed=4)
+        r = lanczos(A, steps=100, seed=4)
+        assert r.steps <= 12
+
+    def test_deterministic(self):
+        A = laplacian_2d(5, 5)
+        r1 = lanczos(A, steps=10, seed=7)
+        r2 = lanczos(A, steps=10, seed=7)
+        np.testing.assert_array_equal(r1.alphas, r2.alphas)
+        np.testing.assert_array_equal(r1.betas, r2.betas)
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ShapeError):
+            lanczos(CSRMatrix.from_dense(np.ones((2, 3))))

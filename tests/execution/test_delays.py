@@ -1,0 +1,165 @@
+"""Unit tests for the bounded-delay models (Assumptions A-3/A-4)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.execution import (
+    AdversarialDelay,
+    FixedDelay,
+    InconsistentAdversarial,
+    InconsistentUniform,
+    ProcessorPhaseDelay,
+    UniformDelay,
+    ZeroDelay,
+)
+
+ALL_MODELS = [
+    ZeroDelay(),
+    FixedDelay(3),
+    UniformDelay(5, seed=1),
+    AdversarialDelay(4),
+    ProcessorPhaseDelay(4, jitter=2, seed=2),
+    InconsistentUniform(5, miss_prob=0.5, seed=3),
+    InconsistentAdversarial(4),
+]
+
+
+class TestWindowInvariant:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+    def test_missed_within_window(self, model):
+        """Every model must honor eq. (6)/(7): misses only inside
+        [max(0, j−τ), j−1]."""
+        for j in list(range(0, 12)) + [50, 200, 1001]:
+            missed = model.missed(j)
+            model.validate_window(j, missed)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+    def test_missed_sorted_unique(self, model):
+        for j in (0, 1, 7, 64, 300):
+            missed = model.missed(j)
+            assert np.all(np.diff(missed) > 0) or missed.size <= 1
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+    def test_deterministic_per_index(self, model):
+        """Assumption A-4 implementation: the schedule is a pure function
+        of the iteration index."""
+        for j in (3, 17, 99):
+            np.testing.assert_array_equal(model.missed(j), model.missed(j))
+
+    def test_validate_window_rejects_violation(self):
+        m = FixedDelay(2)
+        with pytest.raises(ModelError):
+            m.validate_window(10, np.array([3]))
+        with pytest.raises(ModelError):
+            m.validate_window(10, np.array([10]))
+
+
+class TestConsistentModels:
+    def test_zero_delay_never_misses(self):
+        m = ZeroDelay()
+        for j in range(20):
+            assert m.missed(j).size == 0
+        assert m.tau == 0
+
+    def test_fixed_delay_exact_suffix(self):
+        m = FixedDelay(3)
+        np.testing.assert_array_equal(m.missed(10), [7, 8, 9])
+
+    def test_fixed_delay_clipped_at_start(self):
+        m = FixedDelay(5)
+        np.testing.assert_array_equal(m.missed(2), [0, 1])
+        assert m.missed(0).size == 0
+
+    def test_adversarial_always_maximal(self):
+        m = AdversarialDelay(4)
+        for j in (10, 57, 123):
+            assert m.lag(j) == 4
+
+    def test_uniform_delay_bounded_and_varying(self):
+        m = UniformDelay(6, seed=5)
+        lags = [m.lag(j) for j in range(200, 400)]
+        assert max(lags) <= 6
+        assert min(lags) >= 0
+        assert len(set(lags)) > 1  # actually random
+
+    def test_uniform_delay_uses_all_values(self):
+        m = UniformDelay(3, seed=7)
+        lags = {m.lag(j) for j in range(100, 1100)}
+        assert lags == {0, 1, 2, 3}
+
+    def test_processor_phase_base_lag(self):
+        m = ProcessorPhaseDelay(4)
+        for j in (10, 20, 99):
+            assert m.lag(j) == 3
+        assert m.tau == 3
+
+    def test_processor_phase_jitter_range(self):
+        m = ProcessorPhaseDelay(4, jitter=2, seed=9)
+        lags = [m.lag(j) for j in range(100, 300)]
+        assert min(lags) >= 3
+        assert max(lags) <= 5
+        assert m.tau == 5
+
+    def test_consistent_flags(self):
+        assert ZeroDelay().is_consistent
+        assert FixedDelay(2).is_consistent
+        assert UniformDelay(2).is_consistent
+        assert not InconsistentUniform(2).is_consistent
+        assert not InconsistentAdversarial(2).is_consistent
+
+    def test_consistent_missed_is_suffix(self):
+        for model in (FixedDelay(4), UniformDelay(4, seed=1), AdversarialDelay(4)):
+            for j in (5, 20, 101):
+                missed = model.missed(j)
+                if missed.size:
+                    np.testing.assert_array_equal(
+                        missed, np.arange(j - missed.size, j)
+                    )
+
+
+class TestInconsistentModels:
+    def test_inconsistent_produces_gaps(self):
+        """The defining feature of iteration (9): non-suffix missed sets."""
+        m = InconsistentUniform(8, miss_prob=0.5, seed=11)
+        found_gap = False
+        for j in range(20, 400):
+            missed = m.missed(j)
+            if missed.size >= 2 and (missed[-1] != j - 1 or np.any(np.diff(missed) > 1)):
+                found_gap = True
+                break
+        assert found_gap
+
+    def test_zero_probability_never_misses(self):
+        m = InconsistentUniform(5, miss_prob=0.0, seed=1)
+        for j in range(50):
+            assert m.missed(j).size == 0
+
+    def test_probability_one_misses_everything(self):
+        m = InconsistentUniform(5, miss_prob=1.0, seed=1)
+        np.testing.assert_array_equal(m.missed(10), [5, 6, 7, 8, 9])
+
+    def test_invalid_probability(self):
+        with pytest.raises(ModelError):
+            InconsistentUniform(5, miss_prob=1.5)
+
+    def test_adversarial_inconsistent_misses_whole_window(self):
+        m = InconsistentAdversarial(3)
+        np.testing.assert_array_equal(m.missed(10), [7, 8, 9])
+
+
+class TestValidation:
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ModelError):
+            FixedDelay(-1)
+
+    def test_processor_phase_needs_processor(self):
+        with pytest.raises(ModelError):
+            ProcessorPhaseDelay(0)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ModelError):
+            ProcessorPhaseDelay(4, jitter=-1)
+
+    def test_repr_mentions_tau(self):
+        assert "tau=5" in repr(UniformDelay(5))

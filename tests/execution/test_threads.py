@@ -1,0 +1,74 @@
+"""Tests for the real-threads backend (correctness, not speed)."""
+
+import numpy as np
+import pytest
+
+from repro.core import randomized_gauss_seidel
+from repro.exceptions import ModelError, ShapeError
+from repro.execution import ThreadedAsyRGS
+from repro.rng import DirectionStream
+from repro.workloads import random_unit_diagonal_spd
+
+from ..conftest import manufactured_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    A = random_unit_diagonal_spd(30, nnz_per_row=4, offdiag_scale=0.6, seed=8)
+    b, x_star = manufactured_system(A, seed=9)
+    return A, b, x_star
+
+
+class TestSingleThread:
+    def test_one_thread_matches_serial_rgs(self, system):
+        """With one thread there is no concurrency: the run must equal
+        sequential randomized Gauss-Seidel on the same stream."""
+        A, b, _ = system
+        n = A.shape[0]
+        ref = randomized_gauss_seidel(
+            A, b, sweeps=5, directions=DirectionStream(n, seed=3), record_history=False
+        )
+        t = ThreadedAsyRGS(A, b, nthreads=1, directions=DirectionStream(n, seed=3))
+        out = t.run(np.zeros(n), 5 * n)
+        np.testing.assert_allclose(out.x, ref.x, rtol=1e-12, atol=1e-14)
+
+
+class TestMultiThread:
+    @pytest.mark.parametrize("nthreads", [2, 4])
+    @pytest.mark.parametrize("atomic", [True, False])
+    def test_converges(self, system, nthreads, atomic):
+        A, b, x_star = system
+        n = A.shape[0]
+        t = ThreadedAsyRGS(
+            A, b, nthreads=nthreads, atomic=atomic,
+            directions=DirectionStream(n, seed=3),
+        )
+        out = t.run(np.zeros(n), 120 * n)
+        assert np.abs(out.x - x_star).max() < 1e-5
+        assert out.iterations == 120 * n
+
+    def test_per_thread_accounting(self, system):
+        A, b, _ = system
+        n = A.shape[0]
+        t = ThreadedAsyRGS(A, b, nthreads=3, directions=DirectionStream(n, seed=3))
+        out = t.run(np.zeros(n), 100)
+        assert sum(out.per_thread_iterations) == 100
+        assert max(out.per_thread_iterations) - min(out.per_thread_iterations) <= 1
+
+
+class TestValidation:
+    def test_zero_threads_rejected(self, system):
+        A, b, _ = system
+        with pytest.raises(ModelError):
+            ThreadedAsyRGS(A, b, nthreads=0)
+
+    def test_multirhs_rejected(self, system):
+        A, b, _ = system
+        with pytest.raises(ShapeError):
+            ThreadedAsyRGS(A, np.stack([b, b], axis=1), nthreads=2)
+
+    def test_bad_x0_rejected(self, system):
+        A, b, _ = system
+        t = ThreadedAsyRGS(A, b, nthreads=2)
+        with pytest.raises(ShapeError):
+            t.run(np.zeros(5), 10)

@@ -1,0 +1,103 @@
+"""Unit tests for row-cost-driven probabilistic delays."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.extensions import RowCostDelay, effective_tau
+from repro.execution import AsyncSimulator, AdversarialDelay
+from repro.rng import DirectionStream
+from repro.workloads import banded_spd, social_media_problem
+
+from ..conftest import manufactured_system
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    """A matrix with heavily skewed row costs (the social Gram; short
+    documents against a larger vocabulary maximize the max/mean gap)."""
+    return social_media_problem(
+        n_terms=250, n_docs=700, n_labels=1, mean_doc_len=4, seed=21
+    ).G
+
+
+class TestModel:
+    def test_window_invariant(self, skewed):
+        model = RowCostDelay(skewed, nproc=8, seed=1)
+        for j in (0, 1, 5, 50, 500, 5000):
+            model.validate_window(j, model.missed(j))
+
+    def test_deterministic(self, skewed):
+        m1 = RowCostDelay(skewed, nproc=8, seed=3)
+        m2 = RowCostDelay(skewed, nproc=8, seed=3)
+        for j in (10, 100, 999):
+            np.testing.assert_array_equal(m1.missed(j), m2.missed(j))
+
+    def test_single_processor_no_delay(self, skewed):
+        model = RowCostDelay(skewed, nproc=1)
+        assert model.tau == 0
+        assert model.missed(100).size == 0
+
+    def test_uniform_rows_give_tight_tau(self):
+        """With C₂/C₁ ≈ 1 the hard bound collapses to ≈ P − 1: the
+        reference scenario's τ = O(P)."""
+        A = banded_spd(200, bandwidth=3, seed=2)
+        model = RowCostDelay(A, nproc=8)
+        assert model.tau <= 2 * (8 - 1)
+
+    def test_skewed_rows_give_loose_tau(self, skewed):
+        """Skewed rows blow up the worst case — the pessimism the paper's
+        conclusions point at."""
+        model = RowCostDelay(skewed, nproc=8)
+        assert model.tau > 3 * (8 - 1)
+
+    def test_tau_cap(self, skewed):
+        model = RowCostDelay(skewed, nproc=8, tau_cap=10)
+        assert model.tau == 10
+
+    def test_validation(self, skewed):
+        with pytest.raises(ModelError):
+            RowCostDelay(skewed, nproc=0)
+
+
+class TestEffectiveTau:
+    def test_statistics_ordering(self, skewed):
+        model = RowCostDelay(skewed, nproc=8, seed=5)
+        stats = effective_tau(model, horizon=3000)
+        assert stats["median"] <= stats["mean"] * 2
+        assert stats["mean"] <= stats["q95"] + 1e-12
+        assert stats["q95"] <= stats["max_observed"] + 1e-12
+        assert stats["max_observed"] <= stats["hard_bound"]
+
+    def test_typical_delay_far_below_bound(self, skewed):
+        """The paper's point quantified: realized delays are much smaller
+        than the worst case on skewed matrices."""
+        model = RowCostDelay(skewed, nproc=8, seed=5)
+        stats = effective_tau(model, horizon=3000)
+        assert stats["median"] < 0.5 * stats["hard_bound"]
+
+    def test_quantile_validation(self, skewed):
+        model = RowCostDelay(skewed, nproc=4)
+        with pytest.raises(ModelError):
+            effective_tau(model, quantile=1.5)
+
+
+class TestConvergenceUnderRowCostDelays:
+    def test_converges_and_beats_worst_case(self, skewed):
+        """At the same hard bound, realistic (cost-driven) delays hurt
+        less than adversarial ones."""
+        A = skewed
+        n = A.shape[0]
+        b, x_star = manufactured_system(A, seed=9)
+        model = RowCostDelay(A, nproc=8, seed=2)
+        real = AsyncSimulator(
+            A, b, delay_model=model, directions=DirectionStream(n, seed=3)
+        ).run(np.zeros(n), 30 * n)
+        worst = AsyncSimulator(
+            A, b, delay_model=AdversarialDelay(model.tau),
+            directions=DirectionStream(n, seed=3),
+        ).run(np.zeros(n), 30 * n)
+        err_real = np.linalg.norm(real.x - x_star)
+        err_worst = np.linalg.norm(worst.x - x_star)
+        assert np.isfinite(err_real)
+        assert err_real <= err_worst * 1.1

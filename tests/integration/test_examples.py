@@ -1,0 +1,56 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Each example is executed in-process (runpy) with stdout captured; the
+tests assert the narrative output the example promises, so a regression
+in any public API the examples touch fails loudly here.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    argv = sys.argv
+    try:
+        sys.argv = [str(path)]
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "RGS" in out and "AsyRGS" in out and "CG" in out
+        assert "theory" in out
+        assert "kappa" in out
+
+    def test_chaotic_vs_randomized(self, capsys):
+        out = run_example("chaotic_vs_randomized.py", capsys)
+        assert "DIVERGED" in out  # the classical methods fail…
+        assert out.count("residual") >= 6  # …the randomized ones do not
+
+    def test_delay_study(self, capsys):
+        out = run_example("delay_study.py", capsys)
+        assert "adversarial delays" in out
+        assert "theory step" in out
+        assert "least squares" in out
+
+    def test_preconditioned_fcg(self, capsys):
+        out = run_example("preconditioned_fcg.py", capsys)
+        assert "plain CG" in out
+        assert "best modeled time" in out
+
+    def test_social_regression(self, capsys):
+        out = run_example("social_regression.py", capsys)
+        assert "price of asynchrony" in out
+        assert "block CG" in out

@@ -1,0 +1,111 @@
+"""Statistical validation of the paper's expectation bounds.
+
+These tests estimate expected errors by averaging over Philox seeds and
+check the *proven* inequalities (which must hold up to sampling noise —
+the fixed seeds make them deterministic in practice).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    a_norm_error,
+    nu_tau,
+    observed_nu,
+    randomized_gauss_seidel,
+    rho_infinity,
+    synchronous_bound,
+)
+from repro.estimation import spectrum_estimate
+from repro.execution import AsyncSimulator, UniformDelay
+from repro.rng import CounterRNG, DirectionStream
+from repro.workloads import random_unit_diagonal_spd
+
+
+@pytest.fixture(scope="module")
+def system():
+    A = random_unit_diagonal_spd(50, nnz_per_row=5, offdiag_scale=0.7, seed=71)
+    x_star = CounterRNG(72).normal(0, 50)
+    b = A.matvec(x_star)
+    est = spectrum_estimate(A, steps=50, seed=1)
+    return A, b, x_star, est
+
+
+N_SEEDS = 12
+
+
+class TestBoundTwo:
+    def test_expected_error_below_bound(self, system):
+        """Bound (2): E_m ≤ (1 − β(2−β)λ_min/n)^m · E_0, checked at several
+        m by seed-averaging the squared A-norm error."""
+        A, b, x_star, est = system
+        n = A.shape[0]
+        e0 = a_norm_error(A, np.zeros(n), x_star) ** 2
+        checkpoints = [n, 3 * n, 6 * n]
+        sums = {m: 0.0 for m in checkpoints}
+        for s in range(N_SEEDS):
+            x = np.zeros(n)
+            last = 0
+            for m in checkpoints:
+                r = randomized_gauss_seidel(
+                    A, b, x0=x, iterations=m - last,
+                    directions=DirectionStream(n, seed=100 + s),
+                    record_history=False, start_iteration=last,
+                )
+                x = r.x
+                last = m
+                sums[m] += a_norm_error(A, x, x_star) ** 2
+        for m in checkpoints:
+            measured = sums[m] / N_SEEDS / e0
+            bound = float(synchronous_bound(m, 1.0, est.lambda_min, n))
+            assert measured <= bound * 1.05, (
+                f"mean E_{m}/E_0 = {measured:.3e} exceeded bound {bound:.3e}"
+            )
+
+    @pytest.mark.parametrize("beta", [0.5, 1.5])
+    def test_bound_holds_for_relaxed_steps(self, system, beta):
+        A, b, x_star, est = system
+        n = A.shape[0]
+        m = 4 * n
+        e0 = a_norm_error(A, np.zeros(n), x_star) ** 2
+        total = 0.0
+        for s in range(N_SEEDS):
+            r = randomized_gauss_seidel(
+                A, b, iterations=m, beta=beta,
+                directions=DirectionStream(n, seed=200 + s),
+                record_history=False,
+            )
+            total += a_norm_error(A, r.x, x_star) ** 2
+        measured = total / N_SEEDS / e0
+        bound = float(synchronous_bound(m, beta, est.lambda_min, n))
+        assert measured <= bound * 1.05
+
+
+class TestEffectiveNu:
+    def test_observed_nu_at_least_theoretical(self, system):
+        """The effective ν realized by a uniform-delay execution should
+        beat the worst-case ν_τ (the bound's pessimism, measured with the
+        library's own rate tooling)."""
+        A, b, x_star, est = system
+        n = A.shape[0]
+        tau = 16
+        e0 = a_norm_error(A, np.zeros(n), x_star) ** 2
+        epoch = 2 * n
+        contractions = []
+        for s in range(N_SEEDS):
+            sim = AsyncSimulator(
+                A, b, delay_model=UniformDelay(tau, seed=300 + s),
+                directions=DirectionStream(n, seed=400 + s),
+            )
+            out = sim.run(np.zeros(n), epoch)
+            contractions.append(a_norm_error(A, out.x, x_star) ** 2 / e0)
+        mean_contraction = float(np.mean(contractions))
+        # Per-epoch contraction over 2n updates; normalize to one epoch of
+        # the theorem's length scale conservatively by taking the sqrt-like
+        # root is unnecessary: we only assert the *direction* of pessimism.
+        nu_eff = observed_nu(min(mean_contraction, 1.0), est.kappa)
+        nu_theory = nu_tau(1.0, rho_infinity(A), tau)
+        assert nu_eff >= nu_theory, (
+            f"effective nu {nu_eff:.3f} fell below the worst-case bound "
+            f"{nu_theory:.3f} — the proven inequality would be violated"
+        )

@@ -1,0 +1,144 @@
+"""Unit tests for conjugate gradients (single and blocked)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError, ModelError, ShapeError
+from repro.krylov import (
+    JacobiPreconditioner,
+    block_conjugate_gradient,
+    conjugate_gradient,
+)
+from repro.sparse import CSRMatrix
+from repro.workloads import laplacian_2d, random_unit_diagonal_spd
+
+from ..conftest import manufactured_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    A = laplacian_2d(9, 9)
+    b, x_star = manufactured_system(A, seed=1)
+    return A, b, x_star
+
+
+class TestCG:
+    def test_solves_to_tolerance(self, system):
+        A, b, x_star = system
+        r = conjugate_gradient(A, b, tol=1e-10)
+        assert r.converged
+        assert np.abs(r.x - x_star).max() < 1e-8
+
+    def test_exact_in_n_iterations(self, system):
+        """CG terminates in at most n steps in exact arithmetic; with a
+        modest tolerance it must take far fewer than n here."""
+        A, b, _ = system
+        r = conjugate_gradient(A, b, tol=1e-10)
+        assert r.iterations < A.shape[0]
+
+    def test_residual_history_shape(self, system):
+        A, b, _ = system
+        r = conjugate_gradient(A, b, tol=1e-8)
+        assert len(r.residuals) == r.iterations + 1
+        assert r.residuals[-1] < 1e-8
+
+    def test_initial_guess(self, system):
+        A, b, x_star = system
+        r = conjugate_gradient(A, b, x0=x_star, tol=1e-8)
+        assert r.iterations == 0
+        assert r.converged
+
+    def test_warm_start_fewer_iterations(self, system):
+        A, b, x_star = system
+        cold = conjugate_gradient(A, b, tol=1e-10)
+        warm = conjugate_gradient(
+            A, b, x0=x_star + 1e-6 * np.ones(A.shape[0]), tol=1e-10
+        )
+        assert warm.iterations < cold.iterations
+
+    def test_jacobi_preconditioner_helps_scaled_system(self):
+        """On a badly diagonally scaled SPD system, Jacobi preconditioning
+        must reduce the iteration count."""
+        base = laplacian_2d(8, 8)
+        n = base.shape[0]
+        scale = np.logspace(0, 3, n)
+        A = base.scale_rows(scale).scale_cols(scale)
+        b, _ = manufactured_system(A, seed=3)
+        plain = conjugate_gradient(A, b, tol=1e-8, max_iterations=5000)
+        precond = conjugate_gradient(
+            A, b, tol=1e-8, max_iterations=5000,
+            preconditioner=JacobiPreconditioner(A),
+        )
+        assert precond.iterations < plain.iterations
+
+    def test_max_iterations_respected(self, system):
+        A, b, _ = system
+        r = conjugate_gradient(A, b, tol=1e-30, max_iterations=3)
+        assert r.iterations == 3
+        assert not r.converged
+
+    def test_raise_on_stall(self, system):
+        A, b, _ = system
+        with pytest.raises(ConvergenceError):
+            conjugate_gradient(A, b, tol=1e-30, max_iterations=2, raise_on_stall=True)
+
+    def test_indefinite_detected(self):
+        M = CSRMatrix.from_dense(np.diag([1.0, -1.0]))
+        with pytest.raises(ModelError):
+            conjugate_gradient(M, np.array([1.0, 1.0]), tol=1e-8)
+
+    def test_shape_checks(self, system):
+        A, b, _ = system
+        with pytest.raises(ShapeError):
+            conjugate_gradient(A, np.ones(3))
+        with pytest.raises(ShapeError):
+            conjugate_gradient(A, b, x0=np.ones(2))
+
+    def test_rectangular_rejected(self):
+        R = CSRMatrix.from_dense(np.ones((2, 3)))
+        with pytest.raises(ShapeError):
+            conjugate_gradient(R, np.ones(2))
+
+
+class TestBlockCG:
+    def test_block_matches_columnwise(self, system):
+        A, b, _ = system
+        n = A.shape[0]
+        B = np.stack([b, np.ones(n), np.arange(n, dtype=float)], axis=1)
+        blk = block_conjugate_gradient(A, B, tol=1e-9, max_iterations=500)
+        assert blk.converged
+        for j in range(3):
+            single = conjugate_gradient(A, B[:, j], tol=1e-9)
+            np.testing.assert_allclose(blk.x[:, j], single.x, atol=1e-6)
+
+    def test_block_residual_decreases(self, system):
+        A, b, _ = system
+        B = np.stack([b, 2 * b], axis=1)
+        r = block_conjugate_gradient(A, B, tol=1e-10)
+        assert r.residuals[-1] < r.residuals[0]
+
+    def test_frozen_columns_do_not_blow_up(self):
+        """One column converging much earlier than another must not
+        destabilize the block recurrence."""
+        A = random_unit_diagonal_spd(40, nnz_per_row=4, offdiag_scale=0.5, seed=9)
+        n = A.shape[0]
+        easy = A.matvec(np.ones(n))
+        b2, _ = manufactured_system(A, seed=10)
+        B = np.stack([1e-8 * easy, b2], axis=1)
+        r = block_conjugate_gradient(A, B, tol=1e-10, max_iterations=400)
+        assert r.converged
+        assert np.isfinite(r.x).all()
+
+    def test_block_shape_checks(self, system):
+        A, _, _ = system
+        with pytest.raises(ShapeError):
+            block_conjugate_gradient(A, np.ones(A.shape[0]))  # not 2-D
+        with pytest.raises(ShapeError):
+            block_conjugate_gradient(A, np.ones((3, 2)))
+
+    def test_block_x0(self, system):
+        A, b, x_star = system
+        B = x_star[:, None] * np.array([[1.0]])
+        Bm = A.matmat(B)
+        r = block_conjugate_gradient(A, Bm, X0=B, tol=1e-8)
+        assert r.iterations == 0

@@ -1,0 +1,128 @@
+"""Unit tests for flexible conjugate gradients."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError, ShapeError
+from repro.krylov import (
+    AsyRGSPreconditioner,
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+    conjugate_gradient,
+    flexible_conjugate_gradient,
+)
+from repro.workloads import laplacian_2d, social_media_problem
+
+from ..conftest import manufactured_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    A = laplacian_2d(8, 8)
+    b, x_star = manufactured_system(A, seed=5)
+    return A, b, x_star
+
+
+@pytest.fixture(scope="module")
+def social():
+    prob = social_media_problem(n_terms=90, n_docs=450, n_labels=2, seed=4)
+    return prob.G, prob.B[:, 0].copy()
+
+
+class TestIdentityPreconditioner:
+    def test_matches_cg_trajectory(self, system):
+        """With a fixed SPD preconditioner, FCG and CG generate the same
+        iterates (the explicit orthogonalization reduces to the short
+        recurrence in exact arithmetic)."""
+        A, b, _ = system
+        fcg = flexible_conjugate_gradient(
+            A, b, preconditioner=IdentityPreconditioner(), tol=1e-10
+        )
+        cg = conjugate_gradient(A, b, tol=1e-10)
+        assert fcg.converged and cg.converged
+        assert abs(fcg.iterations - cg.iterations) <= 1
+        np.testing.assert_allclose(fcg.x, cg.x, atol=1e-7)
+
+    def test_jacobi_preconditioner(self, system):
+        A, b, x_star = system
+        r = flexible_conjugate_gradient(
+            A, b, preconditioner=JacobiPreconditioner(A), tol=1e-10
+        )
+        assert r.converged
+        np.testing.assert_allclose(r.x, x_star, atol=1e-7)
+
+
+class TestAsyRGSPreconditioner:
+    def test_converges_with_async_preconditioner(self, social):
+        A, b = social
+        M = AsyRGSPreconditioner(A, sweeps=2, nproc=8, jitter=2)
+        r = flexible_conjugate_gradient(A, b, preconditioner=M, tol=1e-8,
+                                        max_iterations=500)
+        assert r.converged
+        rel = np.linalg.norm(b - A.matvec(r.x)) / np.linalg.norm(b)
+        assert rel < 1e-8
+
+    def test_fewer_outer_iterations_than_plain_cg(self, social):
+        A, b = social
+        M = AsyRGSPreconditioner(A, sweeps=4, nproc=4)
+        fcg = flexible_conjugate_gradient(A, b, preconditioner=M, tol=1e-8,
+                                          max_iterations=1000)
+        cg = conjugate_gradient(A, b, tol=1e-8, max_iterations=5000)
+        assert fcg.converged and cg.converged
+        assert fcg.iterations < cg.iterations
+
+    def test_more_inner_sweeps_fewer_outer_iterations(self, social):
+        """The paper's Table 1 trade-off: outer iterations decrease as
+        inner sweeps increase."""
+        A, b = social
+        outer = {}
+        for sweeps in (1, 8):
+            M = AsyRGSPreconditioner(A, sweeps=sweeps, nproc=4)
+            r = flexible_conjugate_gradient(
+                A, b, preconditioner=M, tol=1e-8, max_iterations=1000
+            )
+            assert r.converged
+            outer[sweeps] = r.iterations
+        assert outer[8] < outer[1]
+
+    def test_matrix_applications_accounting(self, social):
+        A, b = social
+        M = AsyRGSPreconditioner(A, sweeps=3, nproc=2)
+        r = flexible_conjugate_gradient(A, b, preconditioner=M, tol=1e-8,
+                                        max_iterations=500)
+        assert r.matrix_applications == r.iterations * 4  # outer × (inner + 1)
+
+    def test_truncated_window_still_converges(self, social):
+        A, b = social
+        M = AsyRGSPreconditioner(A, sweeps=2, nproc=4)
+        r = flexible_conjugate_gradient(
+            A, b, preconditioner=M, tol=1e-8, truncation=2, max_iterations=2000
+        )
+        assert r.converged
+
+
+class TestValidation:
+    def test_raise_on_stall(self, system):
+        A, b, _ = system
+        with pytest.raises(ConvergenceError):
+            flexible_conjugate_gradient(
+                A, b, tol=1e-30, max_iterations=2, raise_on_stall=True
+            )
+
+    def test_shape_checks(self, system):
+        A, b, _ = system
+        with pytest.raises(ShapeError):
+            flexible_conjugate_gradient(A, np.ones(3))
+
+    def test_zero_rhs_converges_immediately(self, system):
+        A, _, _ = system
+        r = flexible_conjugate_gradient(A, np.zeros(A.shape[0]), tol=1e-8)
+        assert r.converged
+        assert r.iterations == 0
+
+    def test_rectangular_rejected(self):
+        from repro.sparse import CSRMatrix
+
+        R = CSRMatrix.from_dense(np.ones((2, 3)))
+        with pytest.raises(ShapeError):
+            flexible_conjugate_gradient(R, np.ones(2))

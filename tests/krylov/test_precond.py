@@ -1,0 +1,111 @@
+"""Unit tests for the preconditioner implementations."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, ShapeError
+from repro.krylov import (
+    AsyRGSPreconditioner,
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+)
+from repro.sparse import CSRMatrix
+from repro.workloads import laplacian_2d, random_unit_diagonal_spd
+
+
+@pytest.fixture(scope="module")
+def A():
+    return random_unit_diagonal_spd(40, nnz_per_row=5, offdiag_scale=0.7, seed=12)
+
+
+class TestIdentity:
+    def test_returns_copy(self):
+        M = IdentityPreconditioner()
+        r = np.array([1.0, 2.0])
+        z = M.apply(r)
+        np.testing.assert_array_equal(z, r)
+        z[0] = 99.0
+        assert r[0] == 1.0
+
+    def test_deterministic_flag(self):
+        assert IdentityPreconditioner().deterministic
+
+
+class TestJacobi:
+    def test_divides_by_diagonal(self):
+        A = laplacian_2d(4, 4)
+        M = JacobiPreconditioner(A)
+        r = np.ones(16)
+        np.testing.assert_allclose(M.apply(r), r / 4.0)
+
+    def test_nonpositive_diagonal_rejected(self):
+        bad = CSRMatrix.from_dense(np.diag([1.0, 0.0]))
+        with pytest.raises(ModelError):
+            JacobiPreconditioner(bad)
+
+    def test_shape_check(self, A):
+        M = JacobiPreconditioner(A)
+        with pytest.raises(ShapeError):
+            M.apply(np.ones(3))
+
+
+class TestAsyRGSPrecond:
+    def test_apply_approximates_inverse(self, A):
+        """Enough inner sweeps must make M ≈ A⁻¹ in the residual sense."""
+        M = AsyRGSPreconditioner(A, sweeps=40, nproc=2)
+        r = np.ones(A.shape[0])
+        z = M.apply(r)
+        residual = np.linalg.norm(r - A.matvec(z)) / np.linalg.norm(r)
+        assert residual < 0.05
+
+    def test_nondeterministic_flag(self, A):
+        assert not AsyRGSPreconditioner(A, sweeps=1).deterministic
+
+    def test_applications_consume_fresh_stream_segments(self, A):
+        """Two successive applications on the same residual must differ —
+        the operator is a fresh random sample each time."""
+        M = AsyRGSPreconditioner(A, sweeps=1, nproc=4)
+        r = np.ones(A.shape[0])
+        z1 = M.apply(r)
+        z2 = M.apply(r)
+        assert not np.array_equal(z1, z2)
+        assert M.applications == 2
+
+    def test_identically_configured_preconditioners_replay(self, A):
+        r = np.ones(A.shape[0])
+        z_a = AsyRGSPreconditioner(A, sweeps=2, nproc=4, jitter=1).apply(r)
+        z_b = AsyRGSPreconditioner(A, sweeps=2, nproc=4, jitter=1).apply(r)
+        np.testing.assert_array_equal(z_a, z_b)
+
+    def test_schedule_seed_varies_result(self, A):
+        r = np.ones(A.shape[0])
+        z_a = AsyRGSPreconditioner(A, sweeps=2, nproc=8, jitter=4, schedule_seed=1).apply(r)
+        z_b = AsyRGSPreconditioner(A, sweeps=2, nproc=8, jitter=4, schedule_seed=2).apply(r)
+        assert not np.array_equal(z_a, z_b)
+
+    def test_work_accounting(self, A):
+        M = AsyRGSPreconditioner(A, sweeps=3, nproc=2)
+        n = A.shape[0]
+        M.apply(np.ones(n))
+        iters, nnz = M.work_per_application()
+        assert iters == 3 * n
+        assert nnz > 0
+        assert M.total_iterations == 3 * n
+
+    def test_work_estimate_before_first_application(self, A):
+        M = AsyRGSPreconditioner(A, sweeps=2, nproc=2)
+        iters, nnz = M.work_per_application()
+        assert iters == 2 * A.shape[0]
+        assert nnz == 2 * A.nnz
+
+    def test_validation(self, A):
+        with pytest.raises(ModelError):
+            AsyRGSPreconditioner(A, sweeps=0)
+        with pytest.raises(ShapeError):
+            AsyRGSPreconditioner(CSRMatrix.from_dense(np.ones((2, 3))))
+        M = AsyRGSPreconditioner(A, sweeps=1)
+        with pytest.raises(ShapeError):
+            M.apply(np.ones(3))
+
+    def test_repr(self, A):
+        assert "sweeps=2" in repr(AsyRGSPreconditioner(A, sweeps=2))

@@ -1,0 +1,119 @@
+"""Property-based tests for the execution substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.execution import (
+    AdversarialDelay,
+    FixedDelay,
+    InconsistentUniform,
+    PhasedSimulator,
+    ProcessorPhaseDelay,
+    UniformDelay,
+)
+from repro.rng import DirectionStream
+from repro.workloads import random_unit_diagonal_spd
+
+
+def make_system(seed):
+    A = random_unit_diagonal_spd(16, nnz_per_row=3, offdiag_scale=0.6, seed=seed)
+    x_star = np.linspace(-1, 1, 16)
+    return A, A.matvec(x_star)
+
+
+class TestDelayModelProperties:
+    @given(
+        st.sampled_from(["fixed", "uniform", "adversarial", "phase", "inconsistent"]),
+        st.integers(0, 40),
+        st.integers(0, 2**31),
+        st.integers(0, 3000),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_window_invariant_everywhere(self, kind, tau, seed, j):
+        """Eq. (6)/(7): every model, every index, every seed."""
+        if kind == "fixed":
+            model = FixedDelay(tau)
+        elif kind == "uniform":
+            model = UniformDelay(tau, seed=seed)
+        elif kind == "adversarial":
+            model = AdversarialDelay(tau)
+        elif kind == "phase":
+            model = ProcessorPhaseDelay(tau + 1, seed=seed)
+        else:
+            model = InconsistentUniform(tau, miss_prob=0.5, seed=seed)
+        missed = model.missed(j)
+        model.validate_window(j, missed)
+        # Sorted, unique, and within [window_start, j).
+        assert np.all(np.diff(missed) > 0) or missed.size <= 1
+        if missed.size:
+            assert missed.min() >= model.window_start(j)
+            assert missed.max() < j
+
+    @given(st.integers(0, 30), st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_consistent_models_emit_suffixes(self, tau, seed):
+        model = UniformDelay(tau, seed=seed)
+        for j in (1, 10, 200):
+            missed = model.missed(j)
+            if missed.size:
+                np.testing.assert_array_equal(
+                    missed, np.arange(j - missed.size, j)
+                )
+
+
+class TestPhasedSimulatorProperties:
+    @given(st.integers(1, 12), st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_total_row_nnz_independent_of_round_size(self, nproc, seed):
+        """The work performed depends only on the direction sequence,
+        never on how rounds are cut."""
+        A, b = make_system(3)
+        m = 64
+        runs = []
+        for p in (1, nproc):
+            sim = PhasedSimulator(
+                A, b, nproc=p, directions=DirectionStream(16, seed=seed)
+            )
+            runs.append(sim.run(np.zeros(16), m).total_row_nnz)
+        assert runs[0] == runs[1]
+
+    @given(st.integers(1, 12), st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_replay(self, nproc, seed):
+        A, b = make_system(5)
+        xs = []
+        for _ in range(2):
+            sim = PhasedSimulator(
+                A, b, nproc=nproc, directions=DirectionStream(16, seed=seed)
+            )
+            xs.append(sim.run(np.zeros(16), 80).x)
+        np.testing.assert_array_equal(xs[0], xs[1])
+
+    @given(st.integers(2, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_round_splitting_preserves_state_evolution(self, nproc):
+        """Running m then m more updates equals running 2m updates when m
+        is a multiple of the round size (round boundaries align)."""
+        A, b = make_system(7)
+        m = 4 * nproc
+        sim_once = PhasedSimulator(
+            A, b, nproc=nproc, directions=DirectionStream(16, seed=11)
+        )
+        whole = sim_once.run(np.zeros(16), 2 * m).x
+        sim_split = PhasedSimulator(
+            A, b, nproc=nproc, directions=DirectionStream(16, seed=11)
+        )
+        part = sim_split.run(np.zeros(16), m)
+        final = sim_split.run(part.x, m, start_iteration=m)
+        np.testing.assert_allclose(final.x, whole, rtol=1e-12, atol=1e-14)
+
+    @given(st.integers(0, 2**31), st.floats(0.1, 1.5))
+    @settings(max_examples=25, deadline=None)
+    def test_iterate_stays_finite(self, seed, beta):
+        A, b = make_system(9)
+        sim = PhasedSimulator(
+            A, b, nproc=4, beta=beta, directions=DirectionStream(16, seed=seed)
+        )
+        out = sim.run(np.zeros(16), 160)
+        assert np.isfinite(out.x).all()

@@ -1,0 +1,58 @@
+"""Property-based tests for the least-squares solvers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import column_squared_norms, normal_equations, rcd_least_squares
+from repro.workloads import random_least_squares
+
+
+class TestLeastSquaresProperties:
+    @given(st.integers(0, 2**31), st.floats(0.0, 0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_rcd_converges_to_normal_solution(self, seed, noise):
+        """For any generated instance, the RCD fixed point is the
+        normal-equations minimizer (consistent or not)."""
+        prob = random_least_squares(40, 12, nnz_per_row=4, noise_scale=noise,
+                                    seed=seed % 1000)
+        x_ls = np.linalg.lstsq(prob.A.to_dense(), prob.b, rcond=None)[0]
+        r = rcd_least_squares(prob.A, prob.b, sweeps=400, record_history=False)
+        np.testing.assert_allclose(r.x, x_ls, atol=5e-4)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_normal_equations_consistency(self, seed):
+        """The explicitly formed normal equations always agree with the
+        dense oracle, and their solution minimizes the residual."""
+        prob = random_least_squares(30, 10, nnz_per_row=3, noise_scale=0.3,
+                                    seed=seed % 1000)
+        N, c = normal_equations(prob.A, prob.b)
+        d = prob.A.to_dense()
+        np.testing.assert_allclose(N.to_dense(), d.T @ d, atol=1e-10)
+        np.testing.assert_allclose(c, d.T @ prob.b, atol=1e-10)
+        x = np.linalg.solve(N.to_dense(), c)
+        # Perturbing the minimizer must not reduce the residual.
+        base = np.linalg.norm(prob.b - d @ x)
+        for k in range(3):
+            delta = np.zeros(10)
+            delta[k] = 1e-3
+            assert np.linalg.norm(prob.b - d @ (x + delta)) >= base - 1e-12
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_column_norms_nonnegative_and_exact(self, seed):
+        prob = random_least_squares(25, 8, nnz_per_row=3, seed=seed % 1000)
+        w = column_squared_norms(prob.A)
+        d = prob.A.to_dense()
+        np.testing.assert_allclose(w, (d * d).sum(axis=0), atol=1e-12)
+        assert np.all(w >= 0)
+
+    @given(st.integers(0, 2**31), st.floats(0.3, 1.2))
+    @settings(max_examples=15, deadline=None)
+    def test_residual_monotone_in_expectation_proxy(self, seed, beta):
+        """Per-sweep residual history is overall decreasing for admissible
+        steps on consistent systems."""
+        prob = random_least_squares(30, 10, nnz_per_row=3, seed=seed % 1000)
+        r = rcd_least_squares(prob.A, prob.b, sweeps=20, beta=beta)
+        assert r.history.values[-1] < r.history.values[0]

@@ -1,0 +1,78 @@
+"""Property-based tests for the counter-based RNG substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng import CounterRNG, DirectionStream
+
+
+class TestCounterRNGProperties:
+    @given(st.integers(0, 2**64), st.integers(0, 500), st.integers(0, 64))
+    @settings(max_examples=80, deadline=None)
+    def test_random_access_equals_streaming(self, seed, start, count):
+        """Any (start, count) window equals the same slice of a long read:
+        the defining counter-based property."""
+        rng = CounterRNG(seed)
+        window = rng.uint32(start, count)
+        long = rng.uint32(0, start + count)
+        np.testing.assert_array_equal(window, long[start : start + count])
+
+    @given(st.integers(0, 2**32), st.integers(1, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_randint_bounds(self, seed, n):
+        v = CounterRNG(seed).randint(0, 200, n)
+        assert v.min() >= 0
+        assert v.max() < n
+
+    @given(st.integers(0, 2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_range(self, seed):
+        u = CounterRNG(seed).uniform(0, 256)
+        assert np.all((0.0 <= u) & (u < 1.0))
+
+    @given(st.integers(0, 2**32), st.integers(0, 2**16), st.integers(0, 2**16))
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_streams_differ(self, seed, s1, s2):
+        if s1 == s2:
+            return
+        a = CounterRNG(seed, stream=s1).uint32(0, 8)
+        b = CounterRNG(seed, stream=s2).uint32(0, 8)
+        assert not np.array_equal(a, b)
+
+    @given(st.integers(0, 2**32), st.integers(0, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_property(self, seed, n):
+        p = CounterRNG(seed).permutation(0, n)
+        np.testing.assert_array_equal(np.sort(p), np.arange(n))
+
+
+class TestDirectionStreamProperties:
+    @given(
+        st.integers(1, 500),
+        st.integers(0, 2**32),
+        st.integers(0, 1000),
+        st.integers(0, 64),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_window_consistency(self, n, seed, start, count):
+        s = DirectionStream(n, seed=seed)
+        window = s.directions(start, count)
+        assert np.all((0 <= window) & (window < n))
+        full = s.directions(0, start + count)
+        np.testing.assert_array_equal(window, full[start : start + count])
+
+    @given(st.integers(2, 64), st.integers(0, 2**32), st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_processor_union_property(self, n, seed, nproc):
+        """Round-robin views always reassemble into the global stream."""
+        from repro.rng import interleave_counts
+
+        total = 4 * nproc + 3
+        s = DirectionStream(n, seed=seed)
+        global_seq = s.directions(0, total)
+        counts = interleave_counts(total, nproc)
+        rebuilt = np.empty(total, dtype=np.int64)
+        for p in range(nproc):
+            rebuilt[p::nproc] = s.for_processor(p, nproc).directions(0, int(counts[p]))
+        np.testing.assert_array_equal(rebuilt, global_seq)

@@ -1,0 +1,129 @@
+"""Property-based tests for solver and execution-model invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import nu_tau, omega_tau, optimal_beta_consistent, randomized_gauss_seidel
+from repro.execution import (
+    AsyncSimulator,
+    FixedDelay,
+    InconsistentUniform,
+    UniformDelay,
+    ZeroDelay,
+)
+from repro.rng import DirectionStream
+from repro.workloads import random_unit_diagonal_spd
+
+
+def make_system(seed):
+    A = random_unit_diagonal_spd(20, nnz_per_row=4, offdiag_scale=0.6, seed=seed)
+    x_star = np.linspace(-1, 1, 20)
+    return A, A.matvec(x_star), x_star
+
+
+class TestSimulatorInvariants:
+    @given(st.integers(0, 100), st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_zero_delay_equals_rgs_for_any_key(self, seed_sys, seed_dir):
+        """The anchor identity must hold for every direction key."""
+        A, b, _ = make_system(seed_sys % 7)
+        n = A.shape[0]
+        ref = randomized_gauss_seidel(
+            A, b, sweeps=2, directions=DirectionStream(n, seed=seed_dir),
+            record_history=False,
+        )
+        sim = AsyncSimulator(
+            A, b, delay_model=ZeroDelay(), directions=DirectionStream(n, seed=seed_dir)
+        )
+        out = sim.run(np.zeros(n), 2 * n)
+        np.testing.assert_array_equal(out.x, ref.x)
+
+    @given(st.integers(0, 2**31), st.integers(0, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_bounded_delay_bounded_iterate(self, seed_dir, tau):
+        """With β ≤ 1 and bounded delays on a well-conditioned system the
+        iterates stay bounded over a short horizon (no blow-up)."""
+        A, b, x_star = make_system(3)
+        n = A.shape[0]
+        sim = AsyncSimulator(
+            A, b,
+            delay_model=UniformDelay(tau, seed=seed_dir),
+            directions=DirectionStream(n, seed=seed_dir),
+            beta=0.9,
+        )
+        out = sim.run(np.zeros(n), 10 * n)
+        assert np.isfinite(out.x).all()
+        assert np.abs(out.x).max() < 10 * (np.abs(x_star).max() + 1)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_error_decreases_over_long_horizon(self, seed):
+        A, b, x_star = make_system(1)
+        n = A.shape[0]
+        sim = AsyncSimulator(
+            A, b,
+            delay_model=FixedDelay(3),
+            directions=DirectionStream(n, seed=seed),
+        )
+        from repro.core import a_norm_error
+
+        e0 = a_norm_error(A, np.zeros(n), x_star)
+        out = sim.run(np.zeros(n), 30 * n)
+        e1 = a_norm_error(A, out.x, x_star)
+        assert e1 < 0.5 * e0
+
+    @given(st.integers(0, 2**31), st.floats(0.0, 1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_inconsistent_reads_finite(self, seed, miss_prob):
+        A, b, _ = make_system(2)
+        n = A.shape[0]
+        sim = AsyncSimulator(
+            A, b,
+            delay_model=InconsistentUniform(4, miss_prob=miss_prob, seed=seed),
+            directions=DirectionStream(n, seed=seed),
+            beta=0.5,
+        )
+        out = sim.run(np.zeros(n), 5 * n)
+        assert np.isfinite(out.x).all()
+
+
+class TestTheoryIdentities:
+    @given(
+        st.floats(0.0, 0.2),
+        st.integers(0, 200),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_optimal_beta_value_identity(self, rho, tau):
+        """ν_τ(β̃) = β̃ = 1/(1+2ρτ) — the closed form of Section 6."""
+        b = optimal_beta_consistent(rho, tau)
+        assert abs(nu_tau(b, rho, tau) - b) < 1e-12
+
+    @given(
+        st.floats(0.001, 1.0),
+        st.floats(0.0, 0.1),
+        st.integers(0, 50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_nu_bounded_by_synchronous_factor(self, beta, rho, tau):
+        """Asynchrony never improves the rate factor: ν_τ(β) ≤ β(2−β)."""
+        assert nu_tau(beta, rho, tau) <= beta * (2 - beta) + 1e-12
+
+    @given(
+        st.floats(0.001, 0.999),
+        st.floats(0.0, 0.1),
+        st.integers(0, 50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_omega_bounded_by_consistent_factor(self, beta, rho, tau):
+        """ω uses ρ₂ ≤ ρ but pays τ²: at ρ₂ = ρ it is never better than
+        the synchronous factor either."""
+        assert omega_tau(beta, rho, tau) <= beta * (2 - beta) + 1e-12
+
+    @given(st.floats(0.0, 0.5), st.integers(0, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_optimal_betas_in_range(self, rho, tau):
+        from repro.core import optimal_beta_inconsistent
+
+        assert 0 < optimal_beta_consistent(rho, tau) <= 1.0
+        assert 0 < optimal_beta_inconsistent(rho, tau) <= 0.5

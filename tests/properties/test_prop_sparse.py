@@ -1,0 +1,168 @@
+"""Property-based tests (hypothesis) for the sparse substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sparse import COOBuilder, CSRMatrix, add, gram, matmul
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+@st.composite
+def dense_matrices(draw, max_dim=8):
+    nrows = draw(st.integers(1, max_dim))
+    ncols = draw(st.integers(1, max_dim))
+    return draw(
+        arrays(np.float64, (nrows, ncols), elements=finite)
+    )
+
+
+@st.composite
+def matched_pairs(draw, max_dim=6):
+    n = draw(st.integers(1, max_dim))
+    m = draw(st.integers(1, max_dim))
+    a = draw(arrays(np.float64, (n, m), elements=finite))
+    b = draw(arrays(np.float64, (n, m), elements=finite))
+    return a, b
+
+
+class TestRoundTrips:
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_dense_roundtrip(self, d):
+        np.testing.assert_array_equal(CSRMatrix.from_dense(d).to_dense(), d)
+
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_transpose_involution(self, d):
+        A = CSRMatrix.from_dense(d)
+        np.testing.assert_array_equal(A.T.T.to_dense(), d)
+
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_transpose_matches_numpy(self, d):
+        np.testing.assert_array_equal(
+            CSRMatrix.from_dense(d).T.to_dense(), d.T
+        )
+
+    @given(dense_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_structural_invariants_hold(self, d):
+        A = CSRMatrix.from_dense(d)
+        A._validate()
+        A.T._validate()
+
+
+class TestLinearity:
+    @given(dense_matrices(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_matvec_linearity(self, d, data):
+        A = CSRMatrix.from_dense(d)
+        x = data.draw(arrays(np.float64, (d.shape[1],), elements=finite))
+        y = data.draw(arrays(np.float64, (d.shape[1],), elements=finite))
+        alpha = data.draw(st.floats(-10, 10, allow_nan=False))
+        left = A.matvec(alpha * x + y)
+        right = alpha * A.matvec(x) + A.matvec(y)
+        np.testing.assert_allclose(left, right, rtol=1e-9, atol=1e-6)
+
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_matvec_matches_dense(self, d):
+        A = CSRMatrix.from_dense(d)
+        x = np.linspace(-1, 1, d.shape[1])
+        np.testing.assert_allclose(A.matvec(x), d @ x, rtol=1e-9, atol=1e-6)
+
+    @given(dense_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_rmatvec_is_transpose_matvec(self, d):
+        A = CSRMatrix.from_dense(d)
+        y = np.linspace(-1, 1, d.shape[0])
+        np.testing.assert_allclose(
+            A.rmatvec(y), A.T.matvec(y), rtol=1e-9, atol=1e-6
+        )
+
+
+class TestAlgebra:
+    @given(matched_pairs())
+    @settings(max_examples=50, deadline=None)
+    def test_add_commutes(self, pair):
+        a, b = pair
+        A, B = CSRMatrix.from_dense(a), CSRMatrix.from_dense(b)
+        np.testing.assert_allclose(
+            add(A, B).to_dense(), add(B, A).to_dense(), atol=1e-9
+        )
+
+    @given(matched_pairs())
+    @settings(max_examples=50, deadline=None)
+    def test_add_matches_dense(self, pair):
+        a, b = pair
+        np.testing.assert_allclose(
+            add(CSRMatrix.from_dense(a), CSRMatrix.from_dense(b)).to_dense(),
+            a + b,
+            rtol=1e-9,
+            atol=1e-6,
+        )
+
+    @given(dense_matrices(max_dim=6))
+    @settings(max_examples=40, deadline=None)
+    def test_gram_psd(self, d):
+        """AᵀA is always symmetric positive semidefinite."""
+        G = gram(CSRMatrix.from_dense(d))
+        assert G.is_symmetric(tol=1e-6 * max(1.0, np.abs(d).max() ** 2))
+        w = np.linalg.eigvalsh(G.to_dense())
+        assert w.min() >= -1e-6 * max(1.0, np.abs(w).max())
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_matmul_associates_with_dense(self, data):
+        k = data.draw(st.integers(1, 5))
+        m = data.draw(st.integers(1, 5))
+        n = data.draw(st.integers(1, 5))
+        a = data.draw(arrays(np.float64, (k, m), elements=finite))
+        b = data.draw(arrays(np.float64, (m, n), elements=finite))
+        C = matmul(CSRMatrix.from_dense(a), CSRMatrix.from_dense(b))
+        np.testing.assert_allclose(
+            C.to_dense(), a @ b, rtol=1e-9, atol=1e-3
+        )
+
+
+class TestBuilder:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5), finite),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_order_invariance(self, triplets):
+        """The assembled matrix must not depend on insertion order."""
+        b1 = COOBuilder(6, 6)
+        b2 = COOBuilder(6, 6)
+        for r, c, v in triplets:
+            b1.add(r, c, v)
+        for r, c, v in reversed(triplets):
+            b2.add(r, c, v)
+        np.testing.assert_allclose(
+            b1.to_csr().to_dense(), b2.to_csr().to_dense(), rtol=1e-12, atol=1e-9
+        )
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4), finite),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_duplicates_sum(self, triplets):
+        builder = COOBuilder(5, 5)
+        expected = np.zeros((5, 5))
+        for r, c, v in triplets:
+            builder.add(r, c, v)
+            expected[r, c] += v
+        np.testing.assert_allclose(
+            builder.to_csr().to_dense(), expected, rtol=1e-12, atol=1e-9
+        )

@@ -1,0 +1,188 @@
+"""Unit tests for the Philox-4x32-10 generator.
+
+The known-answer vectors come from the Random123 distribution's
+``kat_vectors`` file (philox4x32, 10 rounds).
+"""
+
+import numpy as np
+import pytest
+
+from repro.rng import CounterRNG, philox4x32
+
+
+class TestKnownAnswers:
+    def test_zero_counter_zero_key(self):
+        out = philox4x32(
+            np.zeros((1, 4), dtype=np.uint32), np.zeros(2, dtype=np.uint32)
+        )
+        np.testing.assert_array_equal(
+            out[0], np.array([0x6627E8D5, 0xE169C58D, 0xBC57AC4C, 0x9B00DBD8], dtype=np.uint32)
+        )
+
+    def test_all_ones_counter_and_key(self):
+        out = philox4x32(
+            np.full((1, 4), 0xFFFFFFFF, dtype=np.uint32),
+            np.full(2, 0xFFFFFFFF, dtype=np.uint32),
+        )
+        np.testing.assert_array_equal(
+            out[0], np.array([0x408F276D, 0x41C83B0E, 0xA20BC7C6, 0x6D5451FD], dtype=np.uint32)
+        )
+
+    def test_pi_digits_vector(self):
+        ctr = np.array(
+            [[0x243F6A88, 0x85A308D3, 0x13198A2E, 0x03707344]], dtype=np.uint32
+        )
+        key = np.array([0xA4093822, 0x299F31D0], dtype=np.uint32)
+        out = philox4x32(ctr, key)
+        np.testing.assert_array_equal(
+            out[0], np.array([0xD16CFE09, 0x94FDCCEB, 0x5001E420, 0x24126EA1], dtype=np.uint32)
+        )
+
+
+class TestBlockApi:
+    def test_batch_matches_individual(self):
+        key = np.array([123, 456], dtype=np.uint32)
+        ctrs = np.arange(40, dtype=np.uint32).reshape(10, 4)
+        batch = philox4x32(ctrs, key)
+        for i in range(10):
+            single = philox4x32(ctrs[i : i + 1], key)
+            np.testing.assert_array_equal(batch[i], single[0])
+
+    def test_bad_counter_shape_rejected(self):
+        with pytest.raises(ValueError):
+            philox4x32(np.zeros((4,), dtype=np.uint32), np.zeros(2, dtype=np.uint32))
+
+    def test_bad_key_shape_rejected(self):
+        with pytest.raises(ValueError):
+            philox4x32(np.zeros((1, 4), dtype=np.uint32), np.zeros(3, dtype=np.uint32))
+
+    def test_is_a_bijection_on_samples(self):
+        """Distinct counters must give distinct outputs (Philox is a
+        bijection for every key)."""
+        key = np.array([7, 9], dtype=np.uint32)
+        ctrs = np.zeros((1000, 4), dtype=np.uint32)
+        ctrs[:, 0] = np.arange(1000, dtype=np.uint32)
+        out = philox4x32(ctrs, key)
+        as_tuples = {tuple(row) for row in out.tolist()}
+        assert len(as_tuples) == 1000
+
+    def test_no_warnings_emitted(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            philox4x32(np.full((3, 4), 0xFFFFFFFF, dtype=np.uint32),
+                       np.full(2, 0xFFFFFFFF, dtype=np.uint32))
+
+
+class TestCounterRNG:
+    def test_random_access_consistency(self):
+        """Reading a range must equal reading its pieces."""
+        rng = CounterRNG(42)
+        whole = rng.uint32(0, 100)
+        parts = np.concatenate([rng.uint32(0, 37), rng.uint32(37, 63)])
+        np.testing.assert_array_equal(whole, parts)
+
+    def test_unaligned_offsets(self):
+        rng = CounterRNG(7)
+        full = rng.uint32(0, 64)
+        for start in (1, 2, 3, 5, 13):
+            np.testing.assert_array_equal(rng.uint32(start, 20), full[start : start + 20])
+
+    def test_different_seeds_differ(self):
+        a = CounterRNG(1).uint32(0, 32)
+        b = CounterRNG(2).uint32(0, 32)
+        assert not np.array_equal(a, b)
+
+    def test_streams_differ(self):
+        a = CounterRNG(1, stream=0).uint32(0, 32)
+        b = CounterRNG(1, stream=1).uint32(0, 32)
+        assert not np.array_equal(a, b)
+
+    def test_split_deterministic(self):
+        a = CounterRNG(5).split(3).uint32(0, 16)
+        b = CounterRNG(5).split(3).uint32(0, 16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_split_independent(self):
+        base = CounterRNG(5)
+        assert not np.array_equal(base.split(1).uint32(0, 16), base.split(2).uint32(0, 16))
+
+    def test_huge_seed_accepted(self):
+        rng = CounterRNG(2**200 + 17)
+        assert rng.uint32(0, 4).shape == (4,)
+
+    def test_negative_seed_distinct_from_positive(self):
+        assert not np.array_equal(
+            CounterRNG(-3).uint32(0, 8), CounterRNG(3).uint32(0, 8)
+        )
+
+    def test_zero_count(self):
+        assert CounterRNG(0).uint32(5, 0).size == 0
+
+    def test_negative_args_rejected(self):
+        with pytest.raises(ValueError):
+            CounterRNG(0).uint32(-1, 4)
+        with pytest.raises(ValueError):
+            CounterRNG(0).uint32(0, -4)
+
+    def test_uint64_combines_words(self):
+        rng = CounterRNG(9)
+        w = rng.uint32(0, 4).astype(np.uint64)
+        u = rng.uint64(0, 2)
+        assert u[0] == (w[0] << np.uint64(32)) | w[1]
+        assert u[1] == (w[2] << np.uint64(32)) | w[3]
+
+    def test_uniform_in_unit_interval(self):
+        u = CounterRNG(11).uniform(0, 10000)
+        assert u.min() >= 0.0
+        assert u.max() < 1.0
+
+    def test_uniform_mean_and_variance(self):
+        u = CounterRNG(13).uniform(0, 200000)
+        assert abs(u.mean() - 0.5) < 0.005
+        assert abs(u.var() - 1.0 / 12.0) < 0.005
+
+    def test_randint_range(self):
+        v = CounterRNG(17).randint(0, 50000, 13)
+        assert v.min() >= 0
+        assert v.max() <= 12
+
+    def test_randint_covers_all_values(self):
+        v = CounterRNG(19).randint(0, 5000, 7)
+        assert set(np.unique(v).tolist()) == set(range(7))
+
+    def test_randint_approximately_uniform(self):
+        v = CounterRNG(23).randint(0, 70000, 7)
+        counts = np.bincount(v, minlength=7)
+        expected = 10000.0
+        assert np.all(np.abs(counts - expected) < 5 * np.sqrt(expected))
+
+    def test_randint_bad_bounds(self):
+        with pytest.raises(ValueError):
+            CounterRNG(0).randint(0, 4, 0)
+        with pytest.raises(ValueError):
+            CounterRNG(0).randint(0, 4, 2**33)
+
+    def test_normal_moments(self):
+        z = CounterRNG(29).normal(0, 100000)
+        assert abs(z.mean()) < 0.02
+        assert abs(z.std() - 1.0) < 0.02
+
+    def test_permutation_is_permutation(self):
+        p = CounterRNG(31).permutation(0, 100)
+        np.testing.assert_array_equal(np.sort(p), np.arange(100))
+
+    def test_permutation_deterministic(self):
+        np.testing.assert_array_equal(
+            CounterRNG(31).permutation(0, 50), CounterRNG(31).permutation(0, 50)
+        )
+
+    def test_permutation_varies_with_start(self):
+        a = CounterRNG(31).permutation(0, 50)
+        b = CounterRNG(31).permutation(1000, 50)
+        assert not np.array_equal(a, b)
+
+    def test_permutation_small_sizes(self):
+        assert CounterRNG(0).permutation(0, 0).size == 0
+        np.testing.assert_array_equal(CounterRNG(0).permutation(0, 1), [0])

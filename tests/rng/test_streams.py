@@ -1,0 +1,96 @@
+"""Unit tests for direction streams and processor interleaving."""
+
+import numpy as np
+import pytest
+
+from repro.rng import DirectionStream, interleave_counts
+
+
+class TestDirectionStream:
+    def test_pure_function_of_index(self):
+        s = DirectionStream(100, seed=5)
+        first = s.direction(42)
+        _ = s.directions(0, 1000)  # unrelated reads must not disturb it
+        assert s.direction(42) == first
+
+    def test_batch_matches_singles(self):
+        s = DirectionStream(37, seed=9)
+        batch = s.directions(10, 50)
+        singles = np.array([s.direction(10 + k) for k in range(50)])
+        np.testing.assert_array_equal(batch, singles)
+
+    def test_range(self):
+        s = DirectionStream(7, seed=1)
+        d = s.directions(0, 5000)
+        assert d.min() >= 0 and d.max() <= 6
+
+    def test_uniformity(self):
+        n = 11
+        s = DirectionStream(n, seed=3)
+        d = s.directions(0, 110000)
+        counts = np.bincount(d, minlength=n)
+        expected = 10000.0
+        assert np.all(np.abs(counts - expected) < 5 * np.sqrt(expected))
+
+    def test_same_seed_same_sequence(self):
+        a = DirectionStream(50, seed=4).directions(0, 100)
+        b = DirectionStream(50, seed=4).directions(0, 100)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_different_sequence(self):
+        a = DirectionStream(50, seed=4).directions(0, 100)
+        b = DirectionStream(50, seed=5).directions(0, 100)
+        assert not np.array_equal(a, b)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            DirectionStream(0, seed=1)
+
+    def test_step_uniforms_do_not_perturb_directions(self):
+        s = DirectionStream(20, seed=6)
+        d_before = s.directions(0, 50)
+        u = s.step_uniforms(0, 50)
+        d_after = s.directions(0, 50)
+        np.testing.assert_array_equal(d_before, d_after)
+        assert u.min() >= 0 and u.max() < 1
+
+
+class TestProcessorViews:
+    def test_union_reproduces_global_sequence(self):
+        """The paper's Random123 technique: P round-robin views together
+        consume exactly the serial direction sequence."""
+        n, total, nproc = 30, 60, 4
+        s = DirectionStream(n, seed=7)
+        global_seq = s.directions(0, total)
+        counts = interleave_counts(total, nproc)
+        reconstructed = np.empty(total, dtype=np.int64)
+        for p in range(nproc):
+            view = s.for_processor(p, nproc)
+            local = view.directions(0, int(counts[p]))
+            reconstructed[p::nproc] = local
+        np.testing.assert_array_equal(reconstructed, global_seq)
+
+    def test_view_direction_single(self):
+        s = DirectionStream(30, seed=8)
+        view = s.for_processor(2, 5)
+        assert view.direction(3) == s.direction(2 + 3 * 5)
+
+    def test_invalid_processor_index(self):
+        s = DirectionStream(10, seed=1)
+        with pytest.raises(ValueError):
+            s.for_processor(5, 5)
+        with pytest.raises(ValueError):
+            s.for_processor(-1, 5)
+
+
+class TestInterleaveCounts:
+    def test_sums_to_total(self):
+        for total in (0, 1, 7, 64, 100):
+            for nproc in (1, 2, 3, 7, 16):
+                assert interleave_counts(total, nproc).sum() == total
+
+    def test_even_split(self):
+        np.testing.assert_array_equal(interleave_counts(12, 4), [3, 3, 3, 3])
+
+    def test_remainder_goes_to_leading_processors(self):
+        np.testing.assert_array_equal(interleave_counts(10, 4), [3, 3, 2, 2])

@@ -1,0 +1,157 @@
+"""Unit tests for the COO triplet builder."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.sparse import COOBuilder
+
+
+class TestConstruction:
+    def test_empty_builder_produces_empty_matrix(self):
+        A = COOBuilder(3, 4).to_csr()
+        assert A.shape == (3, 4)
+        assert A.nnz == 0
+
+    def test_single_entry(self):
+        b = COOBuilder(2, 2)
+        b.add(1, 0, 3.5)
+        A = b.to_csr()
+        assert A.get(1, 0) == 3.5
+        assert A.nnz == 1
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            COOBuilder(-1, 3)
+
+    def test_len_counts_raw_triplets(self):
+        b = COOBuilder(2, 2)
+        b.add(0, 0, 1.0)
+        b.add(0, 0, 1.0)
+        assert len(b) == 2
+
+    def test_shape_property(self):
+        assert COOBuilder(3, 7).shape == (3, 7)
+
+
+class TestDuplicates:
+    def test_duplicates_are_summed(self):
+        b = COOBuilder(2, 2)
+        b.add(0, 1, 1.0)
+        b.add(0, 1, 2.5)
+        b.add(0, 1, -0.5)
+        assert b.to_csr().get(0, 1) == pytest.approx(3.0)
+
+    def test_cancellation_keeps_explicit_zero(self):
+        b = COOBuilder(1, 1)
+        b.add(0, 0, 1.0)
+        b.add(0, 0, -1.0)
+        A = b.to_csr()
+        assert A.nnz == 1
+        assert A.get(0, 0) == 0.0
+
+    def test_merged_triplets_sorted_row_major(self):
+        b = COOBuilder(3, 3)
+        for r, c, v in [(2, 1, 1.0), (0, 2, 2.0), (2, 0, 3.0), (0, 0, 4.0)]:
+            b.add(r, c, v)
+        rows, cols, vals = b.merged_triplets()
+        keys = rows * 3 + cols
+        assert np.all(np.diff(keys) > 0)
+
+    def test_merged_triplets_empty(self):
+        rows, cols, vals = COOBuilder(2, 2).merged_triplets()
+        assert rows.size == cols.size == vals.size == 0
+
+
+class TestBounds:
+    @pytest.mark.parametrize("r,c", [(-1, 0), (0, -1), (2, 0), (0, 2)])
+    def test_out_of_bounds_add_rejected(self, r, c):
+        with pytest.raises(ShapeError):
+            COOBuilder(2, 2).add(r, c, 1.0)
+
+    def test_out_of_bounds_batch_rejected(self):
+        b = COOBuilder(2, 2)
+        with pytest.raises(ShapeError):
+            b.add_batch([0, 5], [0, 0], [1.0, 1.0])
+        with pytest.raises(ShapeError):
+            b.add_batch([0, 0], [0, -2], [1.0, 1.0])
+
+
+class TestBatch:
+    def test_add_batch_matches_scalar_adds(self):
+        rows = [0, 1, 1, 2]
+        cols = [1, 0, 2, 2]
+        vals = [1.0, 2.0, 3.0, 4.0]
+        b1 = COOBuilder(3, 3)
+        b1.add_batch(rows, cols, vals)
+        b2 = COOBuilder(3, 3)
+        for r, c, v in zip(rows, cols, vals):
+            b2.add(r, c, v)
+        np.testing.assert_array_equal(b1.to_csr().to_dense(), b2.to_csr().to_dense())
+
+    def test_add_batch_empty_is_noop(self):
+        b = COOBuilder(2, 2)
+        b.add_batch([], [], [])
+        assert len(b) == 0
+
+    def test_add_batch_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            COOBuilder(2, 2).add_batch([0], [0, 1], [1.0])
+
+    def test_add_batch_2d_rejected(self):
+        with pytest.raises(ShapeError):
+            COOBuilder(2, 2).add_batch([[0]], [[0]], [[1.0]])
+
+    def test_growth_beyond_initial_capacity(self):
+        b = COOBuilder(1000, 1000)
+        n = 500
+        b.add_batch(np.arange(n), np.arange(n), np.ones(n))
+        A = b.to_csr()
+        assert A.nnz == n
+        np.testing.assert_allclose(A.diagonal()[:n], 1.0)
+
+
+class TestSymmetric:
+    def test_add_symmetric_offdiagonal(self):
+        b = COOBuilder(3, 3)
+        b.add_symmetric(0, 2, 5.0)
+        A = b.to_csr()
+        assert A.get(0, 2) == 5.0
+        assert A.get(2, 0) == 5.0
+
+    def test_add_symmetric_diagonal_once(self):
+        b = COOBuilder(3, 3)
+        b.add_symmetric(1, 1, 5.0)
+        A = b.to_csr()
+        assert A.get(1, 1) == 5.0
+        assert A.nnz == 1
+
+    def test_symmetric_build_yields_symmetric_csr(self):
+        b = COOBuilder(4, 4)
+        for i in range(4):
+            b.add(i, i, 2.0)
+        b.add_symmetric(0, 3, -1.0)
+        b.add_symmetric(1, 2, -0.5)
+        assert b.to_csr().is_symmetric()
+
+
+class TestRoundTrip:
+    def test_dense_roundtrip(self):
+        dense = np.array([[1.0, 0.0, 2.0], [0.0, 0.0, 0.0], [3.0, 4.0, 0.0]])
+        b = COOBuilder(3, 3)
+        rows, cols = np.nonzero(dense)
+        b.add_batch(rows, cols, dense[rows, cols])
+        np.testing.assert_array_equal(b.to_csr().to_dense(), dense)
+
+    def test_matches_scipy_coo(self):
+        import scipy.sparse as sp
+
+        rng = np.random.default_rng(0)
+        rows = rng.integers(0, 20, size=200)
+        cols = rng.integers(0, 15, size=200)
+        vals = rng.normal(size=200)
+        b = COOBuilder(20, 15)
+        b.add_batch(rows, cols, vals)
+        ours = b.to_csr().to_dense()
+        theirs = sp.coo_matrix((vals, (rows, cols)), shape=(20, 15)).toarray()
+        np.testing.assert_allclose(ours, theirs, atol=1e-14)

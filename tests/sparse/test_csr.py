@@ -1,0 +1,323 @@
+"""Unit tests for the CSR matrix: structure, products, transforms."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError, StructureError
+from repro.sparse import COOBuilder, CSRMatrix
+
+from ..conftest import random_dense, to_scipy
+
+
+def make(dense):
+    return CSRMatrix.from_dense(np.asarray(dense, dtype=np.float64))
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self):
+        d = random_dense(7, 5, seed=1)
+        np.testing.assert_array_equal(make(d).to_dense(), d)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            CSRMatrix.from_dense(np.ones(3))
+
+    def test_from_dense_tolerance_drops_small(self):
+        d = np.array([[1e-12, 1.0], [0.0, 2.0]])
+        A = CSRMatrix.from_dense(d, tol=1e-10)
+        assert A.nnz == 2
+
+    def test_identity(self):
+        I = CSRMatrix.identity(4)
+        np.testing.assert_array_equal(I.to_dense(), np.eye(4))
+
+    def test_identity_scaled(self):
+        I = CSRMatrix.identity(3, scale=2.5)
+        np.testing.assert_array_equal(I.diagonal(), [2.5, 2.5, 2.5])
+
+    def test_from_diagonal(self):
+        D = CSRMatrix.from_diagonal([1.0, -2.0, 3.0])
+        np.testing.assert_array_equal(D.to_dense(), np.diag([1.0, -2.0, 3.0]))
+
+    def test_unsorted_rows_get_sorted(self):
+        A = CSRMatrix(
+            (1, 3),
+            [0, 3],
+            [2, 0, 1],
+            [3.0, 1.0, 2.0],
+        )
+        np.testing.assert_array_equal(A.indices, [0, 1, 2])
+        np.testing.assert_array_equal(A.data, [1.0, 2.0, 3.0])
+
+    def test_bad_indptr_start(self):
+        with pytest.raises(StructureError):
+            CSRMatrix((1, 2), [1, 1], [], [])
+
+    def test_decreasing_indptr_rejected(self):
+        with pytest.raises(StructureError):
+            CSRMatrix((2, 2), [0, 2, 1], [0, 1], [1.0, 2.0])
+
+    def test_indptr_nnz_mismatch_rejected(self):
+        with pytest.raises(StructureError):
+            CSRMatrix((1, 2), [0, 5], [0], [1.0])
+
+    def test_column_out_of_range_rejected(self):
+        with pytest.raises(StructureError):
+            CSRMatrix((1, 2), [0, 1], [5], [1.0])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(StructureError):
+            CSRMatrix((1, 3), [0, 2], [1, 1], [1.0, 2.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(StructureError):
+            CSRMatrix((1, 3), [0, 2], [0, 1], [1.0])
+
+    def test_integer_data_promoted_to_float(self):
+        A = CSRMatrix((1, 2), [0, 1], [0], np.array([3], dtype=np.int32))
+        assert A.dtype == np.float64
+
+    def test_copy_is_independent(self):
+        A = make([[1.0, 2.0], [0.0, 3.0]])
+        B = A.copy()
+        B.data[0] = 99.0
+        assert A.data[0] == 1.0
+
+
+class TestAccess:
+    def test_get_present_and_absent(self):
+        A = make([[1.0, 0.0], [0.0, 2.0]])
+        assert A.get(0, 0) == 1.0
+        assert A.get(0, 1) == 0.0
+
+    def test_get_out_of_range(self):
+        A = make([[1.0]])
+        with pytest.raises(ShapeError):
+            A.get(1, 0)
+
+    def test_row_view(self):
+        A = make([[0.0, 5.0, 7.0], [0.0, 0.0, 0.0]])
+        cols, vals = A.row(0)
+        np.testing.assert_array_equal(cols, [1, 2])
+        np.testing.assert_array_equal(vals, [5.0, 7.0])
+        cols_empty, vals_empty = A.row(1)
+        assert cols_empty.size == 0 and vals_empty.size == 0
+
+    def test_row_out_of_range(self):
+        with pytest.raises(ShapeError):
+            make([[1.0]]).row(3)
+
+    def test_row_nnz(self):
+        A = make([[1.0, 2.0], [0.0, 0.0], [3.0, 0.0]])
+        np.testing.assert_array_equal(A.row_nnz(), [2, 0, 1])
+
+    def test_iter_rows(self):
+        d = random_dense(5, 5, seed=3)
+        A = make(d)
+        for i, cols, vals in A.iter_rows():
+            reconstructed = np.zeros(5)
+            reconstructed[cols] = vals
+            np.testing.assert_array_equal(reconstructed, d[i])
+
+    def test_row_dot_matches_dense(self):
+        d = random_dense(6, 6, seed=4)
+        A = make(d)
+        x = np.arange(6, dtype=float)
+        for i in range(6):
+            assert A.row_dot(i, x) == pytest.approx(d[i] @ x)
+
+    def test_rows_dot_matches_dense_vector(self):
+        d = random_dense(8, 6, seed=5)
+        A = make(d)
+        x = np.linspace(-1, 1, 6)
+        rows = np.array([3, 0, 3, 7, 1])
+        np.testing.assert_allclose(A.rows_dot(rows, x), d[rows] @ x, atol=1e-14)
+
+    def test_rows_dot_matches_dense_matrix(self):
+        d = random_dense(8, 6, seed=6)
+        A = make(d)
+        X = random_dense(6, 3, seed=7, density=1.0)
+        rows = np.array([1, 1, 5, 0])
+        np.testing.assert_allclose(A.rows_dot(rows, X), d[rows] @ X, atol=1e-14)
+
+    def test_rows_dot_with_empty_rows(self):
+        d = np.zeros((4, 4))
+        d[1] = [1.0, 0.0, 2.0, 0.0]
+        A = make(d)
+        rows = np.array([0, 1, 2, 3])
+        x = np.ones(4)
+        np.testing.assert_allclose(A.rows_dot(rows, x), [0.0, 3.0, 0.0, 0.0])
+
+    def test_rows_dot_empty_selection(self):
+        A = make(random_dense(3, 3, seed=8))
+        out = A.rows_dot(np.empty(0, dtype=np.int64), np.ones(3))
+        assert out.shape == (0,)
+
+    def test_rows_dot_rejects_2d_rows(self):
+        A = make(random_dense(3, 3, seed=8))
+        with pytest.raises(ShapeError):
+            A.rows_dot(np.zeros((2, 2), dtype=np.int64), np.ones(3))
+
+
+class TestProducts:
+    def test_matvec_matches_scipy(self):
+        d = random_dense(9, 7, seed=9)
+        A = make(d)
+        x = np.linspace(0, 1, 7)
+        np.testing.assert_allclose(A.matvec(x), to_scipy(A) @ x, atol=1e-13)
+
+    def test_matvec_shape_check(self):
+        with pytest.raises(ShapeError):
+            make(random_dense(3, 4, seed=1)).matvec(np.ones(3))
+
+    def test_matvec_empty_rows(self):
+        A = make(np.zeros((3, 3)))
+        np.testing.assert_array_equal(A.matvec(np.ones(3)), np.zeros(3))
+
+    def test_rmatvec_matches_transpose_matvec(self):
+        d = random_dense(6, 9, seed=10)
+        A = make(d)
+        y = np.linspace(-2, 2, 6)
+        np.testing.assert_allclose(A.rmatvec(y), d.T @ y, atol=1e-13)
+
+    def test_rmatvec_shape_check(self):
+        with pytest.raises(ShapeError):
+            make(random_dense(3, 4, seed=1)).rmatvec(np.ones(4))
+
+    def test_matmat_matches_dense(self):
+        d = random_dense(5, 4, seed=11)
+        X = random_dense(4, 3, seed=12, density=1.0)
+        np.testing.assert_allclose(make(d).matmat(X), d @ X, atol=1e-13)
+
+    def test_matmat_shape_check(self):
+        with pytest.raises(ShapeError):
+            make(random_dense(3, 4, seed=1)).matmat(np.ones((3, 2)))
+
+    def test_matmul_operator_vector(self):
+        d = random_dense(4, 4, seed=13)
+        x = np.ones(4)
+        np.testing.assert_allclose(make(d) @ x, d @ x, atol=1e-14)
+
+    def test_matmul_operator_matrix(self):
+        d = random_dense(4, 4, seed=14)
+        X = np.eye(4)
+        np.testing.assert_allclose(make(d) @ X, d, atol=1e-14)
+
+    def test_matmul_operator_sparse(self):
+        a = random_dense(4, 5, seed=15)
+        b = random_dense(5, 3, seed=16)
+        C = make(a) @ make(b)
+        np.testing.assert_allclose(C.to_dense(), a @ b, atol=1e-13)
+
+
+class TestTransforms:
+    def test_transpose_matches_dense(self):
+        d = random_dense(6, 4, seed=17)
+        np.testing.assert_array_equal(make(d).transpose().to_dense(), d.T)
+
+    def test_transpose_twice_is_identity(self):
+        d = random_dense(5, 7, seed=18)
+        A = make(d)
+        np.testing.assert_array_equal(A.T.T.to_dense(), d)
+
+    def test_transpose_keeps_sorted_rows(self):
+        d = random_dense(10, 10, seed=19)
+        At = make(d).transpose()
+        At._validate()  # raises on any violated invariant
+
+    def test_diagonal(self):
+        d = random_dense(6, 6, seed=20)
+        np.testing.assert_array_equal(make(d).diagonal(), np.diag(d))
+
+    def test_diagonal_rectangular(self):
+        d = random_dense(3, 5, seed=21)
+        np.testing.assert_array_equal(make(d).diagonal(), np.diag(d))
+
+    def test_scale_rows(self):
+        d = random_dense(4, 4, seed=22)
+        s = np.array([1.0, 2.0, 0.5, -1.0])
+        np.testing.assert_allclose(
+            make(d).scale_rows(s).to_dense(), np.diag(s) @ d, atol=1e-14
+        )
+
+    def test_scale_cols(self):
+        d = random_dense(4, 4, seed=23)
+        s = np.array([1.0, 2.0, 0.5, -1.0])
+        np.testing.assert_allclose(
+            make(d).scale_cols(s).to_dense(), d @ np.diag(s), atol=1e-14
+        )
+
+    def test_scale_shape_checks(self):
+        A = make(random_dense(3, 4, seed=1))
+        with pytest.raises(ShapeError):
+            A.scale_rows(np.ones(4))
+        with pytest.raises(ShapeError):
+            A.scale_cols(np.ones(3))
+
+    def test_drop_explicit_zeros(self):
+        b = COOBuilder(2, 2)
+        b.add(0, 0, 1.0)
+        b.add(0, 0, -1.0)
+        b.add(1, 1, 2.0)
+        A = b.to_csr()
+        assert A.nnz == 2
+        dropped = A.drop_explicit_zeros()
+        assert dropped.nnz == 1
+        assert dropped.get(1, 1) == 2.0
+
+
+class TestPredicatesNorms:
+    def test_is_symmetric_true(self):
+        d = random_dense(5, 5, seed=24)
+        sym = d + d.T
+        assert make(sym).is_symmetric()
+
+    def test_is_symmetric_false(self):
+        d = np.array([[1.0, 2.0], [3.0, 1.0]])
+        assert not make(d).is_symmetric()
+
+    def test_is_symmetric_structural_mismatch(self):
+        # Symmetric values, asymmetric stored pattern (explicit zero).
+        b = COOBuilder(2, 2)
+        b.add(0, 1, 0.0)
+        b.add(0, 0, 1.0)
+        b.add(1, 1, 1.0)
+        assert b.to_csr().is_symmetric()
+
+    def test_rectangular_not_symmetric(self):
+        assert not make(random_dense(2, 3, seed=25)).is_symmetric()
+
+    def test_has_unit_diagonal(self):
+        assert CSRMatrix.identity(3).has_unit_diagonal()
+        assert not CSRMatrix.from_diagonal([1.0, 2.0]).has_unit_diagonal()
+
+    def test_infinity_norm(self):
+        d = random_dense(6, 6, seed=26)
+        assert make(d).infinity_norm() == pytest.approx(
+            np.abs(d).sum(axis=1).max()
+        )
+
+    def test_one_norm(self):
+        d = random_dense(6, 6, seed=27)
+        assert make(d).one_norm() == pytest.approx(np.abs(d).sum(axis=0).max())
+
+    def test_frobenius_norm(self):
+        d = random_dense(6, 6, seed=28)
+        assert make(d).frobenius_norm() == pytest.approx(np.linalg.norm(d))
+
+    def test_row_squared_sums(self):
+        d = random_dense(5, 5, seed=29)
+        np.testing.assert_allclose(
+            make(d).row_squared_sums(), (d * d).sum(axis=1), atol=1e-14
+        )
+
+    def test_empty_matrix_norms(self):
+        A = make(np.zeros((3, 3)))
+        assert A.infinity_norm() == 0.0
+        assert A.one_norm() == 0.0
+        assert A.frobenius_norm() == 0.0
+
+    def test_repr_mentions_shape_and_nnz(self):
+        A = make(np.eye(2))
+        assert "shape=(2, 2)" in repr(A)
+        assert "nnz=2" in repr(A)

@@ -1,0 +1,95 @@
+"""Edge-case tests for the sparse substrate: degenerate shapes and values."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOBuilder, CSRMatrix, gram, matmul, symmetric_rescale
+
+
+class TestOneByOne:
+    def test_scalar_matrix_roundtrip(self):
+        A = CSRMatrix.from_dense([[2.5]])
+        assert A.shape == (1, 1)
+        assert A.matvec(np.array([2.0]))[0] == 5.0
+        assert A.T.get(0, 0) == 2.5
+
+    def test_scalar_rescale(self):
+        A, d = symmetric_rescale(CSRMatrix.from_dense([[4.0]]))
+        assert A.get(0, 0) == pytest.approx(1.0)
+        assert d[0] == 2.0
+
+    def test_scalar_gram(self):
+        D = CSRMatrix.from_dense([[3.0]])
+        assert gram(D).get(0, 0) == pytest.approx(9.0)
+
+
+class TestDegenerateShapes:
+    def test_single_row(self):
+        A = CSRMatrix.from_dense(np.array([[1.0, 2.0, 3.0]]))
+        np.testing.assert_allclose(A.matvec(np.ones(3)), [6.0])
+        np.testing.assert_allclose(A.rmatvec(np.array([2.0])), [2.0, 4.0, 6.0])
+
+    def test_single_column(self):
+        A = CSRMatrix.from_dense(np.array([[1.0], [2.0], [0.0]]))
+        np.testing.assert_allclose(A.matvec(np.array([3.0])), [3.0, 6.0, 0.0])
+        assert A.row_nnz().tolist() == [1, 1, 0]
+
+    def test_all_zero_matrix_operations(self):
+        A = CSRMatrix.from_dense(np.zeros((3, 3)))
+        assert A.nnz == 0
+        assert A.is_symmetric()
+        np.testing.assert_array_equal(A.diagonal(), np.zeros(3))
+        assert matmul(A, A).nnz == 0
+        np.testing.assert_array_equal(
+            A.rows_dot(np.array([0, 1, 2]), np.ones(3)), np.zeros(3)
+        )
+
+    def test_fully_dense_row(self):
+        d = np.zeros((4, 4))
+        d[2] = [1.0, 2.0, 3.0, 4.0]
+        A = CSRMatrix.from_dense(d)
+        cols, vals = A.row(2)
+        assert cols.size == 4
+        assert A.row_dot(2, np.ones(4)) == 10.0
+
+
+class TestExtremeValues:
+    def test_tiny_and_huge_magnitudes_coexist(self):
+        A = CSRMatrix.from_dense(np.array([[1e-300, 0.0], [0.0, 1e300]]))
+        assert A.get(0, 0) == 1e-300
+        assert A.get(1, 1) == 1e300
+        assert A.frobenius_norm() == pytest.approx(1e300)
+
+    def test_negative_zero_is_structural(self):
+        b = COOBuilder(1, 1)
+        b.add(0, 0, -0.0)
+        A = b.to_csr()
+        assert A.nnz == 1  # explicit entries survive regardless of value
+
+    def test_builder_cancellation_then_product(self):
+        b = COOBuilder(2, 2)
+        b.add(0, 1, 5.0)
+        b.add(0, 1, -5.0)
+        b.add(1, 1, 1.0)
+        A = b.to_csr()
+        # Explicit zero participates harmlessly in products.
+        np.testing.assert_allclose(A.matvec(np.ones(2)), [0.0, 1.0])
+
+
+class TestIterationConsistency:
+    def test_iter_rows_agrees_with_row(self):
+        rng = np.random.default_rng(5)
+        d = np.where(rng.random((6, 6)) < 0.4, rng.normal(size=(6, 6)), 0.0)
+        A = CSRMatrix.from_dense(d)
+        for i, cols, vals in A.iter_rows():
+            c2, v2 = A.row(i)
+            np.testing.assert_array_equal(cols, c2)
+            np.testing.assert_array_equal(vals, v2)
+
+    def test_get_against_dense_everywhere(self):
+        rng = np.random.default_rng(6)
+        d = np.where(rng.random((5, 7)) < 0.3, rng.normal(size=(5, 7)), 0.0)
+        A = CSRMatrix.from_dense(d)
+        for i in range(5):
+            for j in range(7):
+                assert A.get(i, j) == d[i, j]

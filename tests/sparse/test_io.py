@@ -1,0 +1,111 @@
+"""Unit tests for MatrixMarket I/O."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StructureError
+from repro.sparse import (
+    CSRMatrix,
+    max_abs_difference,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+from ..conftest import random_dense
+
+
+def make(dense):
+    return CSRMatrix.from_dense(np.asarray(dense, dtype=np.float64))
+
+
+class TestRoundTrip:
+    def test_general_roundtrip(self, tmp_path):
+        A = make(random_dense(7, 5, seed=1))
+        path = tmp_path / "a.mtx"
+        write_matrix_market(A, path)
+        B = read_matrix_market(path)
+        assert B.shape == A.shape
+        assert max_abs_difference(A, B) <= 1e-15
+
+    def test_symmetric_roundtrip(self, tmp_path):
+        d = random_dense(6, 6, seed=2)
+        A = make(d + d.T + 10 * np.eye(6))
+        path = tmp_path / "s.mtx"
+        write_matrix_market(A, path, symmetric=True)
+        B = read_matrix_market(path)
+        assert B.is_symmetric()
+        assert max_abs_difference(A, B) <= 1e-15
+
+    def test_symmetric_autodetect(self, tmp_path):
+        d = random_dense(5, 5, seed=3)
+        A = make(d + d.T)
+        path = tmp_path / "auto.mtx"
+        write_matrix_market(A, path)
+        header = path.read_text().splitlines()[0]
+        assert "symmetric" in header
+
+    def test_general_header_for_unsymmetric(self, tmp_path):
+        A = make(random_dense(4, 4, seed=4))
+        path = tmp_path / "g.mtx"
+        write_matrix_market(A, path)
+        assert "general" in path.read_text().splitlines()[0]
+
+    def test_values_exact_roundtrip(self, tmp_path):
+        """repr-based writing must preserve doubles bit-for-bit."""
+        A = make([[np.pi, 0.0], [0.0, 1.0 / 3.0]])
+        path = tmp_path / "exact.mtx"
+        write_matrix_market(A, path)
+        B = read_matrix_market(path)
+        assert B.get(0, 0) == np.pi
+        assert B.get(1, 1) == 1.0 / 3.0
+
+    def test_empty_matrix_roundtrip(self, tmp_path):
+        A = make(np.zeros((3, 4)))
+        path = tmp_path / "empty.mtx"
+        write_matrix_market(A, path)
+        B = read_matrix_market(path)
+        assert B.shape == (3, 4)
+        assert B.nnz == 0
+
+
+class TestErrors:
+    def test_symmetric_requested_on_unsymmetric(self, tmp_path):
+        A = make([[1.0, 2.0], [3.0, 4.0]])
+        with pytest.raises(StructureError):
+            write_matrix_market(A, tmp_path / "bad.mtx", symmetric=True)
+
+    def test_bad_header_rejected(self, tmp_path):
+        p = tmp_path / "bad.mtx"
+        p.write_text("%%NotMatrixMarket nonsense\n1 1 0\n")
+        with pytest.raises(StructureError):
+            read_matrix_market(p)
+
+    def test_unsupported_field_rejected(self, tmp_path):
+        p = tmp_path / "cplx.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 2.0\n")
+        with pytest.raises(StructureError):
+            read_matrix_market(p)
+
+    def test_unsupported_symmetry_rejected(self, tmp_path):
+        p = tmp_path / "skew.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 0\n")
+        with pytest.raises(StructureError):
+            read_matrix_market(p)
+
+    def test_entry_count_mismatch_rejected(self, tmp_path):
+        p = tmp_path / "count.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n")
+        with pytest.raises(StructureError):
+            read_matrix_market(p)
+
+    def test_comments_are_skipped(self, tmp_path):
+        p = tmp_path / "comments.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "% another\n"
+            "2 2 1\n"
+            "2 1 -3.5\n"
+        )
+        A = read_matrix_market(p)
+        assert A.get(1, 0) == -3.5

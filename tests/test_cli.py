@@ -1,0 +1,122 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sparse import write_matrix_market
+from repro.workloads import random_unit_diagonal_spd
+
+
+@pytest.fixture()
+def matrix_file(tmp_path):
+    A = random_unit_diagonal_spd(30, nnz_per_row=4, offdiag_scale=0.6, seed=1)
+    path = tmp_path / "system.mtx"
+    write_matrix_market(A, path)
+    return path, A
+
+
+@pytest.fixture(autouse=True)
+def results_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS", str(tmp_path / "results"))
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve", "m.mtx"])
+        assert args.method == "asyrgs"
+        assert args.nproc == 8
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestSolve:
+    @pytest.mark.parametrize("method", ["asyrgs", "rgs", "cg", "fcg"])
+    def test_solves_to_tolerance(self, matrix_file, method, capsys):
+        path, A = matrix_file
+        code = main(
+            ["solve", str(path), "--method", method, "--tol", "1e-8",
+             "--max-sweeps", "2000", "--nproc", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "converged=True" in out
+
+    def test_auto_beta(self, matrix_file, capsys):
+        path, _ = matrix_file
+        code = main(
+            ["solve", str(path), "--beta", "auto", "--tol", "1e-6",
+             "--max-sweeps", "2000"]
+        )
+        assert code == 0
+
+    def test_custom_rhs_and_output(self, matrix_file, tmp_path, capsys):
+        path, A = matrix_file
+        rhs = tmp_path / "b.txt"
+        x_star = np.linspace(-1, 1, A.shape[0])
+        np.savetxt(rhs, A.matvec(x_star))
+        out_file = tmp_path / "x.txt"
+        code = main(
+            ["solve", str(path), "--rhs", str(rhs), "--output", str(out_file),
+             "--tol", "1e-10", "--max-sweeps", "3000"]
+        )
+        assert code == 0
+        x = np.loadtxt(out_file)
+        np.testing.assert_allclose(x, x_star, atol=1e-7)
+
+    def test_nonconvergence_exit_code(self, matrix_file, capsys):
+        path, _ = matrix_file
+        code = main(
+            ["solve", str(path), "--tol", "1e-14", "--max-sweeps", "1"]
+        )
+        assert code == 1
+
+
+class TestEstimate:
+    def test_reports_diagnostics(self, matrix_file, capsys):
+        path, _ = matrix_file
+        code = main(["estimate", str(path), "--tau", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kappa" in out
+        assert "rho" in out
+        assert "Theorem" in out
+
+    def test_without_tau(self, matrix_file, capsys):
+        path, _ = matrix_file
+        code = main(["estimate", str(path)])
+        assert code == 0
+        assert "Theorem" not in capsys.readouterr().out
+
+
+class TestExperimentAndProblems:
+    def test_problems_listing(self, capsys):
+        code = main(["problems"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "social-small" in out
+        assert "laplace2d" in out
+
+    def test_experiment_runs_small_driver(self, capsys):
+        code = main(["experiment", "direction-strategies"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strategy" in out
+
+    def test_experiment_problem_override(self, capsys):
+        code = main(["experiment", "direction-strategies", "--problem", "banded"])
+        assert code == 0
+        assert "banded" in capsys.readouterr().out
+
+
+class TestExperimentEdgeCases:
+    def test_problem_override_rejected_for_fixed_experiments(self, capsys):
+        code = main(["experiment", "motivation", "--problem", "banded"])
+        assert code == 2
+        assert "does not take" in capsys.readouterr().out

@@ -1,0 +1,114 @@
+"""Unit tests for the least-squares generator and the problem registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.workloads import (
+    available_problems,
+    get_problem,
+    random_least_squares,
+    register_problem,
+)
+from repro.workloads.suite import Problem
+
+
+class TestLeastSquaresGenerator:
+    def test_full_column_rank(self):
+        prob = random_least_squares(40, 15, seed=1)
+        assert np.linalg.matrix_rank(prob.A.to_dense()) == 15
+
+    def test_consistent_case(self):
+        prob = random_least_squares(30, 12, noise_scale=0.0, seed=2)
+        assert prob.consistent
+        np.testing.assert_allclose(
+            prob.A.matvec(prob.x_generating), prob.b, atol=1e-12
+        )
+
+    def test_noisy_case(self):
+        prob = random_least_squares(30, 12, noise_scale=0.5, seed=3)
+        assert not prob.consistent
+        residual = prob.b - prob.A.matvec(prob.x_generating)
+        np.testing.assert_allclose(residual, prob.noise, atol=1e-12)
+
+    def test_unit_column_norms(self):
+        prob = random_least_squares(50, 20, column_norm=1.0, seed=4)
+        d = prob.A.to_dense()
+        np.testing.assert_allclose(np.linalg.norm(d, axis=0), 1.0, atol=1e-12)
+
+    def test_custom_column_norm(self):
+        prob = random_least_squares(50, 20, column_norm=3.0, seed=5)
+        d = prob.A.to_dense()
+        np.testing.assert_allclose(np.linalg.norm(d, axis=0), 3.0, atol=1e-12)
+
+    def test_no_normalization(self):
+        prob = random_least_squares(30, 10, column_norm=None, seed=6)
+        d = prob.A.to_dense()
+        norms = np.linalg.norm(d, axis=0)
+        assert norms.std() > 1e-6  # genuinely un-normalized
+
+    def test_deterministic(self):
+        a = random_least_squares(20, 8, seed=7)
+        b = random_least_squares(20, 8, seed=7)
+        np.testing.assert_array_equal(a.A.to_dense(), b.A.to_dense())
+        np.testing.assert_array_equal(a.b, b.b)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            random_least_squares(5, 10)
+        with pytest.raises(ModelError):
+            random_least_squares(10, 0)
+
+
+class TestSuite:
+    def test_registry_nonempty(self):
+        names = available_problems()
+        assert "social-small" in names
+        assert "laplace2d" in names
+        assert len(names) >= 6
+
+    @pytest.mark.parametrize(
+        "name", ["social-small", "laplace2d", "laplace3d", "diagdom", "banded", "unitdiag"]
+    )
+    def test_problems_instantiate_and_are_spd_witnessed(self, name):
+        prob = get_problem(name)
+        assert prob.A.is_square()
+        assert prob.A.is_symmetric(tol=1e-9)
+        assert np.all(prob.A.diagonal() > 0)
+        assert prob.b.shape == (prob.n,)
+
+    def test_manufactured_solutions_verified(self):
+        for name in ("laplace2d", "diagdom", "banded", "unitdiag"):
+            prob = get_problem(name)
+            assert prob.x_star is not None
+            np.testing.assert_allclose(
+                prob.A.matvec(prob.x_star), prob.b, atol=1e-9
+            )
+
+    def test_social_has_rhs_block(self):
+        prob = get_problem("social-small")
+        assert prob.B is not None
+        assert prob.B.shape[0] == prob.n
+        assert prob.B.shape[1] >= 2
+
+    def test_unknown_problem(self):
+        with pytest.raises(ModelError):
+            get_problem("no-such-problem")
+
+    def test_fresh_instances(self):
+        a = get_problem("laplace2d")
+        b = get_problem("laplace2d")
+        assert a is not b
+        np.testing.assert_array_equal(a.b, b.b)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ModelError):
+
+            @register_problem("laplace2d")
+            def dup() -> Problem:  # pragma: no cover
+                raise AssertionError
+
+    def test_meta_has_row_stats(self):
+        prob = get_problem("social-small")
+        assert "skew_ratio" in prob.meta
+        assert prob.meta["kind"] == "social"

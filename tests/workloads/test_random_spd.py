@@ -1,0 +1,111 @@
+"""Unit tests for random SPD generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.workloads import (
+    banded_spd,
+    diagonally_dominant,
+    random_unit_diagonal_spd,
+)
+
+
+class TestDiagonallyDominant:
+    def test_strict_dominance(self):
+        A = diagonally_dominant(60, nnz_per_row=6, margin=0.1, seed=1)
+        d = A.to_dense()
+        diag = np.abs(np.diag(d))
+        offsum = np.abs(d).sum(axis=1) - diag
+        assert np.all(diag > offsum)
+
+    def test_spd(self):
+        A = diagonally_dominant(40, nnz_per_row=5, margin=0.2, seed=2)
+        np.linalg.cholesky(A.to_dense())
+
+    def test_symmetric(self):
+        A = diagonally_dominant(50, nnz_per_row=6, margin=0.1, seed=3)
+        assert A.is_symmetric(tol=1e-12)
+
+    def test_deterministic(self):
+        a = diagonally_dominant(30, seed=4)
+        b = diagonally_dominant(30, seed=4)
+        np.testing.assert_array_equal(a.to_dense(), b.to_dense())
+
+    def test_isolated_rows_get_floor_diagonal(self):
+        A = diagonally_dominant(10, nnz_per_row=1, margin=0.5, seed=5)
+        assert np.all(A.diagonal() > 0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            diagonally_dominant(0)
+        with pytest.raises(ModelError):
+            diagonally_dominant(10, margin=0.0)
+
+
+class TestBanded:
+    def test_band_structure(self):
+        A = banded_spd(30, bandwidth=3, seed=1)
+        d = A.to_dense()
+        for i in range(30):
+            for j in range(30):
+                if abs(i - j) > 3:
+                    assert d[i, j] == 0.0
+
+    def test_spd(self):
+        A = banded_spd(25, bandwidth=4, decay=0.4, seed=2)
+        np.linalg.cholesky(A.to_dense())
+
+    def test_symmetric(self):
+        assert banded_spd(20, bandwidth=2, seed=3).is_symmetric(tol=1e-12)
+
+    def test_uniform_interior_rows(self):
+        """Banded matrices realize C₂/C₁ ≈ 1 (the reference scenario)."""
+        A = banded_spd(50, bandwidth=3, seed=4)
+        counts = A.row_nnz()
+        interior = counts[3:-3]
+        assert interior.min() == interior.max() == 7
+
+    def test_decay(self):
+        A = banded_spd(20, bandwidth=4, decay=0.3, seed=5)
+        d = np.abs(A.to_dense())
+        # Off-diagonal magnitudes must decay with distance from diagonal.
+        lvl = [d.diagonal(offset=k)[d.diagonal(offset=k) > 0].max() for k in (1, 4)]
+        assert lvl[1] < lvl[0]
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            banded_spd(10, bandwidth=0)
+        with pytest.raises(ModelError):
+            banded_spd(10, bandwidth=10)
+        with pytest.raises(ModelError):
+            banded_spd(10, bandwidth=2, decay=1.5)
+
+
+class TestUnitDiagonalSPD:
+    def test_unit_diagonal(self):
+        A = random_unit_diagonal_spd(40, seed=1)
+        assert A.has_unit_diagonal(tol=1e-12)
+
+    def test_spd_via_gershgorin_margin(self):
+        A = random_unit_diagonal_spd(40, offdiag_scale=0.9, seed=2)
+        w = np.linalg.eigvalsh(A.to_dense())
+        assert w[0] > 0.05  # 1 − 0.9 margin
+        assert w[-1] < 1.95
+
+    def test_offdiag_scale_controls_conditioning(self):
+        """Closer to 1 ⇒ smaller λ_min ⇒ worse conditioning."""
+        mild = random_unit_diagonal_spd(40, offdiag_scale=0.5, seed=3)
+        hard = random_unit_diagonal_spd(40, offdiag_scale=0.95, seed=3)
+        k_mild = np.linalg.cond(mild.to_dense())
+        k_hard = np.linalg.cond(hard.to_dense())
+        assert k_hard > k_mild
+
+    def test_symmetric(self):
+        assert random_unit_diagonal_spd(30, seed=4).is_symmetric(tol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            random_unit_diagonal_spd(0)
+        with pytest.raises(ModelError):
+            random_unit_diagonal_spd(10, offdiag_scale=1.0)

@@ -1,0 +1,98 @@
+"""Unit tests for the synthetic social-media workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.workloads import social_media_problem, term_document_matrix
+
+
+class TestTermDocumentMatrix:
+    def test_shape_and_sparsity(self):
+        D = term_document_matrix(n_terms=50, n_docs=200, mean_doc_len=8, seed=1)
+        assert D.shape == (200, 50)
+        assert 0 < D.nnz < 200 * 50
+
+    def test_deterministic(self):
+        a = term_document_matrix(n_terms=30, n_docs=100, seed=7)
+        b = term_document_matrix(n_terms=30, n_docs=100, seed=7)
+        np.testing.assert_array_equal(a.data, b.data)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_seed_changes_matrix(self):
+        a = term_document_matrix(n_terms=30, n_docs=100, seed=7)
+        b = term_document_matrix(n_terms=30, n_docs=100, seed=8)
+        assert a.nnz != b.nnz or not np.array_equal(a.data, b.data)
+
+    def test_frequencies_positive_integers(self):
+        D = term_document_matrix(n_terms=40, n_docs=150, seed=2)
+        assert np.all(D.data >= 1.0)
+        np.testing.assert_array_equal(D.data, np.rint(D.data))
+
+    def test_zipf_head_terms_most_popular(self):
+        """Term 0 (the Zipf head) must occur in far more documents than a
+        mid-tail term."""
+        D = term_document_matrix(n_terms=100, n_docs=800, mean_doc_len=15, seed=3)
+        Dt = D.transpose()
+        docs_with = Dt.row_nnz()
+        assert docs_with[0] > 4 * max(docs_with[50], 1)
+
+    def test_every_document_nonempty(self):
+        D = term_document_matrix(n_terms=30, n_docs=120, mean_doc_len=5, seed=4)
+        assert np.all(D.row_nnz() >= 1)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            term_document_matrix(n_terms=0, n_docs=10)
+        with pytest.raises(ModelError):
+            term_document_matrix(n_terms=10, n_docs=10, mean_doc_len=-1)
+        with pytest.raises(ModelError):
+            term_document_matrix(n_terms=10, n_docs=10, freq_p=1.5)
+
+
+class TestSocialMediaProblem:
+    @pytest.fixture(scope="class")
+    def prob(self):
+        return social_media_problem(
+            n_terms=150, n_docs=400, n_labels=3, mean_doc_len=6, seed=5
+        )
+
+    def test_gram_is_spd_witnesses(self, prob):
+        assert prob.G.is_symmetric(tol=1e-10)
+        assert np.all(prob.G.diagonal() > 0)
+        # Ridge guarantees positive definiteness: check via Cholesky.
+        np.linalg.cholesky(prob.G.to_dense())
+
+    def test_gram_matches_definition(self, prob):
+        D = prob.D.to_dense()
+        expected = D.T @ D + prob.ridge * np.eye(prob.n)
+        np.testing.assert_allclose(prob.G.to_dense(), expected, atol=1e-10)
+
+    def test_rhs_block_shape(self, prob):
+        assert prob.B.shape == (prob.n, 3)
+        assert np.linalg.norm(prob.B) > 0
+
+    def test_rhs_is_label_image(self, prob):
+        """Every RHS column must lie in the row space of Dᵀ — it is Dᵀy
+        for ±1 labels."""
+        col = prob.B[:, 0]
+        # Dᵀ y with y ∈ {±1}^m: entries bounded by column abs sums.
+        bound = np.abs(prob.D.to_dense()).sum(axis=0)
+        assert np.all(np.abs(col) <= bound + 1e-12)
+
+    def test_row_skew_present(self, prob):
+        """The defining feature of the paper's matrix: highly skewed row
+        sizes (a few near-dense rows)."""
+        assert prob.stats["skew_ratio"] > 3.0
+        assert prob.stats["max"] > 0.5 * prob.n
+
+    def test_labels_deterministic(self):
+        a = social_media_problem(n_terms=40, n_docs=150, n_labels=2, seed=9)
+        b = social_media_problem(n_terms=40, n_docs=150, n_labels=2, seed=9)
+        np.testing.assert_array_equal(a.B, b.B)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            social_media_problem(n_terms=10, n_docs=10, n_labels=0)
+        with pytest.raises(ModelError):
+            social_media_problem(n_terms=10, n_docs=10, ridge=0.0)
