@@ -19,7 +19,8 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.core` — randomized Gauss-Seidel, AsyRGS, least squares,
   step-size control, and the computable convergence theory;
 * :mod:`repro.execution` — delay models, the bounded-delay simulators,
-  a real-threads backend, and the machine cost model;
+  real-threads and real-process (shared-memory) backends, and the
+  machine cost model;
 * :mod:`repro.sparse` — the CSR sparse-matrix substrate;
 * :mod:`repro.rng` — counter-based (Philox) random numbers;
 * :mod:`repro.krylov` — CG, flexible CG, preconditioners;
@@ -41,6 +42,7 @@ from .execution import (
     AsyncSimulator,
     MachineModel,
     PhasedSimulator,
+    ProcessAsyRGS,
     ThreadedAsyRGS,
 )
 from .krylov import (
@@ -73,6 +75,7 @@ __all__ = [
     "DirectionStream",
     "MachineModel",
     "PhasedSimulator",
+    "ProcessAsyRGS",
     "ThreadedAsyRGS",
     "block_conjugate_gradient",
     "condest",

@@ -25,6 +25,7 @@ from .fig2_scaling import (
     run_fig2_left,
     run_fig2_right,
 )
+from .fig_speedup import SpeedupResult, run_speedup
 from .fig3_fcg import (
     FCGRun,
     Fig3Result,
@@ -47,6 +48,7 @@ __all__ = [
     "Fig2LeftResult",
     "Fig2RightResult",
     "Fig3Result",
+    "SpeedupResult",
     "Table1Result",
     "render_series",
     "render_table",
@@ -61,6 +63,7 @@ __all__ = [
     "run_fig2_left",
     "run_fig2_right",
     "run_fig3",
+    "run_speedup",
     "run_table1",
     "run_tau_sweep",
     "run_theory_envelope",

@@ -11,6 +11,10 @@ Commands
     Run one of the paper-reproduction experiment drivers (fig1,
     fig2-left/center/right, fig3, table1, and the ablations) and print
     its table.
+``speedup``
+    Wall-clock strong scaling of the real-process backend: a fixed
+    update budget on 1..P OS processes sharing one iterate, with
+    measured delay statistics per configuration.
 ``problems``
     List the named workload registry.
 
@@ -44,7 +48,17 @@ def build_parser() -> argparse.ArgumentParser:
         default="asyrgs",
     )
     p_solve.add_argument("--rhs", default=None, help="optional whitespace RHS file")
-    p_solve.add_argument("--nproc", type=int, default=8, help="simulated processors")
+    p_solve.add_argument(
+        "--nproc", type=int, default=8,
+        help="processors (simulated, or real with --engine processes)",
+    )
+    p_solve.add_argument(
+        "--engine",
+        choices=["phased", "general", "processes"],
+        default="phased",
+        help="AsyRGS execution engine: simulated rounds, per-update "
+        "simulation, or genuine shared-memory OS processes",
+    )
     p_solve.add_argument("--beta", default="1.0", help="step size or 'auto'")
     p_solve.add_argument("--tol", type=float, default=1e-8)
     p_solve.add_argument("--max-sweeps", type=int, default=2000)
@@ -68,6 +82,17 @@ def build_parser() -> argparse.ArgumentParser:
         ],
     )
     p_exp.add_argument("--problem", default=None, help="named problem override")
+
+    p_speed = sub.add_parser(
+        "speedup", help="wall-clock strong scaling on real OS processes"
+    )
+    p_speed.add_argument("--problem", default="laplace2d", help="named problem")
+    p_speed.add_argument(
+        "--nproc", type=int, default=4,
+        help="largest process count (powers of two up to this are timed)",
+    )
+    p_speed.add_argument("--sweeps", type=int, default=20, help="update budget in sweeps")
+    p_speed.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("problems", help="list the named workload registry")
     return parser
@@ -96,14 +121,24 @@ def _cmd_solve(args) -> int:
     A, b = _load_system(args)
     beta = args.beta if args.beta == "auto" else float(args.beta)
     if args.method == "asyrgs":
-        solver = AsyRGS(A, b, nproc=args.nproc, beta=beta, seed=args.seed)
+        solver = AsyRGS(
+            A, b, nproc=args.nproc, beta=beta, seed=args.seed, engine=args.engine
+        )
         result = solver.solve(tol=args.tol, max_sweeps=args.max_sweeps)
         x, converged = result.x, result.converged
         print(
-            f"AsyRGS (nproc={args.nproc}, beta={solver.beta:.4g}): "
+            f"AsyRGS (engine={args.engine}, nproc={args.nproc}, "
+            f"beta={solver.beta:.4g}): "
             f"{result.sweeps} sweeps, residual {result.history.final:.3e}, "
             f"converged={converged}"
         )
+        if result.tau_observed is not None:
+            print(
+                f"measured delays: tau_observed={result.tau_observed.max}, "
+                f"mean={result.tau_observed.mean:.2f} over "
+                f"{result.tau_observed.count} updates "
+                f"({result.wall_time:.3f}s wall in {args.nproc} processes)"
+            )
     elif args.method == "rgs":
         result = randomized_gauss_seidel(
             A, b, sweeps=args.max_sweeps, tol=args.tol,
@@ -205,6 +240,21 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_speedup(args) -> int:
+    from .bench import run_speedup
+
+    result = run_speedup(
+        args.problem, max_nproc=args.nproc, sweeps=args.sweeps, seed=args.seed
+    )
+    print(result.table())
+    if result.cpus < max(result.nprocs):
+        print(
+            f"note: only {result.cpus} CPU(s) available — expect flat wall-clock "
+            "and inflated tau_obs at higher process counts (oversubscription)"
+        )
+    return 0
+
+
 def _cmd_problems(_args) -> int:
     from .workloads import available_problems, get_problem
 
@@ -224,6 +274,7 @@ def main(argv=None) -> int:
         "solve": _cmd_solve,
         "estimate": _cmd_estimate,
         "experiment": _cmd_experiment,
+        "speedup": _cmd_speedup,
         "problems": _cmd_problems,
     }
     return handlers[args.command](args)

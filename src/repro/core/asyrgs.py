@@ -1,12 +1,13 @@
 """AsyRGS — the paper's asynchronous randomized Gauss-Seidel solver.
 
 This module is the user-facing façade over the execution substrate. It
-packages the two simulation engines behind one solver object and
-implements the **epoch scheme** from the discussion of Theorem 2: run
-asynchronously for ≈ n updates, synchronize (a segment boundary — every
-processor's updates become visible), check the residual, repeat. The
-number of synchronization points is what the theory trades against the
-convergence rate, and what the cost model charges barriers for.
+packages the two simulation engines and the true-parallel multiprocess
+backend behind one solver object and implements the **epoch scheme**
+from the discussion of Theorem 2: run asynchronously for ≈ n updates,
+synchronize (a segment boundary — every processor's updates become
+visible), check the residual, repeat. The number of synchronization
+points is what the theory trades against the convergence rate, and what
+the cost model charges barriers for.
 
 Typical use::
 
@@ -17,6 +18,13 @@ or, for explicit delay-model studies::
 
     solver = AsyRGS(A, b, delay_model=UniformDelay(tau=32, seed=7),
                     engine="general", beta="auto")
+
+or, on real OS processes sharing one iterate (measured delays instead of
+modeled ones)::
+
+    solver = AsyRGS(A, b, nproc=4, engine="processes")
+    result = solver.solve(tol=1e-4, max_sweeps=200)
+    result.tau_observed.max   # empirical delay bound from the write-log
 """
 
 from __future__ import annotations
@@ -31,7 +39,9 @@ from ..sparse import CSRMatrix
 from ..execution import (
     AsyncSimulator,
     DelayModel,
+    DelayStats,
     PhasedSimulator,
+    ProcessAsyRGS,
     ProcessorPhaseDelay,
     WriteModel,
 )
@@ -63,9 +73,18 @@ class AsyRGSResult:
     sync_points:
         Number of synchronization (epoch) boundaries executed.
     lost_writes:
-        Updates destroyed by write races (non-atomic modes).
+        Updates destroyed by write races (non-atomic simulated modes;
+        the multiprocess backend cannot observe individual lost writes
+        and reports 0).
     beta:
         The step size actually used (useful with ``beta="auto"``).
+    tau_observed:
+        Empirical delay statistics from the multiprocess backend's
+        shared write-log (``None`` for the simulated engines, whose
+        delays are modeled rather than measured).
+    wall_time:
+        Wall-clock seconds spent in the worker pool
+        (``engine="processes"`` only).
     """
 
     x: np.ndarray
@@ -77,6 +96,8 @@ class AsyRGSResult:
     sync_points: int
     lost_writes: int
     beta: float
+    tau_observed: DelayStats | None = None
+    wall_time: float | None = None
 
 
 class AsyRGS:
@@ -98,14 +119,28 @@ class AsyRGS:
     engine:
         ``"phased"`` — the vectorized round-based engine (used by the
         scaling benches); ``"general"`` — the per-update engine supporting
-        arbitrary delay and write models.
+        arbitrary delay and write models; ``"processes"`` — genuine OS
+        processes sharing the iterate through
+        :mod:`multiprocessing.shared_memory` (real delays, measured
+        ``tau_observed``, wall-clock speedup; single RHS only).
     beta:
         Step size in ``(0, 2)``, or ``"auto"`` to use the theory-optimal
         step for the configured τ and read-consistency model
         (Section 6 / :mod:`repro.core.stepsize`).
     directions:
-        Coordinate stream shared across configurations (defaults to seed 0).
-    atomic / write_model / jitter / seed:
+        Coordinate stream shared across configurations. Defaults to seed
+        0 for the simulated engines (pinning directions across
+        configurations); for ``engine="processes"`` the default stream is
+        keyed by ``seed`` — it is the only randomness that engine
+        consumes.
+    atomic:
+        Whether the single-coordinate update is indivisible (Assumption
+        A-1). ``None`` (default) picks the engine's native regime:
+        ``True`` for the simulated engines (atomicity is free there) and
+        ``False`` for ``engine="processes"``, where honoring A-1 costs
+        striped locks and the unlocked run is the paper's Section 9
+        non-atomic experiment (matching the ``speedup`` benchmark).
+    write_model / jitter / seed:
         Forwarded to the chosen engine (see
         :mod:`repro.execution.simulator`).
     """
@@ -120,20 +155,26 @@ class AsyRGS:
         engine: str = "phased",
         beta: float | str = 1.0,
         directions: DirectionStream | None = None,
-        atomic: bool = True,
+        atomic: bool | None = None,
         write_model: WriteModel | None = None,
         jitter: int = 0,
         seed: int = 0,
     ):
-        if engine not in ("phased", "general"):
-            raise ModelError(f"unknown engine {engine!r}; use 'phased' or 'general'")
-        if engine == "phased" and delay_model is not None:
-            raise ModelError("delay_model is only supported by the 'general' engine")
-        if engine == "phased" and write_model is not None:
+        if engine not in ("phased", "general", "processes"):
             raise ModelError(
-                "the phased engine models write races via atomic=False; "
-                "write_model is only supported by the 'general' engine"
+                f"unknown engine {engine!r}; use 'phased', 'general', or 'processes'"
             )
+        if engine != "general" and delay_model is not None:
+            raise ModelError("delay_model is only supported by the 'general' engine")
+        if engine != "general" and write_model is not None:
+            raise ModelError(
+                "the phased engine models write races via atomic=False and the "
+                "processes engine races for real; write_model is only supported "
+                "by the 'general' engine"
+            )
+        if engine == "processes" and jitter:
+            raise ModelError("jitter is a phased-engine knob; the processes "
+                             "engine gets its jitter from the OS scheduler")
         if not A.is_square():
             raise ShapeError(f"AsyRGS needs a square matrix, got {A.shape}")
         self.A = A
@@ -143,9 +184,12 @@ class AsyRGS:
         self.nproc = int(nproc)
         if self.nproc < 1:
             raise ModelError(f"nproc must be at least 1, got {nproc}")
-        self.directions = (
-            directions if directions is not None else DirectionStream(self.n, seed=0)
-        )
+        if atomic is None:
+            atomic = engine != "processes"
+        if directions is None:
+            direction_seed = seed if engine == "processes" else 0
+            directions = DirectionStream(self.n, seed=direction_seed)
+        self.directions = directions
         if engine == "general":
             self.delay_model = (
                 delay_model
@@ -154,6 +198,12 @@ class AsyRGS:
             )
             tau = self.delay_model.tau
             consistent = self.delay_model.is_consistent
+        elif engine == "processes":
+            # Nominal a-priori bound: the τ = O(P) reference scenario.
+            # The run itself reports the measured value (tau_observed).
+            self.delay_model = None
+            tau = self.nproc - 1
+            consistent = False  # live shared-memory reads, no snapshots
         else:
             self.delay_model = None
             tau = self.nproc + int(jitter) - 1
@@ -177,6 +227,15 @@ class AsyRGS:
                 atomic=atomic,
                 jitter=int(jitter),
                 seed=seed,
+            )
+        elif engine == "processes":
+            self._sim = ProcessAsyRGS(
+                A,
+                self.b,
+                nproc=self.nproc,
+                beta=self.beta,
+                atomic=atomic,
+                directions=self.directions,
             )
         else:
             self._sim = AsyncSimulator(
@@ -222,6 +281,31 @@ class AsyRGS:
         )
         if history is not None:
             history.record(0, metric(x))
+        if self.engine == "processes":
+            if start_iteration:
+                raise ModelError(
+                    "the processes engine always consumes the direction stream "
+                    "from position 0; start_iteration is not supported"
+                )
+            result = self._sim.run(x, sweeps * self.n)
+            # Workers cannot be observed mid-segment without synchronizing
+            # them (that is the point of this backend), so the history has
+            # endpoints only: the run is one asynchronous segment.
+            if history is not None:
+                history.record(sweeps, metric(result.x))
+            return AsyRGSResult(
+                x=result.x,
+                iterations=result.iterations,
+                sweeps=sweeps,
+                converged=False,
+                history=history,
+                total_row_nnz=result.total_row_nnz,
+                sync_points=0,
+                lost_writes=0,
+                beta=self.beta,
+                tau_observed=result.tau_observed,
+                wall_time=result.wall_time,
+            )
         result = self._sim.run(
             x,
             sweeps * self.n,
@@ -274,6 +358,30 @@ class AsyRGS:
             if record_history
             else None
         )
+        if self.engine == "processes":
+            result = self._sim.solve(
+                tol=tol,
+                max_sweeps=max_sweeps,
+                x0=x,
+                sync_every_sweeps=sync_every,
+                metric=metric,
+            )
+            if history is not None:
+                for it, value in result.checkpoints:
+                    history.record(it // self.n, value)
+            return AsyRGSResult(
+                x=result.x,
+                iterations=result.iterations,
+                sweeps=result.iterations // self.n,
+                converged=result.converged,
+                history=history,
+                total_row_nnz=result.total_row_nnz,
+                sync_points=result.sync_points,
+                lost_writes=0,
+                beta=self.beta,
+                tau_observed=result.tau_observed,
+                wall_time=result.wall_time,
+            )
         value = metric(x)
         if history is not None:
             history.record(0, value)

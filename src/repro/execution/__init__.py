@@ -1,9 +1,21 @@
 """Asynchronous execution substrate.
 
 Delay models (the paper's ``k(j)``/``K(j)`` schedules), write-race models,
-the per-update and vectorized phased simulators, a real-threads backend,
-execution traces, and the machine cost model that converts measured
-operation counts into modeled wall-clock shapes.
+the per-update and vectorized phased simulators, two real-concurrency
+backends, execution traces, and the machine cost model that converts
+measured operation counts into modeled wall-clock shapes.
+
+Backends at a glance:
+
+=====================  ==========================  =========================
+backend                concurrency                 demonstrates
+=====================  ==========================  =========================
+:class:`AsyncSimulator`   simulated (per update)   arbitrary delay models
+:class:`PhasedSimulator`  simulated (rounds of P)  vectorized scaling runs
+:class:`ThreadedAsyRGS`   real threads (GIL)       correctness under races
+:class:`ProcessAsyRGS`    real OS processes        wall-clock speedup,
+                                                   measured ``tau_observed``
+=====================  ==========================  =========================
 """
 
 from .cost_model import MachineModel, round_robin_imbalance
@@ -17,6 +29,7 @@ from .delays import (
     UniformDelay,
     ZeroDelay,
 )
+from .processes import DelayStats, ProcessAsyRGS, ProcessRunResult, available_cpus
 from .shared_memory import AtomicWrites, LossyWrites, SharedVector, WriteModel
 from .simulator import AsyncSimulator, PhasedSimulator, SimulationResult
 from .threads import ThreadedAsyRGS, ThreadedRunResult
@@ -27,6 +40,7 @@ __all__ = [
     "AsyncSimulator",
     "AtomicWrites",
     "DelayModel",
+    "DelayStats",
     "ExecutionTrace",
     "FixedDelay",
     "InconsistentAdversarial",
@@ -34,6 +48,8 @@ __all__ = [
     "LossyWrites",
     "MachineModel",
     "PhasedSimulator",
+    "ProcessAsyRGS",
+    "ProcessRunResult",
     "ProcessorPhaseDelay",
     "SharedVector",
     "SimulationResult",
@@ -42,6 +58,7 @@ __all__ = [
     "UniformDelay",
     "WriteModel",
     "ZeroDelay",
+    "available_cpus",
     "replay_trace",
     "round_robin_imbalance",
 ]

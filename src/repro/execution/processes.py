@@ -1,0 +1,646 @@
+"""True shared-memory multiprocess backend for AsyRGS.
+
+This executes Algorithm 1 of the paper on genuine OS *processes* — each
+with its own CPython interpreter and therefore its own GIL — sharing one
+iterate through :mod:`multiprocessing.shared_memory`. It is the backend
+the simulators and the threaded backend structurally cannot replace: the
+threaded backend is serialized by the GIL (correctness only), and the
+simulators model delays instead of incurring them. Here delays are real,
+reads are genuinely inconsistent, and wall-clock speedup is measurable.
+
+Layout
+------
+One ``SharedMemory`` segment holds every shared array, cache-line
+aligned: the CSR triplet (``data``/``indices``/``indptr``), ``b``, the
+diagonal, the iterate ``x``, per-worker progress counters, the epoch
+control word, and the delay write-log. Workers attach by segment name
+(spawn-safe) and build zero-copy NumPy views at fixed offsets — no
+serialization of the matrix ever happens after startup.
+
+Randomness
+----------
+Worker ``p`` of ``P`` draws its coordinates from
+``DirectionStream.for_processor(p, P)`` — the strided view
+``r_p, r_{p+P}, …`` of one global Philox stream — so the union of
+directions consumed by ``P`` processes equals the serial sequence
+exactly (the paper's Random123 technique, Section 9). Per-epoch shares
+are cut with :func:`~repro.rng.interleave_counts` of the *cumulative*
+update budget, which keeps the union property across epoch boundaries.
+
+Epochs
+------
+:meth:`ProcessAsyRGS.solve` implements the synchronization scheme of
+Theorem 2's discussion: run asynchronously for ``sync_every_sweeps · n``
+updates, meet at a barrier (every worker's writes are visible — a
+segment boundary in the paper's sense), let the parent evaluate the
+residual on the shared iterate, and either continue or stop. The number
+of barrier crossings is reported as ``sync_points``.
+
+Delay measurement
+-----------------
+Each update records how many *foreign* commits landed between its read
+of the shared iterate and its own commit — an empirical staleness sample
+recovered from the shared write-log (per-worker progress counters plus a
+bounded sample log). The maximum over samples is ``tau_observed``, the
+empirical counterpart of the paper's delay bound ``τ``, and is exactly
+what the theory's ``ρ·τ`` products (:func:`~repro.core.theory.nu_tau`,
+``rho_infinity``) should be evaluated against when checking a real run
+against the proven rate.
+
+Atomicity
+---------
+Cross-process ``x[r] += δ`` is *not* atomic. By default the backend runs
+unlocked — the non-atomic regime the paper tests experimentally in
+Section 9 and finds indistinguishable. ``atomic=True`` routes updates
+through a striped lock array (Assumption A-1 honored at the cost of some
+scaling).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+
+import multiprocessing
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..exceptions import ModelError, ShapeError
+from ..rng import DirectionStream, interleave_counts
+from ..sparse import CSRMatrix
+from .simulator import _prepare_system
+
+__all__ = ["ProcessAsyRGS", "ProcessRunResult", "DelayStats"]
+
+
+# Control-word slots (int64): command, cumulative update target, error flag.
+_CTRL_COMMAND = 0
+_CTRL_TARGET = 1
+_CTRL_ERROR = 2
+_CMD_RUN = 0
+_CMD_STOP = 1
+
+_ALIGN = 64  # cache-line alignment for every shared array
+
+
+def _layout(n: int, nnz: int, nproc: int, log_capacity: int):
+    """Offsets and dtypes of every shared array inside the one segment."""
+    specs = {
+        "data": (np.float64, (nnz,)),
+        "indices": (np.int64, (nnz,)),
+        "indptr": (np.int64, (n + 1,)),
+        "b": (np.float64, (n,)),
+        "diag": (np.float64, (n,)),
+        "x": (np.float64, (n,)),
+        "progress": (np.int64, (nproc,)),
+        "row_nnz": (np.int64, (nproc,)),
+        "control": (np.int64, (4,)),
+        "delay_sum": (np.int64, (nproc,)),
+        "delay_max": (np.int64, (nproc,)),
+        "delay_count": (np.int64, (nproc,)),
+        "delay_log": (np.int64, (nproc, log_capacity)),
+    }
+    offsets = {}
+    cursor = 0
+    for name, (dtype, shape) in specs.items():
+        cursor = (cursor + _ALIGN - 1) & ~(_ALIGN - 1)
+        offsets[name] = cursor
+        cursor += int(np.dtype(dtype).itemsize) * int(np.prod(shape))
+    return specs, offsets, max(cursor, 1)
+
+
+def _views(shm: shared_memory.SharedMemory, n: int, nnz: int, nproc: int,
+           log_capacity: int) -> dict[str, np.ndarray]:
+    """Zero-copy NumPy views of every shared array in the segment."""
+    specs, offsets, _ = _layout(n, nnz, nproc, log_capacity)
+    return {
+        name: np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offsets[name])
+        for name, (dtype, shape) in specs.items()
+    }
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without registering it for cleanup.
+
+    Until Python 3.13 (``track=False``) every attach re-registers the
+    segment with the shared resource tracker, which then sees more
+    unregisters than registers once several workers attach the same
+    name. Only the parent owns the segment's lifetime, so workers
+    suppress tracker registration entirely (worker processes never
+    create shared resources of their own).
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register = lambda name, rtype: None
+    except Exception:
+        pass
+    return shared_memory.SharedMemory(name=name)
+
+
+def _worker_main(
+    wid: int,
+    nproc: int,
+    shm_name: str,
+    n: int,
+    nnz: int,
+    log_capacity: int,
+    beta: float,
+    seed: int,
+    stream: int,
+    barrier,
+    locks,
+    block: int,
+) -> None:
+    """Worker entry point: attach, run the epoch loop, clean up."""
+    shm = _attach(shm_name)
+    try:
+        _worker_loop(
+            wid, nproc, shm, n, nnz, log_capacity, beta, seed, stream,
+            barrier, locks, block,
+        )
+    except Exception:  # pragma: no cover - exercised only on worker crashes
+        try:
+            _views(shm, n, nnz, nproc, log_capacity)["control"][_CTRL_ERROR] = 1
+        except Exception:
+            pass
+        traceback.print_exc()
+        barrier.abort()  # wake the parent instead of deadlocking it
+    finally:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - stray view refs at exit
+            pass
+
+
+def _worker_loop(
+    wid: int,
+    nproc: int,
+    shm: shared_memory.SharedMemory,
+    n: int,
+    nnz: int,
+    log_capacity: int,
+    beta: float,
+    seed: int,
+    stream: int,
+    barrier,
+    locks,
+    block: int,
+) -> None:
+    """Worker body: epochs of Algorithm-1 updates on the shared iterate."""
+    v = _views(shm, n, nnz, nproc, log_capacity)
+    indptr, indices, data = v["indptr"], v["indices"], v["data"]
+    x, b, diag = v["x"], v["b"], v["diag"]
+    progress, control = v["progress"], v["control"]
+    row_nnz = v["row_nnz"]
+    delay_sum, delay_max = v["delay_sum"], v["delay_max"]
+    delay_count, delay_log = v["delay_count"], v["delay_log"]
+    view = DirectionStream(n, seed=seed, stream=stream).for_processor(wid, nproc)
+    nlocks = len(locks) if locks else 0
+    done = 0
+    while True:
+        barrier.wait()  # start gate: parent has published the control word
+        if control[_CTRL_COMMAND] == _CMD_STOP:
+            break
+        target = int(interleave_counts(int(control[_CTRL_TARGET]), nproc)[wid])
+        while done < target:
+            take = min(block, target - done)
+            rows = view.directions(done, take)
+            for r in rows:
+                r = int(r)
+                s, e = int(indptr[r]), int(indptr[r + 1])
+                cols = indices[s:e]
+                # Ticket before the read: everything committed after
+                # this and before our own commit raced with us.
+                before = int(progress.sum())
+                # Lines 5-6 of Algorithm 1 — the read is live shared
+                # memory, no snapshot: the inconsistent-read regime.
+                gamma = (b[r] - float(data[s:e] @ x[cols])) / diag[r]
+                # Line 7: the update.
+                if nlocks:
+                    with locks[r % nlocks]:
+                        x[r] += beta * gamma
+                else:
+                    x[r] += beta * gamma
+                done += 1
+                progress[wid] = done  # single-writer slot
+                row_nnz[wid] += e - s
+                # Write-log entry: foreign commits during our span.
+                sample = int(progress.sum()) - before - 1
+                delay_sum[wid] += sample
+                if sample > delay_max[wid]:
+                    delay_max[wid] = sample
+                k = int(delay_count[wid])
+                if k < log_capacity:
+                    delay_log[wid, k] = sample
+                delay_count[wid] = k + 1
+        barrier.wait()  # end gate: all updates of the epoch are visible
+
+
+@dataclass
+class DelayStats:
+    """Empirical staleness recovered from the shared write-log.
+
+    Each sample counts the foreign commits that landed between one
+    update's read of the shared iterate and its own commit — the measured
+    counterpart of the paper's bounded delay ``τ`` (Assumptions A-3/A-4).
+    """
+
+    count: int
+    mean: float
+    max: int
+    samples: np.ndarray = field(repr=False)
+
+    @property
+    def tau_observed(self) -> int:
+        """The empirical delay bound: the largest staleness witnessed."""
+        return self.max
+
+
+@dataclass
+class ProcessRunResult:
+    """Outcome of a multiprocess run.
+
+    Attributes
+    ----------
+    x:
+        Final iterate (a private copy; the shared segment is freed).
+    iterations:
+        Total coordinate updates committed across all workers.
+    per_worker_iterations:
+        Commit counts per worker process.
+    sync_points:
+        Barrier crossings executed (epoch boundaries).
+    converged:
+        Whether the tolerance was reached (``False`` without one).
+    wall_time:
+        Wall-clock seconds spent inside the worker session (excludes
+        process startup, includes barrier waits — the honest number a
+        strong-scaling plot should use).
+    tau_observed:
+        :class:`DelayStats` from the shared write-log.
+    checkpoints:
+        ``(cumulative_updates, metric)`` pairs recorded at epoch
+        boundaries by the parent.
+    atomic:
+        Whether updates went through the striped locks.
+    """
+
+    x: np.ndarray
+    iterations: int
+    per_worker_iterations: list[int]
+    sync_points: int
+    converged: bool
+    wall_time: float
+    tau_observed: DelayStats
+    checkpoints: list[tuple[int, float]] = field(default_factory=list)
+    atomic: bool = False
+    total_row_nnz: int = 0
+
+
+class _Session:
+    """One live worker pool over one shared segment (epoch-stepped)."""
+
+    def __init__(self, backend: "ProcessAsyRGS", x0: np.ndarray):
+        self.backend = backend
+        P = backend.nproc
+        A = backend.A
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=_layout(backend.n, A.nnz, P, backend.log_capacity)[2]
+        )
+        self.target = 0
+        self.sync_points = 0
+        self.wall_time = 0.0
+        self.procs = []
+        self._alive = True
+        try:
+            self._setup(backend, x0, P, A)
+        except BaseException:
+            # Abort before any barrier crossing so already-started workers
+            # (blocked at the start gate) wake and exit instead of hanging,
+            # then free the segment — run()/solve() install their finally
+            # only after __init__ returns.
+            try:
+                if hasattr(self, "barrier"):
+                    self.barrier.abort()
+            except Exception:
+                pass
+            self._kill()
+            raise
+
+    def _setup(self, backend: "ProcessAsyRGS", x0: np.ndarray, P: int, A) -> None:
+        self.views = _views(self._shm, backend.n, A.nnz, P, backend.log_capacity)
+        self.views["data"][:] = A.data
+        self.views["indices"][:] = A.indices
+        self.views["indptr"][:] = A.indptr
+        self.views["b"][:] = backend.b
+        self.views["diag"][:] = backend._diag
+        self.views["x"][:] = x0
+        self.views["progress"][:] = 0
+        self.views["row_nnz"][:] = 0
+        self.views["control"][:] = 0
+        self.views["delay_sum"][:] = 0
+        self.views["delay_max"][:] = 0
+        self.views["delay_count"][:] = 0
+        ctx = backend._ctx
+        self.barrier = ctx.Barrier(P + 1)
+        locks = (
+            [ctx.Lock() for _ in range(min(backend.n, backend.lock_stripes))]
+            if backend.atomic
+            else []
+        )
+        self.procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(
+                    wid, P, self._shm.name, backend.n, A.nnz,
+                    backend.log_capacity, backend.beta,
+                    backend.directions.seed, backend.directions.stream,
+                    self.barrier, locks, backend.block,
+                ),
+                name=f"asyrgs-proc-{wid}",
+                daemon=True,
+            )
+            for wid in range(P)
+        ]
+        for p in self.procs:
+            p.start()
+
+    def _wait(self) -> None:
+        try:
+            self.barrier.wait(timeout=self.backend.barrier_timeout)
+        except threading.BrokenBarrierError:
+            # Read the flag before _kill() frees the shared views.
+            worker_reported = bool(self.views["control"][_CTRL_ERROR])
+            self._kill()
+            raise ModelError(
+                "a worker process crashed or stalled"
+                + (" (worker reported an exception)" if worker_reported else "")
+            ) from None
+
+    def advance(self, additional_updates: int) -> None:
+        """Run one asynchronous segment of ``additional_updates`` commits,
+        ending at a barrier (all writes visible)."""
+        self.target += int(additional_updates)
+        ctrl = self.views["control"]
+        ctrl[_CTRL_COMMAND] = _CMD_RUN
+        ctrl[_CTRL_TARGET] = self.target
+        start = time.perf_counter()
+        self._wait()  # start gate
+        self._wait()  # end gate — the epoch's updates are all visible now
+        self.wall_time += time.perf_counter() - start
+        self.sync_points += 1
+
+    def x(self) -> np.ndarray:
+        return self.views["x"]
+
+    def delay_stats(self) -> DelayStats:
+        counts = self.views["delay_count"].copy()
+        total = int(counts.sum())
+        cap = self.backend.log_capacity
+        samples = np.concatenate(
+            [self.views["delay_log"][w, : min(int(c), cap)] for w, c in enumerate(counts)]
+        ) if total else np.empty(0, dtype=np.int64)
+        return DelayStats(
+            count=total,
+            mean=float(self.views["delay_sum"].sum() / total) if total else 0.0,
+            max=int(self.views["delay_max"].max(initial=0)),
+            samples=samples,
+        )
+
+    def per_worker(self) -> list[int]:
+        return [int(c) for c in self.views["progress"]]
+
+    def total_row_nnz(self) -> int:
+        return int(self.views["row_nnz"].sum())
+
+    def _kill(self) -> None:
+        for p in self.procs:
+            if p.is_alive():
+                p.terminate()
+        self._join_and_free()
+
+    def stop(self) -> None:
+        """Orderly shutdown: release workers through the start gate with STOP."""
+        if not self._alive:
+            return
+        self.views["control"][_CTRL_COMMAND] = _CMD_STOP
+        try:
+            self.barrier.wait(timeout=self.backend.barrier_timeout)
+        except Exception:
+            self._kill()
+            return
+        self._join_and_free()
+
+    def _join_and_free(self) -> None:
+        if not self._alive:
+            return
+        self._alive = False
+        for p in self.procs:
+            p.join(timeout=self.backend.barrier_timeout)
+            if p.is_alive():  # pragma: no cover
+                p.terminate()
+                p.join()
+        if hasattr(self, "views"):
+            del self.views
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - stray view refs
+            pass
+        self._shm.unlink()
+
+
+class ProcessAsyRGS:
+    """Asynchronous randomized Gauss-Seidel on real OS processes.
+
+    Parameters
+    ----------
+    A, b:
+        The system (single right-hand side; positive diagonal required).
+    nproc:
+        Number of worker processes sharing the iterate.
+    beta:
+        Step size in ``(0, 2)``.
+    atomic:
+        ``True`` routes updates through striped locks (Assumption A-1);
+        the default runs unlocked — the paper's non-atomic experiment.
+    directions:
+        Shared coordinate stream; defaults to seed 0. The union of
+        directions consumed by the workers equals this stream's serial
+        prefix, epoch by epoch.
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork`` (fast,
+        POSIX) and falls back to the platform default.
+    log_capacity:
+        Per-worker bound on retained write-log staleness samples
+        (aggregate sum/max/count are always exact).
+    lock_stripes:
+        Number of locks in atomic mode (coordinate ``r`` maps to stripe
+        ``r mod lock_stripes``).
+    block:
+        Directions are gathered from the Philox stream in blocks of this
+        size (hot-loop amortization; no effect on results).
+    barrier_timeout:
+        Seconds before a barrier wait declares the pool wedged.
+    """
+
+    def __init__(
+        self,
+        A: CSRMatrix,
+        b: np.ndarray,
+        *,
+        nproc: int,
+        beta: float = 1.0,
+        atomic: bool = False,
+        directions: DirectionStream | None = None,
+        start_method: str | None = None,
+        log_capacity: int = 4096,
+        lock_stripes: int = 64,
+        block: int = 512,
+        barrier_timeout: float = 300.0,
+    ):
+        b, diag, n = _prepare_system(A, b)
+        if b.ndim != 1:
+            raise ShapeError("the multiprocess backend runs single-RHS systems")
+        nproc = int(nproc)
+        if nproc < 1:
+            raise ModelError(f"nproc must be at least 1, got {nproc}")
+        self.A = A
+        self.b = b
+        self.n = n
+        self._diag = diag
+        self.nproc = nproc
+        self.beta = float(beta)
+        if not 0.0 < self.beta < 2.0:
+            raise ModelError(f"step size beta must lie in (0, 2), got {self.beta}")
+        self.atomic = bool(atomic)
+        self.directions = directions if directions is not None else DirectionStream(n, seed=0)
+        if self.directions.n != n:
+            raise ModelError("direction stream dimension mismatch")
+        if start_method is None:
+            start_method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        self._ctx = multiprocessing.get_context(start_method)
+        self.log_capacity = int(log_capacity)
+        if self.log_capacity < 1:
+            raise ModelError("log_capacity must be at least 1")
+        self.lock_stripes = int(lock_stripes)
+        if self.lock_stripes < 1:
+            raise ModelError("lock_stripes must be at least 1")
+        self.block = int(block)
+        if self.block < 1:
+            raise ModelError("block must be at least 1")
+        self.barrier_timeout = float(barrier_timeout)
+
+    # ------------------------------------------------------------------
+
+    def _default_metric(self):
+        b_norm = float(np.linalg.norm(self.b))
+        scale = b_norm if b_norm > 0 else 1.0
+        return lambda xv: float(np.linalg.norm(self.b - self.A.matvec(xv))) / scale
+
+    def _check_x0(self, x0: np.ndarray | None) -> np.ndarray:
+        x0 = np.zeros(self.n) if x0 is None else np.asarray(x0, dtype=np.float64)
+        if x0.shape != (self.n,):
+            raise ShapeError(f"x0 has shape {x0.shape}, expected ({self.n},)")
+        return x0
+
+    def run(self, x0: np.ndarray | None, num_iterations: int) -> ProcessRunResult:
+        """One free-running asynchronous segment of ``num_iterations``
+        commits — the regime of Theorem 2(b) (no interior barriers)."""
+        num_iterations = int(num_iterations)
+        if num_iterations < 0:
+            raise ModelError("num_iterations must be non-negative")
+        session = _Session(self, self._check_x0(x0))
+        try:
+            if num_iterations:
+                session.advance(num_iterations)
+            x = session.x().copy()
+            result = ProcessRunResult(
+                x=x,
+                iterations=sum(session.per_worker()),
+                per_worker_iterations=session.per_worker(),
+                sync_points=session.sync_points,
+                converged=False,
+                total_row_nnz=session.total_row_nnz(),
+                wall_time=session.wall_time,
+                tau_observed=session.delay_stats(),
+                atomic=self.atomic,
+            )
+        finally:
+            session.stop()
+        return result
+
+    def solve(
+        self,
+        tol: float,
+        max_sweeps: int,
+        x0: np.ndarray | None = None,
+        *,
+        sync_every_sweeps: int = 1,
+        metric=None,
+    ) -> ProcessRunResult:
+        """Solve to tolerance with the epoch scheme of Theorem 2's
+        discussion: ``sync_every_sweeps · n`` asynchronous commits, a
+        real barrier, a residual check on the shared iterate, repeat."""
+        tol = float(tol)
+        max_sweeps = int(max_sweeps)
+        sync_every = int(sync_every_sweeps)
+        if sync_every < 1:
+            raise ModelError("sync_every_sweeps must be at least 1")
+        if metric is None:
+            metric = self._default_metric()
+        x0 = self._check_x0(x0)
+        value = metric(x0)
+        checkpoints = [(0, value)]
+        converged = value < tol
+        if converged or max_sweeps == 0:
+            return ProcessRunResult(
+                x=x0.copy(),
+                iterations=0,
+                per_worker_iterations=[0] * self.nproc,
+                sync_points=0,
+                converged=converged,
+                wall_time=0.0,
+                tau_observed=DelayStats(0, 0.0, 0, np.empty(0, dtype=np.int64)),
+                checkpoints=checkpoints,
+                atomic=self.atomic,
+            )
+        session = _Session(self, x0)
+        try:
+            sweeps_done = 0
+            while not converged and sweeps_done < max_sweeps:
+                take = min(sync_every, max_sweeps - sweeps_done)
+                session.advance(take * self.n)
+                sweeps_done += take
+                # The barrier just crossed is a paper-sense sync point:
+                # the parent's read below sees every worker's writes.
+                value = metric(session.x())
+                checkpoints.append((session.target, value))
+                converged = value < tol
+            result = ProcessRunResult(
+                x=session.x().copy(),
+                iterations=sum(session.per_worker()),
+                per_worker_iterations=session.per_worker(),
+                sync_points=session.sync_points,
+                converged=converged,
+                total_row_nnz=session.total_row_nnz(),
+                wall_time=session.wall_time,
+                tau_observed=session.delay_stats(),
+                checkpoints=checkpoints,
+                atomic=self.atomic,
+            )
+        finally:
+            session.stop()
+        return result
+
+
+def available_cpus() -> int:
+    """Usable CPU count (affinity-aware where the platform exposes it)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1

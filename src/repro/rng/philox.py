@@ -174,6 +174,43 @@ class CounterRNG:
         offset = start - first_block * 4
         return out[offset : offset + count]
 
+    def uint32_at(self, positions: np.ndarray) -> np.ndarray:
+        """Words at arbitrary stream positions, as uint32.
+
+        The gathered counterpart of :meth:`uint32`: evaluates the Philox
+        bijection once per *distinct* 4-word block touched, so a strided
+        gather (e.g. a per-processor round-robin view of a shared stream)
+        costs one block evaluation per draw at worst — and far less when
+        positions cluster. Equivalent element-wise to calling
+        :meth:`uint32` per position.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.ndim != 1:
+            raise ValueError(f"positions must be 1-D, got shape {positions.shape}")
+        if positions.size == 0:
+            return np.empty(0, dtype=np.uint32)
+        if positions.min() < 0:
+            raise ValueError("positions must be non-negative")
+        blocks = (positions // 4).astype(np.uint64)
+        unique_blocks, inverse = np.unique(blocks, return_inverse=True)
+        counters = np.zeros((unique_blocks.shape[0], 4), dtype=np.uint32)
+        counters[:, 0] = (unique_blocks & _MASK32).astype(np.uint32)
+        counters[:, 1] = (unique_blocks >> np.uint64(32)).astype(np.uint32)
+        out = philox4x32(counters, self._key)
+        return out[inverse, positions % 4]
+
+    def randint_at(self, positions: np.ndarray, n: int) -> np.ndarray:
+        """Integers uniform over ``{0, …, n−1}`` at arbitrary stream
+        positions (gathered counterpart of :meth:`randint`, same
+        multiply-shift map and bias trade-off)."""
+        n = int(n)
+        if n <= 0:
+            raise ValueError(f"randint upper bound must be positive, got {n}")
+        if n > 0xFFFFFFFF:
+            raise ValueError("randint upper bound must fit in 32 bits")
+        w = self.uint32_at(positions).astype(np.uint64)
+        return ((w * np.uint64(n)) >> np.uint64(32)).astype(np.int64)
+
     def uint64(self, start: int, count: int) -> np.ndarray:
         """``count`` uint64 words; word i consumes u32 words ``2i, 2i+1``."""
         w = self.uint32(2 * int(start), 2 * int(count)).astype(np.uint64)

@@ -46,6 +46,10 @@ class DirectionStream:
     def seed(self) -> int:
         return self._rng.seed
 
+    @property
+    def stream(self) -> int:
+        return self._rng.stream
+
     def __repr__(self) -> str:
         return f"DirectionStream(n={self.n}, seed={self._rng.seed}, stream={self._rng.stream})"
 
@@ -56,6 +60,17 @@ class DirectionStream:
     def directions(self, start: int, count: int) -> np.ndarray:
         """Coordinates ``r_start .. r_{start+count−1}`` as an int64 array."""
         return self._rng.randint(start, count, self.n)
+
+    def directions_at(self, positions: np.ndarray) -> np.ndarray:
+        """Coordinates at arbitrary global positions ``j`` (vectorized
+        gather — one Philox block evaluation per distinct block touched).
+
+        This is what makes the strided per-processor views cheap on the
+        real-concurrency backends: a worker fetching its subsequence
+        ``r_p, r_{p+P}, …`` in blocks pays NumPy-speed gathers instead of
+        one Python-level generator call per draw.
+        """
+        return self._rng.randint_at(positions, self.n)
 
     def step_uniforms(self, start: int, count: int) -> np.ndarray:
         """Auxiliary uniforms aligned with the direction indices.
@@ -96,11 +111,7 @@ class _ProcessorView:
 
     def directions(self, start: int, count: int) -> np.ndarray:
         global_idx = self.p + (np.arange(start, start + count, dtype=np.int64) * self.nproc)
-        # Random access per element: gather block-wise for efficiency.
-        out = np.empty(count, dtype=np.int64)
-        for k, j in enumerate(global_idx):
-            out[k] = self._base.direction(int(j))
-        return out
+        return self._base.directions_at(global_idx)
 
 
 def interleave_counts(total: int, nproc: int) -> np.ndarray:

@@ -1,0 +1,308 @@
+"""Tests for the true shared-memory multiprocess backend.
+
+Everything here must hold on any machine, including single-CPU boxes
+(processes still exist and race there — they just don't speed up); the
+one genuinely hardware-conditional check skips itself when fewer than
+two CPUs are available.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AsyRGS, randomized_gauss_seidel
+from repro.exceptions import ModelError, ShapeError
+from repro.execution import ProcessAsyRGS, available_cpus
+from repro.rng import DirectionStream
+from repro.sparse import CSRMatrix
+from repro.workloads import laplacian_2d, random_unit_diagonal_spd
+
+from ..conftest import manufactured_system
+
+pytestmark = pytest.mark.multiprocess
+
+
+@pytest.fixture(scope="module")
+def system():
+    A = random_unit_diagonal_spd(30, nnz_per_row=4, offdiag_scale=0.6, seed=8)
+    b, x_star = manufactured_system(A, seed=9)
+    return A, b, x_star
+
+
+@pytest.fixture(scope="module")
+def laplace_system():
+    A = laplacian_2d(12, 12)
+    n = A.shape[0]
+    x_star = np.sin(np.linspace(0.0, 2.0 * np.pi, n))
+    return A, A.matvec(x_star), x_star
+
+
+def identity_csr(n: int) -> CSRMatrix:
+    return CSRMatrix(
+        (n, n),
+        indptr=np.arange(n + 1, dtype=np.int64),
+        indices=np.arange(n, dtype=np.int64),
+        data=np.ones(n),
+    )
+
+
+class TestSingleProcess:
+    def test_one_process_matches_serial_rgs(self, system):
+        """With one worker there is no concurrency: the run must equal
+        sequential randomized Gauss-Seidel on the same stream."""
+        A, b, _ = system
+        n = A.shape[0]
+        ref = randomized_gauss_seidel(
+            A, b, sweeps=5, directions=DirectionStream(n, seed=3), record_history=False
+        )
+        p = ProcessAsyRGS(A, b, nproc=1, directions=DirectionStream(n, seed=3))
+        out = p.run(np.zeros(n), 5 * n)
+        np.testing.assert_allclose(out.x, ref.x, rtol=1e-12, atol=1e-14)
+        assert out.iterations == 5 * n
+        assert out.tau_observed.max == 0  # no foreign commits exist
+
+    def test_zero_iterations(self, system):
+        A, b, _ = system
+        out = ProcessAsyRGS(A, b, nproc=2).run(None, 0)
+        assert out.iterations == 0
+        np.testing.assert_array_equal(out.x, np.zeros(A.shape[0]))
+
+
+class TestDirectionStreams:
+    @pytest.mark.parametrize("nproc", [2, 3])
+    def test_union_equals_serial_prefix(self, nproc):
+        """On the identity matrix every update writes x[r] = b[r], so the
+        set of touched coordinates reveals exactly which directions the
+        workers consumed — it must equal the serial stream's prefix (the
+        paper's Random123 property, verified end-to-end through real
+        processes). Races are harmless here: racing writers on the same
+        coordinate write the same value."""
+        n, m = 40, 57
+        A = identity_csr(n)
+        b = np.arange(1.0, n + 1.0)  # all nonzero
+        directions = DirectionStream(n, seed=11)
+        out = ProcessAsyRGS(A, b, nproc=nproc, directions=directions).run(None, m)
+        touched = set(np.flatnonzero(out.x != 0.0))
+        expected = set(int(r) for r in DirectionStream(n, seed=11).directions(0, m))
+        assert touched == expected
+        np.testing.assert_allclose(out.x[sorted(touched)], b[sorted(touched)])
+
+    def test_matches_threaded_backend_streams(self, system):
+        """Process and threaded backends split one stream the same way:
+        identical per-worker shares for identical (total, P)."""
+        from repro.rng import interleave_counts
+
+        A, b, _ = system
+        total = 157
+        out = ProcessAsyRGS(A, b, nproc=3).run(None, total)
+        np.testing.assert_array_equal(
+            out.per_worker_iterations, interleave_counts(total, 3)
+        )
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("nproc", [2, 4])
+    def test_converges_unitdiag(self, system, nproc):
+        A, b, x_star = system
+        res = ProcessAsyRGS(A, b, nproc=nproc).solve(
+            tol=1e-8, max_sweeps=400, sync_every_sweeps=10
+        )
+        assert res.converged
+        assert np.abs(res.x - x_star).max() < 1e-5
+
+    def test_converges_laplacian(self, laplace_system):
+        A, b, x_star = laplace_system
+        res = ProcessAsyRGS(A, b, nproc=2).solve(
+            tol=1e-7, max_sweeps=2000, sync_every_sweeps=25
+        )
+        assert res.converged
+        assert np.abs(res.x - x_star).max() < 1e-4
+
+    def test_atomic_mode_converges(self, system):
+        A, b, x_star = system
+        res = ProcessAsyRGS(A, b, nproc=2, atomic=True).solve(
+            tol=1e-8, max_sweeps=400, sync_every_sweeps=10
+        )
+        assert res.converged
+        assert res.atomic
+
+    def test_spawn_start_method(self, system):
+        A, b, _ = system
+        res = ProcessAsyRGS(A, b, nproc=2, start_method="spawn").solve(
+            tol=1e-6, max_sweeps=200, sync_every_sweeps=20
+        )
+        assert res.converged
+
+
+class TestEpochs:
+    def test_sync_points_follow_epoch_schedule(self, system):
+        """tol=0 never converges: the solver must run exactly max_sweeps
+        and synchronize once per sync_every_sweeps epoch."""
+        A, b, _ = system
+        n = A.shape[0]
+        res = ProcessAsyRGS(A, b, nproc=2).solve(
+            tol=0.0, max_sweeps=20, sync_every_sweeps=7
+        )
+        assert not res.converged
+        assert res.iterations == 20 * n
+        assert res.sync_points == 3  # epochs of 7, 7, 6 sweeps
+        # One checkpoint per sync point plus the initial metric.
+        assert len(res.checkpoints) == 4
+        assert res.checkpoints[-1][0] == 20 * n
+
+    def test_checkpoints_decrease(self, system):
+        A, b, _ = system
+        res = ProcessAsyRGS(A, b, nproc=2).solve(
+            tol=1e-8, max_sweeps=400, sync_every_sweeps=10
+        )
+        values = [v for _, v in res.checkpoints]
+        assert values[-1] < values[0] * 1e-4
+
+    def test_immediate_convergence_spawns_nothing(self, system):
+        A, b, x_star = system
+        res = ProcessAsyRGS(A, b, nproc=2).solve(
+            tol=1.0, max_sweeps=100, x0=x_star
+        )
+        assert res.converged
+        assert res.iterations == 0
+        assert res.sync_points == 0
+
+
+class TestDelayMeasurement:
+    def test_write_log_accounts_every_update(self, system):
+        A, b, _ = system
+        n = A.shape[0]
+        res = ProcessAsyRGS(A, b, nproc=2).solve(
+            tol=0.0, max_sweeps=10, sync_every_sweeps=10
+        )
+        stats = res.tau_observed
+        assert stats.count == res.iterations == 10 * n
+        assert stats.max >= 0
+        assert stats.mean >= 0.0
+        assert stats.samples.size == min(stats.count, 2 * 4096)
+        assert stats.tau_observed == stats.max
+
+    def test_log_capacity_bounds_samples(self, system):
+        A, b, _ = system
+        res = ProcessAsyRGS(A, b, nproc=2, log_capacity=16).solve(
+            tol=0.0, max_sweeps=5, sync_every_sweeps=5
+        )
+        assert res.tau_observed.samples.size == 32  # 16 per worker
+        assert res.tau_observed.count == res.iterations  # aggregate stays exact
+
+    def test_total_row_nnz_exact(self, system):
+        """The budget is direction-pinned, so Σ nnz(row) is reproducible
+        from the stream regardless of races."""
+        A, b, _ = system
+        n = A.shape[0]
+        m = 3 * n
+        out = ProcessAsyRGS(A, b, nproc=2).run(None, m)
+        rows = DirectionStream(n, seed=0).directions(0, m)
+        expected = int((A.indptr[rows + 1] - A.indptr[rows]).sum())
+        assert out.total_row_nnz == expected
+
+
+@pytest.mark.skipif(
+    available_cpus() < 2,
+    reason="needs ≥ 2 CPUs to observe genuine parallel overlap",
+)
+class TestRealParallelism:
+    def test_two_processes_overlap(self, laplace_system):
+        """With two real cores, two workers must commit concurrently at
+        least once (some update sees a foreign commit mid-flight)."""
+        A, b, _ = laplace_system
+        out = ProcessAsyRGS(A, b, nproc=2).run(None, 50 * A.shape[0])
+        assert out.tau_observed.max > 0
+
+
+class TestAsyRGSFacade:
+    def test_solve_via_engine(self, laplace_system):
+        A, b, x_star = laplace_system
+        solver = AsyRGS(A, b, nproc=2, engine="processes")
+        res = solver.solve(tol=1e-6, max_sweeps=1500, sync_every_sweeps=25)
+        assert res.converged
+        assert res.tau_observed is not None
+        assert res.wall_time > 0
+        assert res.history.final < 1e-6
+        assert np.abs(res.x - x_star).max() < 1e-4
+
+    def test_run_sweeps_via_engine(self, system):
+        A, b, _ = system
+        solver = AsyRGS(A, b, nproc=2, engine="processes")
+        res = solver.run_sweeps(5)
+        assert res.iterations == 5 * A.shape[0]
+        assert res.sync_points == 0
+        assert res.tau_observed is not None
+
+    def test_auto_beta(self, system):
+        A, b, _ = system
+        solver = AsyRGS(A, b, nproc=2, engine="processes", beta="auto")
+        assert 0.0 < solver.beta < 2.0
+        assert solver.tau == 1  # nominal τ = P − 1
+
+    def test_seed_keys_default_directions(self, system):
+        """The processes engine consumes no other randomness, so the
+        facade's seed keys its default stream (unlike the simulated
+        engines, whose default stays pinned at 0 across configurations)."""
+        A, b, _ = system
+        assert AsyRGS(A, b, nproc=2, engine="processes", seed=5).directions.seed == 5
+        assert AsyRGS(A, b, nproc=2, engine="phased", seed=5).directions.seed == 0
+
+    def test_atomic_default_matches_backend(self, system):
+        """atomic=None resolves to the engine's native regime: unlocked
+        for real processes (the Section 9 non-atomic experiment, same as
+        the speedup bench), locked for the simulated engines."""
+        A, b, _ = system
+        assert AsyRGS(A, b, nproc=2, engine="processes")._sim.atomic is False
+        assert AsyRGS(A, b, nproc=2, engine="processes", atomic=True)._sim.atomic is True
+
+    def test_start_iteration_rejected(self, system):
+        A, b, _ = system
+        solver = AsyRGS(A, b, nproc=2, engine="processes")
+        with pytest.raises(ModelError):
+            solver.run_sweeps(1, start_iteration=30)
+
+    def test_jitter_rejected(self, system):
+        A, b, _ = system
+        with pytest.raises(ModelError):
+            AsyRGS(A, b, nproc=2, engine="processes", jitter=3)
+
+    def test_delay_model_rejected(self, system):
+        from repro.execution import UniformDelay
+
+        A, b, _ = system
+        with pytest.raises(ModelError):
+            AsyRGS(A, b, nproc=2, engine="processes",
+                   delay_model=UniformDelay(4, seed=1))
+
+
+class TestValidation:
+    def test_zero_processes_rejected(self, system):
+        A, b, _ = system
+        with pytest.raises(ModelError):
+            ProcessAsyRGS(A, b, nproc=0)
+
+    def test_multirhs_rejected(self, system):
+        A, b, _ = system
+        with pytest.raises(ShapeError):
+            ProcessAsyRGS(A, np.stack([b, b], axis=1), nproc=2)
+
+    def test_bad_beta_rejected(self, system):
+        A, b, _ = system
+        with pytest.raises(ModelError):
+            ProcessAsyRGS(A, b, nproc=2, beta=2.5)
+
+    def test_bad_x0_rejected(self, system):
+        A, b, _ = system
+        p = ProcessAsyRGS(A, b, nproc=2)
+        with pytest.raises(ShapeError):
+            p.run(np.zeros(5), 10)
+
+    def test_negative_iterations_rejected(self, system):
+        A, b, _ = system
+        with pytest.raises(ModelError):
+            ProcessAsyRGS(A, b, nproc=2).run(None, -1)
+
+    def test_stream_dimension_mismatch(self, system):
+        A, b, _ = system
+        with pytest.raises(ModelError):
+            ProcessAsyRGS(A, b, nproc=2, directions=DirectionStream(7, seed=0))

@@ -54,3 +54,10 @@ class TestExamples:
         out = run_example("social_regression.py", capsys)
         assert "price of asynchrony" in out
         assert "block CG" in out
+
+    @pytest.mark.multiprocess
+    def test_true_parallel(self, capsys):
+        out = run_example("true_parallel.py", capsys)
+        assert "AsyRGS[processes]" in out
+        assert "tau_observed" in out
+        assert "Strong scaling" in out

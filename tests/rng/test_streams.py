@@ -55,6 +55,30 @@ class TestDirectionStream:
         assert u.min() >= 0 and u.max() < 1
 
 
+class TestGatheredAccess:
+    def test_directions_at_matches_singles(self):
+        s = DirectionStream(37, seed=9)
+        positions = np.array([0, 1, 5, 4, 1000, 7, 7, 123456], dtype=np.int64)
+        gathered = s.directions_at(positions)
+        singles = np.array([s.direction(int(j)) for j in positions])
+        np.testing.assert_array_equal(gathered, singles)
+
+    def test_directions_at_matches_contiguous_batch(self):
+        s = DirectionStream(100, seed=2)
+        np.testing.assert_array_equal(
+            s.directions_at(np.arange(3, 203)), s.directions(3, 200)
+        )
+
+    def test_empty_gather(self):
+        s = DirectionStream(10, seed=0)
+        assert s.directions_at(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_negative_position_rejected(self):
+        s = DirectionStream(10, seed=0)
+        with pytest.raises(ValueError):
+            s.directions_at(np.array([3, -1]))
+
+
 class TestProcessorViews:
     def test_union_reproduces_global_sequence(self):
         """The paper's Random123 technique: P round-robin views together

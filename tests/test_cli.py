@@ -36,7 +36,34 @@ class TestParser:
             build_parser().parse_args(["experiment", "fig99"])
 
 
+class TestSpeedup:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["speedup"])
+        assert args.nproc == 4
+        assert args.problem == "laplace2d"
+
+    @pytest.mark.multiprocess
+    def test_reports_wallclock_scaling(self, capsys):
+        code = main(["speedup", "--nproc", "2", "--sweeps", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Strong scaling" in out
+        assert "tau_obs" in out
+
+
 class TestSolve:
+    @pytest.mark.multiprocess
+    def test_processes_engine(self, matrix_file, capsys):
+        path, _ = matrix_file
+        code = main(
+            ["solve", str(path), "--engine", "processes", "--nproc", "2",
+             "--tol", "1e-8", "--max-sweeps", "2000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "converged=True" in out
+        assert "tau_observed" in out
+
     @pytest.mark.parametrize("method", ["asyrgs", "rgs", "cg", "fcg"])
     def test_solves_to_tolerance(self, matrix_file, method, capsys):
         path, A = matrix_file
