@@ -1,0 +1,34 @@
+"""Benchmark: block (multi-RHS) throughput and persistent-pool reuse.
+
+The wall-clock shape claims (block beats the per-column loop; a
+persistent pool beats spawn-per-call) are hardware- and load-dependent,
+so the assertions check only the invariants every machine must satisfy:
+identical work accounting, sane residuals, and the pool genuinely being
+spawned once. The measured ratios are printed for the record.
+"""
+
+import pytest
+
+from repro.bench import run_block
+
+from conftest import persist_and_print
+
+
+@pytest.mark.multiprocess
+def test_block_smoke(benchmark):
+    result = benchmark.pedantic(
+        run_block,
+        kwargs=dict(problem="laplace2d", nproc=2, labels=4, sweeps=2, repeats=2),
+        rounds=1,
+        iterations=1,
+    )
+    persist_and_print("fig_block", result.table())
+
+    assert result.labels == 4
+    assert result.block_wall > 0 and result.loop_wall > 0
+    assert result.pooled_wall > 0 and result.oneshot_wall > 0
+    # The same per-column budget ⇒ comparable block/loop residuals.
+    assert result.block_residual < 10 * result.loop_residual + 1e-12
+    # The persistent pool must really be one pool; one-shot pays one per call.
+    assert result.spawns_pooled == 1
+    assert result.spawns_oneshot == result.repeats

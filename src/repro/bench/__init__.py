@@ -25,6 +25,7 @@ from .fig2_scaling import (
     run_fig2_left,
     run_fig2_right,
 )
+from .fig_block import BlockBenchResult, run_block
 from .fig_speedup import SpeedupResult, run_speedup
 from .fig3_fcg import (
     FCGRun,
@@ -37,6 +38,7 @@ from .fig3_fcg import (
 from .reporting import render_series, render_table, results_dir, save_json
 
 __all__ = [
+    "BlockBenchResult",
     "DEFAULT_THREADS",
     "ExtensionsResult",
     "FCGRun",
@@ -54,6 +56,7 @@ __all__ = [
     "render_table",
     "results_dir",
     "run_beta_sweep",
+    "run_block",
     "run_consistency_gap",
     "run_delay_schedules",
     "run_direction_strategies",

@@ -4,6 +4,8 @@ Commands
 --------
 ``solve``
     Solve a MatrixMarket SPD system with AsyRGS, RGS, CG, or FCG+AsyRGS.
+    A multi-column ``--rhs`` file is solved as one simultaneous block
+    (AsyRGS/RGS; every engine, including real processes).
 ``estimate``
     Spectral / conditioning / theory diagnostics for a matrix, including
     the Theorem 2–4 hypothesis report for a given (τ, β).
@@ -14,7 +16,9 @@ Commands
 ``speedup``
     Wall-clock strong scaling of the real-process backend: a fixed
     update budget on 1..P OS processes sharing one iterate, with
-    measured delay statistics per configuration.
+    measured delay statistics per configuration. ``--labels k`` times
+    the same budget on a k-column RHS block (the paper's 51-label
+    amortization regime).
 ``problems``
     List the named workload registry.
 
@@ -79,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
             "fig1", "fig2-left", "fig2-center", "fig2-right", "fig3", "table1",
             "tau-sweep", "beta-sweep", "consistency-gap", "delay-schedules",
             "theory-envelope", "direction-strategies", "motivation", "extensions",
+            "block",
         ],
     )
     p_exp.add_argument("--problem", default=None, help="named problem override")
@@ -92,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="largest process count (powers of two up to this are timed)",
     )
     p_speed.add_argument("--sweeps", type=int, default=20, help="update budget in sweeps")
+    p_speed.add_argument(
+        "--labels", type=int, default=1,
+        help="right-hand-side columns solved as one block "
+        "(1 = classic single-RHS scaling)",
+    )
     p_speed.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("problems", help="list the named workload registry")
@@ -99,11 +109,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load_system(args):
+    from .exceptions import ShapeError
     from .sparse import read_matrix_market
 
     A = read_matrix_market(args.matrix)
     if getattr(args, "rhs", None):
-        b = np.loadtxt(args.rhs, dtype=np.float64).reshape(-1)
+        # A multi-column file is a block of right-hand sides — keep it
+        # 2-D (flattening would silently concatenate the columns into
+        # one long, wrong vector).
+        b = np.loadtxt(args.rhs, dtype=np.float64, ndmin=1)
+        if b.ndim > 2:
+            raise ShapeError(
+                f"RHS file {args.rhs} has {b.ndim} dimensions; expected a "
+                "column vector or a matrix with one column per right-hand side"
+            )
+        if b.shape[0] != A.shape[0]:
+            raise ShapeError(
+                f"RHS file {args.rhs} has {b.shape[0]} rows but the matrix "
+                f"is {A.shape[0]}x{A.shape[1]}; the row counts must match"
+            )
     else:
         # Default: the all-ones image b = A·1 (known solution).
         b = A.matvec(np.ones(A.shape[0]))
@@ -118,7 +142,20 @@ def _cmd_solve(args) -> int:
         flexible_conjugate_gradient,
     )
 
-    A, b = _load_system(args)
+    from .exceptions import ShapeError
+
+    try:
+        A, b = _load_system(args)
+    except ShapeError as exc:
+        print(f"error: {exc}")
+        return 2
+    n_rhs = 1 if b.ndim == 1 else b.shape[1]
+    if n_rhs > 1 and args.method in ("cg", "fcg"):
+        print(
+            f"error: --method {args.method} solves one right-hand side at a "
+            f"time; use --method asyrgs or rgs for a {n_rhs}-column RHS block"
+        )
+        return 2
     beta = args.beta if args.beta == "auto" else float(args.beta)
     if args.method == "asyrgs":
         solver = AsyRGS(
@@ -126,9 +163,10 @@ def _cmd_solve(args) -> int:
         )
         result = solver.solve(tol=args.tol, max_sweeps=args.max_sweeps)
         x, converged = result.x, result.converged
+        rhs_note = f", {n_rhs} RHS columns" if n_rhs > 1 else ""
         print(
             f"AsyRGS (engine={args.engine}, nproc={args.nproc}, "
-            f"beta={solver.beta:.4g}): "
+            f"beta={solver.beta:.4g}{rhs_note}): "
             f"{result.sweeps} sweeps, residual {result.history.final:.3e}, "
             f"converged={converged}"
         )
@@ -220,6 +258,7 @@ _EXPERIMENTS = {
     "direction-strategies": ("run_direction_strategies", {}),
     "motivation": ("run_motivation", {}),
     "extensions": ("run_extensions", {}),
+    "block": ("run_block", {}),
 }
 
 
@@ -244,7 +283,8 @@ def _cmd_speedup(args) -> int:
     from .bench import run_speedup
 
     result = run_speedup(
-        args.problem, max_nproc=args.nproc, sweeps=args.sweeps, seed=args.seed
+        args.problem, max_nproc=args.nproc, sweeps=args.sweeps, seed=args.seed,
+        labels=args.labels,
     )
     print(result.table())
     if result.cpus < max(result.nprocs):

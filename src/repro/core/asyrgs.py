@@ -47,7 +47,6 @@ from ..execution import (
 )
 from .residuals import ConvergenceHistory, relative_residual
 from .stepsize import auto_step_size
-from .theory import rho_infinity
 
 __all__ = ["AsyRGSResult", "AsyRGS"]
 
@@ -63,7 +62,9 @@ class AsyRGSResult:
     iterations:
         Total coordinate updates applied.
     sweeps:
-        Completed sweeps (``iterations / n`` rounded down).
+        Epochs of ``n`` updates actually executed — reported identically
+        by every engine (simulated and real-process paths share this
+        accounting).
     converged:
         Whether the tolerance was reached (``False`` without a tolerance).
     history:
@@ -122,7 +123,12 @@ class AsyRGS:
         arbitrary delay and write models; ``"processes"`` — genuine OS
         processes sharing the iterate through
         :mod:`multiprocessing.shared_memory` (real delays, measured
-        ``tau_observed``, wall-clock speedup; single RHS only).
+        ``tau_observed``, wall-clock speedup). Every engine accepts a
+        right-hand-side block ``(n, k)``; the processes engine solves
+        the block simultaneously — one row gather per update serves all
+        ``k`` columns, the paper's 51-label amortization — and can keep
+        a persistent worker pool across solves (see
+        :class:`~repro.execution.ProcessAsyRGS`).
     beta:
         Step size in ``(0, 2)``, or ``"auto"`` to use the theory-optimal
         step for the configured τ and read-consistency model
@@ -180,6 +186,13 @@ class AsyRGS:
         self.A = A
         self.b = np.asarray(b, dtype=np.float64)
         self.n = A.shape[0]
+        # Validate b once, up front — every engine gets the same contract
+        # and the same error message, instead of failing at different
+        # depths with engine-specific wording.
+        if self.b.ndim not in (1, 2) or self.b.shape[0] != self.n:
+            raise ShapeError(
+                f"b has shape {self.b.shape}, expected ({self.n},) or ({self.n}, k)"
+            )
         self.engine = engine
         self.nproc = int(nproc)
         if self.nproc < 1:
@@ -210,9 +223,10 @@ class AsyRGS:
             consistent = True
         self.tau = int(tau)
         if beta == "auto":
-            self.beta = auto_step_size(
-                A, tau=self.tau, consistent=consistent, rho=rho_infinity(A)
-            )
+            # Pass neither coefficient: auto_step_size computes exactly
+            # the one the read model needs (ρ for consistent reads, ρ₂
+            # for inconsistent) — one O(nnz) pass, never a discarded one.
+            self.beta = auto_step_size(A, tau=self.tau, consistent=consistent)
         else:
             self.beta = float(beta)
             if not 0.0 < self.beta < 2.0:
@@ -371,8 +385,11 @@ class AsyRGS:
                     history.record(it // self.n, value)
             return AsyRGSResult(
                 x=result.x,
+                # Same quantity as the simulated path below: epochs of n
+                # updates actually executed, not a ratio re-derived from
+                # the commit count.
+                sweeps=result.sweeps_done,
                 iterations=result.iterations,
-                sweeps=result.iterations // self.n,
                 converged=result.converged,
                 history=history,
                 total_row_nnz=result.total_row_nnz,

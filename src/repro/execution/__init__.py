@@ -14,7 +14,10 @@ backend                concurrency                 demonstrates
 :class:`PhasedSimulator`  simulated (rounds of P)  vectorized scaling runs
 :class:`ThreadedAsyRGS`   real threads (GIL)       correctness under races
 :class:`ProcessAsyRGS`    real OS processes        wall-clock speedup,
-                                                   measured ``tau_observed``
+                                                   measured ``tau_observed``,
+                                                   block (n, k) right-hand
+                                                   sides on a persistent
+                                                   worker pool
 =====================  ==========================  =========================
 """
 

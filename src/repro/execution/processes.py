@@ -11,11 +11,38 @@ reads are genuinely inconsistent, and wall-clock speedup is measurable.
 Layout
 ------
 One ``SharedMemory`` segment holds every shared array, cache-line
-aligned: the CSR triplet (``data``/``indices``/``indptr``), ``b``, the
-diagonal, the iterate ``x``, per-worker progress counters, the epoch
-control word, and the delay write-log. Workers attach by segment name
+aligned: the CSR triplet (``data``/``indices``/``indptr``), the RHS
+block ``b`` of shape ``(n, k)``, the diagonal, the iterate block ``x``
+of shape ``(n, k)``, per-worker progress counters, the epoch control
+word, and the delay write-log. Workers attach by segment name
 (spawn-safe) and build zero-copy NumPy views at fixed offsets — no
 serialization of the matrix ever happens after startup.
+
+Block right-hand sides
+----------------------
+The paper's headline experiment (Section 9) solves the social-media Gram
+system for 51 label right-hand sides *simultaneously*: one traversal of
+row ``r`` updates every column of the iterate block, amortizing the
+matrix access across the labels. A worker that draws coordinate ``r``
+gathers the row once and computes all ``k`` corrections with a single
+``(nnz_r,) @ (nnz_r, k)`` product; ``iterations``, the write-log, and
+the τ statistics count *row updates* (one per draw, across all columns),
+matching the simulators' multi-RHS accounting.
+
+Pool lifecycle
+--------------
+The worker pool is persistent. Used as a context manager::
+
+    with ProcessAsyRGS(A, B, nproc=4) as solver:
+        first = solver.solve(tol=1e-6, max_sweeps=200)
+        again = solver.solve(tol=1e-6, max_sweeps=200)       # no respawn
+        other = solver.solve(tol=1e-6, max_sweeps=200, b=B2)  # same A, new b
+
+the processes are spawned once and the CSR is copied into shared memory
+once; each call resets the iterate, the counters, and a *generation*
+stamp in the control word that tells workers to rewind their direction
+streams. Outside a ``with`` block every ``run()``/``solve()`` call
+spawns and tears down its own pool (the original one-shot behavior).
 
 Randomness
 ----------
@@ -26,6 +53,8 @@ directions consumed by ``P`` processes equals the serial sequence
 exactly (the paper's Random123 technique, Section 9). Per-epoch shares
 are cut with :func:`~repro.rng.interleave_counts` of the *cumulative*
 update budget, which keeps the union property across epoch boundaries.
+Every call served by one pool restarts the stream from position 0, so a
+reused pool answers exactly like a fresh one.
 
 Epochs
 ------
@@ -53,7 +82,8 @@ Cross-process ``x[r] += δ`` is *not* atomic. By default the backend runs
 unlocked — the non-atomic regime the paper tests experimentally in
 Section 9 and finds indistinguishable. ``atomic=True`` routes updates
 through a striped lock array (Assumption A-1 honored at the cost of some
-scaling).
+scaling); in block mode the lock covers the whole row slice
+``x[r, :]``.
 """
 
 from __future__ import annotations
@@ -77,25 +107,27 @@ from .simulator import _prepare_system
 __all__ = ["ProcessAsyRGS", "ProcessRunResult", "DelayStats"]
 
 
-# Control-word slots (int64): command, cumulative update target, error flag.
+# Control-word slots (int64): command, cumulative update target, error
+# flag, and the generation stamp that tells workers a new call started.
 _CTRL_COMMAND = 0
 _CTRL_TARGET = 1
 _CTRL_ERROR = 2
+_CTRL_GENERATION = 3
 _CMD_RUN = 0
 _CMD_STOP = 1
 
 _ALIGN = 64  # cache-line alignment for every shared array
 
 
-def _layout(n: int, nnz: int, nproc: int, log_capacity: int):
+def _layout(n: int, nnz: int, k: int, nproc: int, log_capacity: int):
     """Offsets and dtypes of every shared array inside the one segment."""
     specs = {
         "data": (np.float64, (nnz,)),
         "indices": (np.int64, (nnz,)),
         "indptr": (np.int64, (n + 1,)),
-        "b": (np.float64, (n,)),
+        "b": (np.float64, (n, k)),
         "diag": (np.float64, (n,)),
-        "x": (np.float64, (n,)),
+        "x": (np.float64, (n, k)),
         "progress": (np.int64, (nproc,)),
         "row_nnz": (np.int64, (nproc,)),
         "control": (np.int64, (4,)),
@@ -113,10 +145,10 @@ def _layout(n: int, nnz: int, nproc: int, log_capacity: int):
     return specs, offsets, max(cursor, 1)
 
 
-def _views(shm: shared_memory.SharedMemory, n: int, nnz: int, nproc: int,
-           log_capacity: int) -> dict[str, np.ndarray]:
+def _views(shm: shared_memory.SharedMemory, n: int, nnz: int, k: int,
+           nproc: int, log_capacity: int) -> dict[str, np.ndarray]:
     """Zero-copy NumPy views of every shared array in the segment."""
-    specs, offsets, _ = _layout(n, nnz, nproc, log_capacity)
+    specs, offsets, _ = _layout(n, nnz, k, nproc, log_capacity)
     return {
         name: np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offsets[name])
         for name, (dtype, shape) in specs.items()
@@ -148,6 +180,7 @@ def _worker_main(
     shm_name: str,
     n: int,
     nnz: int,
+    k: int,
     log_capacity: int,
     beta: float,
     seed: int,
@@ -160,12 +193,12 @@ def _worker_main(
     shm = _attach(shm_name)
     try:
         _worker_loop(
-            wid, nproc, shm, n, nnz, log_capacity, beta, seed, stream,
+            wid, nproc, shm, n, nnz, k, log_capacity, beta, seed, stream,
             barrier, locks, block,
         )
     except Exception:  # pragma: no cover - exercised only on worker crashes
         try:
-            _views(shm, n, nnz, nproc, log_capacity)["control"][_CTRL_ERROR] = 1
+            _views(shm, n, nnz, k, nproc, log_capacity)["control"][_CTRL_ERROR] = 1
         except Exception:
             pass
         traceback.print_exc()
@@ -183,6 +216,7 @@ def _worker_loop(
     shm: shared_memory.SharedMemory,
     n: int,
     nnz: int,
+    k: int,
     log_capacity: int,
     beta: float,
     seed: int,
@@ -191,10 +225,16 @@ def _worker_loop(
     locks,
     block: int,
 ) -> None:
-    """Worker body: epochs of Algorithm-1 updates on the shared iterate."""
-    v = _views(shm, n, nnz, nproc, log_capacity)
+    """Worker body: epochs of Algorithm-1 updates on the shared iterate.
+
+    The loop outlives any single ``run()``/``solve()`` call: a change of
+    the generation stamp at the start gate rewinds the worker's position
+    in the direction stream to 0, so one pool serves many calls.
+    """
+    v = _views(shm, n, nnz, k, nproc, log_capacity)
     indptr, indices, data = v["indptr"], v["indices"], v["data"]
     x, b, diag = v["x"], v["b"], v["diag"]
+    x1, b1 = x[:, 0], b[:, 0]  # scalar fast path for single-RHS pools
     progress, control = v["progress"], v["control"]
     row_nnz = v["row_nnz"]
     delay_sum, delay_max = v["delay_sum"], v["delay_max"]
@@ -202,10 +242,14 @@ def _worker_loop(
     view = DirectionStream(n, seed=seed, stream=stream).for_processor(wid, nproc)
     nlocks = len(locks) if locks else 0
     done = 0
+    generation = 0
     while True:
         barrier.wait()  # start gate: parent has published the control word
         if control[_CTRL_COMMAND] == _CMD_STOP:
             break
+        if control[_CTRL_GENERATION] != generation:
+            generation = int(control[_CTRL_GENERATION])
+            done = 0  # new call on the same pool: rewind the stream
         target = int(interleave_counts(int(control[_CTRL_TARGET]), nproc)[wid])
         while done < target:
             take = min(block, target - done)
@@ -218,14 +262,24 @@ def _worker_loop(
                 # this and before our own commit raced with us.
                 before = int(progress.sum())
                 # Lines 5-6 of Algorithm 1 — the read is live shared
-                # memory, no snapshot: the inconsistent-read regime.
-                gamma = (b[r] - float(data[s:e] @ x[cols])) / diag[r]
-                # Line 7: the update.
-                if nlocks:
-                    with locks[r % nlocks]:
-                        x[r] += beta * gamma
+                # memory, no snapshot: the inconsistent-read regime. In
+                # block mode one gather of row r serves all k columns
+                # (the paper's 51-RHS amortization).
+                if k == 1:
+                    gamma = (b1[r] - float(data[s:e] @ x1[cols])) / diag[r]
+                    # Line 7: the update.
+                    if nlocks:
+                        with locks[r % nlocks]:
+                            x1[r] += beta * gamma
+                    else:
+                        x1[r] += beta * gamma
                 else:
-                    x[r] += beta * gamma
+                    gamma = (b[r] - data[s:e] @ x[cols, :]) / diag[r]
+                    if nlocks:
+                        with locks[r % nlocks]:
+                            x[r] += beta * gamma
+                    else:
+                        x[r] += beta * gamma
                 done += 1
                 progress[wid] = done  # single-writer slot
                 row_nnz[wid] += e - s
@@ -234,10 +288,10 @@ def _worker_loop(
                 delay_sum[wid] += sample
                 if sample > delay_max[wid]:
                     delay_max[wid] = sample
-                k = int(delay_count[wid])
-                if k < log_capacity:
-                    delay_log[wid, k] = sample
-                delay_count[wid] = k + 1
+                j = int(delay_count[wid])
+                if j < log_capacity:
+                    delay_log[wid, j] = sample
+                delay_count[wid] = j + 1
         barrier.wait()  # end gate: all updates of the epoch are visible
 
 
@@ -268,9 +322,11 @@ class ProcessRunResult:
     Attributes
     ----------
     x:
-        Final iterate (a private copy; the shared segment is freed).
+        Final iterate (a private copy, shaped like ``b``: ``(n,)`` or
+        ``(n, k)``).
     iterations:
-        Total coordinate updates committed across all workers.
+        Total row updates committed across all workers (a block update
+        of all ``k`` columns counts once, as in the simulators).
     per_worker_iterations:
         Commit counts per worker process.
     sync_points:
@@ -288,6 +344,9 @@ class ProcessRunResult:
         boundaries by the parent.
     atomic:
         Whether updates went through the striped locks.
+    sweeps_done:
+        Completed sweeps of ``n`` row updates — the quantity the epoch
+        loop actually executed, reported identically by every engine.
     """
 
     x: np.ndarray
@@ -300,30 +359,41 @@ class ProcessRunResult:
     checkpoints: list[tuple[int, float]] = field(default_factory=list)
     atomic: bool = False
     total_row_nnz: int = 0
+    sweeps_done: int = 0
 
 
-class _Session:
-    """One live worker pool over one shared segment (epoch-stepped)."""
+class _WorkerPool:
+    """A live worker pool over one shared segment (epoch-stepped).
 
-    def __init__(self, backend: "ProcessAsyRGS", x0: np.ndarray):
+    Spawning the pool copies the CSR into shared memory and starts the
+    worker processes; :meth:`begin` then prepares the segment for one
+    ``run()``/``solve()`` call (iterate, RHS, counters, generation
+    stamp) without touching the processes — the persistent-pool reuse
+    path. Workers are always parked at the start-gate barrier between
+    epochs, so the parent owns the segment whenever it writes.
+    """
+
+    def __init__(self, backend: "ProcessAsyRGS"):
         self.backend = backend
         P = backend.nproc
         A = backend.A
         self._shm = shared_memory.SharedMemory(
-            create=True, size=_layout(backend.n, A.nnz, P, backend.log_capacity)[2]
+            create=True,
+            size=_layout(backend.n, A.nnz, backend.k, P, backend.log_capacity)[2],
         )
         self.target = 0
+        self.generation = 0
         self.sync_points = 0
         self.wall_time = 0.0
         self.procs = []
         self._alive = True
         try:
-            self._setup(backend, x0, P, A)
+            self._setup(backend, P, A)
         except BaseException:
             # Abort before any barrier crossing so already-started workers
             # (blocked at the start gate) wake and exit instead of hanging,
-            # then free the segment — run()/solve() install their finally
-            # only after __init__ returns.
+            # then free the segment — callers install their finally only
+            # after __init__ returns.
             try:
                 if hasattr(self, "barrier"):
                     self.barrier.abort()
@@ -332,20 +402,16 @@ class _Session:
             self._kill()
             raise
 
-    def _setup(self, backend: "ProcessAsyRGS", x0: np.ndarray, P: int, A) -> None:
-        self.views = _views(self._shm, backend.n, A.nnz, P, backend.log_capacity)
+    def _setup(self, backend: "ProcessAsyRGS", P: int, A) -> None:
+        self.views = _views(
+            self._shm, backend.n, A.nnz, backend.k, P, backend.log_capacity
+        )
         self.views["data"][:] = A.data
         self.views["indices"][:] = A.indices
         self.views["indptr"][:] = A.indptr
-        self.views["b"][:] = backend.b
         self.views["diag"][:] = backend._diag
-        self.views["x"][:] = x0
-        self.views["progress"][:] = 0
-        self.views["row_nnz"][:] = 0
         self.views["control"][:] = 0
-        self.views["delay_sum"][:] = 0
-        self.views["delay_max"][:] = 0
-        self.views["delay_count"][:] = 0
+        backend.csr_copies += 1
         ctx = backend._ctx
         self.barrier = ctx.Barrier(P + 1)
         locks = (
@@ -357,7 +423,7 @@ class _Session:
             ctx.Process(
                 target=_worker_main,
                 args=(
-                    wid, P, self._shm.name, backend.n, A.nnz,
+                    wid, P, self._shm.name, backend.n, A.nnz, backend.k,
                     backend.log_capacity, backend.beta,
                     backend.directions.seed, backend.directions.stream,
                     self.barrier, locks, backend.block,
@@ -369,6 +435,25 @@ class _Session:
         ]
         for p in self.procs:
             p.start()
+        backend.spawn_count += 1
+
+    def begin(self, x0: np.ndarray, b: np.ndarray) -> None:
+        """Arm the pool for one call: publish iterate + RHS, zero the
+        counters, bump the generation so workers rewind their streams."""
+        self.views["x"][:] = x0.reshape(self.backend.n, self.backend.k)
+        self.views["b"][:] = b.reshape(self.backend.n, self.backend.k)
+        self.views["progress"][:] = 0
+        self.views["row_nnz"][:] = 0
+        self.views["delay_sum"][:] = 0
+        self.views["delay_max"][:] = 0
+        self.views["delay_count"][:] = 0
+        self.target = 0
+        self.sync_points = 0
+        self.wall_time = 0.0
+        self.generation += 1
+        ctrl = self.views["control"]
+        ctrl[_CTRL_TARGET] = 0
+        ctrl[_CTRL_GENERATION] = self.generation
 
     def _wait(self) -> None:
         try:
@@ -460,7 +545,9 @@ class ProcessAsyRGS:
     Parameters
     ----------
     A, b:
-        The system (single right-hand side; positive diagonal required).
+        The system (positive diagonal required). ``b`` may be a vector
+        ``(n,)`` or a block of right-hand sides ``(n, k)`` — the block
+        is solved simultaneously, one row gather serving all columns.
     nproc:
         Number of worker processes sharing the iterate.
     beta:
@@ -486,6 +573,12 @@ class ProcessAsyRGS:
         size (hot-loop amortization; no effect on results).
     barrier_timeout:
         Seconds before a barrier wait declares the pool wedged.
+
+    Used as a context manager, the worker pool persists across calls:
+    processes are spawned once and the CSR is copied into shared memory
+    once, then every ``run()``/``solve()`` (optionally with a different
+    ``b=`` of the same shape) reuses them. Outside a ``with`` block each
+    call manages its own short-lived pool.
     """
 
     def __init__(
@@ -504,14 +597,15 @@ class ProcessAsyRGS:
         barrier_timeout: float = 300.0,
     ):
         b, diag, n = _prepare_system(A, b)
-        if b.ndim != 1:
-            raise ShapeError("the multiprocess backend runs single-RHS systems")
         nproc = int(nproc)
         if nproc < 1:
             raise ModelError(f"nproc must be at least 1, got {nproc}")
         self.A = A
         self.b = b
         self.n = n
+        self.k = 1 if b.ndim == 1 else int(b.shape[1])
+        if self.k < 1:
+            raise ShapeError("the RHS block must have at least one column")
         self._diag = diag
         self.nproc = nproc
         self.beta = float(beta)
@@ -534,44 +628,137 @@ class ProcessAsyRGS:
         if self.block < 1:
             raise ModelError("block must be at least 1")
         self.barrier_timeout = float(barrier_timeout)
+        self._pool: _WorkerPool | None = None
+        self._persistent = False
+        self.spawn_count = 0  # pools spawned over this solver's lifetime
+        self.csr_copies = 0  # CSR copies into shared memory (once per pool)
 
-    # ------------------------------------------------------------------
+    # -- pool lifecycle -------------------------------------------------
 
-    def _default_metric(self):
-        b_norm = float(np.linalg.norm(self.b))
-        scale = b_norm if b_norm > 0 else 1.0
-        return lambda xv: float(np.linalg.norm(self.b - self.A.matvec(xv))) / scale
+    def __enter__(self) -> "ProcessAsyRGS":
+        self._persistent = True
+        self._ensure_pool()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent)."""
+        pool, self._pool = self._pool, None
+        self._persistent = False
+        if pool is not None:
+            pool.stop()
+
+    @property
+    def pool_active(self) -> bool:
+        """Whether a persistent pool is currently alive."""
+        return self._pool is not None and self._pool._alive
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live persistent pool's workers (empty when none)."""
+        if not self.pool_active:
+            return []
+        return [p.pid for p in self._pool.procs]
+
+    def _ensure_pool(self) -> _WorkerPool:
+        if self._pool is None or not self._pool._alive:
+            self._pool = _WorkerPool(self)
+        return self._pool
+
+    def _acquire_pool(self) -> tuple[_WorkerPool, bool]:
+        """The pool to serve one call, and whether to stop it afterwards."""
+        if self._persistent:
+            return self._ensure_pool(), False
+        return _WorkerPool(self), True
+
+    def _release_pool(self, pool: _WorkerPool, oneshot: bool, failed: bool) -> None:
+        if oneshot:
+            pool.stop()
+            return
+        if failed or not pool._alive:
+            # A failure can leave workers mid-epoch, out of step with the
+            # parent's barrier phase — unusable. Drop the pool; the next
+            # call respawns (visible through spawn_count, honestly).
+            if pool is self._pool:
+                self._pool = None
+            pool.stop()
+
+    # -- per-call plumbing ----------------------------------------------
+
+    def _check_b(self, b: np.ndarray | None) -> np.ndarray:
+        if b is None:
+            return self.b
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != self.b.shape:
+            raise ShapeError(
+                f"b has shape {b.shape}, but this pool's layout is fixed at "
+                f"{self.b.shape}; build a new solver for a different block shape"
+            )
+        return b
 
     def _check_x0(self, x0: np.ndarray | None) -> np.ndarray:
-        x0 = np.zeros(self.n) if x0 is None else np.asarray(x0, dtype=np.float64)
-        if x0.shape != (self.n,):
-            raise ShapeError(f"x0 has shape {x0.shape}, expected ({self.n},)")
+        x0 = (
+            np.zeros_like(self.b)
+            if x0 is None
+            else np.asarray(x0, dtype=np.float64)
+        )
+        if x0.shape != self.b.shape:
+            raise ShapeError(f"x0 has shape {x0.shape}, expected {self.b.shape}")
         return x0
 
-    def run(self, x0: np.ndarray | None, num_iterations: int) -> ProcessRunResult:
+    def _out(self, x_shared: np.ndarray) -> np.ndarray:
+        """A private, ``b``-shaped copy of the shared ``(n, k)`` iterate."""
+        return x_shared[:, 0].copy() if self.b.ndim == 1 else x_shared.copy()
+
+    def _default_metric(self, b: np.ndarray):
+        # Deferred import: repro.core imports repro.execution at package
+        # init, so a module-level import here would be circular.
+        from ..core.residuals import relative_residual
+
+        return lambda xv: relative_residual(self.A, xv, b)
+
+    def run(
+        self,
+        x0: np.ndarray | None,
+        num_iterations: int,
+        *,
+        b: np.ndarray | None = None,
+    ) -> ProcessRunResult:
         """One free-running asynchronous segment of ``num_iterations``
-        commits — the regime of Theorem 2(b) (no interior barriers)."""
+        commits — the regime of Theorem 2(b) (no interior barriers).
+
+        ``b=`` overrides the right-hand side for this call only (same
+        shape as the constructor's; the persistent pool serves it without
+        respawning).
+        """
         num_iterations = int(num_iterations)
         if num_iterations < 0:
             raise ModelError("num_iterations must be non-negative")
-        session = _Session(self, self._check_x0(x0))
+        b = self._check_b(b)
+        x0 = self._check_x0(x0)
+        pool, oneshot = self._acquire_pool()
+        failed = True
         try:
+            pool.begin(x0, b)
             if num_iterations:
-                session.advance(num_iterations)
-            x = session.x().copy()
+                pool.advance(num_iterations)
             result = ProcessRunResult(
-                x=x,
-                iterations=sum(session.per_worker()),
-                per_worker_iterations=session.per_worker(),
-                sync_points=session.sync_points,
+                x=self._out(pool.x()),
+                iterations=sum(pool.per_worker()),
+                per_worker_iterations=pool.per_worker(),
+                sync_points=pool.sync_points,
                 converged=False,
-                total_row_nnz=session.total_row_nnz(),
-                wall_time=session.wall_time,
-                tau_observed=session.delay_stats(),
+                total_row_nnz=pool.total_row_nnz(),
+                wall_time=pool.wall_time,
+                tau_observed=pool.delay_stats(),
                 atomic=self.atomic,
+                sweeps_done=num_iterations // self.n,
             )
+            failed = False
         finally:
-            session.stop()
+            self._release_pool(pool, oneshot, failed)
         return result
 
     def solve(
@@ -582,17 +769,22 @@ class ProcessAsyRGS:
         *,
         sync_every_sweeps: int = 1,
         metric=None,
+        b: np.ndarray | None = None,
     ) -> ProcessRunResult:
         """Solve to tolerance with the epoch scheme of Theorem 2's
         discussion: ``sync_every_sweeps · n`` asynchronous commits, a
-        real barrier, a residual check on the shared iterate, repeat."""
+        real barrier, a residual check on the shared iterate, repeat.
+
+        ``b=`` overrides the right-hand side for this call only (same
+        shape as the constructor's)."""
         tol = float(tol)
         max_sweeps = int(max_sweeps)
         sync_every = int(sync_every_sweeps)
         if sync_every < 1:
             raise ModelError("sync_every_sweeps must be at least 1")
+        b = self._check_b(b)
         if metric is None:
-            metric = self._default_metric()
+            metric = self._default_metric(b)
         x0 = self._check_x0(x0)
         value = metric(x0)
         checkpoints = [(0, value)]
@@ -608,33 +800,40 @@ class ProcessAsyRGS:
                 tau_observed=DelayStats(0, 0.0, 0, np.empty(0, dtype=np.int64)),
                 checkpoints=checkpoints,
                 atomic=self.atomic,
+                sweeps_done=0,
             )
-        session = _Session(self, x0)
+        pool, oneshot = self._acquire_pool()
+        failed = True
         try:
+            pool.begin(x0, b)
             sweeps_done = 0
             while not converged and sweeps_done < max_sweeps:
                 take = min(sync_every, max_sweeps - sweeps_done)
-                session.advance(take * self.n)
+                pool.advance(take * self.n)
                 sweeps_done += take
                 # The barrier just crossed is a paper-sense sync point:
-                # the parent's read below sees every worker's writes.
-                value = metric(session.x())
-                checkpoints.append((session.target, value))
+                # the parent's read below sees every worker's writes
+                # (b-shaped view, no copy).
+                xv = pool.x()[:, 0] if self.b.ndim == 1 else pool.x()
+                value = metric(xv)
+                checkpoints.append((pool.target, value))
                 converged = value < tol
             result = ProcessRunResult(
-                x=session.x().copy(),
-                iterations=sum(session.per_worker()),
-                per_worker_iterations=session.per_worker(),
-                sync_points=session.sync_points,
+                x=self._out(pool.x()),
+                iterations=sum(pool.per_worker()),
+                per_worker_iterations=pool.per_worker(),
+                sync_points=pool.sync_points,
                 converged=converged,
-                total_row_nnz=session.total_row_nnz(),
-                wall_time=session.wall_time,
-                tau_observed=session.delay_stats(),
+                total_row_nnz=pool.total_row_nnz(),
+                wall_time=pool.wall_time,
+                tau_observed=pool.delay_stats(),
                 checkpoints=checkpoints,
                 atomic=self.atomic,
+                sweeps_done=sweeps_done,
             )
+            failed = False
         finally:
-            session.stop()
+            self._release_pool(pool, oneshot, failed)
         return result
 
 

@@ -89,7 +89,11 @@ class SharedVector:
     Parameters
     ----------
     values:
-        Initial contents (copied).
+        Initial contents (copied). May be a vector ``(n,)`` or a block
+        iterate ``(n, k)`` — with a block, :meth:`add` commits a whole
+        row ``x[index, :] += delta`` as one update (the multi-RHS
+        convention shared with the simulators and the multiprocess
+        backend), and :meth:`gather` returns rows.
     atomic:
         When ``True``, updates take a lock, making the read-modify-write
         indivisible — the faithful implementation of Assumption A-1 in
@@ -123,8 +127,9 @@ class SharedVector:
         inconsistent-read path by construction."""
         return self._x
 
-    def add(self, index: int, delta: float) -> None:
-        """Commit ``x[index] += delta`` under the configured write model."""
+    def add(self, index: int, delta) -> None:
+        """Commit ``x[index] += delta`` under the configured write model
+        (``delta`` is a scalar for vectors, a length-k row for blocks)."""
         if self._atomic:
             with self._lock:
                 self._x[index] += delta

@@ -59,6 +59,24 @@ class Problem:
     def n(self) -> int:
         return self.A.shape[0]
 
+    def rhs_block(self, k: int) -> np.ndarray:
+        """A deterministic ``(n, k)`` right-hand-side block.
+
+        Uses the problem's native label block ``B`` when it has enough
+        columns (the social workloads ship one); otherwise cycles the
+        available columns with distinct integer scalings so every column
+        stays a different system. Experiments use this to put any named
+        problem into the paper's multi-label regime.
+        """
+        k = int(k)
+        if k < 1:
+            raise ModelError(f"need at least one RHS column, got {k}")
+        if self.B is not None and self.B.shape[1] >= k:
+            return self.B[:, :k].copy()
+        base = self.B if self.B is not None else self.b[:, None]
+        m = base.shape[1]
+        return np.column_stack([base[:, j % m] * (1.0 + j // m) for j in range(k)])
+
 
 _REGISTRY: dict[str, Callable[[], Problem]] = {}
 
@@ -105,6 +123,21 @@ def _social_small() -> Problem:
         b=prob.B[:, 0].copy(),
         B=prob.B,
         meta={"kind": "social", **prob.stats},
+    )
+
+
+@register_problem("social-labels")
+def _social_labels() -> Problem:
+    """The paper's headline regime at test scale: one social-media Gram
+    system solved for 51 label right-hand sides simultaneously
+    (Section 9's 51-label block)."""
+    prob = social_media_problem(n_terms=400, n_docs=1600, n_labels=51, seed=13)
+    return Problem(
+        name="social-labels",
+        A=prob.G,
+        b=prob.B[:, 0].copy(),
+        B=prob.B,
+        meta={"kind": "social", "labels": prob.B.shape[1], **prob.stats},
     )
 
 

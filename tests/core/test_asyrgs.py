@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import AsyRGS, randomized_gauss_seidel
-from repro.exceptions import ModelError
+from repro.exceptions import ModelError, ShapeError
 from repro.execution import InconsistentUniform, LossyWrites, UniformDelay
 from repro.rng import DirectionStream
 from repro.workloads import random_unit_diagonal_spd
@@ -131,6 +131,37 @@ class TestRunSweeps:
         assert np.linalg.norm(res) / np.linalg.norm(B) < 1e-2
 
 
+class TestRHSValidation:
+    """b is validated once, up front, identically for every engine."""
+
+    @pytest.mark.parametrize("engine", ["phased", "general", "processes"])
+    def test_three_dim_b_rejected_at_init(self, system, engine):
+        A, b, _ = system
+        with pytest.raises(ShapeError, match="expected"):
+            AsyRGS(A, np.zeros((A.shape[0], 2, 2)), engine=engine, nproc=2)
+
+    @pytest.mark.parametrize("engine", ["phased", "general", "processes"])
+    def test_wrong_length_b_rejected_at_init(self, system, engine):
+        A, b, _ = system
+        with pytest.raises(ShapeError, match="expected"):
+            AsyRGS(A, b[:-3], engine=engine, nproc=2)
+
+    def test_error_message_uniform_across_engines(self, system):
+        A, b, _ = system
+        messages = set()
+        for engine in ("phased", "general", "processes"):
+            with pytest.raises(ShapeError) as err:
+                AsyRGS(A, b[:-3], engine=engine, nproc=2)
+            messages.add(str(err.value))
+        assert len(messages) == 1
+
+    def test_block_b_accepted_by_every_engine(self, system):
+        A, b, _ = system
+        B = np.stack([b, 2 * b], axis=1)
+        for engine in ("phased", "general", "processes"):
+            assert AsyRGS(A, B, engine=engine, nproc=2).b.shape == B.shape
+
+
 class TestStepSize:
     def test_auto_beta_consistent(self, system):
         A, b, _ = system
@@ -138,6 +169,23 @@ class TestStepSize:
         from repro.core import optimal_beta_consistent, rho_infinity
 
         assert s.beta == pytest.approx(optimal_beta_consistent(rho_infinity(A), s.tau))
+
+    def test_auto_beta_inconsistent_uses_rho2(self, system):
+        """Regression: the inconsistent-read models must get the
+        Theorem-4 step from ρ₂ (previously ρ was computed, then
+        discarded, and ρ₂ recomputed)."""
+        from repro.core import optimal_beta_inconsistent, rho_two
+
+        A, b, _ = system
+        expected = optimal_beta_inconsistent(rho_two(A), 1)
+        s = AsyRGS(A, b, nproc=2, engine="processes", beta="auto")
+        assert s.tau == 1
+        assert s.beta == pytest.approx(expected)
+        s2 = AsyRGS(
+            A, b, engine="general", beta="auto",
+            delay_model=InconsistentUniform(1, miss_prob=0.5, seed=4),
+        )
+        assert s2.beta == pytest.approx(expected)
 
     def test_explicit_beta_used(self, system):
         A, b, _ = system

@@ -80,3 +80,15 @@ class TestSharedVector:
         v = SharedVector(src)
         src[0] = 99.0
         assert v.snapshot()[0] == 1.0
+
+    def test_block_iterate_row_updates(self):
+        """A (n, k) block iterate commits whole rows per update — the
+        multi-RHS convention shared with the multiprocess backend."""
+        v = SharedVector(np.zeros((3, 2)))
+        v.add(1, np.array([0.5, -0.5]))
+        v.add(1, np.array([0.5, -0.5]))
+        np.testing.assert_array_equal(v.view()[1], [1.0, -1.0])
+        assert v.update_count == 2
+        rows = v.gather(np.array([1, 0]))
+        assert rows.shape == (2, 2)
+        np.testing.assert_array_equal(rows[0], [1.0, -1.0])

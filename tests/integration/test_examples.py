@@ -61,3 +61,5 @@ class TestExamples:
         assert "AsyRGS[processes]" in out
         assert "tau_observed" in out
         assert "Strong scaling" in out
+        assert "51 labels" in out  # the paper's headline block regime
+        assert "1 pool spawn(s), 1 CSR copy(ies)" in out  # persistent pool

@@ -35,12 +35,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
 
+    def test_block_experiment_known(self):
+        args = build_parser().parse_args(["experiment", "block"])
+        assert args.name == "block"
+
 
 class TestSpeedup:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["speedup"])
         assert args.nproc == 4
         assert args.problem == "laplace2d"
+        assert args.labels == 1
 
     @pytest.mark.multiprocess
     def test_reports_wallclock_scaling(self, capsys):
@@ -49,6 +54,13 @@ class TestSpeedup:
         out = capsys.readouterr().out
         assert "Strong scaling" in out
         assert "tau_obs" in out
+
+    @pytest.mark.multiprocess
+    def test_block_scaling_with_labels(self, capsys):
+        code = main(["speedup", "--nproc", "2", "--sweeps", "2", "--labels", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3-label block" in out
 
 
 class TestSolve:
@@ -103,6 +115,81 @@ class TestSolve:
             ["solve", str(path), "--tol", "1e-14", "--max-sweeps", "1"]
         )
         assert code == 1
+
+
+class TestSolveMultiRHS:
+    @pytest.fixture()
+    def block_rhs_file(self, matrix_file, tmp_path):
+        path, A = matrix_file
+        n = A.shape[0]
+        X_star = np.column_stack(
+            [np.linspace(-1, 1, n), np.linspace(1, 2, n), np.sin(np.arange(n))]
+        )
+        rhs = tmp_path / "B.txt"
+        np.savetxt(rhs, A.matmat(X_star))
+        return rhs, X_star
+
+    def test_block_rhs_preserved_not_flattened(self, matrix_file, block_rhs_file,
+                                               tmp_path, capsys):
+        """A 3-column RHS file is solved as one simultaneous block and
+        the solution file keeps the (n, 3) shape."""
+        path, A = matrix_file
+        rhs, X_star = block_rhs_file
+        out_file = tmp_path / "X.txt"
+        code = main(
+            ["solve", str(path), "--rhs", str(rhs), "--output", str(out_file),
+             "--tol", "1e-10", "--max-sweeps", "3000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 RHS columns" in out
+        X = np.loadtxt(out_file)
+        assert X.shape == X_star.shape
+        np.testing.assert_allclose(X, X_star, atol=1e-7)
+
+    @pytest.mark.multiprocess
+    def test_block_rhs_processes_engine(self, matrix_file, block_rhs_file, capsys):
+        path, _ = matrix_file
+        rhs, _ = block_rhs_file
+        code = main(
+            ["solve", str(path), "--rhs", str(rhs), "--engine", "processes",
+             "--nproc", "2", "--tol", "1e-8", "--max-sweeps", "2000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "converged=True" in out
+        assert "3 RHS columns" in out
+        assert "tau_observed" in out
+
+    def test_block_rhs_rgs_method(self, matrix_file, block_rhs_file, capsys):
+        path, _ = matrix_file
+        rhs, _ = block_rhs_file
+        code = main(
+            ["solve", str(path), "--rhs", str(rhs), "--method", "rgs",
+             "--tol", "1e-8", "--max-sweeps", "2000"]
+        )
+        assert code == 0
+        assert "converged=True" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("method", ["cg", "fcg"])
+    def test_block_rhs_rejected_for_krylov(self, matrix_file, block_rhs_file,
+                                           method, capsys):
+        path, _ = matrix_file
+        rhs, _ = block_rhs_file
+        code = main(["solve", str(path), "--rhs", str(rhs), "--method", method])
+        assert code == 2
+        assert "one right-hand side at a time" in capsys.readouterr().out
+
+    def test_mismatched_rhs_rows_rejected(self, matrix_file, tmp_path, capsys):
+        """The old behavior silently flattened an (n, k) file into one
+        nk-long vector; now any row-count mismatch is a clear error."""
+        path, A = matrix_file
+        rhs = tmp_path / "bad.txt"
+        np.savetxt(rhs, np.ones(A.shape[0] - 1))
+        code = main(["solve", str(path), "--rhs", str(rhs)])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "row counts must match" in out
 
 
 class TestEstimate:
