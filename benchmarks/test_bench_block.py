@@ -9,7 +9,7 @@ spawned once. The measured ratios are printed for the record.
 
 import pytest
 
-from repro.bench import run_block
+from repro.bench import run_block, run_block_retirement
 
 from conftest import persist_and_print
 
@@ -32,3 +32,27 @@ def test_block_smoke(benchmark):
     # The persistent pool must really be one pool; one-shot pays one per call.
     assert result.spawns_pooled == 1
     assert result.spawns_oneshot == result.repeats
+
+
+@pytest.mark.multiprocess
+def test_block_retirement_smoke(benchmark):
+    """Per-column retirement on the paper's 51-label regime: label
+    difficulty on ``social-labels`` is skewed, so retiring converged
+    columns must save a measurable share of the column updates while
+    every retired column still finishes below the tolerance."""
+    result = benchmark.pedantic(
+        run_block_retirement,
+        kwargs=dict(problem="social-labels", nproc=2, tol=1e-3, max_sweeps=600),
+        rounds=1,
+        iterations=1,
+    )
+    persist_and_print("fig_block_retirement", result.table())
+
+    assert result.labels == 51
+    assert result.converged_retire and result.converged_full
+    # Both runs did real work and the retired one did measurably less:
+    # the active set must have shrunk well before the slowest label.
+    assert result.col_updates_retire < 0.9 * result.col_updates_full
+    assert 0 <= result.first_retirement < result.last_retirement
+    # Every retired column's final relative residual honors the tol.
+    assert result.max_col_residual < 1e-3

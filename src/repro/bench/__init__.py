@@ -25,7 +25,12 @@ from .fig2_scaling import (
     run_fig2_left,
     run_fig2_right,
 )
-from .fig_block import BlockBenchResult, run_block
+from .fig_block import (
+    BlockBenchResult,
+    BlockRetirementResult,
+    run_block,
+    run_block_retirement,
+)
 from .fig_speedup import SpeedupResult, run_speedup
 from .fig3_fcg import (
     FCGRun,
@@ -57,6 +62,8 @@ __all__ = [
     "results_dir",
     "run_beta_sweep",
     "run_block",
+    "BlockRetirementResult",
+    "run_block_retirement",
     "run_consistency_gap",
     "run_delay_schedules",
     "run_direction_strategies",

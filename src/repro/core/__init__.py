@@ -25,6 +25,8 @@ from .residuals import (
     ConvergenceHistory,
     a_norm,
     a_norm_error,
+    column_relative_residuals,
+    column_residual_norms,
     relative_a_norm_error,
     relative_residual,
     residual_norm,
@@ -92,6 +94,8 @@ __all__ = [
     "randomized_gauss_seidel",
     "rcd_least_squares",
     "relative_a_norm_error",
+    "column_relative_residuals",
+    "column_residual_norms",
     "relative_residual",
     "residual_norm",
     "rgs_sweep",

@@ -25,6 +25,17 @@ modeled ones)::
     solver = AsyRGS(A, b, nproc=4, engine="processes")
     result = solver.solve(tol=1e-4, max_sweeps=200)
     result.tau_observed.max   # empirical delay bound from the write-log
+
+Block right-hand sides are solved **column-aware**: convergence is
+judged per column, and columns that reach the tolerance are retired at
+epoch boundaries so the remaining updates only refresh the shrinking
+active set (the paper's 51-label regime with skewed label difficulty)::
+
+    solver = AsyRGS(A, B51, nproc=4, engine="processes")
+    result = solver.solve(tol=1e-3, max_sweeps=600)
+    result.converged_columns   # per-label convergence mask (all True here)
+    result.column_sweeps       # the epoch each label retired at
+    result.column_updates      # work actually spent (< iterations * 51)
 """
 
 from __future__ import annotations
@@ -45,7 +56,7 @@ from ..execution import (
     ProcessorPhaseDelay,
     WriteModel,
 )
-from .residuals import ConvergenceHistory, relative_residual
+from .residuals import ColumnTracker, ConvergenceHistory, relative_residual
 from .stepsize import auto_step_size
 
 __all__ = ["AsyRGSResult", "AsyRGS"]
@@ -86,6 +97,20 @@ class AsyRGSResult:
     wall_time:
         Wall-clock seconds spent in the worker pool
         (``engine="processes"`` only).
+    column_updates:
+        Σ over row updates of the number of RHS columns actually
+        refreshed — ``iterations · k`` without retirement, strictly
+        less once columns retire (the work retirement saves).
+    converged_columns:
+        Per-column convergence mask at the last synchronization point
+        (``None`` when a custom metric made per-column tracking
+        impossible, or for ``run_sweeps``).
+    column_sweeps:
+        Sweep count at which each column first reached the tolerance —
+        its retirement epoch when retirement is on; ``-1`` for columns
+        that never got there. ``None`` like ``converged_columns``.
+    column_residuals:
+        Final per-column relative residuals (``None`` like the above).
     """
 
     x: np.ndarray
@@ -99,6 +124,10 @@ class AsyRGSResult:
     beta: float
     tau_observed: DelayStats | None = None
     wall_time: float | None = None
+    column_updates: int | None = None
+    converged_columns: np.ndarray | None = None
+    column_sweeps: np.ndarray | None = None
+    column_residuals: np.ndarray | None = None
 
 
 class AsyRGS:
@@ -222,6 +251,10 @@ class AsyRGS:
             tau = self.nproc + int(jitter) - 1
             consistent = True
         self.tau = int(tau)
+        self._atomic = bool(atomic)
+        self._jitter = int(jitter)
+        self._seed = int(seed)
+        self._write_model = write_model
         if beta == "auto":
             # Pass neither coefficient: auto_step_size computes exactly
             # the one the read model needs (ρ for consistent reads, ρ₂
@@ -266,6 +299,39 @@ class AsyRGS:
     def _zero_like_b(self) -> np.ndarray:
         return np.zeros_like(self.b)
 
+    def _check_x0(self, x0: np.ndarray) -> np.ndarray:
+        """Validate the initial iterate up front — the same contract and
+        wording for every engine, instead of a silent broadcast or a
+        deep engine-specific failure."""
+        x0 = np.asarray(x0, dtype=np.float64)
+        if x0.shape != self.b.shape:
+            raise ShapeError(f"x0 has shape {x0.shape}, expected {self.b.shape}")
+        return np.array(x0)
+
+    def _make_engine(self, b_sub: np.ndarray):
+        """A simulated engine for a column sub-block, sharing this
+        solver's directions/step/delay configuration — the realized row
+        sequence is identical, only the columns written shrink."""
+        if self.engine == "phased":
+            return PhasedSimulator(
+                self.A,
+                b_sub,
+                nproc=self.nproc,
+                directions=self.directions,
+                beta=self.beta,
+                atomic=self._atomic,
+                jitter=self._jitter,
+                seed=self._seed,
+            )
+        return AsyncSimulator(
+            self.A,
+            b_sub,
+            delay_model=self.delay_model,
+            directions=self.directions,
+            beta=self.beta,
+            write_model=self._write_model,
+        )
+
     def run_sweeps(
         self,
         sweeps: int,
@@ -285,7 +351,8 @@ class AsyRGS:
         sweeps = int(sweeps)
         if sweeps < 0:
             raise ModelError("sweeps must be non-negative")
-        x = self._zero_like_b() if x0 is None else np.array(x0, dtype=np.float64)
+        x = self._zero_like_b() if x0 is None else self._check_x0(x0)
+        k = 1 if self.b.ndim == 1 else int(self.b.shape[1])
         if metric is None:
             metric = lambda xv: relative_residual(self.A, xv, self.b)  # noqa: E731
         history = (
@@ -319,6 +386,7 @@ class AsyRGS:
                 beta=self.beta,
                 tau_observed=result.tau_observed,
                 wall_time=result.wall_time,
+                column_updates=result.column_updates,
             )
         result = self._sim.run(
             x,
@@ -340,6 +408,7 @@ class AsyRGS:
             sync_points=0,
             lost_writes=result.lost_writes,
             beta=self.beta,
+            column_updates=result.iterations * k,
         )
 
     def solve(
@@ -351,27 +420,52 @@ class AsyRGS:
         sync_every_sweeps: int = 1,
         metric=None,
         record_history: bool = True,
+        retire: bool | None = None,
     ) -> AsyRGSResult:
         """Solve to tolerance with the epoch scheme of Theorem 2's discussion.
 
         Runs ``sync_every_sweeps`` sweeps asynchronously, synchronizes
         (segment boundary — all pending updates become visible to every
-        simulated processor), evaluates the metric, and repeats until
-        ``metric(x) < tol`` or the sweep budget is exhausted.
+        simulated processor), measures the residual, and repeats until
+        converged or the sweep budget is exhausted.
+
+        Convergence is judged **per column**: the solve finishes when
+        every column's relative residual sits below ``tol`` (a Frobenius
+        aggregate can pass while one hard label column is still far
+        off). With ``retire`` (the default), a column that reaches
+        ``tol`` is retired at that synchronization point — subsequent
+        updates refresh only the shrinking active set, on every engine
+        (the processes backend shrinks its shared active-column mask;
+        the simulated engines narrow the block they update). Retirement
+        never happens mid-segment, so the Theorem 2 epoch structure is
+        untouched. The result reports ``converged_columns``,
+        ``column_sweeps`` (each column's retirement epoch), and
+        ``column_updates`` (the work actually spent).
+
+        A custom ``metric`` restores the aggregate-only criterion
+        ``metric(x) < tol``; it cannot be decomposed per column, so
+        per-column tracking is off and combining it with an explicit
+        ``retire=True`` raises.
         """
         tol = float(tol)
         max_sweeps = int(max_sweeps)
         sync_every = int(sync_every_sweeps)
         if sync_every < 1:
             raise ModelError("sync_every_sweeps must be at least 1")
-        x = self._zero_like_b() if x0 is None else np.array(x0, dtype=np.float64)
-        if metric is None:
-            metric = lambda xv: relative_residual(self.A, xv, self.b)  # noqa: E731
+        if retire is None:
+            retire = metric is None
+        elif retire and metric is not None:
+            raise ModelError(
+                "column retirement tracks the built-in per-column relative "
+                "residual; a custom metric cannot be decomposed per column"
+            )
+        x = self._zero_like_b() if x0 is None else self._check_x0(x0)
         history = (
             ConvergenceHistory(label="AsyRGS-epochs", unit="sweep", metric="metric")
             if record_history
             else None
         )
+        multi = self.b.ndim == 2
         if self.engine == "processes":
             result = self._sim.solve(
                 tol=tol,
@@ -379,10 +473,12 @@ class AsyRGS:
                 x0=x,
                 sync_every_sweeps=sync_every,
                 metric=metric,
+                retire=retire,
             )
             if history is not None:
+                columns = dict(result.column_checkpoints) if multi else {}
                 for it, value in result.checkpoints:
-                    history.record(it // self.n, value)
+                    history.record(it // self.n, value, columns=columns.get(it))
             return AsyRGSResult(
                 x=result.x,
                 # Same quantity as the simulated path below: epochs of n
@@ -398,7 +494,99 @@ class AsyRGS:
                 beta=self.beta,
                 tau_observed=result.tau_observed,
                 wall_time=result.wall_time,
+                column_updates=result.column_updates,
+                converged_columns=result.converged_columns,
+                column_sweeps=result.column_sweeps,
+                column_residuals=result.column_residuals,
             )
+        if metric is not None:
+            return self._solve_simulated_metric(
+                tol, max_sweeps, x, sync_every, metric, history
+            )
+        return self._solve_simulated_columns(
+            tol, max_sweeps, x, sync_every, retire, history
+        )
+
+    def _solve_simulated_columns(
+        self, tol, max_sweeps, x, sync_every, retire, history
+    ) -> AsyRGSResult:
+        """Column-aware epoch loop for the simulated engines.
+
+        Each RHS column evolves independently (a row update touches only
+        that column's data), so freezing retired columns and running the
+        engine on the active sub-block realizes exactly the same
+        per-column trajectories as the full run — with fewer writes.
+        """
+        multi = self.b.ndim == 2
+        k = int(self.b.shape[1]) if multi else 1
+        tracker = ColumnTracker(self.A, x, self.b, tol)
+        if history is not None:
+            history.record(0, tracker.value, columns=tracker.col if multi else None)
+        iterations = 0
+        total_nnz = 0
+        lost = 0
+        sync_points = 0
+        sweeps_done = 0
+        column_updates = 0
+        # The sub-engine for a narrowed block is rebuilt only when the
+        # active set actually changes (retirements are rare relative to
+        # epochs); in between, the previous epoch's result block is fed
+        # straight back in — no per-epoch copies or diagonal re-scans.
+        sub_engine = None
+        sub_live = None
+        sub_x = None
+        while not tracker.converged and sweeps_done < max_sweeps:
+            take = min(sync_every, max_sweeps - sweeps_done)
+            live = tracker.active() if (retire and multi) else None
+            if live is None or live.size == k:
+                result = self._sim.run(x, take * self.n, start_iteration=iterations)
+                x = result.x
+                active_count = k
+            else:
+                if sub_live is None or not np.array_equal(live, sub_live):
+                    sub_engine = self._make_engine(
+                        np.ascontiguousarray(self.b[:, live])
+                    )
+                    sub_live = live
+                    sub_x = np.ascontiguousarray(x[:, live])
+                result = sub_engine.run(
+                    sub_x, take * self.n, start_iteration=iterations
+                )
+                sub_x = result.x
+                x[:, live] = result.x
+                active_count = int(live.size)
+            iterations += result.iterations
+            total_nnz += result.total_row_nnz
+            lost += result.lost_writes
+            column_updates += result.iterations * active_count
+            sweeps_done += take
+            sync_points += 1
+            tracker.update(x, sweeps_done, retire)
+            if history is not None:
+                history.record(
+                    sweeps_done, tracker.value, columns=tracker.col if multi else None
+                )
+        return AsyRGSResult(
+            x=x,
+            iterations=iterations,
+            sweeps=sweeps_done,
+            converged=tracker.converged,
+            history=history,
+            total_row_nnz=total_nnz,
+            sync_points=sync_points,
+            lost_writes=lost,
+            beta=self.beta,
+            column_updates=column_updates,
+            converged_columns=tracker.done_mask.copy(),
+            column_sweeps=tracker.column_sweeps,
+            column_residuals=tracker.col.copy(),
+        )
+
+    def _solve_simulated_metric(
+        self, tol, max_sweeps, x, sync_every, metric, history
+    ) -> AsyRGSResult:
+        """Aggregate-only epoch loop for caller-supplied metrics (no
+        per-column tracking, no retirement)."""
         value = metric(x)
         if history is not None:
             history.record(0, value)

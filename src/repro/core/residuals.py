@@ -25,6 +25,10 @@ from ..sparse import CSRMatrix
 __all__ = [
     "residual_norm",
     "relative_residual",
+    "column_residual_norms",
+    "column_relative_residuals",
+    "block_residual_state",
+    "ColumnTracker",
     "a_norm",
     "a_norm_error",
     "relative_a_norm_error",
@@ -50,6 +54,126 @@ def relative_residual(A: CSRMatrix, x: np.ndarray, b: np.ndarray) -> float:
     denom = float(np.linalg.norm(b))
     num = residual_norm(A, x, b)
     return num / denom if denom > 0 else num
+
+
+def column_residual_norms(
+    A: CSRMatrix, x: np.ndarray, b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-column ``(‖b_j − A x_j‖₂, ‖b_j‖₂)`` pairs from one matmat.
+
+    Vectors are treated as one-column blocks, so the return shapes are
+    always ``(k,)``. The solvers use this to derive the per-column
+    relative residuals *and* the aggregate Frobenius residual from a
+    single pass over ``A``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if x.shape != b.shape:
+        raise ShapeError(f"x {x.shape} and b {b.shape} must have matching shapes")
+    if x.ndim == 1:
+        x = x[:, None]
+        b = b[:, None]
+    R = b - A.matmat(x)
+    return (
+        np.linalg.norm(R, axis=0),
+        np.linalg.norm(b, axis=0),
+    )
+
+
+def block_residual_state(
+    A: CSRMatrix, x: np.ndarray, b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-column ``(relative residuals, numerators, denominators)`` from
+    one pass over ``A``.
+
+    The single place that encodes the zero-RHS-column convention (a zero
+    column of ``b`` falls back to the absolute residual norm): every
+    engine's convergence check goes through here, so the criterion
+    cannot silently diverge between backends.
+    """
+    num, denom = column_residual_norms(A, x, b)
+    col = np.where(denom > 0, num / np.where(denom > 0, denom, 1.0), num)
+    return col, num, denom
+
+
+def column_relative_residuals(A: CSRMatrix, x: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``‖b_j − A x_j‖₂ / ‖b_j‖₂`` for every column ``j`` of an RHS block.
+
+    The per-column counterpart of :func:`relative_residual`: the
+    Frobenius aggregate can sit below a tolerance while an individual
+    label column is still far from converged, so block solvers judge
+    (and retire) columns on this measure instead. A zero column of ``b``
+    falls back to the absolute residual norm, matching
+    :func:`relative_residual`. Vectors are treated as one-column blocks
+    (the result always has shape ``(k,)``).
+    """
+    return block_residual_state(A, x, b)[0]
+
+
+class ColumnTracker:
+    """Per-column convergence bookkeeping shared by every solve loop.
+
+    Initialized at the start of a solve and updated once per epoch
+    boundary, it owns the pieces all three backends (simulated, threads,
+    processes) would otherwise reimplement: the per-column relative
+    residuals (``col``), their first-below-``tol`` epochs
+    (``column_sweeps``), the converged/retired mask (``done_mask``), and
+    the aggregate Frobenius residual derived from the same matrix pass
+    (``value``). The caller decides *what* to re-measure and *when* —
+    the tracker never touches the iterate.
+    """
+
+    def __init__(self, A: CSRMatrix, x0: np.ndarray, b: np.ndarray, tol: float):
+        self.A = A
+        self.b = b
+        self.tol = float(tol)
+        self.col, self.num, denom = block_residual_state(A, x0, b)
+        self.k = int(self.col.shape[0])
+        self._denom_total = float(np.linalg.norm(denom))
+        self.done_mask = self.col < self.tol
+        self.column_sweeps = np.where(self.done_mask, 0, -1).astype(np.int64)
+
+    @property
+    def value(self) -> float:
+        """The aggregate Frobenius relative residual at the last update
+        (``‖num‖₂ / ‖b‖_F``, absolute when ``b`` is zero)."""
+        num_total = float(np.linalg.norm(self.num))
+        return num_total / self._denom_total if self._denom_total > 0 else num_total
+
+    @property
+    def converged(self) -> bool:
+        return bool(self.done_mask.all())
+
+    def active(self) -> np.ndarray:
+        """Indices of the columns still in the active set."""
+        return np.flatnonzero(~self.done_mask)
+
+    def update(self, x: np.ndarray, sweeps_done: int, retire: bool) -> np.ndarray:
+        """Fold one synchronization point into the masks.
+
+        Re-measures the active columns when ``retire`` (retired columns
+        are frozen, their residuals cannot have moved) or every column
+        otherwise, stamps ``column_sweeps`` for columns newly below
+        ``tol``, and returns the indices retired *by this update* (empty
+        when ``retire`` is off).
+        """
+        recheck = self.active() if retire else np.arange(self.k)
+        if recheck.size:
+            sub_x = x[:, recheck] if self.b.ndim == 2 else x
+            sub_b = self.b[:, recheck] if self.b.ndim == 2 else self.b
+            sub_col, sub_num, _ = block_residual_state(self.A, sub_x, sub_b)
+            self.col[recheck] = sub_col
+            self.num[recheck] = sub_num
+        below = self.col < self.tol
+        newly_below = np.flatnonzero(below & (self.column_sweeps < 0))
+        self.column_sweeps[newly_below] = int(sweeps_done)
+        if retire:
+            newly_retired = np.flatnonzero(below & ~self.done_mask)
+            self.done_mask |= below
+        else:
+            newly_retired = np.empty(0, dtype=np.int64)
+            self.done_mask = below
+        return newly_retired
 
 
 def a_norm(A: CSRMatrix, v: np.ndarray) -> float:
@@ -112,6 +236,11 @@ class ConvergenceHistory:
         The iteration unit ("update", "sweep", "iteration").
     metric:
         The metric name ("relative_residual", "a_norm_error", …).
+    column_values:
+        Optional per-column series for block (multi-RHS) runs: one
+        length-``k`` array per record, aligned with ``iterations``.
+        Populated only by recorders that pass ``columns=`` — scalar
+        histories leave it empty.
     """
 
     label: str = ""
@@ -119,15 +248,40 @@ class ConvergenceHistory:
     metric: str = "relative_residual"
     iterations: list[int] = field(default_factory=list)
     values: list[float] = field(default_factory=list)
+    column_values: list[np.ndarray] = field(default_factory=list)
 
-    def record(self, iteration: int, value: float) -> None:
+    def record(
+        self, iteration: int, value: float, columns: np.ndarray | None = None
+    ) -> None:
+        # Validate everything before mutating anything: a rejected record
+        # must leave the history exactly as it was, or the scalar and
+        # per-column series desynchronize permanently.
         if self.iterations and iteration < self.iterations[-1]:
             raise ValueError(
                 f"history iterations must be non-decreasing "
                 f"({iteration} after {self.iterations[-1]})"
             )
+        if columns is None:
+            if self.column_values:
+                raise ValueError(
+                    "this history records per-column values; pass columns= on "
+                    "every record to keep the series aligned"
+                )
+        else:
+            if len(self.column_values) != len(self.iterations):
+                raise ValueError(
+                    "per-column values must be recorded from the first record on"
+                )
+            columns = np.asarray(columns, dtype=np.float64).copy()
+            if self.column_values and columns.shape != self.column_values[0].shape:
+                raise ValueError(
+                    f"per-column record has shape {columns.shape}, expected "
+                    f"{self.column_values[0].shape}"
+                )
         self.iterations.append(int(iteration))
         self.values.append(float(value))
+        if columns is not None:
+            self.column_values.append(columns)
 
     def __len__(self) -> int:
         return len(self.values)
@@ -144,6 +298,12 @@ class ConvergenceHistory:
             np.asarray(self.values, dtype=np.float64),
         )
 
+    def column_series(self) -> np.ndarray:
+        """The per-column record as a ``(len(self), k)`` array."""
+        if not self.column_values:
+            raise ValueError("this history has no per-column records")
+        return np.stack(self.column_values, axis=0)
+
     def first_below(self, threshold: float) -> int | None:
         """Earliest recorded iteration with value below ``threshold``
         (``None`` if never reached)."""
@@ -153,9 +313,15 @@ class ConvergenceHistory:
         return None
 
     def reduction_factor(self) -> float:
-        """``values[-1] / values[0]`` — overall reduction achieved."""
+        """``values[-1] / values[0]`` — overall reduction achieved.
+
+        A run that *started* at zero has no meaningful reduction (it was
+        already converged); that case returns ``nan`` rather than the
+        ``0.0`` of a perfect reduction, so consumers cannot mistake a
+        trivial run for an infinitely effective one.
+        """
         if len(self.values) < 2:
             raise ValueError("need at least two records to compute a reduction")
         if self.values[0] == 0:
-            return 0.0
+            return float("nan")
         return self.values[-1] / self.values[0]

@@ -13,10 +13,26 @@ Layout
 One ``SharedMemory`` segment holds every shared array, cache-line
 aligned: the CSR triplet (``data``/``indices``/``indptr``), the RHS
 block ``b`` of shape ``(n, k)``, the diagonal, the iterate block ``x``
-of shape ``(n, k)``, per-worker progress counters, the epoch control
-word, and the delay write-log. Workers attach by segment name
-(spawn-safe) and build zero-copy NumPy views at fixed offsets — no
-serialization of the matrix ever happens after startup.
+of shape ``(n, k)``, the active-column mask, per-worker progress and
+column-update counters, the epoch control word, and the delay
+write-log. Workers attach by segment name (spawn-safe) and build
+zero-copy NumPy views at fixed offsets — no serialization of the
+matrix ever happens after startup.
+
+Per-column convergence and retirement
+-------------------------------------
+:meth:`ProcessAsyRGS.solve` judges convergence per column: at every
+epoch boundary the parent measures each column's relative residual and
+the run finishes only when all of them sit below ``tol`` — a single
+Frobenius aggregate can pass while one hard label is still far off.
+Columns that reach ``tol`` are *retired* (``retire=True``, the
+default): the parent clears their slot in the shared active-column
+mask while it owns the segment, and from the next epoch on every
+worker's row gather scatters only into the surviving columns. The
+direction sequence, the epoch structure, and the delay measurement are
+unchanged — segments just narrow — so the Theorem 2 synchronization
+story is preserved while a skewed block (the 51-label social workload)
+stops paying for its easy labels.
 
 Block right-hand sides
 ----------------------
@@ -128,8 +144,10 @@ def _layout(n: int, nnz: int, k: int, nproc: int, log_capacity: int):
         "b": (np.float64, (n, k)),
         "diag": (np.float64, (n,)),
         "x": (np.float64, (n, k)),
+        "active": (np.int64, (k,)),
         "progress": (np.int64, (nproc,)),
         "row_nnz": (np.int64, (nproc,)),
+        "col_updates": (np.int64, (nproc,)),
         "control": (np.int64, (4,)),
         "delay_sum": (np.int64, (nproc,)),
         "delay_max": (np.int64, (nproc,)),
@@ -236,7 +254,8 @@ def _worker_loop(
     x, b, diag = v["x"], v["b"], v["diag"]
     x1, b1 = x[:, 0], b[:, 0]  # scalar fast path for single-RHS pools
     progress, control = v["progress"], v["control"]
-    row_nnz = v["row_nnz"]
+    row_nnz, active = v["row_nnz"], v["active"]
+    col_updates = v["col_updates"]
     delay_sum, delay_max = v["delay_sum"], v["delay_max"]
     delay_count, delay_log = v["delay_count"], v["delay_log"]
     view = DirectionStream(n, seed=seed, stream=stream).for_processor(wid, nproc)
@@ -251,6 +270,19 @@ def _worker_loop(
             generation = int(control[_CTRL_GENERATION])
             done = 0  # new call on the same pool: rewind the stream
         target = int(interleave_counts(int(control[_CTRL_TARGET]), nproc)[wid])
+        # The active-column set is sampled once per epoch, right after
+        # the start gate: the parent retires columns only while it owns
+        # the segment (between the end gate and the next start gate), so
+        # the set never changes mid-segment — Theorem 2's segment
+        # structure is preserved, the segments just narrow.
+        act = np.flatnonzero(active != 0)
+        nact = int(act.size)
+        full = nact == k
+        # With most columns still active, one contiguous row gather over
+        # all k columns beats the 2-D masked gather; the masked gather
+        # wins once the active set is genuinely narrow. Retired columns
+        # are never *written* either way.
+        wide = 2 * nact >= k
         while done < target:
             take = min(block, target - done)
             rows = view.directions(done, take)
@@ -264,7 +296,8 @@ def _worker_loop(
                 # Lines 5-6 of Algorithm 1 — the read is live shared
                 # memory, no snapshot: the inconsistent-read regime. In
                 # block mode one gather of row r serves all k columns
-                # (the paper's 51-RHS amortization).
+                # (the paper's 51-RHS amortization), or only the active
+                # ones once the parent starts retiring columns.
                 if k == 1:
                     gamma = (b1[r] - float(data[s:e] @ x1[cols])) / diag[r]
                     # Line 7: the update.
@@ -273,16 +306,27 @@ def _worker_loop(
                             x1[r] += beta * gamma
                     else:
                         x1[r] += beta * gamma
-                else:
+                elif full:
                     gamma = (b[r] - data[s:e] @ x[cols, :]) / diag[r]
                     if nlocks:
                         with locks[r % nlocks]:
                             x[r] += beta * gamma
                     else:
                         x[r] += beta * gamma
+                else:
+                    if wide:
+                        gamma = (b[r, act] - (data[s:e] @ x[cols, :])[act]) / diag[r]
+                    else:
+                        gamma = (b[r, act] - data[s:e] @ x[cols[:, None], act]) / diag[r]
+                    if nlocks:
+                        with locks[r % nlocks]:
+                            x[r, act] += beta * gamma
+                    else:
+                        x[r, act] += beta * gamma
                 done += 1
                 progress[wid] = done  # single-writer slot
                 row_nnz[wid] += e - s
+                col_updates[wid] += nact
                 # Write-log entry: foreign commits during our span.
                 sample = int(progress.sum()) - before - 1
                 delay_sum[wid] += sample
@@ -347,6 +391,22 @@ class ProcessRunResult:
     sweeps_done:
         Completed sweeps of ``n`` row updates — the quantity the epoch
         loop actually executed, reported identically by every engine.
+    column_updates:
+        Σ over commits of the number of columns actually refreshed —
+        ``iterations · k`` without retirement, strictly less once
+        columns start retiring (the work the retirement saves).
+    converged_columns:
+        Per-column convergence mask at the final synchronization point
+        (``None`` for runs without a tolerance or with a custom metric).
+    column_sweeps:
+        Sweep count at which each column first reached the tolerance
+        (its retirement epoch when retirement is on); ``-1`` for columns
+        that never got there. ``None`` like ``converged_columns``.
+    column_residuals:
+        Final per-column relative residuals (``None`` like the above).
+    column_checkpoints:
+        ``(cumulative_updates, per-column residuals)`` pairs recorded at
+        epoch boundaries alongside ``checkpoints``.
     """
 
     x: np.ndarray
@@ -360,6 +420,11 @@ class ProcessRunResult:
     atomic: bool = False
     total_row_nnz: int = 0
     sweeps_done: int = 0
+    column_updates: int = 0
+    converged_columns: np.ndarray | None = None
+    column_sweeps: np.ndarray | None = None
+    column_residuals: np.ndarray | None = None
+    column_checkpoints: list[tuple[int, np.ndarray]] = field(default_factory=list)
 
 
 class _WorkerPool:
@@ -442,8 +507,10 @@ class _WorkerPool:
         counters, bump the generation so workers rewind their streams."""
         self.views["x"][:] = x0.reshape(self.backend.n, self.backend.k)
         self.views["b"][:] = b.reshape(self.backend.n, self.backend.k)
+        self.views["active"][:] = 1
         self.views["progress"][:] = 0
         self.views["row_nnz"][:] = 0
+        self.views["col_updates"][:] = 0
         self.views["delay_sum"][:] = 0
         self.views["delay_max"][:] = 0
         self.views["delay_count"][:] = 0
@@ -482,6 +549,16 @@ class _WorkerPool:
 
     def x(self) -> np.ndarray:
         return self.views["x"]
+
+    def retire_columns(self, cols: np.ndarray) -> None:
+        """Drop columns from the active set. Must only be called between
+        an end gate and the next start gate (the parent owns the segment
+        there), so workers never observe a mid-segment change."""
+        self.views["active"][cols] = 0
+
+    def column_updates(self) -> int:
+        """Σ over commits of the number of columns actually refreshed."""
+        return int(self.views["col_updates"].sum())
 
     def delay_stats(self) -> DelayStats:
         counts = self.views["delay_count"].copy()
@@ -712,13 +789,6 @@ class ProcessAsyRGS:
         """A private, ``b``-shaped copy of the shared ``(n, k)`` iterate."""
         return x_shared[:, 0].copy() if self.b.ndim == 1 else x_shared.copy()
 
-    def _default_metric(self, b: np.ndarray):
-        # Deferred import: repro.core imports repro.execution at package
-        # init, so a module-level import here would be circular.
-        from ..core.residuals import relative_residual
-
-        return lambda xv: relative_residual(self.A, xv, b)
-
     def run(
         self,
         x0: np.ndarray | None,
@@ -755,6 +825,7 @@ class ProcessAsyRGS:
                 tau_observed=pool.delay_stats(),
                 atomic=self.atomic,
                 sweeps_done=num_iterations // self.n,
+                column_updates=pool.column_updates(),
             )
             failed = False
         finally:
@@ -770,10 +841,26 @@ class ProcessAsyRGS:
         sync_every_sweeps: int = 1,
         metric=None,
         b: np.ndarray | None = None,
+        retire: bool | None = None,
     ) -> ProcessRunResult:
         """Solve to tolerance with the epoch scheme of Theorem 2's
         discussion: ``sync_every_sweeps · n`` asynchronous commits, a
         real barrier, a residual check on the shared iterate, repeat.
+
+        Convergence is judged **per column**: the run stops when every
+        column's relative residual is below ``tol`` (the Frobenius
+        aggregate can pass while one label column is still far off).
+        With ``retire`` (the default), a column that reaches ``tol`` is
+        *retired* at that epoch boundary — the shared active-column mask
+        shrinks and subsequent row gathers scatter only into the
+        still-active columns, so a skewed block stops paying for its
+        easy labels. Retirement only ever happens at synchronization
+        points, never mid-segment. ``retire=False`` keeps updating every
+        column (same convergence criterion, more work).
+
+        A custom ``metric`` restores the aggregate-only criterion
+        (``metric(x) < tol``); it cannot be decomposed per column, so
+        combining it with ``retire=True`` raises.
 
         ``b=`` overrides the right-hand side for this call only (same
         shape as the constructor's)."""
@@ -782,10 +869,96 @@ class ProcessAsyRGS:
         sync_every = int(sync_every_sweeps)
         if sync_every < 1:
             raise ModelError("sync_every_sweeps must be at least 1")
+        if retire is None:
+            retire = metric is None
+        elif retire and metric is not None:
+            raise ModelError(
+                "column retirement tracks the built-in per-column relative "
+                "residual; a custom metric cannot be decomposed per column"
+            )
         b = self._check_b(b)
-        if metric is None:
-            metric = self._default_metric(b)
         x0 = self._check_x0(x0)
+        if metric is not None:
+            return self._solve_metric(
+                tol, max_sweeps, x0, sync_every, metric, b
+            )
+        # Deferred import: repro.core imports repro.execution at package
+        # init, so a module-level import here would be circular.
+        from ..core.residuals import ColumnTracker
+
+        tracker = ColumnTracker(self.A, x0, b, tol)
+        checkpoints = [(0, tracker.value)]
+        column_checkpoints = [(0, tracker.col.copy())]
+        if tracker.converged or max_sweeps == 0:
+            return ProcessRunResult(
+                x=x0.copy(),
+                iterations=0,
+                per_worker_iterations=[0] * self.nproc,
+                sync_points=0,
+                converged=tracker.converged,
+                wall_time=0.0,
+                tau_observed=DelayStats(0, 0.0, 0, np.empty(0, dtype=np.int64)),
+                checkpoints=checkpoints,
+                atomic=self.atomic,
+                sweeps_done=0,
+                converged_columns=tracker.done_mask,
+                column_sweeps=tracker.column_sweeps,
+                column_residuals=tracker.col,
+                column_checkpoints=column_checkpoints,
+            )
+        pool, oneshot = self._acquire_pool()
+        failed = True
+        try:
+            pool.begin(x0, b)
+            if retire and tracker.done_mask.any():
+                # Columns converged before the first epoch never enter
+                # the active set at all.
+                pool.retire_columns(np.flatnonzero(tracker.done_mask))
+            sweeps_done = 0
+            while not tracker.converged and sweeps_done < max_sweeps:
+                take = min(sync_every, max_sweeps - sweeps_done)
+                pool.advance(take * self.n)
+                sweeps_done += take
+                # The barrier just crossed is a paper-sense sync point:
+                # the parent's read below sees every worker's writes.
+                # The tracker re-measures only the active columns when
+                # retiring (retired ones are frozen); newly converged
+                # columns leave the shared mask while the parent owns
+                # the segment, never mid-epoch.
+                xv = pool.x()[:, 0] if self.b.ndim == 1 else pool.x()
+                newly_retired = tracker.update(xv, sweeps_done, retire)
+                if newly_retired.size:
+                    pool.retire_columns(newly_retired)
+                checkpoints.append((pool.target, tracker.value))
+                column_checkpoints.append((pool.target, tracker.col.copy()))
+            result = ProcessRunResult(
+                x=self._out(pool.x()),
+                iterations=sum(pool.per_worker()),
+                per_worker_iterations=pool.per_worker(),
+                sync_points=pool.sync_points,
+                converged=tracker.converged,
+                total_row_nnz=pool.total_row_nnz(),
+                wall_time=pool.wall_time,
+                tau_observed=pool.delay_stats(),
+                checkpoints=checkpoints,
+                atomic=self.atomic,
+                sweeps_done=sweeps_done,
+                column_updates=pool.column_updates(),
+                converged_columns=tracker.done_mask.copy(),
+                column_sweeps=tracker.column_sweeps,
+                column_residuals=tracker.col.copy(),
+                column_checkpoints=column_checkpoints,
+            )
+            failed = False
+        finally:
+            self._release_pool(pool, oneshot, failed)
+        return result
+
+    def _solve_metric(
+        self, tol, max_sweeps, x0, sync_every, metric, b
+    ) -> ProcessRunResult:
+        """The aggregate-only epoch loop for caller-supplied metrics
+        (no per-column tracking, no retirement)."""
         value = metric(x0)
         checkpoints = [(0, value)]
         converged = value < tol
@@ -830,6 +1003,7 @@ class ProcessAsyRGS:
                 checkpoints=checkpoints,
                 atomic=self.atomic,
                 sweeps_done=sweeps_done,
+                column_updates=pool.column_updates(),
             )
             failed = False
         finally:

@@ -127,14 +127,24 @@ class SharedVector:
         inconsistent-read path by construction."""
         return self._x
 
-    def add(self, index: int, delta) -> None:
+    def add(self, index: int, delta, cols: np.ndarray | None = None) -> None:
         """Commit ``x[index] += delta`` under the configured write model
-        (``delta`` is a scalar for vectors, a length-k row for blocks)."""
+        (``delta`` is a scalar for vectors, a length-k row for blocks).
+
+        For block iterates, ``cols`` restricts the commit to a subset of
+        columns (``x[index, cols] += delta``) — the retirement path:
+        retired columns are never written again."""
         if self._atomic:
             with self._lock:
-                self._x[index] += delta
+                if cols is None:
+                    self._x[index] += delta
+                else:
+                    self._x[index, cols] += delta
         else:
-            self._x[index] += delta
+            if cols is None:
+                self._x[index] += delta
+            else:
+                self._x[index, cols] += delta
         with self._count_lock:
             self._updates += 1
 

@@ -1,22 +1,44 @@
 """Real-``threading`` backend for AsyRGS.
 
 This executes Algorithm 1 of the paper on genuine OS threads sharing one
-NumPy vector — the honest shared-memory code path, races included. Under
-CPython the GIL serializes bytecode, so this backend demonstrates
+NumPy iterate — the honest shared-memory code path, races included.
+Under CPython the GIL serializes bytecode, so this backend demonstrates
 *correctness under real concurrency* (and lets tests compare locked vs
-unlocked updates); it cannot demonstrate speedup, which is why all scaling
-experiments go through the simulators plus the cost model (see DESIGN.md,
-substitutions table).
+unlocked updates); it cannot demonstrate speedup, which is why all
+scaling experiments go through the simulators plus the cost model (see
+DESIGN.md, substitutions table).
 
 Each thread draws its coordinates from a round-robin view of the shared
 :class:`~repro.rng.DirectionStream`, so the union of directions consumed
-by P threads equals the serial sequence — the paper's Random123 technique.
+by P threads equals the serial sequence — the paper's Random123
+technique. Epochs of a :meth:`ThreadedAsyRGS.solve` call continue the
+stream across segments (cumulative :func:`~repro.rng.interleave_counts`
+shares, exactly like the multiprocess backend), so a solve's realized
+direction sequence equals one long run's.
+
+Block right-hand sides
+----------------------
+``b`` may be a vector ``(n,)`` or a block ``(n, k)``; in block mode a
+thread that draws coordinate ``r`` gathers the row once and updates all
+``k`` columns with one ``(nnz_r,) @ (nnz_r, k)`` product — the paper's
+51-label amortization, same convention as the simulators and the
+multiprocess backend. :meth:`ThreadedAsyRGS.solve` tracks a per-column
+relative residual at every epoch boundary and *retires* columns that
+reach the tolerance: retired columns leave the active set, and
+subsequent updates gather the row once but scatter only into the
+surviving columns. Retirement happens only at synchronization points
+(between segments, when no worker thread is live), never mid-segment.
+
+A worker thread that raises does not die silently: the exception is
+captured per thread, the remaining workers are released (the start
+barrier is aborted), and :meth:`run` re-raises with the worker id — a
+partially-updated iterate is never returned as a success.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -31,12 +53,55 @@ __all__ = ["ThreadedAsyRGS", "ThreadedRunResult"]
 
 @dataclass
 class ThreadedRunResult:
-    """Outcome of a threaded run: final iterate and per-thread accounting."""
+    """Outcome of a threaded run or solve.
+
+    Attributes
+    ----------
+    x:
+        Final iterate, shaped like ``b`` (``(n,)`` or ``(n, k)``).
+    iterations:
+        Total row updates committed (a block update of all active
+        columns counts once, as in the other backends).
+    per_thread_iterations:
+        Commit counts per worker thread.
+    atomic:
+        Whether updates took the shared lock (Assumption A-1).
+    column_updates:
+        Σ over commits of the number of columns actually refreshed —
+        ``iterations · k`` without retirement, strictly less once
+        columns retire.
+    converged:
+        Whether every column reached the tolerance (``solve`` only;
+        ``False`` for plain ``run``).
+    sweeps_done:
+        Epochs of ``n`` updates executed by ``solve``.
+    sync_points:
+        Segment boundaries executed by ``solve``.
+    checkpoints:
+        ``(cumulative_updates, aggregate residual)`` pairs at epoch
+        boundaries (``solve`` only).
+    converged_columns:
+        Per-column convergence mask at the final synchronization point
+        (``None`` for plain ``run``).
+    column_sweeps:
+        Sweep count at which each column first reached the tolerance
+        (its retirement epoch when retirement is on); ``-1`` if never.
+    column_residuals:
+        Final per-column relative residuals (``None`` for plain ``run``).
+    """
 
     x: np.ndarray
     iterations: int
     per_thread_iterations: list[int]
     atomic: bool
+    column_updates: int = 0
+    converged: bool = False
+    sweeps_done: int = 0
+    sync_points: int = 0
+    checkpoints: list[tuple[int, float]] = field(default_factory=list)
+    converged_columns: np.ndarray | None = None
+    column_sweeps: np.ndarray | None = None
+    column_residuals: np.ndarray | None = None
 
 
 class ThreadedAsyRGS:
@@ -45,7 +110,10 @@ class ThreadedAsyRGS:
     Parameters
     ----------
     A, b:
-        The system (single right-hand side; positive diagonal required).
+        The system (positive diagonal required). ``b`` may be a vector
+        ``(n,)`` or a block of right-hand sides ``(n, k)``; the block is
+        updated simultaneously — one row gather serves every active
+        column.
     nthreads:
         Number of OS threads.
     beta:
@@ -68,15 +136,16 @@ class ThreadedAsyRGS:
         directions: DirectionStream | None = None,
     ):
         b, diag, n = _prepare_system(A, b)
-        if b.ndim != 1:
-            raise ShapeError("the threaded backend runs single-RHS systems")
-        nthreads = int(nthreads)
-        if nthreads < 1:
-            raise ModelError(f"nthreads must be at least 1, got {nthreads}")
         self.A = A
         self.b = b
         self.n = n
+        self.k = 1 if b.ndim == 1 else int(b.shape[1])
+        if self.k < 1:
+            raise ShapeError("the RHS block must have at least one column")
         self._diag = diag
+        nthreads = int(nthreads)
+        if nthreads < 1:
+            raise ModelError(f"nthreads must be at least 1, got {nthreads}")
         self.nthreads = nthreads
         self.beta = float(beta)
         if not 0.0 < self.beta < 2.0:
@@ -86,53 +155,99 @@ class ThreadedAsyRGS:
         if self.directions.n != n:
             raise ModelError("direction stream dimension mismatch")
 
+    # -- worker ---------------------------------------------------------
+
     def _worker(
         self,
         tid: int,
         shared: SharedVector,
-        count: int,
+        start: int,
+        stop: int,
         barrier: threading.Barrier,
         done_counts: list[int],
+        col_counts: list[int],
+        active: np.ndarray | None,
+        errors: list[BaseException | None],
     ) -> None:
-        A, b, beta, diag = self.A, self.b, self.beta, self._diag
-        view = self.directions.for_processor(tid, self.nthreads)
-        x = shared.view()  # live array: reads may interleave with writes
-        barrier.wait()
-        block = 512
-        local = 0
-        while local < count:
-            take = min(block, count - local)
-            rows = view.directions(local, take)
-            for r in rows:
-                r = int(r)
-                s, e = A.indptr[r], A.indptr[r + 1]
-                cols = A.indices[s:e]
-                vals = A.data[s:e]
-                # Line 5-6 of Algorithm 1: read the needed entries (no
-                # snapshot, so this is the inconsistent-read regime) and
-                # compute the step.
-                gamma = (b[r] - float(vals @ x[cols])) / diag[r]
-                # Line 7: the update, atomic or not per configuration.
-                shared.add(r, beta * gamma)
-            local += take
-        done_counts[tid] = count
+        """Process stream positions ``start..stop`` of this thread's view.
 
-    def run(self, x0: np.ndarray, num_iterations: int) -> ThreadedRunResult:
-        """Apply ``num_iterations`` updates split round-robin over threads."""
-        num_iterations = int(num_iterations)
-        if num_iterations < 0:
-            raise ModelError("num_iterations must be non-negative")
-        x0 = np.asarray(x0, dtype=np.float64)
-        if x0.shape != (self.n,):
-            raise ShapeError(f"x0 has shape {x0.shape}, expected ({self.n},)")
-        shared = SharedVector(x0, atomic=self.atomic)
-        counts = interleave_counts(num_iterations, self.nthreads)
+        ``active`` is the column-index subset to scatter into (``None``
+        for all columns / single-RHS). Exceptions are recorded in
+        ``errors[tid]`` and abort the barrier so siblings blocked at the
+        start gate wake instead of deadlocking."""
+        try:
+            A, b, beta, diag = self.A, self.b, self.beta, self._diag
+            multi = self.k > 1 and b.ndim == 2
+            view = self.directions.for_processor(tid, self.nthreads)
+            x = shared.view()  # live array: reads may interleave with writes
+            ncols = self.k if active is None else int(active.size)
+            # With most columns active, one contiguous row gather over
+            # all k columns beats the 2-D masked gather; the masked
+            # gather wins once the active set is narrow. Retired
+            # columns are never *written* either way.
+            wide = active is not None and 2 * ncols >= self.k
+            barrier.wait()
+            block = 512
+            local = start
+            while local < stop:
+                take = min(block, stop - local)
+                rows = view.directions(local, take)
+                for r in rows:
+                    r = int(r)
+                    s, e = A.indptr[r], A.indptr[r + 1]
+                    cols = A.indices[s:e]
+                    vals = A.data[s:e]
+                    # Lines 5-6 of Algorithm 1: read the needed entries
+                    # (no snapshot, so this is the inconsistent-read
+                    # regime) and compute the step — one row gather for
+                    # every active column.
+                    if not multi:
+                        gamma = (b[r] - float(vals @ x[cols])) / diag[r]
+                        shared.add(r, beta * gamma)
+                    elif active is None:
+                        gamma = (b[r] - vals @ x[cols, :]) / diag[r]
+                        shared.add(r, beta * gamma)
+                    elif wide:
+                        gamma = b[r, active] - (vals @ x[cols, :])[active]
+                        shared.add(r, beta * (gamma / diag[r]), cols=active)
+                    else:
+                        gamma = (b[r, active] - vals @ x[cols[:, None], active])
+                        shared.add(r, beta * (gamma / diag[r]), cols=active)
+                    # Line 7 happened inside shared.add (atomic or not
+                    # per configuration).
+                    done_counts[tid] += 1
+                    col_counts[tid] += ncols
+                local += take
+        except BaseException as exc:  # noqa: BLE001 - re-raised by the parent
+            errors[tid] = exc
+            barrier.abort()  # release siblings parked at the start gate
+
+    def _segment(
+        self,
+        shared: SharedVector,
+        prev_total: int,
+        new_total: int,
+        done: list[int],
+        col_done: list[int],
+        active: np.ndarray | None,
+    ) -> None:
+        """Run one asynchronous segment: updates ``prev_total..new_total``
+        of the global stream, split round-robin over the threads.
+
+        Cumulative :func:`interleave_counts` shares keep the union of
+        consumed directions equal to the serial prefix across segment
+        boundaries (the multiprocess backend's scheme)."""
+        starts = interleave_counts(prev_total, self.nthreads)
+        stops = interleave_counts(new_total, self.nthreads)
         barrier = threading.Barrier(self.nthreads)
-        done: list[int] = [0] * self.nthreads
+        errors: list[BaseException | None] = [None] * self.nthreads
         threads = [
             threading.Thread(
                 target=self._worker,
-                args=(tid, shared, int(counts[tid]), barrier, done),
+                args=(
+                    tid, shared, int(starts[tid]), int(stops[tid]),
+                    barrier, done, col_done, active, errors,
+                ),
                 name=f"asyrgs-{tid}",
             )
             for tid in range(self.nthreads)
@@ -141,9 +256,124 @@ class ThreadedAsyRGS:
             t.start()
         for t in threads:
             t.join()
+        for tid, exc in enumerate(errors):
+            if exc is not None and not isinstance(exc, threading.BrokenBarrierError):
+                raise ModelError(
+                    f"worker thread {tid} crashed: {type(exc).__name__}: {exc}"
+                ) from exc
+
+    def _check_x0(self, x0: np.ndarray) -> np.ndarray:
+        x0 = np.asarray(x0, dtype=np.float64)
+        if x0.shape != self.b.shape:
+            raise ShapeError(f"x0 has shape {x0.shape}, expected {self.b.shape}")
+        return x0
+
+    # -- public API -----------------------------------------------------
+
+    def run(self, x0: np.ndarray, num_iterations: int) -> ThreadedRunResult:
+        """Apply ``num_iterations`` updates split round-robin over threads
+        as one free-running asynchronous segment (no interior barriers)."""
+        num_iterations = int(num_iterations)
+        if num_iterations < 0:
+            raise ModelError("num_iterations must be non-negative")
+        x0 = self._check_x0(x0)
+        shared = SharedVector(x0, atomic=self.atomic)
+        done: list[int] = [0] * self.nthreads
+        col_done: list[int] = [0] * self.nthreads
+        self._segment(shared, 0, num_iterations, done, col_done, None)
         return ThreadedRunResult(
             x=shared.snapshot(),
             iterations=int(sum(done)),
             per_thread_iterations=done,
             atomic=self.atomic,
+            column_updates=int(sum(col_done)),
+        )
+
+    def solve(
+        self,
+        tol: float,
+        max_sweeps: int,
+        x0: np.ndarray | None = None,
+        *,
+        sync_every_sweeps: int = 1,
+        retire: bool = True,
+    ) -> ThreadedRunResult:
+        """Solve to tolerance with the epoch scheme of Theorem 2's
+        discussion, judging convergence **per column**.
+
+        Runs ``sync_every_sweeps · n`` updates asynchronously, joins the
+        worker threads (a segment boundary — every thread's writes are
+        visible), measures each column's relative residual, and repeats
+        until every column is below ``tol`` or the sweep budget runs
+        out. With ``retire`` (the default) a column that reaches ``tol``
+        leaves the active set at that boundary and is never written
+        again; subsequent row gathers scatter only into the shrinking
+        active set. ``retire=False`` keeps updating every column under
+        the same per-column criterion.
+        """
+        # Deferred import: repro.core imports repro.execution at package
+        # init, so a module-level import here would be circular.
+        from ..core.residuals import ColumnTracker
+
+        tol = float(tol)
+        max_sweeps = int(max_sweeps)
+        sync_every = int(sync_every_sweeps)
+        if sync_every < 1:
+            raise ModelError("sync_every_sweeps must be at least 1")
+        x0 = (
+            np.zeros_like(self.b)
+            if x0 is None
+            else self._check_x0(x0)
+        )
+        k = self.k
+        tracker = ColumnTracker(self.A, x0, self.b, tol)
+        checkpoints = [(0, tracker.value)]
+        if tracker.converged or max_sweeps == 0:
+            return ThreadedRunResult(
+                x=x0.copy(),
+                iterations=0,
+                per_thread_iterations=[0] * self.nthreads,
+                atomic=self.atomic,
+                converged=tracker.converged,
+                checkpoints=checkpoints,
+                converged_columns=tracker.done_mask,
+                column_sweeps=tracker.column_sweeps,
+                column_residuals=tracker.col,
+            )
+        shared = SharedVector(x0, atomic=self.atomic)
+        done: list[int] = [0] * self.nthreads
+        col_done: list[int] = [0] * self.nthreads
+        sweeps_done = 0
+        sync_points = 0
+        total = 0
+        while not tracker.converged and sweeps_done < max_sweeps:
+            take = min(sync_every, max_sweeps - sweeps_done)
+            if k == 1 or not retire:
+                active = None
+            else:
+                live = tracker.active()
+                active = None if live.size == k else live
+            prev = total
+            total += take * self.n
+            self._segment(shared, prev, total, done, col_done, active)
+            sweeps_done += take
+            sync_points += 1
+            # All worker threads are joined: this is a synchronization
+            # point, and the parent owns the iterate. Retired columns
+            # are frozen, so the tracker only re-measures active ones.
+            tracker.update(shared.view(), sweeps_done, retire)
+            checkpoints.append((total, tracker.value))
+        return ThreadedRunResult(
+            x=shared.snapshot(),
+            iterations=int(sum(done)),
+            per_thread_iterations=done,
+            atomic=self.atomic,
+            column_updates=int(sum(col_done)),
+            converged=tracker.converged,
+            sweeps_done=sweeps_done,
+            sync_points=sync_points,
+            checkpoints=checkpoints,
+            converged_columns=tracker.done_mask.copy(),
+            column_sweeps=tracker.column_sweeps,
+            column_residuals=tracker.col.copy(),
         )

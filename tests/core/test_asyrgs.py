@@ -162,6 +162,166 @@ class TestRHSValidation:
             assert AsyRGS(A, B, engine=engine, nproc=2).b.shape == B.shape
 
 
+class TestX0Validation:
+    """x0 is validated once, up front, identically for every engine —
+    a shape-mismatched x0 used to broadcast silently or fail deep
+    inside an engine with an opaque error."""
+
+    @pytest.mark.parametrize("engine", ["phased", "general", "processes"])
+    def test_wrong_length_x0_rejected(self, system, engine):
+        A, b, _ = system
+        s = AsyRGS(A, b, engine=engine, nproc=2)
+        with pytest.raises(ShapeError, match="x0 has shape"):
+            s.solve(tol=1e-6, max_sweeps=10, x0=np.zeros(5))
+        with pytest.raises(ShapeError, match="x0 has shape"):
+            s.run_sweeps(1, x0=np.zeros(5))
+
+    @pytest.mark.parametrize("engine", ["phased", "general", "processes"])
+    def test_vector_x0_against_block_b_rejected(self, system, engine):
+        """The silent-broadcast case: an (n,) x0 against an (n, k) b."""
+        A, b, _ = system
+        B = np.stack([b, 2 * b], axis=1)
+        s = AsyRGS(A, B, engine=engine, nproc=2)
+        with pytest.raises(ShapeError, match="x0 has shape"):
+            s.solve(tol=1e-6, max_sweeps=10, x0=np.zeros(A.shape[0]))
+        with pytest.raises(ShapeError, match="x0 has shape"):
+            s.run_sweeps(1, x0=np.zeros(A.shape[0]))
+
+    def test_error_message_uniform_across_engines(self, system):
+        A, b, _ = system
+        messages = set()
+        for engine in ("phased", "general", "processes"):
+            with pytest.raises(ShapeError) as err:
+                AsyRGS(A, b, engine=engine, nproc=2).solve(
+                    tol=1e-6, max_sweeps=10, x0=np.zeros(5)
+                )
+            messages.add(str(err.value))
+        assert len(messages) == 1
+
+    def test_valid_x0_still_accepted(self, system):
+        A, b, x_star = system
+        s = AsyRGS(A, b, nproc=2)
+        r = s.solve(tol=1e-6, max_sweeps=50, x0=x_star.copy())
+        assert r.converged
+
+
+class TestColumnTracking:
+    """Per-column convergence and early retirement on the simulated
+    engines (the processes engine's variant is tested with the
+    multiprocess suite)."""
+
+    @pytest.fixture(scope="class")
+    def block(self, system):
+        A, b, _ = system
+        n = A.shape[0]
+        rng = DirectionStream(n, seed=77)
+        X_star = np.column_stack(
+            [rng.directions(j * n, n).astype(np.float64) / n - 0.5 for j in range(3)]
+        )
+        return A, A.matmat(X_star), X_star
+
+    @pytest.mark.parametrize("engine", ["phased", "general"])
+    def test_all_columns_converge_and_retire(self, block, engine):
+        A, B, X_star = block
+        s = AsyRGS(A, B, nproc=4, engine=engine)
+        r = s.solve(tol=1e-8, max_sweeps=300)
+        assert r.converged
+        assert r.converged_columns.shape == (3,)
+        assert r.converged_columns.all()
+        assert (r.column_sweeps >= 0).all()
+        assert (r.column_residuals < 1e-8).all()
+        assert np.abs(r.x - X_star).max() < 1e-6
+
+    def test_retired_column_is_frozen_and_saves_updates(self, block):
+        """A column that starts at the exact solution retires at sweep 0:
+        its iterate never changes and the work accounting only charges
+        the active columns."""
+        A, B, X_star = block
+        n, k = B.shape
+        x0 = np.zeros((n, k))
+        x0[:, 0] = X_star[:, 0]
+        s = AsyRGS(A, B, nproc=4)
+        r = s.solve(tol=1e-10, max_sweeps=300, x0=x0)
+        assert r.converged
+        assert r.column_sweeps[0] == 0
+        np.testing.assert_array_equal(r.x[:, 0], X_star[:, 0])
+        # Exact accounting: column j receives n updates per epoch until
+        # its retirement epoch, nothing after.
+        n_mat = A.shape[0]
+        expected = n_mat * int(
+            sum(cs if cs >= 0 else r.sweeps for cs in r.column_sweeps)
+        )
+        assert r.column_updates == expected
+        assert r.column_updates < r.iterations * k
+        # Without retirement the frozen column is updated like the rest.
+        r_full = s.solve(tol=1e-10, max_sweeps=300, x0=x0, retire=False)
+        assert r_full.converged
+        assert r_full.column_updates == r_full.iterations * k
+        assert r.column_updates < r_full.column_updates
+
+    def test_retirement_preserves_active_trajectories(self, block):
+        """Columns evolve independently, so retiring one must not change
+        the others' trajectories (deterministic engines, same stream)."""
+        A, B, X_star = block
+        n, k = B.shape
+        x0 = np.zeros((n, k))
+        x0[:, 0] = X_star[:, 0]
+        s = AsyRGS(A, B, nproc=4)
+        r = s.solve(tol=1e-10, max_sweeps=300, x0=x0)
+        r_full = s.solve(tol=1e-10, max_sweeps=300, x0=x0, retire=False)
+        # Identical trajectories imply identical first-below epochs…
+        np.testing.assert_array_equal(r.column_sweeps, r_full.column_sweeps)
+        # …and identical per-column residual series up to each column's
+        # retirement epoch (after it, the retired run freezes while the
+        # full run keeps polishing).
+        sr = r.history.column_series()
+        sf = r_full.history.column_series()
+        for j in range(k):
+            e = int(r.column_sweeps[j])
+            np.testing.assert_allclose(sr[: e + 1, j], sf[: e + 1, j], rtol=1e-12)
+
+    def test_aggregate_cannot_mask_a_slow_column(self, block):
+        """The honesty property: convergence is declared only when every
+        column is below tol, even if the Frobenius aggregate passed."""
+        A, B, _ = block
+        s = AsyRGS(A, B, nproc=4)
+        r = s.solve(tol=1e-8, max_sweeps=300)
+        final_cols = r.column_residuals
+        assert (final_cols < 1e-8).all()
+        # And the history's column series is aligned with the scalar one.
+        assert r.history.column_series().shape == (len(r.history), 3)
+
+    def test_custom_metric_disables_column_tracking(self, block):
+        from repro.core import a_norm_error
+
+        A, B, X_star = block
+        s = AsyRGS(A, B, nproc=4)
+        r = s.solve(
+            tol=1e-6, max_sweeps=300,
+            metric=lambda xv: a_norm_error(A, xv, X_star),
+        )
+        assert r.converged
+        assert r.converged_columns is None
+        assert r.column_sweeps is None
+
+    def test_retire_with_custom_metric_rejected(self, block):
+        A, B, X_star = block
+        s = AsyRGS(A, B, nproc=4)
+        with pytest.raises(ModelError, match="per-column"):
+            s.solve(
+                tol=1e-6, max_sweeps=10, retire=True,
+                metric=lambda xv: float(np.linalg.norm(xv)),
+            )
+
+    def test_single_rhs_reports_one_column(self, system):
+        A, b, _ = system
+        s = AsyRGS(A, b, nproc=4)
+        r = s.solve(tol=1e-8, max_sweeps=300)
+        assert r.converged
+        assert r.converged_columns.shape == (1,)
+        assert r.column_updates == r.iterations
+
+
 class TestStepSize:
     def test_auto_beta_consistent(self, system):
         A, b, _ = system

@@ -7,6 +7,8 @@ from repro.core import (
     ConvergenceHistory,
     a_norm,
     a_norm_error,
+    column_relative_residuals,
+    column_residual_norms,
     relative_a_norm_error,
     relative_residual,
     residual_norm,
@@ -58,6 +60,57 @@ class TestResidualNorms:
     def test_shape_mismatch(self, A):
         with pytest.raises(ShapeError):
             residual_norm(A, np.ones(3), np.ones(A.shape[0]))
+
+
+class TestColumnResiduals:
+    def test_matches_per_column_relative_residual(self, A):
+        n = A.shape[0]
+        X = np.stack([np.cos(np.arange(n, dtype=float)), np.ones(n)], axis=1)
+        B = np.stack([np.ones(n), 2.0 * np.ones(n)], axis=1)
+        col = column_relative_residuals(A, X, B)
+        assert col.shape == (2,)
+        for j in range(2):
+            assert col[j] == pytest.approx(relative_residual(A, X[:, j], B[:, j]))
+
+    def test_vector_treated_as_one_column(self, A):
+        n = A.shape[0]
+        x = np.sin(np.arange(n, dtype=float))
+        b = np.ones(n)
+        col = column_relative_residuals(A, x, b)
+        assert col.shape == (1,)
+        assert col[0] == pytest.approx(relative_residual(A, x, b))
+
+    def test_aggregate_can_hide_a_bad_column(self, A):
+        """The motivating failure mode: the Frobenius aggregate passes a
+        tolerance while one column is still far from converged."""
+        n = A.shape[0]
+        x_good = np.linspace(1, 2, n)
+        B = np.stack([A.matvec(x_good)] * 50 + [np.ones(n)], axis=1)
+        X = np.stack([x_good] * 50 + [np.zeros(n)], axis=1)
+        col = column_relative_residuals(A, X, B)
+        agg = relative_residual(A, X, B)
+        assert agg < 0.2  # the aggregate looks fine…
+        assert col[-1] == pytest.approx(1.0)  # …while one label never moved
+
+    def test_zero_column_falls_back_to_absolute(self, A):
+        n = A.shape[0]
+        X = np.stack([np.ones(n), np.ones(n)], axis=1)
+        B = np.stack([np.ones(n), np.zeros(n)], axis=1)
+        col = column_relative_residuals(A, X, B)
+        assert col[1] == pytest.approx(np.linalg.norm(A.matvec(np.ones(n))))
+
+    def test_norm_pairs_recover_frobenius_aggregate(self, A):
+        n = A.shape[0]
+        X = np.stack([np.cos(np.arange(n, dtype=float)), np.ones(n)], axis=1)
+        B = np.stack([np.ones(n), 2.0 * np.ones(n)], axis=1)
+        num, denom = column_residual_norms(A, X, B)
+        assert np.linalg.norm(num) / np.linalg.norm(denom) == pytest.approx(
+            relative_residual(A, X, B)
+        )
+
+    def test_shape_mismatch(self, A):
+        with pytest.raises(ShapeError):
+            column_relative_residuals(A, np.ones((3, 2)), np.ones((A.shape[0], 2)))
 
 
 class TestANorm:
@@ -135,8 +188,51 @@ class TestConvergenceHistory:
         with pytest.raises(ValueError):
             h.reduction_factor()
 
-    def test_reduction_factor_zero_start(self):
+    def test_per_column_series(self):
+        h = ConvergenceHistory()
+        h.record(0, 1.0, columns=[1.0, 0.5])
+        h.record(1, 0.4, columns=np.array([0.4, 0.1]))
+        series = h.column_series()
+        np.testing.assert_allclose(series, [[1.0, 0.5], [0.4, 0.1]])
+        assert h.values == [1.0, 0.4]
+
+    def test_per_column_series_must_stay_aligned(self):
+        h = ConvergenceHistory()
+        h.record(0, 1.0, columns=[1.0, 0.5])
+        with pytest.raises(ValueError):
+            h.record(1, 0.4)  # dropped the per-column record
+        h2 = ConvergenceHistory()
+        h2.record(0, 1.0)
+        with pytest.raises(ValueError):
+            h2.record(1, 0.4, columns=[0.4, 0.1])  # started late
+        h3 = ConvergenceHistory()
+        h3.record(0, 1.0, columns=[1.0, 0.5])
+        with pytest.raises(ValueError):
+            h3.record(1, 0.4, columns=[0.4])  # k changed
+
+    def test_rejected_record_leaves_history_untouched(self):
+        """A record that fails validation must not partially mutate the
+        history — the scalar and per-column series would desynchronize
+        permanently."""
+        h = ConvergenceHistory()
+        h.record(0, 1.0, columns=[1.0, 0.5])
+        with pytest.raises(ValueError):
+            h.record(1, 0.4, columns=[0.4])  # wrong shape: rejected whole
+        assert len(h) == 1
+        assert len(h.column_values) == 1
+        h.record(1, 0.4, columns=[0.4, 0.1])  # still usable afterwards
+        assert h.column_series().shape == (2, 2)
+
+    def test_column_series_empty_raises(self):
+        h = ConvergenceHistory()
+        h.record(0, 1.0)
+        with pytest.raises(ValueError):
+            h.column_series()
+
+    def test_reduction_factor_zero_start_is_nan(self):
+        """A run that started converged has no meaningful reduction:
+        0.0 would read as a *perfect* reduction, so it must be nan."""
         h = ConvergenceHistory()
         h.record(0, 0.0)
         h.record(1, 0.0)
-        assert h.reduction_factor() == 0.0
+        assert np.isnan(h.reduction_factor())

@@ -298,6 +298,105 @@ class TestBlockRHS:
         assert res.converged
 
 
+class TestColumnRetirement:
+    def test_retired_column_is_bit_frozen(self, block_system):
+        """nproc=1 is deterministic: a column whose x0 is exact retires
+        before the first epoch and its shared slot is never written."""
+        A, B, X_star = block_system
+        n, k = B.shape
+        x0 = np.zeros((n, k))
+        x0[:, 2] = X_star[:, 2]
+        res = ProcessAsyRGS(
+            A, B, nproc=1, directions=DirectionStream(n, seed=3)
+        ).solve(tol=1e-10, max_sweeps=300, x0=x0, sync_every_sweeps=10)
+        assert res.converged
+        assert res.column_sweeps[2] == 0
+        np.testing.assert_array_equal(res.x[:, 2], X_star[:, 2])
+        assert (res.column_residuals < 1e-10).all()
+
+    def test_column_update_accounting(self, block_system):
+        """Exact work accounting at nproc=1: column j is refreshed n
+        times per epoch until its retirement epoch, never after; without
+        retirement every commit refreshes all k columns."""
+        A, B, _ = block_system
+        n, k = B.shape
+        res = ProcessAsyRGS(
+            A, B, nproc=1, directions=DirectionStream(n, seed=3)
+        ).solve(tol=1e-8, max_sweeps=300, sync_every_sweeps=5)
+        assert res.converged
+        expected = n * int(
+            sum(cs if cs >= 0 else res.sweeps_done for cs in res.column_sweeps)
+        )
+        assert res.column_updates == expected
+        full = ProcessAsyRGS(
+            A, B, nproc=1, directions=DirectionStream(n, seed=3)
+        ).solve(tol=1e-8, max_sweeps=300, sync_every_sweeps=5, retire=False)
+        assert full.converged
+        assert full.column_updates == full.iterations * k
+
+    @pytest.mark.parametrize("nproc", [2, 3])
+    def test_retirement_under_real_concurrency(self, block_system, nproc):
+        A, B, X_star = block_system
+        res = ProcessAsyRGS(A, B, nproc=nproc).solve(
+            tol=1e-8, max_sweeps=400, sync_every_sweeps=10
+        )
+        assert res.converged
+        assert res.converged_columns.all()
+        assert (res.column_residuals < 1e-8).all()
+        assert np.abs(res.x - X_star).max() < 1e-5
+
+    def test_skewed_block_saves_updates(self):
+        """The 51-label social workload has skewed label difficulty, so
+        retirement must shrink the active set well before the slowest
+        label and save a measurable share of the column updates."""
+        A_B = social_media_problem(n_terms=60, n_docs=250, n_labels=12, seed=5)
+        A, B = A_B.G, A_B.B
+        kwargs = dict(tol=1e-3, max_sweeps=600, sync_every_sweeps=10)
+        ret = ProcessAsyRGS(A, B, nproc=2).solve(**kwargs)
+        full = ProcessAsyRGS(A, B, nproc=2).solve(**kwargs, retire=False)
+        assert ret.converged and full.converged
+        assert ret.column_updates < full.column_updates
+        # Every retired column honored the tolerance at the final sync.
+        assert (ret.column_residuals < 1e-3).all()
+        retired = ret.column_sweeps[ret.column_sweeps >= 0]
+        assert retired.min() < retired.max()  # genuinely skewed difficulty
+
+    def test_custom_metric_keeps_aggregate_path(self, block_system):
+        from repro.core.residuals import relative_residual
+
+        A, B, _ = block_system
+        res = ProcessAsyRGS(A, B, nproc=2).solve(
+            tol=1e-6, max_sweeps=300, sync_every_sweeps=10,
+            metric=lambda xv: relative_residual(A, xv, B),
+        )
+        assert res.converged
+        assert res.converged_columns is None
+
+    def test_retire_with_custom_metric_rejected(self, block_system):
+        A, B, _ = block_system
+        with pytest.raises(ModelError, match="per-column"):
+            ProcessAsyRGS(A, B, nproc=2).solve(
+                tol=1e-6, max_sweeps=10, retire=True,
+                metric=lambda xv: float(np.linalg.norm(xv)),
+            )
+
+    def test_pool_reuse_resets_active_mask(self, block_system):
+        """A solve that retired columns must not leak its mask into the
+        next call on the same pool: the second solve re-activates every
+        column and reproduces the first bit for bit (nproc=1)."""
+        A, B, _ = block_system
+        with ProcessAsyRGS(
+            A, B, nproc=1, directions=DirectionStream(A.shape[0], seed=3)
+        ) as solver:
+            r1 = solver.solve(tol=1e-8, max_sweeps=300, sync_every_sweeps=10)
+            r2 = solver.solve(tol=1e-8, max_sweeps=300, sync_every_sweeps=10)
+            assert solver.spawn_count == 1
+        assert r1.converged and r2.converged
+        np.testing.assert_array_equal(r1.x, r2.x)
+        np.testing.assert_array_equal(r1.column_sweeps, r2.column_sweeps)
+        assert r1.column_updates == r2.column_updates
+
+
 class TestPersistentPool:
     def test_reused_pool_matches_oneshot_exactly(self, block_system):
         """nproc=1 is deterministic: two solves on one pool must equal

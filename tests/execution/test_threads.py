@@ -4,9 +4,11 @@ import numpy as np
 import pytest
 
 from repro.core import randomized_gauss_seidel
+from repro.core.residuals import column_relative_residuals
 from repro.exceptions import ModelError, ShapeError
-from repro.execution import ThreadedAsyRGS
+from repro.execution import PhasedSimulator, ThreadedAsyRGS
 from repro.rng import DirectionStream
+from repro.sparse import CSRMatrix
 from repro.workloads import random_unit_diagonal_spd
 
 from ..conftest import manufactured_system
@@ -17,6 +19,51 @@ def system():
     A = random_unit_diagonal_spd(30, nnz_per_row=4, offdiag_scale=0.6, seed=8)
     b, x_star = manufactured_system(A, seed=9)
     return A, b, x_star
+
+
+@pytest.fixture(scope="module")
+def block_system(system):
+    """The module system extended to a 4-column RHS block."""
+    A, b, _ = system
+    n = A.shape[0]
+    rng = DirectionStream(n, seed=44)
+    X_star = np.column_stack(
+        [rng.directions(j * n, n).astype(np.float64) / n - 0.5 for j in range(4)]
+    )
+    return A, A.matmat(X_star), X_star
+
+
+def poisoned_matrix(A: CSRMatrix) -> CSRMatrix:
+    """A structurally corrupt copy: in every row one off-diagonal column
+    index points out of bounds, so whichever row a worker draws first,
+    its gather raises. The diagonal stays intact, so construction-time
+    diagonal checks still pass."""
+    n = A.shape[0]
+    indices = A.indices.copy()
+    for r in range(n):
+        for pos in range(int(A.indptr[r]), int(A.indptr[r + 1])):
+            if indices[pos] != r:
+                indices[pos] = n + 7
+                break
+    return CSRMatrix(A.shape, A.indptr.copy(), indices, A.data.copy(),
+                     check=False, sorted_indices=False)
+
+
+class _PoisonedView:
+    """A per-processor stream view that raises on first use — a stand-in
+    for any failure inside a worker's segment loop."""
+
+    def directions(self, start, count):
+        raise RuntimeError("poisoned stream view")
+
+
+class PoisonedStream(DirectionStream):
+    """Direction stream whose worker views blow up: exercises the
+    crash path of ``solve`` without corrupting the matrix the parent
+    uses for its residual checks."""
+
+    def for_processor(self, pid, nproc):
+        return _PoisonedView()
 
 
 class TestSingleThread:
@@ -56,16 +103,167 @@ class TestMultiThread:
         assert max(out.per_thread_iterations) - min(out.per_thread_iterations) <= 1
 
 
+class TestBlockRHS:
+    def test_one_thread_matches_phased_engine(self, block_system):
+        """Cross-engine agreement: one thread is deterministic, so the
+        block run must equal the phased engine at nproc=1 on the same
+        direction stream, bit for bit."""
+        A, B, _ = block_system
+        n, k = B.shape
+        t = ThreadedAsyRGS(A, B, nthreads=1, directions=DirectionStream(n, seed=3))
+        out = t.run(np.zeros((n, k)), 6 * n)
+        ref = PhasedSimulator(
+            A, B, nproc=1, directions=DirectionStream(n, seed=3)
+        ).run(np.zeros((n, k)), 6 * n)
+        np.testing.assert_array_equal(out.x, ref.x)
+        assert out.column_updates == 6 * n * k
+
+    @pytest.mark.multiprocess
+    def test_one_worker_matches_process_backend(self, block_system):
+        """Threads, processes, and the phased engine realize the same
+        deterministic execution at one worker on the same stream."""
+        from repro.execution import ProcessAsyRGS
+
+        A, B, _ = block_system
+        n, k = B.shape
+        t = ThreadedAsyRGS(A, B, nthreads=1, directions=DirectionStream(n, seed=3))
+        out_t = t.run(np.zeros((n, k)), 5 * n)
+        out_p = ProcessAsyRGS(
+            A, B, nproc=1, directions=DirectionStream(n, seed=3)
+        ).run(None, 5 * n)
+        np.testing.assert_allclose(out_t.x, out_p.x, rtol=1e-12, atol=1e-14)
+
+    @pytest.mark.parametrize("nthreads", [2, 4])
+    @pytest.mark.parametrize("atomic", [True, False])
+    def test_block_converges(self, block_system, nthreads, atomic):
+        A, B, X_star = block_system
+        n = A.shape[0]
+        t = ThreadedAsyRGS(
+            A, B, nthreads=nthreads, atomic=atomic,
+            directions=DirectionStream(n, seed=3),
+        )
+        out = t.run(np.zeros_like(B), 120 * n)
+        assert np.abs(out.x - X_star).max() < 1e-5
+        assert out.iterations == 120 * n
+
+    def test_solve_continues_stream_across_epochs(self, block_system):
+        """A solve's segments continue the direction stream: at one
+        thread with retirement off, segmented execution must equal one
+        long free-running run."""
+        A, B, _ = block_system
+        n, k = B.shape
+        t = ThreadedAsyRGS(A, B, nthreads=1, directions=DirectionStream(n, seed=3))
+        solved = t.solve(tol=0.0, max_sweeps=6, sync_every_sweeps=2, retire=False)
+        free = t.run(np.zeros((n, k)), 6 * n)
+        np.testing.assert_array_equal(solved.x, free.x)
+        assert solved.sync_points == 3
+
+
+class TestRetirement:
+    def test_retired_column_stays_below_tol(self, block_system):
+        A, B, _ = block_system
+        n = A.shape[0]
+        t = ThreadedAsyRGS(A, B, nthreads=2, directions=DirectionStream(n, seed=3))
+        res = t.solve(tol=1e-8, max_sweeps=400, sync_every_sweeps=10)
+        assert res.converged
+        assert res.converged_columns.all()
+        assert (res.column_sweeps >= 0).all()
+        final = column_relative_residuals(A, res.x, B)
+        assert (final < 1e-8).all()
+
+    def test_retired_column_is_frozen(self, block_system):
+        """A column whose x0 is already exact retires at sweep 0 and is
+        never written again — at one thread its iterate is bit-frozen,
+        and the work accounting only charges the active column."""
+        A, B, X_star = block_system
+        n, k = B.shape
+        x0 = np.zeros((n, k))
+        x0[:, 1] = X_star[:, 1]  # column 1 starts converged
+        t = ThreadedAsyRGS(A, B, nthreads=1, directions=DirectionStream(n, seed=3))
+        res = t.solve(tol=1e-10, max_sweeps=300, x0=x0, sync_every_sweeps=10)
+        assert res.converged
+        assert res.column_sweeps[1] == 0
+        np.testing.assert_array_equal(res.x[:, 1], X_star[:, 1])
+        # Only k-1 columns were ever refreshed.
+        assert res.column_updates == res.iterations * (k - 1)
+
+    def test_no_retire_updates_every_column(self, block_system):
+        A, B, X_star = block_system
+        n, k = B.shape
+        x0 = np.zeros((n, k))
+        x0[:, 1] = X_star[:, 1]
+        t = ThreadedAsyRGS(A, B, nthreads=1, directions=DirectionStream(n, seed=3))
+        res = t.solve(
+            tol=1e-10, max_sweeps=300, x0=x0, sync_every_sweeps=10, retire=False
+        )
+        assert res.converged
+        assert res.column_updates == res.iterations * k
+
+    def test_single_rhs_solve(self, system):
+        A, b, x_star = system
+        n = A.shape[0]
+        t = ThreadedAsyRGS(A, b, nthreads=2, directions=DirectionStream(n, seed=3))
+        res = t.solve(tol=1e-8, max_sweeps=400, sync_every_sweeps=10)
+        assert res.converged
+        assert res.converged_columns.shape == (1,)
+        assert np.abs(res.x - x_star).max() < 1e-5
+
+
+class TestWorkerCrash:
+    """Regression: a worker that raises must fail the run loudly instead
+    of returning a partially-updated iterate as a success."""
+
+    def test_poisoned_matrix_raises_with_worker_id(self, system):
+        A, b, _ = system
+        bad = poisoned_matrix(A)
+        t = ThreadedAsyRGS(bad, b, nthreads=3, directions=DirectionStream(A.shape[0], seed=3))
+        with pytest.raises(ModelError, match=r"worker thread \d+ crashed"):
+            t.run(np.zeros(A.shape[0]), 50 * A.shape[0])
+
+    def test_original_exception_chained(self, system):
+        A, b, _ = system
+        bad = poisoned_matrix(A)
+        t = ThreadedAsyRGS(bad, b, nthreads=2, directions=DirectionStream(A.shape[0], seed=3))
+        with pytest.raises(ModelError) as err:
+            t.run(np.zeros(A.shape[0]), 50 * A.shape[0])
+        assert isinstance(err.value.__cause__, IndexError)
+
+    def test_solve_propagates_worker_crash(self, block_system):
+        """The epoch loop of solve() must surface a worker failure too
+        (the stream is poisoned instead of the matrix, so the parent's
+        own residual checks stay healthy)."""
+        A, B, _ = block_system
+        t = ThreadedAsyRGS(
+            A, B, nthreads=2, directions=PoisonedStream(A.shape[0], seed=3)
+        )
+        with pytest.raises(ModelError, match="crashed"):
+            t.solve(tol=1e-8, max_sweeps=100)
+
+    def test_siblings_released_not_deadlocked(self, system):
+        """The crashing worker aborts the start barrier, so a crash with
+        many threads returns promptly instead of wedging the join."""
+        A, b, _ = system
+        bad = poisoned_matrix(A)
+        t = ThreadedAsyRGS(bad, b, nthreads=8, directions=DirectionStream(A.shape[0], seed=3))
+        with pytest.raises(ModelError):
+            t.run(np.zeros(A.shape[0]), 8)  # fewer updates than threads
+
+
 class TestValidation:
     def test_zero_threads_rejected(self, system):
         A, b, _ = system
         with pytest.raises(ModelError):
             ThreadedAsyRGS(A, b, nthreads=0)
 
-    def test_multirhs_rejected(self, system):
+    def test_three_dim_b_rejected(self, system):
         A, b, _ = system
         with pytest.raises(ShapeError):
-            ThreadedAsyRGS(A, np.stack([b, b], axis=1), nthreads=2)
+            ThreadedAsyRGS(A, np.zeros((A.shape[0], 2, 2)), nthreads=2)
+
+    def test_zero_column_block_rejected(self, system):
+        A, b, _ = system
+        with pytest.raises(ShapeError):
+            ThreadedAsyRGS(A, np.empty((A.shape[0], 0)), nthreads=2)
 
     def test_bad_x0_rejected(self, system):
         A, b, _ = system

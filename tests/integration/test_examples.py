@@ -62,4 +62,6 @@ class TestExamples:
         assert "tau_observed" in out
         assert "Strong scaling" in out
         assert "51 labels" in out  # the paper's headline block regime
+        assert "per-column retirement: 51/51" in out  # every label converged
+        assert "update-count savings" in out  # retirement did real work
         assert "1 pool spawn(s), 1 CSR copy(ies)" in out  # persistent pool

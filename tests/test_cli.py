@@ -38,6 +38,20 @@ class TestParser:
     def test_block_experiment_known(self):
         args = build_parser().parse_args(["experiment", "block"])
         assert args.name == "block"
+        assert args.retire is False
+
+    def test_block_retire_mode_parsed(self):
+        args = build_parser().parse_args(["experiment", "block", "--retire"])
+        assert args.retire is True
+
+    def test_retire_rejected_for_other_experiments(self, capsys):
+        code = main(["experiment", "fig1", "--retire"])
+        assert code == 2
+        assert "mode of the 'block' experiment" in capsys.readouterr().out
+
+    def test_solve_no_retire_parsed(self):
+        args = build_parser().parse_args(["solve", "m.mtx", "--no-retire"])
+        assert args.no_retire is True
 
 
 class TestSpeedup:
@@ -180,6 +194,33 @@ class TestSolveMultiRHS:
         assert code == 2
         assert "one right-hand side at a time" in capsys.readouterr().out
 
+    def test_per_column_status_printed(self, matrix_file, block_rhs_file, capsys):
+        """A block solve reports which columns converged and what the
+        retirement saved."""
+        path, _ = matrix_file
+        rhs, _ = block_rhs_file
+        code = main(
+            ["solve", str(path), "--rhs", str(rhs),
+             "--tol", "1e-8", "--max-sweeps", "2000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "columns: 3/3 below tol" in out
+        assert "retired between sweeps" in out
+        assert "column updates" in out
+
+    def test_no_retire_flag(self, matrix_file, block_rhs_file, capsys):
+        path, _ = matrix_file
+        rhs, _ = block_rhs_file
+        code = main(
+            ["solve", str(path), "--rhs", str(rhs), "--no-retire",
+             "--tol", "1e-8", "--max-sweeps", "2000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "columns: 3/3 below tol" in out
+        assert "no retirement" in out
+
     def test_mismatched_rhs_rows_rejected(self, matrix_file, tmp_path, capsys):
         """The old behavior silently flattened an (n, k) file into one
         nk-long vector; now any row-count mismatch is a clear error."""
@@ -227,6 +268,14 @@ class TestExperimentAndProblems:
         code = main(["experiment", "direction-strategies", "--problem", "banded"])
         assert code == 0
         assert "banded" in capsys.readouterr().out
+
+    @pytest.mark.multiprocess
+    def test_block_retire_mode_runs(self, capsys):
+        code = main(["experiment", "block", "--retire", "--problem", "social-small"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Column retirement" in out
+        assert "fewer column updates" in out
 
 
 class TestExperimentEdgeCases:
