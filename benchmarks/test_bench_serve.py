@@ -1,0 +1,40 @@
+"""Benchmark: solver-serving throughput on the 51-label workload.
+
+The acceptance claims of the serving subsystem: batched serving must
+beat one-shot-per-request throughput by a clear margin on the paper's
+51-label regime (the batch shares one row gather across the whole
+request set, and the pool is spawned once instead of per request), and
+a capacity-k pool must serve both a k=1 request and the full k=51
+block with zero respawns.
+"""
+
+import pytest
+
+from repro.bench import run_serve
+
+from conftest import persist_and_print
+
+
+@pytest.mark.multiprocess
+def test_serve_smoke(benchmark):
+    result = benchmark.pedantic(
+        run_serve,
+        kwargs=dict(problem="social-labels", nproc=2, tol=1e-3, max_sweeps=600),
+        rounds=1,
+        iterations=1,
+    )
+    persist_and_print("fig_serve", result.table())
+
+    assert result.requests == 51
+    # Every regime answered every request to the tolerance.
+    assert result.all_converged
+    # The headline: batched serving beats one-shot-per-request by >= 2x.
+    assert result.batched_speedup >= 2.0
+    # One pool, zero respawns, across a k=1 request and the k=51 block.
+    assert result.capacity_spawns == 1
+    assert result.capacity_pids_stable
+    # The widest batch regime really coalesced: far fewer batches than
+    # requests, and exactly one pool spawn per server.
+    widest = result.rows_data[-1]
+    assert widest[3] < result.requests
+    assert widest[4] == 1

@@ -26,6 +26,8 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.krylov` — CG, flexible CG, preconditioners;
 * :mod:`repro.estimation` — eigenvalue / condition-number estimation;
 * :mod:`repro.workloads` — problem generators;
+* :mod:`repro.serve` — the solver server: request queue + batching over
+  one persistent worker pool (``repro serve``);
 * :mod:`repro.bench` — the experiment drivers behind ``benchmarks/``.
 """
 

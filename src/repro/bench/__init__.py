@@ -31,6 +31,7 @@ from .fig_block import (
     run_block,
     run_block_retirement,
 )
+from .fig_serve import ServeBenchResult, run_serve
 from .fig_speedup import SpeedupResult, run_speedup
 from .fig3_fcg import (
     FCGRun,
@@ -73,6 +74,8 @@ __all__ = [
     "run_fig2_left",
     "run_fig2_right",
     "run_fig3",
+    "run_serve",
+    "ServeBenchResult",
     "run_speedup",
     "run_table1",
     "run_tau_sweep",

@@ -1,0 +1,245 @@
+"""Benchmark: serving throughput — batched requests vs one-shot solves.
+
+The serving claim this repository's ROADMAP builds toward: one resident
+matrix should answer *many independent requests* far faster than
+spawning a solver per request. The paper's Section 9 workload is the
+natural traffic model — 51 label right-hand sides against one
+social-media Gram matrix — so the bench replays those 51 labels as 51
+independent single-RHS requests and measures requests/second under
+three regimes:
+
+* **one-shot** — the pre-serving baseline: every request constructs its
+  own :class:`~repro.execution.ProcessAsyRGS` and pays process spawn +
+  CSR copy + a full solo solve.
+* **server, max_batch=1** — the queue alone: one persistent pool, no
+  coalescing. Isolates what pool reuse buys.
+* **server, max_batch=m** — queue + batcher: compatible requests
+  coalesce into block solves, one row gather serving the whole batch
+  (the 51-label amortization applied to live traffic), each request
+  retiring independently at its own tolerance.
+
+A final capacity check serves a ``k=1`` request and a ``k=51`` block
+request from the same pool and records the spawn count — the capacity-k
+layout must hold it at 1 (zero respawns) with stable worker PIDs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..execution import ProcessAsyRGS, available_cpus
+from ..rng import DirectionStream
+from ..serve import SolverServer
+from ..workloads import get_problem
+from .reporting import render_table, save_json
+
+__all__ = ["ServeBenchResult", "run_serve"]
+
+
+@dataclass
+class ServeBenchResult:
+    """Serving-throughput measurements for one problem.
+
+    ``rows_data`` holds one entry per regime:
+    ``(label, wall, requests/s, batches, spawns, mean latency, max latency)``.
+    ``batched_speedup`` is the headline number — the best batched
+    regime's throughput over the one-shot baseline.
+    """
+
+    problem: str
+    n: int
+    requests: int
+    nproc: int
+    cpus: int
+    tol: float
+    max_sweeps: int
+    batch_sizes: tuple
+    oneshot_wall: float
+    rows_data: list = field(default_factory=list)
+    all_converged: bool = True
+    capacity_spawns: int = 0
+    capacity_pids_stable: bool = False
+
+    @property
+    def oneshot_rps(self) -> float:
+        return self.requests / self.oneshot_wall if self.oneshot_wall > 0 else float("nan")
+
+    @property
+    def batched_speedup(self) -> float:
+        """Best *genuinely batched* throughput (max_batch > 1) over the
+        one-shot baseline — the max_batch=1 regime is excluded so pool
+        reuse alone cannot win the headline batching claim."""
+        batched = [
+            r[2]
+            for r in self.rows_data[1:]
+            if not str(r[0]).endswith("max_batch=1")
+        ]
+        best = max(batched, default=float("nan"))
+        return best / self.oneshot_rps if self.oneshot_rps > 0 else float("nan")
+
+    def rows(self):
+        return [list(r) for r in self.rows_data]
+
+    def table(self) -> str:
+        title = (
+            f"Solver serving — {self.problem} (n={self.n}), "
+            f"{self.requests} single-RHS requests to tol={self.tol:g} on "
+            f"{self.nproc} process(es), {self.cpus} CPU(s); best batched "
+            f"throughput {self.batched_speedup:.2f}x one-shot; capacity-k "
+            f"pool served k=1 and k={self.requests} with "
+            f"{self.capacity_spawns} spawn(s)"
+        )
+        return render_table(
+            ["configuration", "wall [s]", "req/s", "batches", "pool spawns",
+             "mean lat [s]", "max lat [s]"],
+            self.rows(),
+            title=title,
+        )
+
+    def payload(self) -> dict:
+        return {
+            "problem": self.problem,
+            "n": self.n,
+            "requests": self.requests,
+            "nproc": self.nproc,
+            "cpus": self.cpus,
+            "tol": self.tol,
+            "max_sweeps": self.max_sweeps,
+            "batch_sizes": list(self.batch_sizes),
+            "oneshot_wall": self.oneshot_wall,
+            "oneshot_rps": self.oneshot_rps,
+            "regimes": [
+                {
+                    "configuration": r[0],
+                    "wall": r[1],
+                    "rps": r[2],
+                    "batches": r[3],
+                    "spawns": r[4],
+                    "latency_mean": r[5],
+                    "latency_max": r[6],
+                }
+                for r in self.rows_data
+            ],
+            "batched_speedup": self.batched_speedup,
+            "all_converged": self.all_converged,
+            "capacity_spawns": self.capacity_spawns,
+            "capacity_pids_stable": self.capacity_pids_stable,
+        }
+
+
+def _serve_round(A, requests, *, nproc, capacity, max_batch, tol,
+                 max_sweeps, sync_every_sweeps, seed):
+    """One serving regime: submit every request up front (the loaded-
+    queue traffic shape), wait for all, return (wall, stats, results)."""
+    with SolverServer(
+        A,
+        nproc=nproc,
+        capacity_k=capacity,
+        tol=tol,
+        max_sweeps=max_sweeps,
+        sync_every_sweeps=sync_every_sweeps,
+        max_batch=max_batch,
+        max_wait=0.005,
+        seed=seed,
+    ) as server:
+        start = time.perf_counter()
+        handles = [server.submit(b) for b in requests]
+        results = [h.result(600.0) for h in handles]
+        wall = time.perf_counter() - start
+        stats = server.stats()
+    return wall, stats, results
+
+
+def run_serve(
+    problem: str = "social-labels",
+    *,
+    nproc: int = 2,
+    labels: int | None = None,
+    batch_sizes: tuple = (1, 8, 51),
+    tol: float = 1e-3,
+    max_sweeps: int = 600,
+    sync_every_sweeps: int = 10,
+    seed: int = 0,
+    persist: bool = True,
+) -> ServeBenchResult:
+    """Measure serving throughput: batched vs unbatched vs one-shot.
+
+    Replays the problem's label block as independent single-RHS
+    requests. Every regime answers the same traffic to the same
+    per-request tolerance; only the pool lifecycle and the batching
+    policy differ.
+    """
+    prob = get_problem(problem)
+    A = prob.A
+    n = A.shape[0]
+    B = prob.rhs_block(labels) if labels is not None else (
+        prob.B if prob.B is not None else prob.b[:, None]
+    )
+    k = int(B.shape[1])
+    requests = [B[:, j].copy() for j in range(k)]
+    # Clamp to the request count and dedupe (51 and 8 both collapse to
+    # k on a small problem; measuring the same regime twice is noise).
+    batch_sizes = tuple(dict.fromkeys(min(int(m), k) for m in batch_sizes))
+
+    # One-shot baseline: a fresh backend (spawn + CSR copy) per request.
+    start = time.perf_counter()
+    oneshot_converged = True
+    oneshot_spawns = 0
+    for b in requests:
+        backend = ProcessAsyRGS(
+            A, b, nproc=nproc, directions=DirectionStream(n, seed=seed)
+        )
+        res = backend.solve(
+            tol=tol, max_sweeps=max_sweeps, sync_every_sweeps=sync_every_sweeps
+        )
+        oneshot_converged &= res.converged
+        oneshot_spawns += backend.spawn_count
+    oneshot_wall = time.perf_counter() - start
+
+    out = ServeBenchResult(
+        problem=problem,
+        n=n,
+        requests=k,
+        nproc=int(nproc),
+        cpus=available_cpus(),
+        tol=float(tol),
+        max_sweeps=int(max_sweeps),
+        batch_sizes=batch_sizes,
+        oneshot_wall=oneshot_wall,
+    )
+    out.rows_data.append(
+        ["one-shot (pool per request)", oneshot_wall, out.oneshot_rps,
+         k, oneshot_spawns, oneshot_wall / k, float("nan")]
+    )
+    out.all_converged = oneshot_converged
+
+    for m in batch_sizes:
+        wall, stats, results = _serve_round(
+            A, requests,
+            nproc=int(nproc), capacity=max(batch_sizes), max_batch=m,
+            tol=tol, max_sweeps=max_sweeps,
+            sync_every_sweeps=sync_every_sweeps, seed=seed,
+        )
+        out.all_converged &= all(r.converged for r in results)
+        out.rows_data.append(
+            [f"server, max_batch={m}", wall, k / wall if wall > 0 else float("nan"),
+             stats.batches, stats.spawn_count, stats.latency_mean,
+             stats.latency_max]
+        )
+
+    # Capacity-k check: one pool serves a k=1 request and the full
+    # k-label block with zero respawns and stable worker PIDs.
+    with SolverServer(
+        A, nproc=int(nproc), capacity_k=k, tol=tol, max_sweeps=max_sweeps,
+        sync_every_sweeps=sync_every_sweeps, seed=seed,
+    ) as server:
+        pids_before = server.worker_pids()
+        server.solve(requests[0], timeout=600.0)
+        server.solve(B, timeout=600.0)
+        out.capacity_pids_stable = server.worker_pids() == pids_before
+        out.capacity_spawns = server.spawn_count
+
+    if persist:
+        save_json("fig_serve", out.payload())
+    return out

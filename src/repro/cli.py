@@ -21,6 +21,11 @@ Commands
     measured delay statistics per configuration. ``--labels k`` times
     the same budget on a k-column RHS block (the paper's 51-label
     amortization regime).
+``serve``
+    Run the solver server: one resident matrix on a persistent
+    shared-memory pool, JSON-lines solve requests on stdin (or TCP with
+    ``--port``), compatible single-RHS requests coalesced into block
+    solves. See the parser epilog for the protocol.
 ``problems``
     List the named workload registry.
 
@@ -38,11 +43,29 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+_SERVING_EPILOG = """\
+Serving:
+  `repro serve` multiplexes many solve requests over one persistent
+  shared-memory worker pool: the matrix is copied into shared memory
+  once, compatible single-RHS requests are coalesced into block solves
+  (each request converges and retires independently), and the
+  capacity-k pool layout serves any request width k <= --capacity
+  without respawning workers. Requests are JSON lines on stdin —
+    {"id": "r1", "b": [1.0, 2.0, ...], "tol": 1e-6}
+  — or on a TCP socket with --port; each gets one JSON response line
+  with the iterate, convergence status, and latency. Run
+  `repro experiment serve` to benchmark batched serving against
+  one-shot-per-request throughput on the 51-label workload.
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Asynchronous randomized linear solvers "
         "(Avron, Druinsky & Gupta, IPDPS 2014 reproduction)",
+        epilog=_SERVING_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -90,7 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
             "fig1", "fig2-left", "fig2-center", "fig2-right", "fig3", "table1",
             "tau-sweep", "beta-sweep", "consistency-gap", "delay-schedules",
             "theory-envelope", "direction-strategies", "motivation", "extensions",
-            "block",
+            "block", "serve",
         ],
     )
     p_exp.add_argument("--problem", default=None, help="named problem override")
@@ -116,6 +139,47 @@ def build_parser() -> argparse.ArgumentParser:
         "(1 = classic single-RHS scaling)",
     )
     p_speed.add_argument("--seed", type=int, default=0)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve solve requests over one persistent worker pool",
+        description="Solver serving: JSON-lines requests multiplexed "
+        "over one persistent shared-memory pool (see `repro --help` for "
+        "the protocol).",
+    )
+    p_serve.add_argument(
+        "matrix", nargs="?", default=None,
+        help="MatrixMarket .mtx file (or use --problem)",
+    )
+    p_serve.add_argument(
+        "--problem", default=None,
+        help="serve a named workload's matrix instead of a file",
+    )
+    p_serve.add_argument("--nproc", type=int, default=2, help="worker processes")
+    p_serve.add_argument(
+        "--capacity", type=int, default=8,
+        help="pool layout capacity: widest block request and largest "
+        "coalesced batch one solve may carry",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=None,
+        help="cap on coalesced single-RHS requests per solve "
+        "(default: --capacity)",
+    )
+    p_serve.add_argument(
+        "--max-wait", type=float, default=0.005,
+        help="seconds to linger for batch company once a request arrived",
+    )
+    p_serve.add_argument("--tol", type=float, default=1e-6, help="default tolerance")
+    p_serve.add_argument("--max-sweeps", type=int, default=400)
+    p_serve.add_argument("--sync-every", type=int, default=10)
+    p_serve.add_argument(
+        "--port", type=int, default=None,
+        help="serve JSON lines over TCP on this port instead of stdin "
+        "(0 picks an ephemeral port)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    p_serve.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("problems", help="list the named workload registry")
     return parser
@@ -280,6 +344,89 @@ def _cmd_estimate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import signal
+
+    from .exceptions import ReproError
+    from .serve import SolverServer, make_tcp_server, serve_stream
+    from .sparse import read_matrix_market
+    from .workloads import get_problem
+
+    # SIGTERM must shut the pool down like ^C does: the default handler
+    # would kill this process without cleanup, orphaning the worker
+    # processes (parked on their barrier forever) and leaking the
+    # shared-memory segment.
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:  # not the main thread (in-process tests)
+        pass
+
+    if (args.matrix is None) == (args.problem is None):
+        print("error: give exactly one of a matrix file or --problem")
+        return 2
+    try:
+        if args.problem:
+            A = get_problem(args.problem).A
+            source = f"problem {args.problem!r}"
+        else:
+            A = read_matrix_market(args.matrix)
+            source = args.matrix
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}")
+        return 2
+    with SolverServer(
+        A,
+        nproc=args.nproc,
+        capacity_k=args.capacity,
+        tol=args.tol,
+        max_sweeps=args.max_sweeps,
+        sync_every_sweeps=args.sync_every,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+        seed=args.seed,
+    ) as server:
+        if args.port is not None:
+            tcp = make_tcp_server(server, args.host, args.port)
+            host, port = tcp.server_address
+            print(
+                f"serving {source} (n={A.shape[0]}, nnz={A.nnz}) on "
+                f"{host}:{port} with {args.nproc} worker process(es), "
+                f"capacity k={args.capacity} — ^C to stop",
+                file=sys.stderr,
+            )
+            try:
+                tcp.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                tcp.shutdown()
+                tcp.server_close()
+        else:
+            print(
+                f"serving {source} (n={A.shape[0]}, nnz={A.nnz}) from stdin "
+                f"with {args.nproc} worker process(es), capacity "
+                f"k={args.capacity} — one JSON request per line, EOF to stop",
+                file=sys.stderr,
+            )
+            try:
+                serve_stream(server, sys.stdin, sys.stdout)
+            except KeyboardInterrupt:
+                pass
+        stats = server.stats()
+    print(
+        f"served {stats.requests_served} request(s) in {stats.batches} "
+        f"batch(es) ({stats.requests_failed} failed), max batch "
+        f"{stats.max_batch_size}, max queue depth {stats.max_queue_depth}, "
+        f"mean latency {1e3 * stats.latency_mean:.1f} ms, "
+        f"{stats.spawn_count} pool spawn(s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 _EXPERIMENTS = {
     "fig1": ("run_fig1", {}),
     "fig2-left": ("run_fig2_left", {}),
@@ -296,6 +443,7 @@ _EXPERIMENTS = {
     "motivation": ("run_motivation", {}),
     "extensions": ("run_extensions", {}),
     "block": ("run_block", {}),
+    "serve": ("run_serve", {}),
 }
 
 
@@ -357,6 +505,7 @@ def main(argv=None) -> int:
         "estimate": _cmd_estimate,
         "experiment": _cmd_experiment,
         "speedup": _cmd_speedup,
+        "serve": _cmd_serve,
         "problems": _cmd_problems,
     }
     return handlers[args.command](args)

@@ -47,6 +47,7 @@ import numpy as np
 from ..exceptions import ModelError, ShapeError
 from ..rng import DirectionStream
 from ..sparse import CSRMatrix
+from ..validation import check_rhs, check_x0
 from ..execution import (
     AsyncSimulator,
     DelayModel,
@@ -175,6 +176,12 @@ class AsyRGS:
         ``False`` for ``engine="processes"``, where honoring A-1 costs
         striped locks and the unlocked run is the paper's Section 9
         non-atomic experiment (matching the ``speedup`` benchmark).
+    capacity_k:
+        Column capacity of the shared pool layout (``engine="processes"``
+        only): the underlying :class:`ProcessAsyRGS` allocates its
+        shared block at this width, so its per-call ``b=`` overrides of
+        any ``k ≤ capacity_k`` reuse the live pool without a respawn —
+        the serving regime (see :mod:`repro.serve`).
     write_model / jitter / seed:
         Forwarded to the chosen engine (see
         :mod:`repro.execution.simulator`).
@@ -194,6 +201,7 @@ class AsyRGS:
         write_model: WriteModel | None = None,
         jitter: int = 0,
         seed: int = 0,
+        capacity_k: int | None = None,
     ):
         if engine not in ("phased", "general", "processes"):
             raise ModelError(
@@ -201,6 +209,11 @@ class AsyRGS:
             )
         if engine != "general" and delay_model is not None:
             raise ModelError("delay_model is only supported by the 'general' engine")
+        if engine != "processes" and capacity_k is not None:
+            raise ModelError(
+                "capacity_k sizes the shared-memory pool layout; only the "
+                "'processes' engine has one"
+            )
         if engine != "general" and write_model is not None:
             raise ModelError(
                 "the phased engine models write races via atomic=False and the "
@@ -213,15 +226,12 @@ class AsyRGS:
         if not A.is_square():
             raise ShapeError(f"AsyRGS needs a square matrix, got {A.shape}")
         self.A = A
-        self.b = np.asarray(b, dtype=np.float64)
         self.n = A.shape[0]
         # Validate b once, up front — every engine gets the same contract
-        # and the same error message, instead of failing at different
-        # depths with engine-specific wording.
-        if self.b.ndim not in (1, 2) or self.b.shape[0] != self.n:
-            raise ShapeError(
-                f"b has shape {self.b.shape}, expected ({self.n},) or ({self.n}, k)"
-            )
+        # and the same error wording (the shared table in
+        # :mod:`repro.validation`), instead of failing at different
+        # depths with engine-specific phrasing.
+        self.b = check_rhs(b, self.n)
         self.engine = engine
         self.nproc = int(nproc)
         if self.nproc < 1:
@@ -283,6 +293,7 @@ class AsyRGS:
                 beta=self.beta,
                 atomic=atomic,
                 directions=self.directions,
+                capacity_k=capacity_k,
             )
         else:
             self._sim = AsyncSimulator(
@@ -301,12 +312,10 @@ class AsyRGS:
 
     def _check_x0(self, x0: np.ndarray) -> np.ndarray:
         """Validate the initial iterate up front — the same contract and
-        wording for every engine, instead of a silent broadcast or a
+        wording for every engine (the shared table in
+        :mod:`repro.validation`), instead of a silent broadcast or a
         deep engine-specific failure."""
-        x0 = np.asarray(x0, dtype=np.float64)
-        if x0.shape != self.b.shape:
-            raise ShapeError(f"x0 has shape {x0.shape}, expected {self.b.shape}")
-        return np.array(x0)
+        return np.array(check_x0(x0, self.b.shape))
 
     def _make_engine(self, b_sub: np.ndarray):
         """A simulated engine for a column sub-block, sharing this

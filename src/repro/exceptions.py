@@ -57,6 +57,16 @@ class ConvergenceError(ReproError, RuntimeError):
         self.residual = float(residual)
 
 
+class ServeError(ReproError, RuntimeError):
+    """A solver-serving request could not be completed.
+
+    Raised by :mod:`repro.serve` when a request fails (the batch it rode
+    in crashed, the server was closed before it ran, or waiting for its
+    result timed out). The underlying engine failure, when there is one,
+    is chained as ``__cause__``.
+    """
+
+
 class ModelError(ReproError, ValueError):
     """An execution-model configuration is invalid or internally inconsistent.
 

@@ -60,6 +60,27 @@ stamp in the control word that tells workers to rewind their direction
 streams. Outside a ``with`` block every ``run()``/``solve()`` call
 spawns and tears down its own pool (the original one-shot behavior).
 
+Capacity-k layouts
+------------------
+The shared block is allocated at ``capacity_k`` columns (default: the
+constructor ``b``'s width). Any later ``run()``/``solve()`` call may
+pass a ``b=`` of *any* width ``k ≤ capacity_k`` — a vector, a narrower
+block, or the full block — and the live pool serves it without
+respawning workers or re-copying the CSR: the parent writes the request
+into the first ``k`` columns and clears the remaining slots of the
+shared active-column mask, so workers simply never touch the spare
+columns. This is the serving regime (one resident matrix, varying RHS
+traffic)::
+
+    with ProcessAsyRGS(A, np.zeros((n, 51)), nproc=4, capacity_k=51) as s:
+        s.solve(tol=1e-6, max_sweeps=200, b=B51)        # full block
+        s.solve(tol=1e-6, max_sweeps=200, b=b_single)   # k=1, same pool
+        assert s.spawn_count == 1
+
+A request wider than ``capacity_k`` raises :class:`ShapeError` — the
+segment cannot grow without a respawn, and growing silently would hide
+the cost.
+
 Randomness
 ----------
 Worker ``p`` of ``P`` draws its coordinates from
@@ -118,6 +139,7 @@ import numpy as np
 from ..exceptions import ModelError, ShapeError
 from ..rng import DirectionStream, interleave_counts
 from ..sparse import CSRMatrix
+from ..validation import check_rhs, check_x0, rhs_empty_message
 from .simulator import _prepare_system
 
 __all__ = ["ProcessAsyRGS", "ProcessRunResult", "DelayStats"]
@@ -214,9 +236,19 @@ def _worker_main(
             wid, nproc, shm, n, nnz, k, log_capacity, beta, seed, stream,
             barrier, locks, block,
         )
+    except threading.BrokenBarrierError:
+        # A sibling crashed and aborted the barrier; it already reported
+        # itself. Recording this secondary death would misattribute the
+        # crash to an innocent worker.
+        pass
     except Exception:  # pragma: no cover - exercised only on worker crashes
         try:
-            _views(shm, n, nnz, k, nproc, log_capacity)["control"][_CTRL_ERROR] = 1
+            # Record *which* worker crashed (wid + 1 so 0 keeps meaning
+            # "no error"). First reporter wins; two genuine crashers
+            # racing is fine — either id is attributable.
+            ctrl = _views(shm, n, nnz, k, nproc, log_capacity)["control"]
+            if ctrl[_CTRL_ERROR] == 0:
+                ctrl[_CTRL_ERROR] = wid + 1
         except Exception:
             pass
         traceback.print_exc()
@@ -278,6 +310,18 @@ def _worker_loop(
         act = np.flatnonzero(active != 0)
         nact = int(act.size)
         full = nact == k
+        # A lone active column (a single-RHS request on a capacity-k
+        # pool, or a block down to its last unretired column) takes the
+        # scalar gather of the k=1 layout — same arithmetic, no 2-D
+        # fancy indexing.
+        single = nact == 1
+        j0 = int(act[0]) if nact else 0
+        # An active set that is exactly the leading columns (a k <
+        # capacity_k request before any retirement) gathers the prefix
+        # slice — request-width arithmetic, no per-row masking, the
+        # spare capacity costs nothing.
+        head = nact > 1 and int(act[-1]) == nact - 1
+        xh, bh = (x[:, :nact], b[:, :nact]) if head else (x, b)
         # With most columns still active, one contiguous row gather over
         # all k columns beats the 2-D masked gather; the masked gather
         # wins once the active set is genuinely narrow. Retired columns
@@ -313,6 +357,20 @@ def _worker_loop(
                             x[r] += beta * gamma
                     else:
                         x[r] += beta * gamma
+                elif single:
+                    gamma = (b[r, j0] - float(data[s:e] @ x[cols, j0])) / diag[r]
+                    if nlocks:
+                        with locks[r % nlocks]:
+                            x[r, j0] += beta * gamma
+                    else:
+                        x[r, j0] += beta * gamma
+                elif head:
+                    gamma = (bh[r] - data[s:e] @ xh[cols, :]) / diag[r]
+                    if nlocks:
+                        with locks[r % nlocks]:
+                            xh[r] += beta * gamma
+                    else:
+                        xh[r] += beta * gamma
                 else:
                     if wide:
                         gamma = (b[r, act] - (data[s:e] @ x[cols, :])[act]) / diag[r]
@@ -444,7 +502,7 @@ class _WorkerPool:
         A = backend.A
         self._shm = shared_memory.SharedMemory(
             create=True,
-            size=_layout(backend.n, A.nnz, backend.k, P, backend.log_capacity)[2],
+            size=_layout(backend.n, A.nnz, backend.capacity_k, P, backend.log_capacity)[2],
         )
         self.target = 0
         self.generation = 0
@@ -469,7 +527,7 @@ class _WorkerPool:
 
     def _setup(self, backend: "ProcessAsyRGS", P: int, A) -> None:
         self.views = _views(
-            self._shm, backend.n, A.nnz, backend.k, P, backend.log_capacity
+            self._shm, backend.n, A.nnz, backend.capacity_k, P, backend.log_capacity
         )
         self.views["data"][:] = A.data
         self.views["indices"][:] = A.indices
@@ -488,7 +546,7 @@ class _WorkerPool:
             ctx.Process(
                 target=_worker_main,
                 args=(
-                    wid, P, self._shm.name, backend.n, A.nnz, backend.k,
+                    wid, P, self._shm.name, backend.n, A.nnz, backend.capacity_k,
                     backend.log_capacity, backend.beta,
                     backend.directions.seed, backend.directions.stream,
                     self.barrier, locks, backend.block,
@@ -504,10 +562,24 @@ class _WorkerPool:
 
     def begin(self, x0: np.ndarray, b: np.ndarray) -> None:
         """Arm the pool for one call: publish iterate + RHS, zero the
-        counters, bump the generation so workers rewind their streams."""
-        self.views["x"][:] = x0.reshape(self.backend.n, self.backend.k)
-        self.views["b"][:] = b.reshape(self.backend.n, self.backend.k)
-        self.views["active"][:] = 1
+        counters, bump the generation so workers rewind their streams.
+
+        ``b`` may be narrower than the pool's ``capacity_k`` layout: the
+        request occupies the first ``k`` columns, the spare columns are
+        zeroed, and their active-mask slots are cleared so workers never
+        gather into or scatter onto them — a changed ``k`` costs a
+        memset, not a respawn."""
+        n = self.backend.n
+        kreq = 1 if b.ndim == 1 else int(b.shape[1])
+        cap = self.backend.capacity_k
+        xv, bv, act = self.views["x"], self.views["b"], self.views["active"]
+        xv[:, :kreq] = x0.reshape(n, kreq)
+        bv[:, :kreq] = b.reshape(n, kreq)
+        act[:kreq] = 1
+        if kreq < cap:
+            xv[:, kreq:] = 0.0
+            bv[:, kreq:] = 0.0
+            act[kreq:] = 0
         self.views["progress"][:] = 0
         self.views["row_nnz"][:] = 0
         self.views["col_updates"][:] = 0
@@ -527,12 +599,14 @@ class _WorkerPool:
             self.barrier.wait(timeout=self.backend.barrier_timeout)
         except threading.BrokenBarrierError:
             # Read the flag before _kill() frees the shared views.
-            worker_reported = bool(self.views["control"][_CTRL_ERROR])
+            reported = int(self.views["control"][_CTRL_ERROR])
             self._kill()
-            raise ModelError(
-                "a worker process crashed or stalled"
-                + (" (worker reported an exception)" if worker_reported else "")
-            ) from None
+            if reported > 0:
+                raise ModelError(
+                    f"worker process {reported - 1} crashed (reported an "
+                    "exception mid-epoch)"
+                ) from None
+            raise ModelError("a worker process crashed or stalled") from None
 
     def advance(self, additional_updates: int) -> None:
         """Run one asynchronous segment of ``additional_updates`` commits,
@@ -627,6 +701,13 @@ class ProcessAsyRGS:
         is solved simultaneously, one row gather serving all columns.
     nproc:
         Number of worker processes sharing the iterate.
+    capacity_k:
+        Column capacity of the shared iterate/RHS layout (default: the
+        constructor ``b``'s width). Any ``run()``/``solve()`` call may
+        pass a ``b=`` of width ``k ≤ capacity_k`` and the live pool
+        serves it without a respawn — spare columns are masked out of
+        the shared active set. Must be at least the constructor ``b``'s
+        width.
     beta:
         Step size in ``(0, 2)``.
     atomic:
@@ -672,6 +753,7 @@ class ProcessAsyRGS:
         lock_stripes: int = 64,
         block: int = 512,
         barrier_timeout: float = 300.0,
+        capacity_k: int | None = None,
     ):
         b, diag, n = _prepare_system(A, b)
         nproc = int(nproc)
@@ -682,7 +764,21 @@ class ProcessAsyRGS:
         self.n = n
         self.k = 1 if b.ndim == 1 else int(b.shape[1])
         if self.k < 1:
-            raise ShapeError("the RHS block must have at least one column")
+            raise ShapeError(rhs_empty_message())
+        if capacity_k is None:
+            self.capacity_k = self.k
+        else:
+            self.capacity_k = int(capacity_k)
+            if self.capacity_k < 1:
+                raise ModelError(
+                    f"capacity_k must be at least 1, got {capacity_k}"
+                )
+            if self.capacity_k < self.k:
+                raise ModelError(
+                    f"capacity_k={self.capacity_k} is narrower than the "
+                    f"constructor RHS block ({self.k} columns); the layout "
+                    "must fit the widest request"
+                )
         self._diag = diag
         self.nproc = nproc
         self.beta = float(beta)
@@ -717,6 +813,13 @@ class ProcessAsyRGS:
         self._ensure_pool()
         return self
 
+    def open(self) -> "ProcessAsyRGS":
+        """Enter persistent-pool mode without a ``with`` block: spawn the
+        workers and copy the CSR now, serve every subsequent call from
+        the live pool. Pair with :meth:`close` — long-lived owners (the
+        solver server) cannot scope the pool to a lexical block."""
+        return self.__enter__()
+
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.close()
         return False
@@ -731,13 +834,20 @@ class ProcessAsyRGS:
     @property
     def pool_active(self) -> bool:
         """Whether a persistent pool is currently alive."""
-        return self._pool is not None and self._pool._alive
+        pool = self._pool  # one read: _release_pool may null it concurrently
+        return pool is not None and pool._alive
 
     def worker_pids(self) -> list[int]:
-        """PIDs of the live persistent pool's workers (empty when none)."""
-        if not self.pool_active:
+        """PIDs of the live persistent pool's workers (empty when none).
+
+        Safe to call from any thread: the pool reference is read once,
+        so a concurrent failure-path ``_release_pool`` (which nulls
+        ``_pool``) yields ``[]`` or the old PIDs, never a crash.
+        """
+        pool = self._pool
+        if pool is None or not pool._alive:
             return []
-        return [p.pid for p in self._pool.procs]
+        return [p.pid for p in pool.procs]
 
     def _ensure_pool(self) -> _WorkerPool:
         if self._pool is None or not self._pool._alive:
@@ -765,29 +875,28 @@ class ProcessAsyRGS:
     # -- per-call plumbing ----------------------------------------------
 
     def _check_b(self, b: np.ndarray | None) -> np.ndarray:
+        """The request's right-hand side: the constructor default, or a
+        per-call override of any width ``k ≤ capacity_k`` (the shared
+        wording table covers dtype/ndim/rows/capacity violations)."""
         if b is None:
             return self.b
-        b = np.asarray(b, dtype=np.float64)
-        if b.shape != self.b.shape:
-            raise ShapeError(
-                f"b has shape {b.shape}, but this pool's layout is fixed at "
-                f"{self.b.shape}; build a new solver for a different block shape"
-            )
-        return b
+        return check_rhs(b, self.n, capacity=self.capacity_k)
 
-    def _check_x0(self, x0: np.ndarray | None) -> np.ndarray:
-        x0 = (
-            np.zeros_like(self.b)
-            if x0 is None
-            else np.asarray(x0, dtype=np.float64)
-        )
-        if x0.shape != self.b.shape:
-            raise ShapeError(f"x0 has shape {x0.shape}, expected {self.b.shape}")
-        return x0
+    def _check_x0(self, x0: np.ndarray | None, b: np.ndarray) -> np.ndarray:
+        """The request's initial iterate, shaped like *this call's* b."""
+        if x0 is None:
+            return np.zeros_like(b)
+        return check_x0(x0, b.shape)
 
-    def _out(self, x_shared: np.ndarray) -> np.ndarray:
-        """A private, ``b``-shaped copy of the shared ``(n, k)`` iterate."""
-        return x_shared[:, 0].copy() if self.b.ndim == 1 else x_shared.copy()
+    @staticmethod
+    def _request_view(x_shared: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """The slice of the shared ``(n, capacity_k)`` iterate this
+        request occupies, shaped like its ``b`` (no copy)."""
+        return x_shared[:, 0] if b.ndim == 1 else x_shared[:, : b.shape[1]]
+
+    def _out(self, x_shared: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """A private, request-shaped copy of the shared iterate."""
+        return self._request_view(x_shared, b).copy()
 
     def run(
         self,
@@ -799,15 +908,15 @@ class ProcessAsyRGS:
         """One free-running asynchronous segment of ``num_iterations``
         commits — the regime of Theorem 2(b) (no interior barriers).
 
-        ``b=`` overrides the right-hand side for this call only (same
-        shape as the constructor's; the persistent pool serves it without
-        respawning).
+        ``b=`` overrides the right-hand side for this call only. Any
+        width ``k ≤ capacity_k`` is served by the live pool without a
+        respawn; the result is shaped like the ``b`` of this call.
         """
         num_iterations = int(num_iterations)
         if num_iterations < 0:
             raise ModelError("num_iterations must be non-negative")
         b = self._check_b(b)
-        x0 = self._check_x0(x0)
+        x0 = self._check_x0(x0, b)
         pool, oneshot = self._acquire_pool()
         failed = True
         try:
@@ -815,7 +924,7 @@ class ProcessAsyRGS:
             if num_iterations:
                 pool.advance(num_iterations)
             result = ProcessRunResult(
-                x=self._out(pool.x()),
+                x=self._out(pool.x(), b),
                 iterations=sum(pool.per_worker()),
                 per_worker_iterations=pool.per_worker(),
                 sync_points=pool.sync_points,
@@ -862,8 +971,9 @@ class ProcessAsyRGS:
         (``metric(x) < tol``); it cannot be decomposed per column, so
         combining it with ``retire=True`` raises.
 
-        ``b=`` overrides the right-hand side for this call only (same
-        shape as the constructor's)."""
+        ``b=`` overrides the right-hand side for this call only; any
+        width ``k ≤ capacity_k`` reuses the live pool, and ``x0``/the
+        result are shaped like the ``b`` of this call."""
         tol = float(tol)
         max_sweeps = int(max_sweeps)
         sync_every = int(sync_every_sweeps)
@@ -877,7 +987,7 @@ class ProcessAsyRGS:
                 "residual; a custom metric cannot be decomposed per column"
             )
         b = self._check_b(b)
-        x0 = self._check_x0(x0)
+        x0 = self._check_x0(x0, b)
         if metric is not None:
             return self._solve_metric(
                 tol, max_sweeps, x0, sync_every, metric, b
@@ -925,14 +1035,14 @@ class ProcessAsyRGS:
                 # retiring (retired ones are frozen); newly converged
                 # columns leave the shared mask while the parent owns
                 # the segment, never mid-epoch.
-                xv = pool.x()[:, 0] if self.b.ndim == 1 else pool.x()
+                xv = self._request_view(pool.x(), b)
                 newly_retired = tracker.update(xv, sweeps_done, retire)
                 if newly_retired.size:
                     pool.retire_columns(newly_retired)
                 checkpoints.append((pool.target, tracker.value))
                 column_checkpoints.append((pool.target, tracker.col.copy()))
             result = ProcessRunResult(
-                x=self._out(pool.x()),
+                x=self._out(pool.x(), b),
                 iterations=sum(pool.per_worker()),
                 per_worker_iterations=pool.per_worker(),
                 sync_points=pool.sync_points,
@@ -986,13 +1096,13 @@ class ProcessAsyRGS:
                 sweeps_done += take
                 # The barrier just crossed is a paper-sense sync point:
                 # the parent's read below sees every worker's writes
-                # (b-shaped view, no copy).
-                xv = pool.x()[:, 0] if self.b.ndim == 1 else pool.x()
+                # (request-shaped view, no copy).
+                xv = self._request_view(pool.x(), b)
                 value = metric(xv)
                 checkpoints.append((pool.target, value))
                 converged = value < tol
             result = ProcessRunResult(
-                x=self._out(pool.x()),
+                x=self._out(pool.x(), b),
                 iterations=sum(pool.per_worker()),
                 per_worker_iterations=pool.per_worker(),
                 sync_points=pool.sync_points,

@@ -44,6 +44,7 @@ import numpy as np
 from ..exceptions import ModelError, NotPositiveDefiniteError, ShapeError
 from ..rng import CounterRNG, DirectionStream
 from ..sparse import CSRMatrix
+from ..validation import check_rhs
 from .delays import DelayModel, ZeroDelay
 from .shared_memory import AtomicWrites, WriteModel
 from .trace import ExecutionTrace
@@ -83,19 +84,16 @@ class SimulationResult:
 
 
 def _prepare_system(A: CSRMatrix, b: np.ndarray):
-    """Validate shapes, extract the diagonal, and normalize b's shape."""
+    """Validate shapes, extract the diagonal, and normalize b's shape.
+
+    The b checks (dtype, ndim, row count) come from the shared wording
+    table in :mod:`repro.validation`, so every engine rejects a
+    malformed right-hand side with the same :class:`ShapeError` text.
+    """
     if not A.is_square():
         raise ShapeError(f"asynchronous Gauss-Seidel needs a square matrix, got {A.shape}")
     n = A.shape[0]
-    b = np.asarray(b, dtype=np.float64)
-    if b.ndim == 1:
-        if b.shape[0] != n:
-            raise ShapeError(f"b has shape {b.shape}, expected ({n},)")
-    elif b.ndim == 2:
-        if b.shape[0] != n:
-            raise ShapeError(f"b has shape {b.shape}, expected ({n}, k)")
-    else:
-        raise ShapeError("b must be a vector or a matrix of right-hand sides")
+    b = check_rhs(b, n)
     diag = A.diagonal()
     if np.any(diag <= 0.0):
         bad = int(np.argmin(diag))

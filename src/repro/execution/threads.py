@@ -45,6 +45,7 @@ import numpy as np
 from ..exceptions import ModelError, ShapeError
 from ..rng import DirectionStream, interleave_counts
 from ..sparse import CSRMatrix
+from ..validation import check_x0, rhs_empty_message
 from .shared_memory import SharedVector
 from .simulator import _prepare_system
 
@@ -141,7 +142,7 @@ class ThreadedAsyRGS:
         self.n = n
         self.k = 1 if b.ndim == 1 else int(b.shape[1])
         if self.k < 1:
-            raise ShapeError("the RHS block must have at least one column")
+            raise ShapeError(rhs_empty_message())
         self._diag = diag
         nthreads = int(nthreads)
         if nthreads < 1:
@@ -263,10 +264,7 @@ class ThreadedAsyRGS:
                 ) from exc
 
     def _check_x0(self, x0: np.ndarray) -> np.ndarray:
-        x0 = np.asarray(x0, dtype=np.float64)
-        if x0.shape != self.b.shape:
-            raise ShapeError(f"x0 has shape {x0.shape}, expected {self.b.shape}")
-        return x0
+        return check_x0(x0, self.b.shape)
 
     # -- public API -----------------------------------------------------
 

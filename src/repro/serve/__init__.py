@@ -1,0 +1,26 @@
+"""Solver serving: a request queue + batcher over one persistent pool.
+
+The paper's serving story end to end: one resident matrix (copied into
+shared memory once, workers spawned once), many independent solve
+requests. :class:`SolverServer` coalesces compatible single-RHS
+requests into block solves — the Section 9 multi-label amortization
+applied to live traffic — with per-request retirement, latency stats,
+and crash containment; :mod:`repro.serve.frontend` exposes it over
+stdin JSON-lines and TCP (``repro serve``).
+"""
+
+from .frontend import make_tcp_server, serve_stream
+from .protocol import encode_error, encode_result, parse_request
+from .server import RequestHandle, ServedResult, ServerStats, SolverServer
+
+__all__ = [
+    "RequestHandle",
+    "ServedResult",
+    "ServerStats",
+    "SolverServer",
+    "encode_error",
+    "encode_result",
+    "parse_request",
+    "make_tcp_server",
+    "serve_stream",
+]

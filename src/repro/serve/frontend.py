@@ -1,0 +1,142 @@
+"""Front-ends for :class:`~repro.serve.SolverServer`.
+
+Two transports, one protocol (:mod:`repro.serve.protocol`):
+
+* :func:`serve_stream` — JSON-lines on any readable/writable text pair
+  (``repro serve`` wires it to stdin/stdout). Requests are submitted the
+  moment their line is read, so consecutive compatible lines coalesce
+  into one block solve; a writer thread emits responses in submission
+  order while the reader keeps feeding the queue.
+* :func:`make_tcp_server` — the same per-connection loop on a threading
+  TCP server (``repro serve --port``). Each connection gets its own
+  reader/writer pair; all connections share the one solver pool, so
+  concurrent clients batch together exactly like concurrent threads
+  calling :meth:`SolverServer.submit`.
+"""
+
+from __future__ import annotations
+
+import queue
+import socketserver
+import threading
+
+from ..exceptions import ServeError
+from .protocol import encode_error, encode_result, parse_request
+
+__all__ = ["serve_stream", "make_tcp_server"]
+
+_EOF = object()
+
+
+def _pump(server, lines, out) -> int:
+    """The shared front-end loop: submit each parsed line immediately,
+    emit responses in submission order from a writer thread.
+
+    Submitting before the previous result is written is what lets a
+    burst of lines coalesce into one batch. Returns the number of lines
+    handled (including malformed ones, which get error responses).
+    """
+    fifo: queue.Queue = queue.Queue()
+
+    def _writer():
+        # Once the output side dies (a TCP client that disconnects
+        # before reading its responses), keep draining the fifo — every
+        # handle still resolves server-side — but stop writing: a dead
+        # pipe must not kill the thread or wedge the reader's join.
+        broken = False
+        while True:
+            item = fifo.get()
+            if item is _EOF:
+                break
+            kind, payload = item
+            if kind == "error":
+                request_id, exc = payload
+                line = encode_error(request_id, exc)
+            else:
+                handle = payload
+                try:
+                    line = encode_result(handle.result())
+                except ServeError as exc:
+                    line = encode_error(handle.request_id, exc)
+            if broken:
+                continue
+            try:
+                out.write(line + "\n")
+                out.flush()
+            except OSError:
+                broken = True
+
+    writer = threading.Thread(target=_writer, name="asyrgs-serve-writer")
+    writer.start()
+    handled = 0
+    try:
+        for raw in lines:
+            line = raw.strip()
+            if not line:
+                continue
+            handled += 1
+            try:
+                kwargs = parse_request(line)
+            except Exception as exc:  # malformed JSON / protocol violation
+                fifo.put(("error", (None, exc)))
+                continue
+            try:
+                handle = server.submit(**kwargs)
+            except Exception as exc:  # shape/dtype violations, closed server
+                # The line parsed, so its id is trustworthy — echo it
+                # (id null is reserved for unparseable lines).
+                fifo.put(("error", (kwargs.get("request_id"), exc)))
+            else:
+                fifo.put(("result", handle))
+    finally:
+        fifo.put(_EOF)
+        writer.join()
+    return handled
+
+
+def serve_stream(server, in_stream, out_stream) -> int:
+    """Serve JSON-lines requests from ``in_stream`` until EOF.
+
+    Returns the number of request lines handled. Responses appear on
+    ``out_stream`` in submission order; the stream stays open across
+    malformed lines (they get ``ok: false`` responses).
+    """
+    return _pump(server, in_stream, out_stream)
+
+
+def make_tcp_server(server, host: str = "127.0.0.1", port: int = 0):
+    """A threading TCP server speaking the JSON-lines protocol.
+
+    Returns the ``socketserver.ThreadingTCPServer``; the caller runs
+    ``serve_forever()`` (and ``shutdown()``/``server_close()`` to stop).
+    ``port=0`` binds an ephemeral port — read ``server_address`` for the
+    actual one. Every connection shares the one solver pool.
+    """
+
+    class _Handler(socketserver.StreamRequestHandler):
+        def handle(self):
+            reader = (raw.decode("utf-8") for raw in self.rfile)
+            out = _SocketWriter(self.wfile)
+            try:
+                _pump(server, reader, out)
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # client went away mid-stream; nothing to answer
+
+    class _Server(socketserver.ThreadingTCPServer):
+        allow_reuse_address = True
+        daemon_threads = True
+
+    return _Server((host, int(port)), _Handler)
+
+
+class _SocketWriter:
+    """Adapt a binary socket file to the text writer `_pump` expects."""
+
+    def __init__(self, wfile):
+        self._wfile = wfile
+
+    def write(self, text: str) -> None:
+        self._wfile.write(text.encode("utf-8"))
+
+    def flush(self) -> None:
+        self._wfile.flush()

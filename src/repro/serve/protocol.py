@@ -1,0 +1,100 @@
+"""JSON-lines wire protocol shared by the stdin and TCP front-ends.
+
+One request per line, one response per line, always in submission
+order. A request is a JSON object::
+
+    {"id": "r1", "b": [1.0, 2.0, ...], "tol": 1e-6, "max_sweeps": 400}
+
+``b`` is required: a flat list of ``n`` numbers for a single right-hand
+side, or a list of ``n`` rows of ``k`` numbers for a block (rows are
+matrix rows, columns are independent right-hand sides). ``id`` defaults
+to the request's arrival index; ``tol`` / ``max_sweeps`` /
+``sync_every_sweeps`` / ``x0`` override the server defaults per request.
+
+A response echoes the id::
+
+    {"id": "r1", "ok": true, "x": [...], "converged": true, "sweeps": 40,
+     "residual": 4.1e-7, "latency_s": 0.012, "batch_size": 8}
+
+or, when the request failed::
+
+    {"id": "r1", "ok": false, "error": "..."}
+
+Malformed lines produce an ``ok: false`` response with ``id: null``
+(there is nothing trustworthy to echo) instead of killing the stream.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from ..exceptions import ServeError
+
+__all__ = ["parse_request", "encode_result", "encode_error"]
+
+_ALLOWED_KEYS = {"id", "b", "x0", "tol", "max_sweeps", "sync_every_sweeps"}
+
+
+def parse_request(line: str) -> dict:
+    """Parse one request line into :meth:`SolverServer.submit` kwargs.
+
+    Raises :class:`ServeError` (never a bare ``json`` or ``KeyError``)
+    on malformed input, so front-ends can answer with an error line and
+    keep the stream alive.
+    """
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServeError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ServeError(
+            f"request must be a JSON object, got {type(obj).__name__}"
+        )
+    unknown = set(obj) - _ALLOWED_KEYS
+    if unknown:
+        raise ServeError(
+            f"unknown request field(s) {sorted(unknown)}; "
+            f"allowed: {sorted(_ALLOWED_KEYS)}"
+        )
+    if "b" not in obj:
+        raise ServeError('request is missing the required "b" field')
+    kwargs = {"b": obj["b"]}
+    if "id" in obj:
+        kwargs["request_id"] = obj["id"]
+    if obj.get("x0") is not None:
+        kwargs["x0"] = obj["x0"]
+    if obj.get("tol") is not None:
+        kwargs["tol"] = float(obj["tol"])
+    if obj.get("max_sweeps") is not None:
+        kwargs["max_sweeps"] = int(obj["max_sweeps"])
+    if obj.get("sync_every_sweeps") is not None:
+        kwargs["sync_every_sweeps"] = int(obj["sync_every_sweeps"])
+    return kwargs
+
+
+def encode_result(result) -> str:
+    """One response line for a completed :class:`ServedResult`."""
+    x = np.asarray(result.x)
+    payload = {
+        "id": result.request_id,
+        "ok": True,
+        "x": x.tolist(),
+        "converged": bool(result.converged),
+        "sweeps": int(result.sweeps),
+        "residual": float(result.residual),
+        "latency_s": float(result.latency),
+        "batch_size": int(result.batch_size),
+    }
+    if result.column_sweeps is not None:
+        payload["column_sweeps"] = [int(s) for s in result.column_sweeps]
+        payload["column_converged"] = [
+            bool(c) for c in result.column_converged
+        ]
+    return json.dumps(payload)
+
+
+def encode_error(request_id, exc: BaseException) -> str:
+    """One response line for a failed or malformed request."""
+    return json.dumps({"id": request_id, "ok": False, "error": str(exc)})

@@ -1,0 +1,599 @@
+"""The solver server: a request queue + batcher over one persistent pool.
+
+This is the subsystem that completes the paper's serving story. The
+headline workload (Section 9) amortizes one Gram matrix across 51 label
+right-hand sides; the persistent :class:`~repro.execution.ProcessAsyRGS`
+pool already amortizes process spawn and the CSR copy across *calls*,
+and the capacity-k layout lets one pool serve any request width
+``k ≤ capacity_k``. What was missing is the front door: something that
+accepts *many independent requests* — single vectors and blocks, from
+many client threads — and multiplexes them onto that one pool.
+
+Architecture
+------------
+One dispatcher thread owns the pool. Clients call
+:meth:`SolverServer.submit` (thread-safe, returns a
+:class:`RequestHandle` future) or the blocking convenience
+:meth:`SolverServer.solve`. The dispatcher pops requests in FIFO order
+and **coalesces compatible single-RHS requests into one block solve**:
+requests with the same ``(tol, max_sweeps, sync_every_sweeps)`` key are
+column-stacked, solved simultaneously (one row gather per update serves
+the whole batch — exactly the paper's multi-label amortization), and
+sliced back into per-request results. The per-column convergence
+machinery does the fairness work: every request in a batch retires
+independently the epoch *its* column reaches *its* tolerance, so an easy
+request pays nothing for a slow-converging neighbor beyond sharing the
+batch's wall clock, and its reported ``sweeps`` is its own retirement
+epoch.
+
+Batching policy
+---------------
+``max_batch`` bounds how many singles one solve may carry (at most the
+pool's ``capacity_k``) and ``max_wait`` bounds how long the dispatcher
+lingers for stragglers once a batch has an occupant — a request is never
+parked longer than ``max_wait`` waiting for company. Block requests
+(``b`` with ``k > 1`` columns) run as their own batch. FIFO order plus
+the bounded batch means no request starves: an incompatible request
+simply starts the next batch.
+
+Failure containment
+-------------------
+A worker crash mid-batch (the pool raises
+:class:`~repro.exceptions.ModelError`, naming the worker id) fails
+**only the requests of that batch** — each of their handles raises a
+:class:`~repro.exceptions.ServeError` chaining the engine error — and
+the server keeps serving: the broken pool is dropped and the next batch
+respawns it (visible in :attr:`SolverServer.spawn_count`, honestly).
+
+Observability
+-------------
+:meth:`SolverServer.stats` snapshots request/batch counters, queue
+depth high-water mark, per-request latency (mean/max), and the pool's
+spawn count — the numbers ``bench/fig_serve.py`` plots and the stress
+suite asserts on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ServeError
+from ..execution import ProcessAsyRGS
+from ..rng import DirectionStream
+from ..sparse import CSRMatrix
+from ..validation import check_rhs, check_x0
+
+__all__ = ["SolverServer", "RequestHandle", "ServedResult", "ServerStats"]
+
+_SHUTDOWN = object()
+
+
+@dataclass(frozen=True)
+class _BatchKey:
+    """Solve parameters that must match for requests to share a batch."""
+
+    tol: float
+    max_sweeps: int
+    sync_every_sweeps: int
+
+
+class _Pending:
+    """One queued request: inputs, completion event, and timestamps."""
+
+    __slots__ = (
+        "request_id", "b", "x0", "key", "event", "result", "error",
+        "enqueued_at",
+    )
+
+    def __init__(self, request_id, b, x0, key):
+        self.request_id = request_id
+        self.b = b
+        self.x0 = x0
+        self.key = key
+        self.event = threading.Event()
+        self.result: ServedResult | None = None
+        self.error: BaseException | None = None
+        self.enqueued_at = time.monotonic()
+
+
+@dataclass
+class ServedResult:
+    """Outcome of one served request — its private slice of the batch.
+
+    Attributes
+    ----------
+    request_id:
+        The id the request was submitted under.
+    x:
+        Final iterate, shaped like the request's ``b``.
+    converged:
+        Whether every column of *this request* reached its tolerance.
+    sweeps:
+        For a single-RHS request: the epoch its column retired at (or
+        the batch's total sweeps if it never converged). For a block
+        request: the solve's total sweeps.
+    residual:
+        The request's worst per-column relative residual at the final
+        synchronization point.
+    column_converged / column_sweeps / column_residuals:
+        Per-column detail for block requests (``None`` for singles).
+    latency:
+        Seconds from submission to completion (queue wait + solve).
+    queue_wait:
+        Seconds the request sat in the queue before its batch launched.
+    batch_size:
+        Number of requests its solve carried (1 for block requests).
+    solve_wall:
+        Wall-clock seconds of the batch's solve call.
+    """
+
+    request_id: object
+    x: np.ndarray
+    converged: bool
+    sweeps: int
+    residual: float
+    latency: float
+    queue_wait: float
+    batch_size: int
+    solve_wall: float
+    column_converged: np.ndarray | None = None
+    column_sweeps: np.ndarray | None = None
+    column_residuals: np.ndarray | None = None
+
+
+@dataclass
+class ServerStats:
+    """A consistent snapshot of the server's counters.
+
+    ``max_queue_depth`` is the high-water mark of requests waiting
+    (including the one being stashed between batches); ``spawn_count``
+    counts worker-pool spawns over the server's lifetime — it stays at 1
+    unless a batch crashed and the pool had to be rebuilt.
+    """
+
+    requests_submitted: int
+    requests_served: int
+    requests_failed: int
+    batches: int
+    batched_singles: int
+    max_batch_size: int
+    max_queue_depth: int
+    latency_mean: float
+    latency_max: float
+    spawn_count: int
+    worker_pids: list[int]
+
+    @property
+    def mean_batch_size(self) -> float:
+        done = self.requests_served + self.requests_failed
+        return done / self.batches if self.batches else float("nan")
+
+
+class RequestHandle:
+    """Future for one submitted request.
+
+    ``result(timeout=None)`` blocks until the dispatcher finishes the
+    request's batch, then returns its :class:`ServedResult` or raises
+    the failure (a :class:`ServeError` chaining the engine error). A
+    ``timeout`` elapsing raises :class:`ServeError` without cancelling
+    the request — it may still complete later.
+    """
+
+    def __init__(self, pending: _Pending):
+        self._pending = pending
+
+    @property
+    def request_id(self):
+        return self._pending.request_id
+
+    def done(self) -> bool:
+        return self._pending.event.is_set()
+
+    def result(self, timeout: float | None = None) -> ServedResult:
+        if not self._pending.event.wait(timeout):
+            raise ServeError(
+                f"request {self._pending.request_id!r} did not complete "
+                f"within {timeout:g}s (it is still queued or solving)"
+            )
+        if self._pending.error is not None:
+            raise self._pending.error
+        return self._pending.result
+
+
+class SolverServer:
+    """Multiplex concurrent solve requests over one persistent pool.
+
+    Parameters
+    ----------
+    A:
+        The resident system matrix (positive diagonal required). It is
+        copied into shared memory exactly once, at construction.
+    nproc:
+        Worker processes in the pool.
+    capacity_k:
+        Column capacity of the pool layout: the widest block request
+        and the largest coalesced batch the server can carry.
+    tol, max_sweeps, sync_every_sweeps:
+        Server-wide solve defaults; every request may override them
+        (overriding splits it into a different batch — only requests
+        with identical solve parameters coalesce).
+    max_batch:
+        Cap on coalesced singles per solve (default: ``capacity_k``).
+    max_wait:
+        Seconds the dispatcher waits for additional compatible requests
+        once a batch has its first occupant (0 disables lingering).
+    beta, atomic, directions, seed, start_method, barrier_timeout:
+        Forwarded to :class:`~repro.execution.ProcessAsyRGS`. The
+        direction stream restarts from position 0 for every batch, so a
+        request's trajectory is a pure function of the batch it rides
+        in — repeated identical traffic is deterministic.
+
+    Use as a context manager, or call :meth:`close` explicitly.
+    """
+
+    def __init__(
+        self,
+        A: CSRMatrix,
+        *,
+        nproc: int,
+        capacity_k: int = 8,
+        tol: float = 1e-6,
+        max_sweeps: int = 400,
+        sync_every_sweeps: int = 10,
+        max_batch: int | None = None,
+        max_wait: float = 0.005,
+        beta: float = 1.0,
+        atomic: bool = False,
+        directions: DirectionStream | None = None,
+        seed: int = 0,
+        start_method: str | None = None,
+        barrier_timeout: float = 300.0,
+    ):
+        capacity_k = int(capacity_k)
+        self.n = A.shape[0]
+        self.capacity_k = capacity_k
+        self.default_tol = float(tol)
+        self.default_max_sweeps = int(max_sweeps)
+        self.default_sync_every = int(sync_every_sweeps)
+        self.max_batch = capacity_k if max_batch is None else min(int(max_batch), capacity_k)
+        if self.max_batch < 1:
+            raise ServeError(f"max_batch must be at least 1, got {max_batch}")
+        self.max_wait = float(max_wait)
+        if directions is None:
+            directions = DirectionStream(self.n, seed=seed)
+        self._solver = ProcessAsyRGS(
+            A,
+            np.zeros((self.n, capacity_k)),
+            nproc=nproc,
+            beta=beta,
+            atomic=atomic,
+            directions=directions,
+            start_method=start_method,
+            barrier_timeout=barrier_timeout,
+            capacity_k=capacity_k,
+        )
+        self._queue: queue.Queue = queue.Queue()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._stash: _Pending | None = None
+        self._stop_after = False
+        self._ids = itertools.count()
+        # Raw counters; stats() derives the means under the lock.
+        self._submitted = 0
+        self._served = 0
+        self._failed = 0
+        self._batches = 0
+        self._batched_singles = 0
+        self._max_batch_seen = 0
+        self._max_depth = 0
+        self._latency_sum = 0.0
+        self._latency_max = 0.0
+        self._solver.open()  # spawn workers + copy the CSR exactly once
+        self._dispatcher = threading.Thread(
+            target=self._loop, name="asyrgs-serve-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- client API -----------------------------------------------------
+
+    def __enter__(self) -> "SolverServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def submit(
+        self,
+        b: np.ndarray,
+        *,
+        tol: float | None = None,
+        max_sweeps: int | None = None,
+        sync_every_sweeps: int | None = None,
+        x0: np.ndarray | None = None,
+        request_id=None,
+    ) -> RequestHandle:
+        """Enqueue one solve request (thread-safe) and return its handle.
+
+        ``b`` may be a vector (eligible for coalescing) or an ``(n, k)``
+        block with ``k ≤ capacity_k`` (always its own batch). ``tol`` /
+        ``max_sweeps`` / ``sync_every_sweeps`` override the server
+        defaults for this request; ``x0`` is the request's warm start.
+
+        The payload is copied at submission: the request is not read
+        until its batch launches (possibly much later), and a caller
+        reusing its buffer must not retroactively change what is solved.
+        """
+        b = np.array(check_rhs(b, self.n, capacity=self.capacity_k))
+        if x0 is not None:
+            x0 = np.array(check_x0(x0, b.shape))
+        key = _BatchKey(
+            tol=self.default_tol if tol is None else float(tol),
+            max_sweeps=(
+                self.default_max_sweeps if max_sweeps is None else int(max_sweeps)
+            ),
+            sync_every_sweeps=(
+                self.default_sync_every
+                if sync_every_sweeps is None
+                else int(sync_every_sweeps)
+            ),
+        )
+        with self._lock:
+            if self._closed:
+                raise ServeError("server is closed; no new requests accepted")
+            if request_id is None:
+                request_id = next(self._ids)
+            pending = _Pending(request_id, b, x0, key)
+            self._submitted += 1
+            depth = self._queue.qsize() + 1 + (1 if self._stash is not None else 0)
+            self._max_depth = max(self._max_depth, depth)
+            self._queue.put(pending)
+        return RequestHandle(pending)
+
+    def solve(self, b: np.ndarray, *, timeout: float | None = None, **kwargs) -> ServedResult:
+        """Submit and wait: the blocking single-request convenience."""
+        return self.submit(b, **kwargs).result(timeout)
+
+    def stats(self) -> ServerStats:
+        """A consistent snapshot of the serving counters."""
+        with self._lock:
+            return ServerStats(
+                requests_submitted=self._submitted,
+                requests_served=self._served,
+                requests_failed=self._failed,
+                batches=self._batches,
+                batched_singles=self._batched_singles,
+                max_batch_size=self._max_batch_seen,
+                max_queue_depth=self._max_depth,
+                latency_mean=(
+                    self._latency_sum / self._served if self._served else 0.0
+                ),
+                latency_max=self._latency_max,
+                spawn_count=self._solver.spawn_count,
+                worker_pids=self._solver.worker_pids(),
+            )
+
+    @property
+    def spawn_count(self) -> int:
+        """Worker-pool spawns over the server's lifetime (1 = no respawn)."""
+        return self._solver.spawn_count
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live pool's workers."""
+        return self._solver.worker_pids()
+
+    def close(self, timeout: float = 60.0) -> None:
+        """Stop accepting requests, drain in-flight work, shut the pool
+        down (idempotent). Requests still queued when the sentinel is
+        reached fail with :class:`ServeError` rather than hanging.
+
+        If the dispatcher is still mid-batch when ``timeout`` expires,
+        the pool is deliberately left running and :class:`ServeError` is
+        raised — tearing it down under a live solve would wedge two
+        parent waiters on one barrier and free the shared views mid-use.
+        Calling ``close()`` again retries.
+        """
+        with self._lock:
+            already = self._closed
+            self._closed = True
+        if not already:
+            self._queue.put(_SHUTDOWN)
+        self._dispatcher.join(timeout)
+        if self._dispatcher.is_alive():
+            raise ServeError(
+                f"dispatcher did not drain within {timeout:g}s; the pool "
+                "is left running — call close() again to retry"
+            )
+        self._solver.close()
+
+    # -- dispatcher -----------------------------------------------------
+
+    def _loop(self) -> None:
+        try:
+            while True:
+                item = self._stash
+                self._stash = None
+                if item is None:
+                    item = self._queue.get()
+                if item is _SHUTDOWN:
+                    break
+                batch = self._gather(item)
+                try:
+                    self._run_batch(batch)
+                except BaseException as exc:
+                    # Safety net for failures outside the solve call
+                    # (batch assembly, result slicing): the waiters of
+                    # this batch must be released — a client blocked in
+                    # result() with no timeout would otherwise hang
+                    # forever — and the dispatcher must survive.
+                    self._fail_batch(batch, exc)
+                    if not isinstance(exc, Exception):
+                        raise  # KeyboardInterrupt/SystemExit and kin
+                if self._stop_after:
+                    break
+        finally:
+            self._drain()
+
+    def _fail_batch(self, batch: list[_Pending], exc: BaseException) -> None:
+        """Release every still-waiting member of a batch with the error
+        (members already completed by _run_batch are left untouched)."""
+        err = ServeError(f"batch of {len(batch)} request(s) failed: {exc}")
+        err.__cause__ = exc if isinstance(exc, Exception) else None
+        pending = [r for r in batch if not r.event.is_set()]
+        with self._lock:
+            self._failed += len(pending)
+            # _run_batch only counts a batch on its own completion paths
+            # (success, or the solve-call failure branch); a batch that
+            # died before/after those must still be counted once, or
+            # mean_batch_size over-reports.
+            self._batches += 1
+        for r in pending:
+            r.error = err
+            r.event.set()
+
+    def _gather(self, first: _Pending) -> list[_Pending]:
+        """FIFO coalescing: collect compatible single-RHS requests behind
+        ``first`` until the batch is full, ``max_wait`` elapses, or an
+        incompatible request arrives (it is stashed, preserving order,
+        and starts the next batch)."""
+        batch = [first]
+        if first.b.ndim != 1:
+            return batch  # block requests run alone
+        deadline = time.monotonic() + self.max_wait
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining > 0:
+                    nxt = self._queue.get(timeout=remaining)
+                else:
+                    nxt = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if nxt is _SHUTDOWN:
+                self._stop_after = True
+                break
+            if nxt.b.ndim == 1 and nxt.key == first.key:
+                batch.append(nxt)
+            else:
+                self._stash = nxt
+                break
+        return batch
+
+    def _run_batch(self, batch: list[_Pending]) -> None:
+        started = time.monotonic()
+        block = batch[0].b.ndim != 1
+        if block:
+            B = batch[0].b
+            X0 = batch[0].x0
+        else:
+            B = np.column_stack([r.b for r in batch])
+            X0 = None
+            if any(r.x0 is not None for r in batch):
+                X0 = np.column_stack(
+                    [
+                        r.x0 if r.x0 is not None else np.zeros(self.n)
+                        for r in batch
+                    ]
+                )
+        key = batch[0].key
+        try:
+            res = self._solver.solve(
+                tol=key.tol,
+                max_sweeps=key.max_sweeps,
+                sync_every_sweeps=key.sync_every_sweeps,
+                b=B,
+                x0=X0,
+            )
+        except Exception as exc:
+            # Only this batch fails — a worker crash surfaces here as the
+            # backend's ModelError naming the worker id, and any
+            # parent-side failure lands here too. The backend already
+            # dropped the broken pool; the next batch respawns it
+            # (spawn_count records that honestly). The dispatcher itself
+            # must outlive every batch, or one bad request would wedge
+            # the whole server.
+            err = ServeError(
+                f"batch of {len(batch)} request(s) failed: {exc}"
+            )
+            err.__cause__ = exc
+            with self._lock:
+                self._batches += 1
+                self._failed += len(batch)
+            for r in batch:
+                r.error = err
+                r.event.set()
+            return
+        finish = time.monotonic()
+        wall = finish - started
+        results = []
+        for i, r in enumerate(batch):
+            if block:
+                x = res.x
+                converged = bool(res.converged)
+                sweeps = int(res.sweeps_done)
+                residual = float(res.column_residuals.max())
+                col_conv = res.converged_columns.copy()
+                col_sweeps = res.column_sweeps.copy()
+                col_res = res.column_residuals.copy()
+            else:
+                x = res.x[:, i].copy()
+                converged = bool(res.converged_columns[i])
+                cs = int(res.column_sweeps[i])
+                sweeps = cs if cs >= 0 else int(res.sweeps_done)
+                residual = float(res.column_residuals[i])
+                col_conv = col_sweeps = col_res = None
+            results.append(
+                ServedResult(
+                    request_id=r.request_id,
+                    x=x,
+                    converged=converged,
+                    sweeps=sweeps,
+                    residual=residual,
+                    latency=finish - r.enqueued_at,
+                    queue_wait=started - r.enqueued_at,
+                    batch_size=len(batch),
+                    solve_wall=wall,
+                    column_converged=col_conv,
+                    column_sweeps=col_sweeps,
+                    column_residuals=col_res,
+                )
+            )
+        with self._lock:
+            self._batches += 1
+            self._served += len(batch)
+            if not block and len(batch) > 1:
+                self._batched_singles += len(batch)
+            self._max_batch_seen = max(self._max_batch_seen, len(batch))
+            for out in results:
+                self._latency_sum += out.latency
+                self._latency_max = max(self._latency_max, out.latency)
+        for r, out in zip(batch, results):
+            r.result = out
+            r.event.set()
+
+    def _drain(self) -> None:
+        """Fail whatever is still queued when the dispatcher exits."""
+        leftovers = []
+        if self._stash is not None:
+            leftovers.append(self._stash)
+            self._stash = None
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN:
+                leftovers.append(item)
+        if leftovers:
+            err = ServeError("server closed before this request was served")
+            with self._lock:
+                self._failed += len(leftovers)
+            for r in leftovers:
+                r.error = err
+                r.event.set()

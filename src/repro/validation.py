@@ -1,0 +1,134 @@
+"""Shared shape/dtype validation for right-hand sides and iterates.
+
+Every engine (the two simulators, the threaded backend, the multiprocess
+backend, and the :class:`~repro.core.asyrgs.AsyRGS` façade) accepts the
+same ``b``/``x0`` contract, so the checks and — importantly — the error
+*wording* live in exactly one place. Before this module each path failed
+at a different depth with engine-specific phrasing; now a malformed
+right-hand side produces the same :class:`~repro.exceptions.ShapeError`
+no matter which layer catches it first.
+
+The wording table
+-----------------
+==================  ==================================================
+condition            message produced by
+==================  ==================================================
+non-numeric dtype    :func:`rhs_dtype_message`
+ndim not in (1, 2)   :func:`rhs_ndim_message`
+row-count mismatch   :func:`rhs_rows_message`
+zero columns         :func:`rhs_empty_message`
+k > capacity_k       :func:`rhs_capacity_message`
+x0 shape mismatch    :func:`x0_shape_message`
+==================  ==================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .exceptions import ShapeError
+
+__all__ = [
+    "check_rhs",
+    "check_x0",
+    "rhs_dtype_message",
+    "rhs_ndim_message",
+    "rhs_rows_message",
+    "rhs_empty_message",
+    "rhs_capacity_message",
+    "x0_shape_message",
+]
+
+
+def rhs_dtype_message(name: str, dtype) -> str:
+    return (
+        f"{name} has dtype {dtype}, which cannot be converted to float64; "
+        "right-hand sides must be real-valued"
+    )
+
+
+def rhs_ndim_message(name: str, shape: tuple) -> str:
+    return (
+        f"{name} has {len(shape)} dimensions (shape {shape}); expected a "
+        "vector (n,) or a block (n, k) of right-hand sides"
+    )
+
+
+def rhs_rows_message(name: str, shape: tuple, n: int) -> str:
+    return f"{name} has shape {shape}, expected ({n},) or ({n}, k)"
+
+
+def rhs_empty_message(name: str = "b") -> str:
+    return f"the RHS block {name} must have at least one column"
+
+
+def rhs_capacity_message(name: str, k: int, capacity: int) -> str:
+    return (
+        f"{name} has {k} columns, but this pool's layout capacity is "
+        f"{capacity}; build the solver with capacity_k >= {k} to serve "
+        "wider blocks"
+    )
+
+
+def x0_shape_message(shape: tuple, expected: tuple) -> str:
+    return f"x0 has shape {shape}, expected {expected}"
+
+
+def _describe_dtype(value) -> str:
+    """Best-effort dtype description for the error message (a ragged
+    list has no dtype at all — fall back to the Python type name)."""
+    try:
+        return str(np.asarray(value).dtype)
+    except Exception:
+        return type(value).__name__
+
+
+def _as_float64(value, name: str) -> np.ndarray:
+    """Convert to float64 under the shared contract: non-numeric input
+    raises :class:`ShapeError`, and complex input is rejected explicitly
+    (NumPy would silently discard the imaginary part with a warning)."""
+    try:
+        src = np.asarray(value)
+        if src.dtype.kind == "c":
+            raise TypeError("complex values cannot be cast to float64")
+        return np.asarray(src, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ShapeError(rhs_dtype_message(name, _describe_dtype(value))) from exc
+
+
+def check_rhs(
+    b, n: int, *, capacity: int | None = None, name: str = "b"
+) -> np.ndarray:
+    """Validate a right-hand side against the shared contract.
+
+    Converts to float64 (a non-numeric or complex ``b`` raises
+    :class:`ShapeError` instead of leaking NumPy's ``TypeError``), checks
+    the dimensionality and the row count, and — when ``capacity`` is
+    given — that the column count fits the pool layout. Non-contiguous
+    inputs are accepted as-is; engines that need a particular memory
+    layout copy for themselves.
+    """
+    arr = _as_float64(b, name)
+    if arr.ndim not in (1, 2):
+        raise ShapeError(rhs_ndim_message(name, arr.shape))
+    if arr.shape[0] != n:
+        raise ShapeError(rhs_rows_message(name, arr.shape, n))
+    k = 1 if arr.ndim == 1 else int(arr.shape[1])
+    if k < 1:
+        raise ShapeError(rhs_empty_message(name))
+    if capacity is not None and k > int(capacity):
+        raise ShapeError(rhs_capacity_message(name, k, int(capacity)))
+    return arr
+
+
+def check_x0(x0, expected_shape: tuple) -> np.ndarray:
+    """Validate an initial iterate against the request's RHS shape.
+
+    The same conversion guard as :func:`check_rhs` (a non-numeric ``x0``
+    is a shape-contract violation, not a NumPy internal error) plus the
+    exact-shape check every engine applies up front.
+    """
+    arr = _as_float64(x0, "x0")
+    if arr.shape != tuple(expected_shape):
+        raise ShapeError(x0_shape_message(arr.shape, tuple(expected_shape)))
+    return arr

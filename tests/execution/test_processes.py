@@ -86,15 +86,22 @@ class TestDirectionStreams:
         set of touched coordinates reveals exactly which directions the
         workers consumed — it must equal the serial stream's prefix (the
         paper's Random123 property, verified end-to-end through real
-        processes). Races are harmless here: racing writers on the same
-        coordinate write the same value."""
-        n, m = 40, 57
+        processes). The prefix length is chosen so its coordinates are
+        pairwise distinct (guarded below): each coordinate then has
+        exactly one writer and the check is race-free — with duplicate
+        draws, two workers racing the x[r] += (b[r] − x[r]) read-modify-
+        write on one coordinate can leave 2·b[r] behind (legitimate
+        non-atomic noise, but a flaky exact-value assert under heavy
+        scheduling pressure)."""
+        n, m = 40, 14
+        serial = DirectionStream(n, seed=0).directions(0, m)
+        assert len(set(int(r) for r in serial)) == m  # distinct ⇒ no races
         A = identity_csr(n)
         b = np.arange(1.0, n + 1.0)  # all nonzero
-        directions = DirectionStream(n, seed=11)
+        directions = DirectionStream(n, seed=0)
         out = ProcessAsyRGS(A, b, nproc=nproc, directions=directions).run(None, m)
         touched = set(np.flatnonzero(out.x != 0.0))
-        expected = set(int(r) for r in DirectionStream(n, seed=11).directions(0, m))
+        expected = set(int(r) for r in serial)
         assert touched == expected
         np.testing.assert_allclose(out.x[sorted(touched)], b[sorted(touched)])
 
@@ -586,6 +593,191 @@ class TestAsyRGSFacade:
                    delay_model=UniformDelay(4, seed=1))
 
 
+class TestCapacityLayouts:
+    """The capacity-k pool layout: one live pool serves any request
+    width ``k ≤ capacity_k`` without a respawn."""
+
+    def test_changed_k_reuses_pool_without_respawn(self, block_system):
+        """CONTRACT CHANGE (PR 4): before capacity-k layouts, a per-call
+        ``b=`` of a different width against an open pool raised
+        ShapeError ("this pool's layout is fixed"); the pool could only
+        be escaped by building a new solver. With the layout allocated
+        at ``capacity_k``, a narrower request now *reuses* the live
+        pool — no respawn, no CSR re-copy, stable worker PIDs."""
+        A, B, _ = block_system
+        n, k = B.shape
+        with ProcessAsyRGS(A, B, nproc=2, capacity_k=k) as solver:
+            pids = solver.worker_pids()
+            r_block = solver.solve(tol=1e-8, max_sweeps=400, sync_every_sweeps=10)
+            r_one = solver.solve(
+                tol=1e-8, max_sweeps=400, sync_every_sweeps=10, b=B[:, 0]
+            )
+            r_two = solver.solve(
+                tol=1e-8, max_sweeps=400, sync_every_sweeps=10, b=B[:, :2]
+            )
+            assert solver.spawn_count == 1
+            assert solver.csr_copies == 1
+            assert solver.worker_pids() == pids
+        assert r_block.converged and r_one.converged and r_two.converged
+        assert r_block.x.shape == (n, k)
+        assert r_one.x.shape == (n,)
+        assert r_two.x.shape == (n, 2)
+
+    def test_request_wider_than_capacity_still_raises(self, block_system):
+        """The unreusable direction keeps the old contract: a request
+        wider than the layout cannot be served without a respawn, so it
+        raises (with the shared capacity wording) instead of growing
+        the segment silently."""
+        A, B, _ = block_system
+        with ProcessAsyRGS(A, B[:, 0], nproc=2, capacity_k=2) as solver:
+            with pytest.raises(ShapeError, match="layout capacity"):
+                solver.run(None, 10, b=B[:, :3])
+            # The failed validation must not have hurt the pool.
+            assert solver.pool_active
+            assert solver.run(None, 10, b=B[:, :2]).iterations == 10
+            assert solver.spawn_count == 1
+
+    def test_default_capacity_is_constructor_width(self, block_system):
+        """Without capacity_k the old exact-width world survives as the
+        degenerate capacity: wider requests raise."""
+        A, B, _ = block_system
+        solver = ProcessAsyRGS(A, B[:, 0], nproc=2)
+        assert solver.capacity_k == 1
+        with pytest.raises(ShapeError, match="layout capacity"):
+            solver.run(None, 10, b=B)
+
+    def test_capacity_narrower_than_ctor_block_rejected(self, block_system):
+        A, B, _ = block_system
+        with pytest.raises(ModelError, match="narrower"):
+            ProcessAsyRGS(A, B, nproc=2, capacity_k=2)
+
+    def test_k1_request_on_wide_pool_bit_equals_oneshot(self, block_system):
+        """A single-RHS request served by a capacity-4 pool takes the
+        same scalar gather path as a k=1 layout: bit-identical iterates
+        at nproc=1."""
+        A, B, _ = block_system
+        n = A.shape[0]
+        with ProcessAsyRGS(
+            A, B, nproc=1, capacity_k=B.shape[1],
+            directions=DirectionStream(n, seed=3),
+        ) as solver:
+            served = solver.solve(
+                tol=1e-8, max_sweeps=300, sync_every_sweeps=10, b=B[:, 1]
+            )
+        one = ProcessAsyRGS(
+            A, B[:, 1], nproc=1, directions=DirectionStream(n, seed=3)
+        ).solve(tol=1e-8, max_sweeps=300, sync_every_sweeps=10)
+        np.testing.assert_array_equal(served.x, one.x)
+        assert served.sweeps_done == one.sweeps_done
+        assert served.iterations == one.iterations
+
+    def test_narrow_block_request_matches_oneshot(self, block_system):
+        A, B, X_star = block_system
+        n = A.shape[0]
+        with ProcessAsyRGS(
+            A, B, nproc=1, capacity_k=B.shape[1],
+            directions=DirectionStream(n, seed=3),
+        ) as solver:
+            served = solver.solve(
+                tol=1e-8, max_sweeps=300, sync_every_sweeps=10, b=B[:, :2]
+            )
+        one = ProcessAsyRGS(
+            A, B[:, :2], nproc=1, directions=DirectionStream(n, seed=3)
+        ).solve(tol=1e-8, max_sweeps=300, sync_every_sweeps=10)
+        assert served.converged and one.converged
+        np.testing.assert_allclose(served.x, one.x, rtol=1e-9, atol=1e-12)
+        np.testing.assert_array_equal(served.column_sweeps, one.column_sweeps)
+        assert np.abs(served.x - X_star[:, :2]).max() < 1e-5
+
+    def test_narrowed_request_accounting(self, block_system):
+        """column_updates counts only the request's active columns, not
+        the layout's spare capacity."""
+        A, B, _ = block_system
+        n = A.shape[0]
+        with ProcessAsyRGS(A, B, nproc=2, capacity_k=B.shape[1]) as solver:
+            out = solver.run(None, 3 * n, b=B[:, :2])
+            assert out.column_updates == 2 * 3 * n
+            out1 = solver.run(None, 3 * n, b=B[:, 0])
+            assert out1.column_updates == 3 * n
+
+    def test_spare_columns_stay_zero(self, block_system):
+        """Workers must never write the masked spare columns: after a
+        narrow request, a full-width request starting from x0=0 sees no
+        leakage from the previous call."""
+        A, B, X_star = block_system
+        with ProcessAsyRGS(
+            A, B, nproc=1, capacity_k=B.shape[1],
+            directions=DirectionStream(A.shape[0], seed=3),
+        ) as solver:
+            solver.solve(tol=1e-8, max_sweeps=300, sync_every_sweeps=10, b=B[:, 0])
+            full = solver.solve(tol=1e-8, max_sweeps=300, sync_every_sweeps=10)
+        fresh = ProcessAsyRGS(
+            A, B, nproc=1, directions=DirectionStream(A.shape[0], seed=3)
+        ).solve(tol=1e-8, max_sweeps=300, sync_every_sweeps=10)
+        np.testing.assert_array_equal(full.x, fresh.x)
+
+    def test_retirement_on_narrowed_request(self, block_system):
+        """Per-column retirement applies to the request's columns, with
+        warm-started columns retiring before the first epoch."""
+        A, B, X_star = block_system
+        n = A.shape[0]
+        x0 = np.zeros((n, 3))
+        x0[:, 1] = X_star[:, 1]
+        with ProcessAsyRGS(A, B, nproc=1, capacity_k=B.shape[1],
+                           directions=DirectionStream(n, seed=3)) as solver:
+            res = solver.solve(
+                tol=1e-9, max_sweeps=300, sync_every_sweeps=10,
+                b=B[:, :3], x0=x0,
+            )
+        assert res.converged
+        assert res.column_sweeps.shape == (3,)
+        assert res.column_sweeps[1] == 0
+        np.testing.assert_array_equal(res.x[:, 1], X_star[:, 1])
+
+    def test_facade_forwards_capacity(self, block_system):
+        from repro.core import AsyRGS
+
+        A, B, _ = block_system
+        solver = AsyRGS(A, B[:, 0], nproc=2, engine="processes", capacity_k=5)
+        assert solver._sim.capacity_k == 5
+        with pytest.raises(ModelError, match="capacity_k"):
+            AsyRGS(A, B[:, 0], nproc=2, engine="phased", capacity_k=5)
+
+
+class TestWorkerCrashReporting:
+    @pytest.mark.skipif(
+        "fork" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="fault injection rides fork inheritance",
+    )
+    def test_crash_raises_with_worker_id(self, system, tmp_path, monkeypatch):
+        """A worker that raises mid-epoch surfaces as ModelError naming
+        the *guilty* worker (not a sibling that died of the aborted
+        barrier), and the context exit stays clean."""
+        import repro.execution.processes as processes_module
+
+        A, b, _ = system
+        flag = tmp_path / "armed"
+        flag.touch()
+        real_loop = processes_module._worker_loop
+
+        def crashing_loop(wid, *args, **kwargs):
+            if wid == 1 and flag.exists():
+                raise RuntimeError("injected worker crash")
+            return real_loop(wid, *args, **kwargs)
+
+        monkeypatch.setattr(processes_module, "_worker_loop", crashing_loop)
+        with ProcessAsyRGS(
+            A, b, nproc=3, start_method="fork", barrier_timeout=60.0
+        ) as solver:
+            with pytest.raises(ModelError, match="worker process 1 crashed"):
+                solver.solve(tol=1e-8, max_sweeps=100, sync_every_sweeps=10)
+            # The broken pool was dropped; the next call respawns.
+            flag.unlink()
+            res = solver.solve(tol=1e-8, max_sweeps=400, sync_every_sweeps=10)
+            assert res.converged
+            assert solver.spawn_count == 2
+
+
 class TestValidation:
     def test_zero_processes_rejected(self, system):
         A, b, _ = system
@@ -617,3 +809,35 @@ class TestValidation:
         A, b, _ = system
         with pytest.raises(ModelError):
             ProcessAsyRGS(A, b, nproc=2, directions=DirectionStream(7, seed=0))
+
+    def test_complex_b_rejected_as_shape_error(self, system):
+        """A wrong-dtype b is a contract violation with the shared
+        wording, not a NumPy TypeError from engine depths."""
+        A, b, _ = system
+        with pytest.raises(ShapeError, match="cannot be converted"):
+            ProcessAsyRGS(A, b.astype(np.complex128), nproc=2)
+
+    def test_complex_b_override_rejected(self, system):
+        A, b, _ = system
+        with ProcessAsyRGS(A, b, nproc=2) as solver:
+            with pytest.raises(ShapeError, match="cannot be converted"):
+                solver.run(None, 10, b=b.astype(np.complex128))
+            assert solver.pool_active  # validation never hurts the pool
+
+    def test_non_contiguous_block_accepted(self, block_system):
+        """A non-contiguous RHS block (a strided view) must solve
+        identically to its contiguous copy."""
+        A, B, _ = block_system
+        n = A.shape[0]
+        wide = np.empty((n, 2 * B.shape[1]))
+        wide[:, ::2] = B
+        strided = wide[:, ::2]  # same values, non-contiguous
+        assert not strided.flags["C_CONTIGUOUS"]
+        res_s = ProcessAsyRGS(
+            A, strided, nproc=1, directions=DirectionStream(n, seed=3)
+        ).run(None, 3 * n)
+        res_c = ProcessAsyRGS(
+            A, np.ascontiguousarray(strided), nproc=1,
+            directions=DirectionStream(n, seed=3),
+        ).run(None, 3 * n)
+        np.testing.assert_array_equal(res_s.x, res_c.x)

@@ -65,3 +65,12 @@ class TestExamples:
         assert "per-column retirement: 51/51" in out  # every label converged
         assert "update-count savings" in out  # retirement did real work
         assert "1 pool spawn(s), 1 CSR copy(ies)" in out  # persistent pool
+
+    @pytest.mark.serve
+    def test_serving(self, capsys):
+        out = run_example("serving.py", capsys)
+        assert "51 requests answered" in out
+        assert "51/51 converged" in out
+        assert "zero respawns" in out
+        assert "worker PIDs stable: True" in out
+        assert "max queue depth" in out

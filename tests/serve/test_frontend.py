@@ -1,0 +1,209 @@
+"""Front-end tests: JSON-lines over a stream, over TCP, and the CLI.
+
+All transports speak the protocol of :mod:`repro.serve.protocol`;
+responses always come back in submission order, and a malformed line
+answers with ``ok: false`` instead of killing the stream.
+"""
+
+import io
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.serve import SolverServer, make_tcp_server, serve_stream
+
+from .conftest import WAIT
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture()
+def server(system):
+    A, _, _ = system
+    with SolverServer(
+        A, nproc=1, capacity_k=4, tol=1e-8, max_sweeps=300,
+        sync_every_sweeps=10, max_wait=0.05,
+    ) as srv:
+        yield srv
+
+
+def request_line(request_id, b, **extra) -> str:
+    return json.dumps({"id": request_id, "b": np.asarray(b).tolist(), **extra})
+
+
+class TestStream:
+    def test_responses_in_submission_order(self, server, system):
+        A, b, _ = system
+        lines = [request_line(f"r{j}", b * (j + 1.0)) for j in range(4)]
+        out = io.StringIO()
+        handled = serve_stream(server, iter(lines), out)
+        assert handled == 4
+        responses = [json.loads(ln) for ln in out.getvalue().splitlines()]
+        assert [r["id"] for r in responses] == ["r0", "r1", "r2", "r3"]
+        for j, r in enumerate(responses):
+            assert r["ok"] and r["converged"]
+            x = np.asarray(r["x"])
+            resid = np.linalg.norm(b * (j + 1.0) - A.matvec(x))
+            assert resid < 1e-6 * np.linalg.norm(b * (j + 1.0))
+
+    def test_malformed_line_answers_without_killing_stream(self, server, system):
+        _, b, _ = system
+        lines = [
+            request_line("good-1", b),
+            "this is not json",
+            json.dumps({"b": b.tolist(), "bogus_field": 1}),
+            request_line("good-2", b * 2.0),
+        ]
+        out = io.StringIO()
+        handled = serve_stream(server, iter(lines), out)
+        assert handled == 4
+        responses = [json.loads(ln) for ln in out.getvalue().splitlines()]
+        assert [r["ok"] for r in responses] == [True, False, False, True]
+        assert responses[0]["id"] == "good-1"
+        assert responses[3]["id"] == "good-2"
+        assert "JSON" in responses[1]["error"]
+        assert "unknown request field" in responses[2]["error"]
+
+    def test_shape_violation_answers_inline_echoing_id(self, server, system):
+        """A line that parses but fails validation echoes its id — id
+        null is reserved for lines with nothing trustworthy to echo."""
+        _, b, _ = system
+        lines = [request_line("short", b[:-1])]
+        out = io.StringIO()
+        serve_stream(server, iter(lines), out)
+        (resp,) = [json.loads(ln) for ln in out.getvalue().splitlines()]
+        assert resp["ok"] is False
+        assert resp["id"] == "short"
+        assert "expected" in resp["error"]
+
+    def test_block_request_roundtrip(self, server, block_system):
+        _, B, _ = block_system
+        lines = [request_line("blk", B[:, :2])]  # rows of 2 columns
+        out = io.StringIO()
+        serve_stream(server, iter(lines), out)
+        (resp,) = [json.loads(ln) for ln in out.getvalue().splitlines()]
+        assert resp["ok"] and resp["converged"]
+        assert np.asarray(resp["x"]).shape == (B.shape[0], 2)
+        assert resp["column_converged"] == [True, True]
+
+    def test_blank_lines_skipped(self, server, system):
+        _, b, _ = system
+        lines = ["", "   ", request_line("only", b), ""]
+        out = io.StringIO()
+        handled = serve_stream(server, iter(lines), out)
+        assert handled == 1
+        assert len(out.getvalue().splitlines()) == 1
+
+
+class TestTCP:
+    def test_roundtrip_over_socket(self, server, system):
+        A, b, _ = system
+        tcp = make_tcp_server(server, "127.0.0.1", 0)  # ephemeral port
+        host, port = tcp.server_address
+        runner = threading.Thread(target=tcp.serve_forever, daemon=True)
+        runner.start()
+        try:
+            with socket.create_connection((host, port), timeout=WAIT) as sock:
+                sock.settimeout(WAIT)
+                f = sock.makefile("rw", encoding="utf-8")
+                for j in range(3):
+                    f.write(request_line(j, b * (j + 1.0)) + "\n")
+                f.flush()
+                sock.shutdown(socket.SHUT_WR)
+                responses = [json.loads(ln) for ln in f]
+        finally:
+            tcp.shutdown()
+            tcp.server_close()
+        assert [r["id"] for r in responses] == [0, 1, 2]
+        assert all(r["ok"] and r["converged"] for r in responses)
+
+    def test_client_disconnect_before_reading_survives(self, server, system):
+        """A client that submits and vanishes without reading its
+        responses must not kill the writer thread or the server: the
+        next healthy connection is answered normally."""
+        _, b, _ = system
+        tcp = make_tcp_server(server, "127.0.0.1", 0)
+        host, port = tcp.server_address
+        runner = threading.Thread(target=tcp.serve_forever, daemon=True)
+        runner.start()
+        try:
+            rude = socket.create_connection((host, port), timeout=WAIT)
+            rude.sendall(
+                (request_line(1, b) + "\n" + request_line(2, b) + "\n").encode()
+            )
+            rude.close()  # gone before any response is written
+            with socket.create_connection((host, port), timeout=WAIT) as sock:
+                sock.settimeout(WAIT)
+                f = sock.makefile("rw", encoding="utf-8")
+                f.write(request_line(3, b) + "\n")
+                f.flush()
+                sock.shutdown(socket.SHUT_WR)
+                (resp,) = [json.loads(ln) for ln in f]
+        finally:
+            tcp.shutdown()
+            tcp.server_close()
+        assert resp["ok"] and resp["id"] == 3
+
+    def test_two_connections_share_one_pool(self, server, system):
+        _, b, _ = system
+        tcp = make_tcp_server(server, "127.0.0.1", 0)
+        host, port = tcp.server_address
+        runner = threading.Thread(target=tcp.serve_forever, daemon=True)
+        runner.start()
+        try:
+            for round_ in range(2):
+                with socket.create_connection((host, port), timeout=WAIT) as sock:
+                    sock.settimeout(WAIT)
+                    f = sock.makefile("rw", encoding="utf-8")
+                    f.write(request_line(round_, b) + "\n")
+                    f.flush()
+                    sock.shutdown(socket.SHUT_WR)
+                    (resp,) = [json.loads(ln) for ln in f]
+                assert resp["ok"] and resp["id"] == round_
+        finally:
+            tcp.shutdown()
+            tcp.server_close()
+        assert server.spawn_count == 1
+
+
+class TestCLI:
+    def test_stdin_mode_serves_problem(self, monkeypatch, capsys):
+        from repro.workloads import get_problem
+
+        prob = get_problem("social-small")
+        lines = "\n".join(
+            request_line(j, prob.b * (j + 1.0), tol=1e-4) for j in range(3)
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines + "\n"))
+        rc = main([
+            "serve", "--problem", "social-small", "--nproc", "1",
+            "--capacity", "4", "--max-sweeps", "800",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        responses = [json.loads(ln) for ln in captured.out.splitlines()]
+        assert [r["id"] for r in responses] == [0, 1, 2]
+        assert all(r["ok"] for r in responses)
+        assert "served 3 request(s)" in captured.err
+        assert "pool spawn(s)" in captured.err
+
+    def test_requires_exactly_one_source(self, capsys):
+        assert main(["serve"]) == 2
+        assert "exactly one" in capsys.readouterr().out
+        assert main(["serve", "foo.mtx", "--problem", "social-small"]) == 2
+
+    def test_unknown_problem_is_a_clean_error(self, capsys):
+        rc = main(["serve", "--problem", "no-such-problem"])
+        assert rc == 2
+        assert "unknown problem" in capsys.readouterr().out
+
+    def test_help_epilog_documents_serving(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "Serving:" in out
+        assert "repro experiment serve" in out
