@@ -5,12 +5,14 @@ beat one-shot-per-request throughput by a clear margin on the paper's
 51-label regime (the batch shares one row gather across the whole
 request set, and the pool is spawned once instead of per request), and
 a capacity-k pool must serve both a k=1 request and the full k=51
-block with zero respawns.
+block with zero respawns. The adaptive-batching comparison must show
+the measured linger window matching or beating the fixed knob on both
+burst and closed-loop traffic.
 """
 
 import pytest
 
-from repro.bench import run_serve
+from repro.bench import run_serve, run_serve_adaptive
 
 from conftest import persist_and_print
 
@@ -38,3 +40,32 @@ def test_serve_smoke(benchmark):
     widest = result.rows_data[-1]
     assert widest[3] < result.requests
     assert widest[4] == 1
+
+
+@pytest.mark.multiprocess
+def test_serve_adaptive(benchmark):
+    """Adaptive batching must at least match the fixed linger window on
+    both traffic shapes: on the loaded burst the backlog fills batches
+    either way (parity, generous noise margin), and on closed-loop
+    traffic the fixed window is a pure per-request tax the adaptive
+    policy measures and declines (strict >=)."""
+    result = benchmark.pedantic(
+        run_serve_adaptive,
+        kwargs=dict(problem="social-labels"),
+        rounds=1,
+        iterations=1,
+    )
+    persist_and_print("fig_serve_adaptive", result.table())
+
+    assert result.requests == 51
+    assert result.all_converged
+    # The headline: the measuring policy never loses to the knob. The
+    # closed-loop gap is structural (the full fixed window per request,
+    # ~50% of a solve, against deterministic nproc=1 trajectories); the
+    # burst margin only absorbs scheduler noise.
+    assert result.adaptive_speedup >= 1.0
+    assert result.burst_ratio >= 0.8
+    # Closed-loop traffic never coalesces; the burst genuinely batches.
+    rows = {(r[0], r[1]): r for r in result.rows_data}
+    assert rows[("closed-loop", "adaptive")][5] == 1.0  # mean batch
+    assert rows[("burst", "adaptive")][5] > 1.0

@@ -31,7 +31,12 @@ from .fig_block import (
     run_block,
     run_block_retirement,
 )
-from .fig_serve import ServeBenchResult, run_serve
+from .fig_serve import (
+    ServeBenchResult,
+    ServePolicyResult,
+    run_serve,
+    run_serve_adaptive,
+)
 from .fig_speedup import SpeedupResult, run_speedup
 from .fig3_fcg import (
     FCGRun,
@@ -75,7 +80,9 @@ __all__ = [
     "run_fig2_right",
     "run_fig3",
     "run_serve",
+    "run_serve_adaptive",
     "ServeBenchResult",
+    "ServePolicyResult",
     "run_speedup",
     "run_table1",
     "run_tau_sweep",

@@ -22,10 +22,14 @@ Commands
     the same budget on a k-column RHS block (the paper's 51-label
     amortization regime).
 ``serve``
-    Run the solver server: one resident matrix on a persistent
-    shared-memory pool, JSON-lines solve requests on stdin (or TCP with
-    ``--port``), compatible single-RHS requests coalesced into block
-    solves. See the parser epilog for the protocol.
+    Run the solver gateway: resident matrices on persistent
+    shared-memory pools (one matrix, or several with repeated
+    ``--matrix NAME=SPEC`` routed by the request's ``matrix`` field),
+    JSON solve requests on stdin, TCP (``--port``), or HTTP/1.1
+    (``--http``: ``POST /v1/solve``, ``GET /v1/stats``,
+    ``GET /v1/matrices``); compatible single-RHS requests coalesce into
+    block solves under a fixed or adaptive batching policy
+    (``--policy``). See the parser epilog for the protocol.
 ``problems``
     List the named workload registry.
 
@@ -45,17 +49,35 @@ __all__ = ["main", "build_parser"]
 
 _SERVING_EPILOG = """\
 Serving:
-  `repro serve` multiplexes many solve requests over one persistent
-  shared-memory worker pool: the matrix is copied into shared memory
+  `repro serve` multiplexes many solve requests over persistent
+  shared-memory worker pools: each matrix is copied into shared memory
   once, compatible single-RHS requests are coalesced into block solves
   (each request converges and retires independently), and the
   capacity-k pool layout serves any request width k <= --capacity
   without respawning workers. Requests are JSON lines on stdin —
     {"id": "r1", "b": [1.0, 2.0, ...], "tol": 1e-6}
-  — or on a TCP socket with --port; each gets one JSON response line
-  with the iterate, convergence status, and latency. Run
+  — on a TCP socket with --port, or over HTTP/1.1 with --http
+  (POST /v1/solve takes the same JSON object; GET /v1/stats and
+  GET /v1/matrices expose the counters and the matrix listing):
+    curl -X POST http://HOST:PORT/v1/solve -d '{"b": [1.0, ...]}'
+  Each request gets one JSON response with the iterate, convergence
+  status, and latency.
+
+  Multi-matrix: repeat --matrix NAME=SPEC (SPEC a named problem or an
+  .mtx file) to serve several resident matrices behind one gateway —
+  requests route by their "matrix" field (omitted -> the first
+  registered matrix, so single-matrix clients keep working), pools
+  spawn lazily on first use and idle ones are LRU-evicted past
+  --max-live-pools, and {"op": "register", "matrix": "m2",
+  "problem": "laplace2d"} registers matrices live over the wire.
+
+  Batching policy: --policy fixed lingers --max-wait seconds for batch
+  company; --policy adaptive sizes the linger window from the measured
+  queue-depth/solve-wall EWMAs (sequential traffic pays no window at
+  all, concurrent traffic lingers a fraction of a typical solve). Run
   `repro experiment serve` to benchmark batched serving against
-  one-shot-per-request throughput on the 51-label workload.
+  one-shot-per-request throughput on the 51-label workload, and
+  `repro experiment serve --adaptive` to compare the two policies.
 """
 
 
@@ -123,6 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
         "retirement on the 51-label workload instead of block-vs-loop "
         "throughput",
     )
+    p_exp.add_argument(
+        "--adaptive", action="store_true",
+        help="for 'serve': compare the adaptive batching policy against "
+        "the fixed linger window on burst and closed-loop traffic",
+    )
 
     p_speed = sub.add_parser(
         "speedup", help="wall-clock strong scaling on real OS processes"
@@ -149,11 +176,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "matrix", nargs="?", default=None,
-        help="MatrixMarket .mtx file (or use --problem)",
+        help="MatrixMarket .mtx file (or use --problem / --matrix)",
     )
     p_serve.add_argument(
         "--problem", default=None,
         help="serve a named workload's matrix instead of a file",
+    )
+    p_serve.add_argument(
+        "--matrix", dest="matrices", action="append", default=None,
+        metavar="NAME=SPEC",
+        help="register matrix NAME from SPEC (a named problem or an .mtx "
+        "file); repeatable — requests route by their \"matrix\" field, "
+        "the first registered is the default",
+    )
+    p_serve.add_argument(
+        "--max-live-pools", type=int, default=4,
+        help="soft cap on simultaneously live worker pools (idle pools "
+        "past the cap are LRU-evicted; the next request respawns)",
     )
     p_serve.add_argument("--nproc", type=int, default=2, help="worker processes")
     p_serve.add_argument(
@@ -168,7 +207,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--max-wait", type=float, default=0.005,
-        help="seconds to linger for batch company once a request arrived",
+        help="seconds to linger for batch company once a request arrived "
+        "(the adaptive policy's seed window)",
+    )
+    p_serve.add_argument(
+        "--policy", choices=["fixed", "adaptive"], default="fixed",
+        help="batching policy: a fixed --max-wait linger window, or a "
+        "window sized adaptively from the measured queue-depth/"
+        "solve-wall EWMAs",
     )
     p_serve.add_argument("--tol", type=float, default=1e-6, help="default tolerance")
     p_serve.add_argument("--max-sweeps", type=int, default=400)
@@ -178,7 +224,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve JSON lines over TCP on this port instead of stdin "
         "(0 picks an ephemeral port)",
     )
-    p_serve.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    p_serve.add_argument(
+        "--http", type=int, default=None, metavar="PORT",
+        help="serve the same JSON payloads over HTTP/1.1 on this port "
+        "(POST /v1/solve, GET /v1/stats, GET /v1/matrices; 0 picks an "
+        "ephemeral port)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="TCP/HTTP bind address")
     p_serve.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("problems", help="list the named workload registry")
@@ -344,19 +396,63 @@ def _cmd_estimate(args) -> int:
     return 0
 
 
+def _serve_sources(args):
+    """Resolve the serve command's matrix sources to (name, A, label)
+    triples: either the legacy single matrix (file or --problem) under
+    the id ``"default"``, or every repeated ``--matrix NAME=SPEC``."""
+    from .exceptions import ReproError
+    from .sparse import read_matrix_market
+    from .workloads import available_problems, get_problem
+
+    def resolve(spec):
+        if spec in available_problems():
+            return get_problem(spec).A, f"problem {spec!r}"
+        return read_matrix_market(spec), spec
+
+    legacy = [s for s in (args.matrix, args.problem) if s is not None]
+    if (len(legacy) + (1 if args.matrices else 0)) != 1:
+        raise ReproError(
+            "give exactly one of a matrix file, --problem, or one or "
+            "more --matrix NAME=SPEC"
+        )
+    if not args.matrices:
+        if args.problem:
+            A, label = get_problem(args.problem).A, f"problem {args.problem!r}"
+        else:
+            A, label = read_matrix_market(args.matrix), args.matrix
+        return [("default", A, label)]
+    out = []
+    seen = set()
+    for item in args.matrices:
+        name, sep, spec = item.partition("=")
+        if not sep or not name or not spec:
+            raise ReproError(
+                f"--matrix expects NAME=SPEC, got {item!r}"
+            )
+        if name in seen:
+            raise ReproError(f"--matrix name {name!r} given more than once")
+        seen.add(name)
+        A, label = resolve(spec)
+        out.append((name, A, label))
+    return out
+
+
 def _cmd_serve(args) -> int:
     import signal
 
     from .exceptions import ReproError
-    from .serve import SolverServer, make_tcp_server, serve_stream
-    from .sparse import read_matrix_market
-    from .workloads import get_problem
+    from .serve import MatrixRegistry, make_http_server, make_tcp_server, serve_stream
 
-    # SIGTERM must shut the pool down like ^C does: the default handler
+    # SIGTERM must shut the pools down like ^C does: the default handler
     # would kill this process without cleanup, orphaning the worker
     # processes (parked on their barrier forever) and leaking the
-    # shared-memory segment.
+    # shared-memory segments. The first TERM starts the graceful drain;
+    # repeats are ignored from then on — supervisors (and coreutils
+    # `timeout`, which signals both the child and its process group)
+    # routinely deliver TERM more than once, and a second KeyboardInterrupt
+    # mid-drain would abort the pool teardown it asked for.
     def _terminate(signum, frame):
+        signal.signal(signum, signal.SIG_IGN)
         raise KeyboardInterrupt
 
     try:
@@ -364,37 +460,42 @@ def _cmd_serve(args) -> int:
     except ValueError:  # not the main thread (in-process tests)
         pass
 
-    if (args.matrix is None) == (args.problem is None):
-        print("error: give exactly one of a matrix file or --problem")
+    if args.port is not None and args.http is not None:
+        print("error: choose one transport: --port (TCP) or --http")
         return 2
     try:
-        if args.problem:
-            A = get_problem(args.problem).A
-            source = f"problem {args.problem!r}"
-        else:
-            A = read_matrix_market(args.matrix)
-            source = args.matrix
+        sources = _serve_sources(args)
     except (OSError, ReproError) as exc:
         print(f"error: {exc}")
         return 2
-    with SolverServer(
-        A,
+    with MatrixRegistry(
         nproc=args.nproc,
+        max_live_pools=args.max_live_pools,
         capacity_k=args.capacity,
         tol=args.tol,
         max_sweeps=args.max_sweeps,
         sync_every_sweeps=args.sync_every,
         max_batch=args.max_batch,
         max_wait=args.max_wait,
+        policy=args.policy,
         seed=args.seed,
     ) as server:
+        for name, A, _ in sources:
+            server.register(name, A)
+        roster = ", ".join(
+            f"{name}={label} (n={A.shape[0]}, nnz={A.nnz})"
+            for name, A, label in sources
+        )
+        pool_note = (
+            f"{args.nproc} worker process(es)/pool, capacity "
+            f"k={args.capacity}, {args.policy} batching"
+        )
         if args.port is not None:
             tcp = make_tcp_server(server, args.host, args.port)
             host, port = tcp.server_address
             print(
-                f"serving {source} (n={A.shape[0]}, nnz={A.nnz}) on "
-                f"{host}:{port} with {args.nproc} worker process(es), "
-                f"capacity k={args.capacity} — ^C to stop",
+                f"serving {roster} on {host}:{port} with {pool_note} "
+                "— ^C to stop",
                 file=sys.stderr,
             )
             try:
@@ -404,11 +505,26 @@ def _cmd_serve(args) -> int:
             finally:
                 tcp.shutdown()
                 tcp.server_close()
+        elif args.http is not None:
+            httpd = make_http_server(server, args.host, args.http)
+            host, port = httpd.server_address[:2]
+            print(
+                f"serving {roster} on http://{host}:{port} (POST "
+                f"/v1/solve, GET /v1/stats, GET /v1/matrices) with "
+                f"{pool_note} — ^C to stop",
+                file=sys.stderr,
+            )
+            try:
+                httpd.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                httpd.shutdown()
+                httpd.server_close()
         else:
             print(
-                f"serving {source} (n={A.shape[0]}, nnz={A.nnz}) from stdin "
-                f"with {args.nproc} worker process(es), capacity "
-                f"k={args.capacity} — one JSON request per line, EOF to stop",
+                f"serving {roster} from stdin with {pool_note} — one "
+                "JSON request per line, EOF to stop",
                 file=sys.stderr,
             )
             try:
@@ -458,6 +574,11 @@ def _cmd_experiment(args) -> int:
             print("--retire is a mode of the 'block' experiment")
             return 2
         fn_name = "run_block_retirement"
+    if getattr(args, "adaptive", False):
+        if args.name != "serve":
+            print("--adaptive is a mode of the 'serve' experiment")
+            return 2
+        fn_name = "run_serve_adaptive"
     fn = getattr(bench, fn_name)
     if args.problem:
         if "problem" not in inspect.signature(fn).parameters:

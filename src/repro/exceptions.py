@@ -67,6 +67,22 @@ class ServeError(ReproError, RuntimeError):
     """
 
 
+class ProtocolError(ServeError):
+    """A serving request violated the wire protocol.
+
+    Raised by :mod:`repro.serve.protocol` for malformed request lines:
+    invalid JSON, a non-object payload, unknown or ill-typed fields, an
+    unknown verb. ``request_id`` carries the ``id`` of the offending
+    request whenever the line was valid JSON — the front-ends echo it so
+    the client can correlate the error; it is ``None`` only for lines
+    that could not be parsed at all.
+    """
+
+    def __init__(self, message: str, *, request_id=None):
+        super().__init__(message)
+        self.request_id = request_id
+
+
 class ModelError(ReproError, ValueError):
     """An execution-model configuration is invalid or internally inconsistent.
 

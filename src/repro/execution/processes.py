@@ -126,6 +126,7 @@ scaling); in block mode the lock covers the whole row slice
 from __future__ import annotations
 
 import os
+import signal
 import threading
 import time
 import traceback
@@ -230,6 +231,19 @@ def _worker_main(
     block: int,
 ) -> None:
     """Worker entry point: attach, run the epoch loop, clean up."""
+    # Workers are torn down by the parent through the control word,
+    # never by signals: a terminal ^C or a supervisor's TERM is
+    # delivered to the whole process group, and a signal landing inside
+    # barrier.wait() would raise past the crash handler (KeyboardInterrupt
+    # is not an Exception) without aborting the barrier — the parent
+    # would then burn its full barrier_timeout waiting on a dead
+    # worker's gate. The parent escalates to SIGKILL when a worker
+    # genuinely must die.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    except ValueError:  # pragma: no cover - non-main thread (in-process use)
+        pass
     shm = _attach(shm_name)
     try:
         _worker_loop(
@@ -657,7 +671,7 @@ class _WorkerPool:
     def _kill(self) -> None:
         for p in self.procs:
             if p.is_alive():
-                p.terminate()
+                p.kill()  # workers ignore SIGTERM; escalation is SIGKILL
         self._join_and_free()
 
     def stop(self) -> None:
@@ -679,7 +693,7 @@ class _WorkerPool:
         for p in self.procs:
             p.join(timeout=self.backend.barrier_timeout)
             if p.is_alive():  # pragma: no cover
-                p.terminate()
+                p.kill()  # workers ignore SIGTERM; escalation is SIGKILL
                 p.join()
         if hasattr(self, "views"):
             del self.views

@@ -1,26 +1,54 @@
-"""Solver serving: a request queue + batcher over one persistent pool.
+"""Solver serving: request queues, batchers, and routing over
+persistent pools.
 
-The paper's serving story end to end: one resident matrix (copied into
-shared memory once, workers spawned once), many independent solve
+The paper's serving story end to end: resident matrices (each copied
+into shared memory once, workers spawned once), many independent solve
 requests. :class:`SolverServer` coalesces compatible single-RHS
 requests into block solves — the Section 9 multi-label amortization
 applied to live traffic — with per-request retirement, latency stats,
-and crash containment; :mod:`repro.serve.frontend` exposes it over
-stdin JSON-lines and TCP (``repro serve``).
+crash containment, and a pluggable batching policy
+(:mod:`repro.serve.batching`: fixed window, or adaptive from the
+measured queue-depth/solve-wall EWMAs). :class:`MatrixRegistry` routes
+requests across several named resident matrices with lazily-spawned,
+LRU-evicted per-matrix pools. :mod:`repro.serve.frontend` exposes
+either over stdin JSON-lines, TCP, and HTTP/1.1 (``repro serve``).
 """
 
-from .frontend import make_tcp_server, serve_stream
-from .protocol import encode_error, encode_result, parse_request
+from .batching import AdaptiveWait, BatchingPolicy, FixedWait, make_policy
+from .frontend import (
+    handle_line,
+    make_http_server,
+    make_tcp_server,
+    serve_stream,
+)
+from .protocol import (
+    encode_error,
+    encode_info,
+    encode_result,
+    parse_line,
+    parse_request,
+)
+from .registry import MatrixRegistry, merge_stats
 from .server import RequestHandle, ServedResult, ServerStats, SolverServer
 
 __all__ = [
+    "AdaptiveWait",
+    "BatchingPolicy",
+    "FixedWait",
+    "MatrixRegistry",
     "RequestHandle",
     "ServedResult",
     "ServerStats",
     "SolverServer",
     "encode_error",
+    "encode_info",
     "encode_result",
-    "parse_request",
+    "handle_line",
+    "make_http_server",
+    "make_policy",
     "make_tcp_server",
+    "merge_stats",
+    "parse_line",
+    "parse_request",
     "serve_stream",
 ]

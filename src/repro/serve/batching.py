@@ -1,0 +1,215 @@
+"""Batching policies: how long the dispatcher lingers for company.
+
+The dispatcher's coalescing trade-off is a single number — the *linger
+window*: once a batch has its first occupant, how long is it worth
+stalling that request in the hope that compatible company arrives and
+rides the same block solve? PR 4 hard-coded the answer (``max_wait``);
+this module turns it into a policy object so the window can be **sized
+from the measured traffic** instead of a knob the operator has to guess.
+
+Two policies ship:
+
+* :class:`FixedWait` — the PR 4 behavior, verbatim: a constant window.
+  ``policy="fixed"`` (the default) selects it, so existing servers are
+  byte-for-byte unchanged.
+* :class:`AdaptiveWait` — sizes the window from two exponentially
+  weighted moving averages the dispatcher feeds it after every batch:
+  the queue depth it observed and the batch's solve wall-clock. The
+  reasoning (the adaptivity theme of Gower et al. 2021, applied to
+  serving): lingering only pays when requests arrive *concurrently but
+  not simultaneously* — that regime shows up as a nonzero measured
+  queue depth. Closed-loop traffic (every client waits for its answer
+  before sending the next request) keeps the queue empty forever, and
+  any fixed window is a pure per-request latency tax; a backlogged
+  queue fills batches instantly and the window is never consumed. So:
+  when the depth EWMA says concurrency exists, linger a fraction of the
+  typical solve (a cheap gamble against halving the number of solves);
+  when it says the traffic is sequential, don't linger at all.
+
+The dispatcher is the only caller of :meth:`~BatchingPolicy.linger` and
+:meth:`~BatchingPolicy.observe` (both from its own thread), but
+:meth:`~BatchingPolicy.snapshot` may race with them from any
+stats-reading thread, so the adaptive state sits behind a lock.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..exceptions import ServeError
+
+__all__ = ["AdaptiveWait", "BatchingPolicy", "FixedWait", "make_policy"]
+
+
+class BatchingPolicy:
+    """Decides the linger window for each batch.
+
+    Subclasses implement :meth:`linger`; :meth:`observe` is the
+    measurement feedback hook (no-op by default) and :meth:`snapshot`
+    reports the policy's current state for stats/diagnostics.
+    """
+
+    name = "?"
+
+    def linger(self, queue_depth: int) -> float:
+        """Seconds to wait for batch company, given the number of
+        requests already queued behind the batch's first occupant."""
+        raise NotImplementedError
+
+    def observe(
+        self,
+        *,
+        batch_size: int,
+        queue_depth: int,
+        solve_wall: float,
+    ) -> None:
+        """Feedback after a batch: how many requests it carried, the
+        queue depth left behind it, and its solve wall-clock."""
+
+    def snapshot(self) -> dict:
+        """State for :meth:`~repro.serve.SolverServer.stats` payloads."""
+        return {"policy": self.name}
+
+
+class FixedWait(BatchingPolicy):
+    """A constant linger window — exactly the pre-policy ``max_wait``
+    behavior (0 disables lingering entirely)."""
+
+    name = "fixed"
+
+    def __init__(self, max_wait: float = 0.005):
+        self.max_wait = float(max_wait)
+        if self.max_wait < 0:
+            raise ServeError(
+                f"max_wait must be non-negative, got {max_wait}"
+            )
+
+    def linger(self, queue_depth: int) -> float:
+        return self.max_wait
+
+    def snapshot(self) -> dict:
+        return {"policy": self.name, "max_wait": self.max_wait}
+
+
+class AdaptiveWait(BatchingPolicy):
+    """Size the linger window from measured queue depth and solve cost.
+
+    Parameters
+    ----------
+    initial_wait:
+        Window used until the first batch has been observed (there is
+        nothing to adapt from yet); servers pass their ``max_wait`` so
+        an adaptive server starts exactly where a fixed one sits.
+    max_wait:
+        Hard cap on the adaptive window — the policy never stalls a
+        request longer than this, however slow the solves are.
+    fraction:
+        The window is this fraction of the solve-wall EWMA: lingering
+        ``fraction`` of a typical solve is the price gambled against
+        merging two solves into one.
+    depth_gate:
+        Minimum queue-depth EWMA at which lingering is considered worth
+        it. Below the gate the measured traffic is effectively
+        closed-loop (clients wait for answers; nobody is about to
+        arrive) and the window collapses to 0.
+    alpha:
+        EWMA smoothing factor in (0, 1]; higher adapts faster.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        *,
+        initial_wait: float = 0.005,
+        max_wait: float = 0.05,
+        fraction: float = 0.25,
+        depth_gate: float = 0.5,
+        alpha: float = 0.3,
+    ):
+        if not 0.0 < alpha <= 1.0:
+            raise ServeError(f"alpha must be in (0, 1], got {alpha}")
+        if initial_wait < 0 or max_wait < 0 or fraction < 0 or depth_gate < 0:
+            raise ServeError(
+                "adaptive policy parameters must be non-negative, got "
+                f"initial_wait={initial_wait}, max_wait={max_wait}, "
+                f"fraction={fraction}, depth_gate={depth_gate}"
+            )
+        self.initial_wait = float(initial_wait)
+        self.max_wait = float(max_wait)
+        self.fraction = float(fraction)
+        self.depth_gate = float(depth_gate)
+        self.alpha = float(alpha)
+        self._lock = threading.Lock()
+        self._ewma_depth: float | None = None
+        self._ewma_solve: float | None = None
+        self._ewma_batch: float | None = None
+        self._batches = 0
+
+    def _blend(self, old: float | None, new: float) -> float:
+        return new if old is None else (1 - self.alpha) * old + self.alpha * new
+
+    def linger(self, queue_depth: int) -> float:
+        with self._lock:
+            if self._ewma_solve is None:
+                return self.initial_wait
+            # An instantaneously deep queue is concurrency evidence too:
+            # the EWMA alone would make the first burst after a quiet
+            # spell pay the sequential-traffic window.
+            depth = max(self._ewma_depth or 0.0, float(queue_depth))
+            if depth < self.depth_gate:
+                return 0.0
+            return min(self.max_wait, self.fraction * self._ewma_solve)
+
+    def observe(
+        self,
+        *,
+        batch_size: int,
+        queue_depth: int,
+        solve_wall: float,
+    ) -> None:
+        with self._lock:
+            self._ewma_depth = self._blend(self._ewma_depth, float(queue_depth))
+            self._ewma_solve = self._blend(self._ewma_solve, float(solve_wall))
+            self._ewma_batch = self._blend(self._ewma_batch, float(batch_size))
+            self._batches += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "policy": self.name,
+                "batches_observed": self._batches,
+                "ewma_queue_depth": self._ewma_depth,
+                "ewma_solve_wall": self._ewma_solve,
+                "ewma_batch_size": self._ewma_batch,
+                "current_window": None
+                if self._ewma_solve is None
+                else (
+                    0.0
+                    if (self._ewma_depth or 0.0) < self.depth_gate
+                    else min(self.max_wait, self.fraction * self._ewma_solve)
+                ),
+            }
+
+
+def make_policy(policy, max_wait: float) -> BatchingPolicy:
+    """Resolve a server's ``policy=`` argument: a ready-made
+    :class:`BatchingPolicy` passes through, ``"fixed"`` /
+    ``"adaptive"`` build the named policy seeded with ``max_wait``."""
+    if isinstance(policy, BatchingPolicy):
+        return policy
+    if policy == "fixed":
+        return FixedWait(max_wait)
+    if policy == "adaptive":
+        # The operator's max_wait seeds the pre-measurement window and
+        # raises the adaptive cap when it exceeds the default — the
+        # documented "never stalls longer than max_wait" promise must
+        # hold from the very first batch, and a knob above the default
+        # cap must not be silently clamped once measurements land.
+        return AdaptiveWait(
+            initial_wait=max_wait, max_wait=max(0.05, float(max_wait))
+        )
+    raise ServeError(
+        f"unknown batching policy {policy!r}; expected 'fixed', "
+        "'adaptive', or a BatchingPolicy instance"
+    )

@@ -1,6 +1,8 @@
-"""Front-ends for :class:`~repro.serve.SolverServer`.
+"""Front-ends for :class:`~repro.serve.SolverServer` and
+:class:`~repro.serve.MatrixRegistry`.
 
-Two transports, one protocol (:mod:`repro.serve.protocol`):
+Three transports, one protocol (:mod:`repro.serve.protocol`), one
+submission path (:func:`handle_line`):
 
 * :func:`serve_stream` — JSON-lines on any readable/writable text pair
   (``repro serve`` wires it to stdin/stdout). Requests are submitted the
@@ -12,25 +14,131 @@ Two transports, one protocol (:mod:`repro.serve.protocol`):
   reader/writer pair; all connections share the one solver pool, so
   concurrent clients batch together exactly like concurrent threads
   calling :meth:`SolverServer.submit`.
+* :func:`make_http_server` — the same payloads over HTTP/1.1
+  (``repro serve --http``): ``POST /v1/solve`` carries one request
+  object per body, ``GET /v1/stats`` and ``GET /v1/matrices`` expose
+  the control verbs to anything that can speak ``curl``. Every handler
+  thread submits through :func:`handle_line`, so concurrent HTTP
+  clients coalesce into block solves exactly like TCP ones.
+
+``handle_line`` is the seam all three share: parse one protocol line,
+act on it immediately (submit a solve, run a control verb), and return
+a zero-argument callable that produces the response text — blocking on
+the solve result only when called. The JSON-lines transports queue the
+callables on a FIFO so responses keep submission order; HTTP resolves
+them inline, one per request/response exchange.
 """
 
 from __future__ import annotations
 
+import http.server
+import json
 import queue
 import socketserver
 import threading
+import urllib.parse
 
 from ..exceptions import ServeError
-from .protocol import encode_error, encode_result, parse_request
+from .protocol import encode_error, encode_info, encode_result, parse_line
 
-__all__ = ["serve_stream", "make_tcp_server"]
+__all__ = [
+    "handle_line",
+    "make_http_server",
+    "make_tcp_server",
+    "serve_stream",
+]
 
 _EOF = object()
 
 
+def _registry_only(server, verb: str):
+    raise ServeError(
+        f"the {verb!r} verb needs a matrix registry front door, but this "
+        "server hosts a single resident matrix (run `repro serve "
+        "--matrix NAME=SPEC` or serve a MatrixRegistry)"
+    )
+
+
+def _run_verb(server, op: str, payload: dict) -> str:
+    """Execute one control verb against the server (a bare
+    :class:`SolverServer` or a :class:`MatrixRegistry` — duck-typed on
+    the handful of methods the verbs need)."""
+    request_id = payload.get("request_id")
+    if op == "register":
+        register = getattr(server, "register_spec", None)
+        if register is None:
+            _registry_only(server, op)
+        info = register(
+            payload["matrix"],
+            problem=payload.get("problem"),
+            path=payload.get("path"),
+        )
+        return encode_info(request_id, info)
+    if op == "stats":
+        return encode_info(
+            request_id, server.stats_payload(payload.get("matrix"))
+        )
+    # matrices
+    return encode_info(request_id, {"matrices": server.matrices_payload()})
+
+
+def handle_line(server, line: str):
+    """Parse one protocol line, act on it, and return a zero-argument
+    callable producing the response text.
+
+    This is the single submission path of all three transports. Solve
+    requests are submitted *before* this function returns (so a burst of
+    lines coalesces into one batch even though their responses are
+    resolved later); the returned callable blocks on the result.
+    ``register`` also acts immediately — a later line in the same burst
+    may already route to the new matrix. ``stats`` / ``matrices`` run
+    when the callable is called, i.e. at response time, so over a
+    JSON-lines connection they reflect at least every request answered
+    before them. It never raises: every failure becomes an ``ok:
+    false`` response carrying the request's id whenever the line was
+    valid JSON (``id: null`` strictly for unparseable lines).
+    """
+    try:
+        op, payload = parse_line(line)
+    except Exception as exc:  # malformed JSON / protocol violation
+        # ProtocolError carries the id of any line that parsed as JSON.
+        text = encode_error(getattr(exc, "request_id", None), exc)
+        return lambda: text
+    if op == "register":
+        try:
+            text = _run_verb(server, op, payload)
+        except Exception as exc:  # unknown problem, single-matrix server
+            text = encode_error(payload.get("request_id"), exc)
+        return lambda: text
+    if op != "solve":
+
+        def _query() -> str:
+            try:
+                return _run_verb(server, op, payload)
+            except Exception as exc:  # unknown matrix, closed registry
+                return encode_error(payload.get("request_id"), exc)
+
+        return _query
+    try:
+        handle = server.submit(**payload)
+    except Exception as exc:  # shape/dtype violations, closed server
+        # The line parsed, so its id is trustworthy — echo it.
+        text = encode_error(payload.get("request_id"), exc)
+        return lambda: text
+
+    def _resolve() -> str:
+        try:
+            return encode_result(handle.result())
+        except ServeError as exc:
+            return encode_error(handle.request_id, exc)
+
+    return _resolve
+
+
 def _pump(server, lines, out) -> int:
-    """The shared front-end loop: submit each parsed line immediately,
-    emit responses in submission order from a writer thread.
+    """The shared JSON-lines loop: submit each line immediately via
+    :func:`handle_line`, emit responses in submission order from a
+    writer thread.
 
     Submitting before the previous result is written is what lets a
     burst of lines coalesce into one batch. Returns the number of lines
@@ -40,30 +148,25 @@ def _pump(server, lines, out) -> int:
 
     def _writer():
         # Once the output side dies (a TCP client that disconnects
-        # before reading its responses), keep draining the fifo — every
-        # handle still resolves server-side — but stop writing: a dead
-        # pipe must not kill the thread or wedge the reader's join.
+        # before reading its responses, a stream closed mid-burst),
+        # keep draining the fifo — every handle still resolves
+        # server-side — but stop writing: a dead pipe must not kill the
+        # thread or wedge the reader's join. OSError is the socket
+        # flavor; a closed *text* stream raises ValueError ("I/O
+        # operation on closed file") instead, and must be treated the
+        # same.
         broken = False
         while True:
-            item = fifo.get()
-            if item is _EOF:
+            produce = fifo.get()
+            if produce is _EOF:
                 break
-            kind, payload = item
-            if kind == "error":
-                request_id, exc = payload
-                line = encode_error(request_id, exc)
-            else:
-                handle = payload
-                try:
-                    line = encode_result(handle.result())
-                except ServeError as exc:
-                    line = encode_error(handle.request_id, exc)
+            line = produce()  # blocks on the solve result if needed
             if broken:
                 continue
             try:
                 out.write(line + "\n")
                 out.flush()
-            except OSError:
+            except (OSError, ValueError):
                 broken = True
 
     writer = threading.Thread(target=_writer, name="asyrgs-serve-writer")
@@ -75,19 +178,7 @@ def _pump(server, lines, out) -> int:
             if not line:
                 continue
             handled += 1
-            try:
-                kwargs = parse_request(line)
-            except Exception as exc:  # malformed JSON / protocol violation
-                fifo.put(("error", (None, exc)))
-                continue
-            try:
-                handle = server.submit(**kwargs)
-            except Exception as exc:  # shape/dtype violations, closed server
-                # The line parsed, so its id is trustworthy — echo it
-                # (id null is reserved for unparseable lines).
-                fifo.put(("error", (kwargs.get("request_id"), exc)))
-            else:
-                fifo.put(("result", handle))
+            fifo.put(handle_line(server, line))
     finally:
         fifo.put(_EOF)
         writer.join()
@@ -115,7 +206,14 @@ def make_tcp_server(server, host: str = "127.0.0.1", port: int = 0):
 
     class _Handler(socketserver.StreamRequestHandler):
         def handle(self):
-            reader = (raw.decode("utf-8") for raw in self.rfile)
+            # errors="replace" keeps a client that sends invalid UTF-8
+            # on the protocol path: the mangled line fails JSON parsing
+            # and gets an ok:false response, instead of the decode
+            # error unwinding the handler and dropping the connection
+            # with a socketserver traceback.
+            reader = (
+                raw.decode("utf-8", errors="replace") for raw in self.rfile
+            )
             out = _SocketWriter(self.wfile)
             try:
                 _pump(server, reader, out)
@@ -123,6 +221,87 @@ def make_tcp_server(server, host: str = "127.0.0.1", port: int = 0):
                 pass  # client went away mid-stream; nothing to answer
 
     class _Server(socketserver.ThreadingTCPServer):
+        allow_reuse_address = True
+        daemon_threads = True
+
+    return _Server((host, int(port)), _Handler)
+
+
+def make_http_server(server, host: str = "127.0.0.1", port: int = 0):
+    """An HTTP/1.1 front-end speaking the same JSON payloads.
+
+    Routes:
+
+    * ``POST /v1/solve`` — body is one request object (exactly a
+      JSON-lines request line, control verbs included); the response
+      body is the one response object. 200 for ``ok: true``, 400 for
+      ``ok: false``.
+    * ``GET /v1/stats`` — the ``stats`` verb (``?matrix=ID`` narrows a
+      registry to one matrix).
+    * ``GET /v1/matrices`` — the ``matrices`` verb.
+
+    Returns the ``http.server.ThreadingHTTPServer``; the caller runs
+    ``serve_forever()`` (and ``shutdown()``/``server_close()`` to
+    stop). ``port=0`` binds an ephemeral port. Handler threads submit
+    through :func:`handle_line`, so concurrent HTTP clients coalesce
+    into block solves exactly like TCP ones.
+    """
+
+    class _Handler(http.server.BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-serve"
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib name
+            pass  # the CLI's stderr is the server's log, not access lines
+
+        def _respond(self, status: int, text: str) -> None:
+            body = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _respond_line(self, text: str) -> None:
+            try:
+                ok = bool(json.loads(text).get("ok"))
+            except ValueError:  # pragma: no cover - encoder always emits JSON
+                ok = False
+            self._respond(200 if ok else 400, text)
+
+        def do_POST(self):
+            # Drain the body before any response: unread bytes would be
+            # parsed as the next request line on a keep-alive connection.
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length).decode("utf-8", errors="replace")
+            path = urllib.parse.urlsplit(self.path).path
+            if path != "/v1/solve":
+                self._respond(
+                    404, encode_error(None, ServeError(f"no such route {path!r}"))
+                )
+                return
+            self._respond_line(handle_line(server, body)())
+
+        def do_GET(self):
+            split = urllib.parse.urlsplit(self.path)
+            query = urllib.parse.parse_qs(split.query)
+            if split.path == "/v1/stats":
+                request = {"op": "stats"}
+                if query.get("matrix"):
+                    request["matrix"] = query["matrix"][0]
+            elif split.path == "/v1/matrices":
+                request = {"op": "matrices"}
+            else:
+                self._respond(
+                    404,
+                    encode_error(
+                        None, ServeError(f"no such route {split.path!r}")
+                    ),
+                )
+                return
+            self._respond_line(handle_line(server, json.dumps(request))())
+
+    class _Server(http.server.ThreadingHTTPServer):
         allow_reuse_address = True
         daemon_threads = True
 

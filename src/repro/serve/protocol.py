@@ -1,7 +1,8 @@
-"""JSON-lines wire protocol shared by the stdin and TCP front-ends.
+"""JSON wire protocol shared by the stdin, TCP, and HTTP front-ends.
 
-One request per line, one response per line, always in submission
-order. A request is a JSON object::
+One request per line (or per HTTP POST body), one response per
+request, always in submission order. A solve request is a JSON
+object::
 
     {"id": "r1", "b": [1.0, 2.0, ...], "tol": 1e-6, "max_sweeps": 400}
 
@@ -9,7 +10,11 @@ order. A request is a JSON object::
 side, or a list of ``n`` rows of ``k`` numbers for a block (rows are
 matrix rows, columns are independent right-hand sides). ``id`` defaults
 to the request's arrival index; ``tol`` / ``max_sweeps`` /
-``sync_every_sweeps`` / ``x0`` override the server defaults per request.
+``sync_every_sweeps`` / ``x0`` override the server defaults per
+request. ``matrix`` names the resident matrix to solve against when the
+server is a :class:`~repro.serve.MatrixRegistry`; omitting it routes to
+the registry's default matrix, so the single-matrix wire format from
+before multi-matrix serving keeps working unchanged.
 
 A response echoes the id::
 
@@ -20,8 +25,26 @@ or, when the request failed::
 
     {"id": "r1", "ok": false, "error": "..."}
 
-Malformed lines produce an ``ok: false`` response with ``id: null``
-(there is nothing trustworthy to echo) instead of killing the stream.
+The id is echoed whenever the request line was valid JSON — even when
+it violated the protocol (unknown field, bad type), so clients can
+correlate the error with the request that caused it. ``id: null`` is
+reserved for lines that could not be parsed at all (there is nothing
+trustworthy to echo); either way the stream stays alive.
+
+Control verbs
+-------------
+A request may carry an ``"op"`` field selecting a verb other than the
+default ``"solve"``:
+
+``{"op": "register", "matrix": "lap", "problem": "laplace2d"}``
+    Register a named matrix with the registry (``"path"`` points at a
+    MatrixMarket file instead of a named workload problem). Answers
+    ``{"ok": true, "registered": "lap", "n": ..., "nnz": ...}``.
+``{"op": "stats"}`` (optionally ``"matrix": "lap"``)
+    A JSON snapshot of the serving counters.
+``{"op": "matrices"}``
+    The list of registered matrices (one anonymous entry for a bare
+    single-matrix server).
 """
 
 from __future__ import annotations
@@ -30,48 +53,171 @@ import json
 
 import numpy as np
 
-from ..exceptions import ServeError
+from ..exceptions import ProtocolError
 
-__all__ = ["parse_request", "encode_result", "encode_error"]
+__all__ = [
+    "encode_error",
+    "encode_info",
+    "encode_result",
+    "parse_line",
+    "parse_request",
+]
 
-_ALLOWED_KEYS = {"id", "b", "x0", "tol", "max_sweeps", "sync_every_sweeps"}
+_ALLOWED_KEYS = {
+    "id", "b", "x0", "tol", "max_sweeps", "sync_every_sweeps", "matrix",
+}
+_OPS = ("solve", "register", "stats", "matrices")
 
 
-def parse_request(line: str) -> dict:
-    """Parse one request line into :meth:`SolverServer.submit` kwargs.
-
-    Raises :class:`ServeError` (never a bare ``json`` or ``KeyError``)
-    on malformed input, so front-ends can answer with an error line and
-    keep the stream alive.
-    """
+def _load_object(line: str) -> dict:
+    """Parse a request line to a JSON object, or raise with ``id: null``
+    semantics (nothing trustworthy to echo)."""
     try:
         obj = json.loads(line)
     except json.JSONDecodeError as exc:
-        raise ServeError(f"request is not valid JSON: {exc}") from exc
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
     if not isinstance(obj, dict):
-        raise ServeError(
+        raise ProtocolError(
             f"request must be a JSON object, got {type(obj).__name__}"
         )
-    unknown = set(obj) - _ALLOWED_KEYS
+    return obj
+
+
+def _matrix_id(obj: dict, request_id) -> str | None:
+    matrix = obj.get("matrix")
+    if matrix is not None and not isinstance(matrix, str):
+        raise ProtocolError(
+            f'"matrix" must be a string id, got {type(matrix).__name__}',
+            request_id=request_id,
+        )
+    return matrix
+
+
+def _solve_kwargs(obj: dict) -> dict:
+    """Turn a parsed solve object into :meth:`SolverServer.submit`
+    kwargs. The line already parsed as JSON, so every protocol
+    violation past this point carries the request's id."""
+    request_id = obj.get("id")
+    unknown = set(obj) - _ALLOWED_KEYS - {"op"}
     if unknown:
-        raise ServeError(
+        raise ProtocolError(
             f"unknown request field(s) {sorted(unknown)}; "
-            f"allowed: {sorted(_ALLOWED_KEYS)}"
+            f"allowed: {sorted(_ALLOWED_KEYS)}",
+            request_id=request_id,
         )
     if "b" not in obj:
-        raise ServeError('request is missing the required "b" field')
+        raise ProtocolError(
+            'request is missing the required "b" field',
+            request_id=request_id,
+        )
     kwargs = {"b": obj["b"]}
     if "id" in obj:
-        kwargs["request_id"] = obj["id"]
+        kwargs["request_id"] = request_id
+    matrix = _matrix_id(obj, request_id)
+    if matrix is not None:
+        kwargs["matrix"] = matrix
     if obj.get("x0") is not None:
         kwargs["x0"] = obj["x0"]
-    if obj.get("tol") is not None:
-        kwargs["tol"] = float(obj["tol"])
-    if obj.get("max_sweeps") is not None:
-        kwargs["max_sweeps"] = int(obj["max_sweeps"])
-    if obj.get("sync_every_sweeps") is not None:
-        kwargs["sync_every_sweeps"] = int(obj["sync_every_sweeps"])
+    try:
+        if obj.get("tol") is not None:
+            kwargs["tol"] = float(obj["tol"])
+        if obj.get("max_sweeps") is not None:
+            kwargs["max_sweeps"] = int(obj["max_sweeps"])
+        if obj.get("sync_every_sweeps") is not None:
+            kwargs["sync_every_sweeps"] = int(obj["sync_every_sweeps"])
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"ill-typed solve parameter: {exc}", request_id=request_id
+        ) from exc
     return kwargs
+
+
+def parse_request(line: str) -> dict:
+    """Parse one solve-request line into :meth:`SolverServer.submit`
+    kwargs.
+
+    Raises :class:`ProtocolError` (never a bare ``json`` or
+    ``KeyError``) on malformed input, so front-ends can answer with an
+    error line and keep the stream alive; the error carries
+    ``request_id`` whenever the line was valid JSON. Control verbs are
+    the business of :func:`parse_line` — a non-``solve`` ``op`` is a
+    protocol violation here.
+    """
+    obj = _load_object(line)
+    op = obj.get("op", "solve")
+    if op != "solve":
+        raise ProtocolError(
+            f'non-solve "op" {op!r} is not a solve request '
+            "(front-ends dispatch verbs via parse_line)",
+            request_id=obj.get("id"),
+        )
+    return _solve_kwargs(obj)
+
+
+def parse_line(line: str) -> tuple[str, dict]:
+    """Parse one protocol line into ``(op, payload)``.
+
+    ``op`` is one of ``solve`` / ``register`` / ``stats`` /
+    ``matrices``; for ``solve`` the payload is the
+    :meth:`SolverServer.submit` kwargs, for the control verbs it is
+    ``{"request_id": ..., ...verb fields...}``. This is the one parsing
+    entry point the three transports share.
+    """
+    obj = _load_object(line)
+    op = obj.get("op", "solve")
+    request_id = obj.get("id")
+    if not isinstance(op, str) or op not in _OPS:
+        raise ProtocolError(
+            f'unknown "op" {op!r}; expected one of {list(_OPS)}',
+            request_id=request_id,
+        )
+    if op == "solve":
+        return op, _solve_kwargs(obj)
+    payload: dict = {"request_id": request_id}
+    if op == "register":
+        allowed = {"op", "id", "matrix", "problem", "path"}
+        unknown = set(obj) - allowed
+        if unknown:
+            raise ProtocolError(
+                f"unknown register field(s) {sorted(unknown)}; "
+                f"allowed: {sorted(allowed)}",
+                request_id=request_id,
+            )
+        matrix = _matrix_id(obj, request_id)
+        if matrix is None:
+            raise ProtocolError(
+                'register requires a "matrix" id',
+                request_id=request_id,
+            )
+        sources = [key for key in ("problem", "path") if obj.get(key)]
+        if len(sources) != 1:
+            raise ProtocolError(
+                'register requires exactly one of "problem" (a named '
+                'workload) or "path" (a MatrixMarket file)',
+                request_id=request_id,
+            )
+        payload["matrix"] = matrix
+        payload[sources[0]] = str(obj[sources[0]])
+    elif op == "stats":
+        allowed = {"op", "id", "matrix"}
+        unknown = set(obj) - allowed
+        if unknown:
+            raise ProtocolError(
+                f"unknown stats field(s) {sorted(unknown)}; "
+                f"allowed: {sorted(allowed)}",
+                request_id=request_id,
+            )
+        payload["matrix"] = _matrix_id(obj, request_id)
+    else:  # matrices
+        allowed = {"op", "id"}
+        unknown = set(obj) - allowed
+        if unknown:
+            raise ProtocolError(
+                f"unknown matrices field(s) {sorted(unknown)}; "
+                f"allowed: {sorted(allowed)}",
+                request_id=request_id,
+            )
+    return op, payload
 
 
 def encode_result(result) -> str:
@@ -93,6 +239,12 @@ def encode_result(result) -> str:
             bool(c) for c in result.column_converged
         ]
     return json.dumps(payload)
+
+
+def encode_info(request_id, payload: dict) -> str:
+    """One response line for a successful control verb (``register`` /
+    ``stats`` / ``matrices``): ``ok: true`` plus the verb's payload."""
+    return json.dumps({"id": request_id, "ok": True, **payload})
 
 
 def encode_error(request_id, exc: BaseException) -> str:

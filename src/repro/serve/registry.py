@@ -1,0 +1,371 @@
+"""Multi-matrix serving: named resident matrices behind one front door.
+
+:class:`~repro.serve.SolverServer` multiplexes many requests over *one*
+resident matrix; a gateway serving real traffic hosts many.
+:class:`MatrixRegistry` is the routing layer: matrices are registered
+under string ids (at startup, or live over the wire via the protocol's
+``register`` verb), each id is backed by its own
+:class:`~repro.serve.SolverServer` — its own capacity-k
+:class:`~repro.execution.ProcessAsyRGS` pool, dispatcher thread, and
+batcher — and every request is routed by its ``matrix`` id. Requests
+without an id go to the **default matrix** (the first registered, or
+the one named ``default=``), which is what keeps the single-matrix wire
+format from before multi-matrix serving working unchanged.
+
+Pools are expensive (process spawn + a CSR copy into shared memory), so
+they are **lazily spawned** — registering a matrix costs nothing until
+its first request — and **LRU-evicted**: at most ``max_live_pools``
+pools are live at once, and spawning a new one shuts down the
+least-recently-used *idle* pool first (a pool with requests in flight
+is never torn down; if every pool is busy the cap is soft and the new
+pool spawns anyway). Eviction is invisible in the results — the next
+request for an evicted matrix just pays one respawn — and invisible in
+the counters: a matrix's stats accumulate across its pool's lifetimes.
+
+Batching never crosses matrices by construction: coalescing happens
+inside each matrix's own ``SolverServer``, so two requests can share a
+block solve only if they were routed to the same resident matrix.
+
+Thread safety: routing, lazy spawn, and eviction happen under one
+registry lock; the per-matrix servers do their own locking. Spawning a
+pool holds the registry lock (requests for *other* matrices briefly
+queue behind a spawn — acceptable at gateway scale, and it keeps
+eviction races impossible).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from ..exceptions import ServeError
+from .server import ServerStats, SolverServer
+
+__all__ = ["MatrixRegistry", "merge_stats"]
+
+
+def merge_stats(snapshots) -> ServerStats:
+    """Fold per-pool :class:`ServerStats` snapshots into one: counters
+    add, high-water marks take the max, the latency mean is recomputed
+    from the served-weighted sums, and ``worker_pids`` concatenates
+    (live pools only report PIDs; retired snapshots keep theirs)."""
+    snapshots = list(snapshots)
+    served = sum(s.requests_served for s in snapshots)
+    latency_sum = sum(s.latency_mean * s.requests_served for s in snapshots)
+    return ServerStats(
+        requests_submitted=sum(s.requests_submitted for s in snapshots),
+        requests_served=served,
+        requests_failed=sum(s.requests_failed for s in snapshots),
+        batches=sum(s.batches for s in snapshots),
+        batched_singles=sum(s.batched_singles for s in snapshots),
+        max_batch_size=max((s.max_batch_size for s in snapshots), default=0),
+        max_queue_depth=max((s.max_queue_depth for s in snapshots), default=0),
+        latency_mean=latency_sum / served if served else 0.0,
+        latency_max=max((s.latency_max for s in snapshots), default=0.0),
+        spawn_count=sum(s.spawn_count for s in snapshots),
+        worker_pids=[pid for s in snapshots for pid in s.worker_pids],
+        policy=snapshots[-1].policy if snapshots else {},
+    )
+
+
+class _Entry:
+    """One registered matrix: its CSR, per-matrix server overrides, the
+    live server (or ``None``), and the stats its retired pools left
+    behind."""
+
+    __slots__ = ("name", "A", "overrides", "server", "last_used", "retired")
+
+    def __init__(self, name: str, A, overrides: dict):
+        self.name = name
+        self.A = A
+        self.overrides = overrides
+        self.server: SolverServer | None = None
+        self.last_used = 0
+        self.retired: list[ServerStats] = []
+
+    def stats(self) -> ServerStats:
+        """Lifetime stats: every retired pool plus the live one."""
+        snapshots = list(self.retired)
+        if self.server is not None:
+            snapshots.append(self.server.stats())
+        if not snapshots:
+            return merge_stats([])
+        return merge_stats(snapshots)
+
+
+class MatrixRegistry:
+    """Route solve requests across several named resident matrices.
+
+    Parameters
+    ----------
+    nproc, capacity_k, tol, max_sweeps, sync_every_sweeps, max_batch,
+    max_wait, policy, beta, atomic, seed, start_method, barrier_timeout:
+        Defaults forwarded to every matrix's
+        :class:`~repro.serve.SolverServer`; :meth:`register` accepts
+        per-matrix overrides of any of them.
+    max_live_pools:
+        Soft cap on simultaneously live worker pools. Spawning past the
+        cap first LRU-evicts an idle pool; busy pools are never torn
+        down, so the cap can be exceeded transiently under concurrent
+        traffic to more than ``max_live_pools`` matrices.
+    default:
+        Id requests without a ``matrix`` field route to. ``None`` means
+        the first registered matrix.
+
+    Use as a context manager, or call :meth:`close` explicitly.
+    """
+
+    def __init__(
+        self,
+        *,
+        nproc: int,
+        max_live_pools: int = 4,
+        default: str | None = None,
+        **server_kwargs,
+    ):
+        self.max_live_pools = int(max_live_pools)
+        if self.max_live_pools < 1:
+            raise ServeError(
+                f"max_live_pools must be at least 1, got {max_live_pools}"
+            )
+        self._defaults = dict(server_kwargs, nproc=nproc)
+        self._entries: dict[str, _Entry] = {}
+        self._default_id = default
+        self._lock = threading.RLock()
+        self._closed = False
+        self._clock = itertools.count(1)
+
+    # -- registration ---------------------------------------------------
+
+    def register(self, name: str, A, **overrides) -> None:
+        """Register matrix ``A`` under ``name``. Costs nothing until the
+        first request routed to it spawns the pool. ``overrides`` adjust
+        this matrix's :class:`SolverServer` construction (``capacity_k``,
+        ``tol``, ``policy``, ...)."""
+        if not isinstance(name, str) or not name:
+            raise ServeError(
+                f"matrix id must be a non-empty string, got {name!r}"
+            )
+        with self._lock:
+            if self._closed:
+                raise ServeError("registry is closed; no new matrices accepted")
+            if name in self._entries:
+                raise ServeError(
+                    f"matrix {name!r} is already registered "
+                    f"(n={self._entries[name].A.shape[0]})"
+                )
+            self._entries[name] = _Entry(name, A, dict(overrides))
+
+    def register_spec(
+        self, name: str, *, problem: str | None = None, path: str | None = None
+    ) -> dict:
+        """The wire-protocol ``register`` verb: resolve a named workload
+        problem or a MatrixMarket file and register it. Returns the
+        info payload echoed to the client."""
+        if (problem is None) == (path is None):
+            raise ServeError(
+                "register requires exactly one of a named problem or a "
+                "MatrixMarket path"
+            )
+        if problem is not None:
+            from ..workloads import get_problem
+
+            A = get_problem(problem).A
+        else:
+            from ..sparse import read_matrix_market
+
+            try:
+                A = read_matrix_market(path)
+            except OSError as exc:
+                raise ServeError(f"cannot read matrix file: {exc}") from exc
+        self.register(name, A)
+        return {
+            "registered": name,
+            "n": A.shape[0],
+            "nnz": A.nnz,
+            "source": problem if problem is not None else path,
+        }
+
+    # -- routing --------------------------------------------------------
+
+    @property
+    def default_matrix(self) -> str | None:
+        """The id unrouted requests go to (``None`` before the first
+        registration)."""
+        with self._lock:
+            return self._resolve_default()
+
+    def _resolve_default(self) -> str | None:
+        if self._default_id is not None:
+            return self._default_id
+        return next(iter(self._entries), None)
+
+    def _entry_for(self, matrix: str | None) -> _Entry:
+        if matrix is None:
+            matrix = self._resolve_default()
+            if matrix is None:
+                raise ServeError("no matrices registered")
+        entry = self._entries.get(matrix)
+        if entry is None:
+            known = sorted(self._entries)
+            raise ServeError(
+                f"unknown matrix {matrix!r}; registered: {known}"
+            )
+        return entry
+
+    def _evict_for_room(self) -> None:
+        """LRU-evict idle pools until a new spawn fits under the cap.
+        Busy pools are skipped — the cap is soft, never a deadlock."""
+        live = [e for e in self._entries.values() if e.server is not None]
+        if len(live) < self.max_live_pools:
+            return
+        idle = []
+        for entry in live:
+            stats = entry.server.stats()
+            if stats.requests_submitted == (
+                stats.requests_served + stats.requests_failed
+            ):
+                idle.append(entry)
+        idle.sort(key=lambda e: e.last_used)
+        for entry in idle:
+            if len(live) < self.max_live_pools:
+                break
+            entry.retired.append(entry.server.stats())
+            entry.server.close()
+            entry.server = None
+            live.remove(entry)
+
+    def _ensure_live(self, entry: _Entry) -> SolverServer:
+        if entry.server is None:
+            self._evict_for_room()
+            entry.server = SolverServer(
+                entry.A, **{**self._defaults, **entry.overrides}
+            )
+        entry.last_used = next(self._clock)
+        return entry.server
+
+    def submit(self, b, *, matrix: str | None = None, **kwargs):
+        """Route one request by ``matrix`` id (``None`` → the default
+        matrix), lazily spawning or LRU-swapping its pool, and return
+        the per-matrix server's :class:`~repro.serve.RequestHandle`."""
+        with self._lock:
+            if self._closed:
+                raise ServeError("registry is closed; no new requests accepted")
+            entry = self._entry_for(matrix)
+            server = self._ensure_live(entry)
+            return server.submit(b, **kwargs)
+
+    def solve(self, b, *, timeout: float | None = None, **kwargs):
+        """Submit and wait: the blocking single-request convenience."""
+        return self.submit(b, **kwargs).result(timeout)
+
+    # -- observability --------------------------------------------------
+
+    def matrices(self) -> list[str]:
+        """Registered matrix ids, registration order."""
+        with self._lock:
+            return list(self._entries)
+
+    def live_pools(self) -> list[str]:
+        """Ids whose pool is currently live (spawned, not evicted)."""
+        with self._lock:
+            return [
+                name
+                for name, entry in self._entries.items()
+                if entry.server is not None
+            ]
+
+    def stats(self, matrix: str | None = None) -> ServerStats:
+        """Lifetime counters — one matrix's (live pool + every retired
+        pool), or the aggregate across all matrices when ``matrix`` is
+        ``None``."""
+        with self._lock:
+            if matrix is not None:
+                return self._entry_for(matrix).stats()
+            return merge_stats(
+                entry.stats() for entry in self._entries.values()
+            )
+
+    def stats_payload(self, matrix: str | None = None) -> dict:
+        """The ``stats`` verb / ``GET /v1/stats`` payload: the aggregate
+        plus a per-matrix breakdown (or one matrix's counters). The
+        breakdown is snapshotted once and the aggregate merged from
+        those same snapshots, so the two sections of one response
+        always agree even while dispatchers are completing batches."""
+        from dataclasses import asdict
+
+        with self._lock:
+            if matrix is not None:
+                entry = self._entry_for(matrix)
+                return {"matrix": entry.name, **asdict(entry.stats())}
+            snapshots = {
+                name: entry.stats() for name, entry in self._entries.items()
+            }
+            return {
+                "aggregate": asdict(merge_stats(snapshots.values())),
+                "matrices": {
+                    name: asdict(snap) for name, snap in snapshots.items()
+                },
+            }
+
+    def matrices_payload(self) -> list[dict]:
+        """The ``matrices`` verb / ``GET /v1/matrices`` payload."""
+        with self._lock:
+            default = self._resolve_default()
+            out = []
+            for name, entry in self._entries.items():
+                stats = entry.stats()
+                out.append(
+                    {
+                        "matrix": name,
+                        "default": name == default,
+                        "n": entry.A.shape[0],
+                        "nnz": entry.A.nnz,
+                        "capacity_k": entry.overrides.get(
+                            "capacity_k",
+                            self._defaults.get("capacity_k", 8),
+                        ),
+                        "live": entry.server is not None,
+                        "requests_submitted": stats.requests_submitted,
+                        "requests_served": stats.requests_served,
+                        "requests_failed": stats.requests_failed,
+                        "spawn_count": stats.spawn_count,
+                    }
+                )
+            return out
+
+    # -- lifecycle ------------------------------------------------------
+
+    def __enter__(self) -> "MatrixRegistry":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def close(self, timeout: float = 60.0) -> None:
+        """Stop accepting requests and shut every live pool down
+        (idempotent). Each pool is drained *before* its counters are
+        snapshotted, so requests completing during the drain stay in
+        the lifetime stats, which keep answering after close. A pool
+        that fails to drain within ``timeout`` is left live and
+        un-snapshotted (calling ``close`` again retries it) without
+        stopping the other pools from closing; the first failure is
+        re-raised at the end."""
+        with self._lock:
+            self._closed = True
+            entries = list(self._entries.values())
+        first_error = None
+        for entry in entries:
+            if entry.server is None:
+                continue
+            try:
+                entry.server.close(timeout)
+            except ServeError as exc:
+                if first_error is None:
+                    first_error = exc
+                continue
+            entry.retired.append(entry.server.stats())
+            entry.server = None
+        if first_error is not None:
+            raise first_error

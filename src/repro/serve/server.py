@@ -29,12 +29,15 @@ epoch.
 Batching policy
 ---------------
 ``max_batch`` bounds how many singles one solve may carry (at most the
-pool's ``capacity_k``) and ``max_wait`` bounds how long the dispatcher
-lingers for stragglers once a batch has an occupant — a request is never
-parked longer than ``max_wait`` waiting for company. Block requests
-(``b`` with ``k > 1`` columns) run as their own batch. FIFO order plus
-the bounded batch means no request starves: an incompatible request
-simply starts the next batch.
+pool's ``capacity_k``); how long the dispatcher lingers for stragglers
+once a batch has an occupant is decided per batch by a
+:class:`~repro.serve.batching.BatchingPolicy` — ``policy="fixed"`` (the
+default) keeps the constant ``max_wait`` window, ``policy="adaptive"``
+sizes the window from the measured queue-depth/solve-wall EWMAs (see
+:mod:`repro.serve.batching`). Block requests (``b`` with ``k > 1``
+columns) run as their own batch. FIFO order plus the bounded batch
+means no request starves: an incompatible request simply starts the
+next batch.
 
 Failure containment
 -------------------
@@ -59,7 +62,8 @@ import itertools
 import queue
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import asdict as dataclasses_asdict
+from dataclasses import dataclass, field as dataclasses_field
 
 import numpy as np
 
@@ -68,6 +72,7 @@ from ..execution import ProcessAsyRGS
 from ..rng import DirectionStream
 from ..sparse import CSRMatrix
 from ..validation import check_rhs, check_x0
+from .batching import make_policy
 
 __all__ = ["SolverServer", "RequestHandle", "ServedResult", "ServerStats"]
 
@@ -168,6 +173,7 @@ class ServerStats:
     latency_max: float
     spawn_count: int
     worker_pids: list[int]
+    policy: dict = dataclasses_field(default_factory=dict)
 
     @property
     def mean_batch_size(self) -> float:
@@ -228,6 +234,13 @@ class SolverServer:
     max_wait:
         Seconds the dispatcher waits for additional compatible requests
         once a batch has its first occupant (0 disables lingering).
+        With ``policy="adaptive"`` this seeds the window used until the
+        first measurement lands.
+    policy:
+        Batching policy: ``"fixed"`` (constant ``max_wait`` window, the
+        default), ``"adaptive"`` (window sized from the measured
+        queue-depth/solve-wall EWMAs), or a ready-made
+        :class:`~repro.serve.batching.BatchingPolicy` instance.
     beta, atomic, directions, seed, start_method, barrier_timeout:
         Forwarded to :class:`~repro.execution.ProcessAsyRGS`. The
         direction stream restarts from position 0 for every batch, so a
@@ -248,6 +261,7 @@ class SolverServer:
         sync_every_sweeps: int = 10,
         max_batch: int | None = None,
         max_wait: float = 0.005,
+        policy="fixed",
         beta: float = 1.0,
         atomic: bool = False,
         directions: DirectionStream | None = None,
@@ -265,6 +279,8 @@ class SolverServer:
         if self.max_batch < 1:
             raise ServeError(f"max_batch must be at least 1, got {max_batch}")
         self.max_wait = float(max_wait)
+        self.policy = make_policy(policy, self.max_wait)
+        self.nnz = A.nnz
         if directions is None:
             directions = DirectionStream(self.n, seed=seed)
         self._solver = ProcessAsyRGS(
@@ -318,6 +334,7 @@ class SolverServer:
         sync_every_sweeps: int | None = None,
         x0: np.ndarray | None = None,
         request_id=None,
+        matrix: str | None = None,
     ) -> RequestHandle:
         """Enqueue one solve request (thread-safe) and return its handle.
 
@@ -325,11 +342,20 @@ class SolverServer:
         block with ``k ≤ capacity_k`` (always its own batch). ``tol`` /
         ``max_sweeps`` / ``sync_every_sweeps`` override the server
         defaults for this request; ``x0`` is the request's warm start.
+        ``matrix`` exists for wire-protocol symmetry with
+        :class:`~repro.serve.MatrixRegistry`: a bare server hosts a
+        single anonymous matrix, so any non-``None`` id is rejected.
 
         The payload is copied at submission: the request is not read
         until its batch launches (possibly much later), and a caller
         reusing its buffer must not retroactively change what is solved.
         """
+        if matrix is not None:
+            raise ServeError(
+                f"unknown matrix {matrix!r}: this server hosts a single "
+                "resident matrix (run a MatrixRegistry front door — "
+                "`repro serve --matrix NAME=SPEC` — to route by id)"
+            )
         b = np.array(check_rhs(b, self.n, capacity=self.capacity_k))
         if x0 is not None:
             x0 = np.array(check_x0(x0, b.shape))
@@ -377,7 +403,39 @@ class SolverServer:
                 latency_max=self._latency_max,
                 spawn_count=self._solver.spawn_count,
                 worker_pids=self._solver.worker_pids(),
+                policy=self.policy.snapshot(),
             )
+
+    def stats_payload(self, matrix: str | None = None) -> dict:
+        """The :meth:`stats` snapshot as a JSON-ready dict (the shape
+        the front-ends' ``stats`` verb and ``GET /v1/stats`` emit)."""
+        if matrix is not None:
+            raise ServeError(
+                f"unknown matrix {matrix!r}: this server hosts a single "
+                "resident matrix"
+            )
+        return dataclasses_asdict(self.stats())
+
+    def matrices_payload(self) -> list[dict]:
+        """The single resident matrix as a one-entry listing (the shape
+        the front-ends' ``matrices`` verb and ``GET /v1/matrices``
+        emit; a :class:`~repro.serve.MatrixRegistry` returns one entry
+        per registered id)."""
+        stats = self.stats()
+        return [
+            {
+                "matrix": None,
+                "default": True,
+                "n": self.n,
+                "nnz": self.nnz,
+                "capacity_k": self.capacity_k,
+                "live": True,
+                "requests_submitted": stats.requests_submitted,
+                "requests_served": stats.requests_served,
+                "requests_failed": stats.requests_failed,
+                "spawn_count": stats.spawn_count,
+            }
+        ]
 
     @property
     def spawn_count(self) -> int:
@@ -459,13 +517,13 @@ class SolverServer:
 
     def _gather(self, first: _Pending) -> list[_Pending]:
         """FIFO coalescing: collect compatible single-RHS requests behind
-        ``first`` until the batch is full, ``max_wait`` elapses, or an
-        incompatible request arrives (it is stashed, preserving order,
-        and starts the next batch)."""
+        ``first`` until the batch is full, the policy's linger window
+        elapses, or an incompatible request arrives (it is stashed,
+        preserving order, and starts the next batch)."""
         batch = [first]
         if first.b.ndim != 1:
             return batch  # block requests run alone
-        deadline = time.monotonic() + self.max_wait
+        deadline = time.monotonic() + self.policy.linger(self._queue.qsize())
         while len(batch) < self.max_batch:
             remaining = deadline - time.monotonic()
             try:
@@ -531,6 +589,14 @@ class SolverServer:
             return
         finish = time.monotonic()
         wall = finish - started
+        # Feedback for adaptive policies: the queue depth left behind a
+        # batch is the concurrency signal (closed-loop clients keep it
+        # at 0; open-loop traffic piles up while the solve runs).
+        self.policy.observe(
+            batch_size=len(batch),
+            queue_depth=self._queue.qsize(),
+            solve_wall=wall,
+        )
         results = []
         for i, r in enumerate(batch):
             if block:

@@ -424,6 +424,31 @@ class TestPersistentPool:
         assert r1.iterations == r2.iterations == one.iterations
         assert r1.sweeps_done == one.sweeps_done
 
+    def test_workers_survive_group_delivered_signals(self, system):
+        """A terminal ^C or a supervisor's TERM hits the whole process
+        group, workers included. Workers must shrug it off — their
+        lifecycle belongs to the parent's control word; a signal dying
+        inside barrier.wait() would skip the barrier abort and leave
+        the parent burning its full barrier_timeout on a dead gate
+        (`repro serve` under coreutils `timeout` hit exactly this)."""
+        import os
+        import signal as signal_module
+        import time
+
+        A, b, x_star = system
+        with ProcessAsyRGS(A, b, nproc=2) as solver:
+            pids = solver.worker_pids()
+            r1 = solver.solve(tol=1e-8, max_sweeps=400, sync_every_sweeps=10)
+            for pid in pids:
+                os.kill(pid, signal_module.SIGTERM)
+                os.kill(pid, signal_module.SIGINT)
+            time.sleep(0.2)  # give a (wrongly) dying worker time to die
+            assert solver.worker_pids() == pids
+            r2 = solver.solve(tol=1e-8, max_sweeps=400, sync_every_sweeps=10)
+            assert solver.spawn_count == 1
+        assert r1.converged and r2.converged
+        assert np.abs(r2.x - x_star).max() < 1e-5
+
     def test_workers_spawned_once_across_solves(self, system):
         A, b, x_star = system
         with ProcessAsyRGS(A, b, nproc=2) as solver:

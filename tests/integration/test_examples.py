@@ -74,3 +74,11 @@ class TestExamples:
         assert "zero respawns" in out
         assert "worker PIDs stable: True" in out
         assert "max queue depth" in out
+        # The multi-matrix gateway: routing, lazy pools, LRU eviction.
+        assert "gateway: matrices ['social', 'lap'], live pools []" in out
+        assert (
+            "routed: social converged=True, lap converged=True, "
+            "default(social) converged=True"
+        ) in out
+        assert "live pools now ['social']" in out
+        assert "'social' served 2 across 2 pool spawn(s)" in out

@@ -66,7 +66,55 @@ class TestStream:
         assert responses[0]["id"] == "good-1"
         assert responses[3]["id"] == "good-2"
         assert "JSON" in responses[1]["error"]
+        assert responses[1]["id"] is None  # unparseable: nothing to echo
         assert "unknown request field" in responses[2]["error"]
+
+    def test_protocol_violation_with_parseable_json_echoes_id(
+        self, server, system
+    ):
+        """A line that is valid JSON but violates the protocol carries a
+        usable id — the client must be able to correlate the error.
+        ``id: null`` is strictly for lines that did not parse at all."""
+        _, b, _ = system
+        lines = [
+            json.dumps({"id": "bad-field", "b": b.tolist(), "bogus": 1}),
+            json.dumps({"id": "no-b", "tol": 1e-6}),
+            json.dumps({"id": "bad-type", "b": b.tolist(), "tol": "tight"}),
+            json.dumps({"id": "bad-op", "op": "dance", "b": b.tolist()}),
+        ]
+        out = io.StringIO()
+        handled = serve_stream(server, iter(lines), out)
+        assert handled == 4
+        responses = [json.loads(ln) for ln in out.getvalue().splitlines()]
+        assert all(r["ok"] is False for r in responses)
+        assert [r["id"] for r in responses] == [
+            "bad-field", "no-b", "bad-type", "bad-op",
+        ]
+
+    def test_output_stream_closing_mid_burst_does_not_wedge(
+        self, server, system
+    ):
+        """A text out-stream that dies mid-burst raises ValueError
+        ("I/O operation on closed file"), not OSError; the writer must
+        treat both as a dead pipe — keep draining results, stop writing
+        — or serve_stream wedges forever on the writer join."""
+        _, b, _ = system
+
+        class _DiesAfterFirstWrite(io.StringIO):
+            def write(self, text):
+                alive_before = not self.closed
+                result = super().write(text)
+                if alive_before:
+                    self.close()  # next write raises ValueError
+                return result
+
+        out = _DiesAfterFirstWrite()
+        lines = [request_line(f"r{j}", b * (j + 1.0)) for j in range(5)]
+        handled = serve_stream(server, iter(lines), out)
+        assert handled == 5  # every request was still served
+        stats = server.stats()
+        assert stats.requests_served >= 5
+        assert stats.requests_failed == 0
 
     def test_shape_violation_answers_inline_echoing_id(self, server, system):
         """A line that parses but fails validation echoes its id — id
@@ -148,6 +196,36 @@ class TestTCP:
             tcp.server_close()
         assert resp["ok"] and resp["id"] == 3
 
+    def test_invalid_utf8_gets_error_response_not_a_dead_connection(
+        self, server, system
+    ):
+        """A client sending bytes that are not UTF-8 must get an
+        ``ok: false`` line and keep its connection — the decode error
+        used to unwind the handler and kill the socket with a
+        socketserver traceback."""
+        _, b, _ = system
+        tcp = make_tcp_server(server, "127.0.0.1", 0)
+        host, port = tcp.server_address
+        runner = threading.Thread(target=tcp.serve_forever, daemon=True)
+        runner.start()
+        try:
+            with socket.create_connection((host, port), timeout=WAIT) as sock:
+                sock.settimeout(WAIT)
+                sock.sendall(b"\xff\xfe{not utf8\n")
+                sock.sendall((request_line("after", b) + "\n").encode())
+                sock.shutdown(socket.SHUT_WR)
+                f = sock.makefile("r", encoding="utf-8")
+                responses = [json.loads(ln) for ln in f]
+        finally:
+            tcp.shutdown()
+            tcp.server_close()
+        assert len(responses) == 2
+        assert responses[0]["ok"] is False
+        assert "JSON" in responses[0]["error"]
+        # The same connection stays alive for well-formed traffic.
+        assert responses[1]["ok"] is True
+        assert responses[1]["id"] == "after"
+
     def test_two_connections_share_one_pool(self, server, system):
         _, b, _ = system
         tcp = make_tcp_server(server, "127.0.0.1", 0)
@@ -191,10 +269,78 @@ class TestCLI:
         assert "served 3 request(s)" in captured.err
         assert "pool spawn(s)" in captured.err
 
+    def test_stdin_mode_routes_across_registered_matrices(
+        self, monkeypatch, capsys
+    ):
+        """Two --matrix registrations behind one stdin gateway: requests
+        route by their "matrix" field, unrouted ones hit the first
+        registered (default) matrix, and the matrices verb lists both."""
+        from repro.workloads import get_problem
+
+        prob = get_problem("social-small")
+        lines = "\n".join(
+            [
+                json.dumps(
+                    {"id": "a1", "b": prob.b.tolist(), "matrix": "alpha",
+                     "tol": 1e-4}
+                ),
+                json.dumps(
+                    {"id": "b1", "b": (2.0 * prob.b).tolist(),
+                     "matrix": "beta", "tol": 1e-4}
+                ),
+                json.dumps({"id": "d1", "b": prob.b.tolist(), "tol": 1e-4}),
+                json.dumps({"id": "mx", "op": "matrices"}),
+            ]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines + "\n"))
+        rc = main([
+            "serve", "--matrix", "alpha=social-small",
+            "--matrix", "beta=social-small", "--nproc", "1",
+            "--capacity", "4", "--max-sweeps", "800",
+        ])
+        captured = capsys.readouterr()
+        assert rc == 0
+        responses = {}
+        for ln in captured.out.splitlines():
+            obj = json.loads(ln)
+            responses[obj["id"]] = obj
+        assert responses["a1"]["ok"] and responses["a1"]["converged"]
+        assert responses["b1"]["ok"] and responses["b1"]["converged"]
+        assert responses["d1"]["ok"]  # unrouted -> default (alpha)
+        listing = {m["matrix"]: m for m in responses["mx"]["matrices"]}
+        assert set(listing) == {"alpha", "beta"}
+        assert listing["alpha"]["default"] is True
+        assert "served 3 request(s)" in captured.err
+
     def test_requires_exactly_one_source(self, capsys):
         assert main(["serve"]) == 2
         assert "exactly one" in capsys.readouterr().out
         assert main(["serve", "foo.mtx", "--problem", "social-small"]) == 2
+        assert main([
+            "serve", "--problem", "social-small",
+            "--matrix", "x=social-small",
+        ]) == 2
+
+    def test_malformed_matrix_spec_is_a_clean_error(self, capsys):
+        rc = main(["serve", "--matrix", "nospec"])
+        assert rc == 2
+        assert "NAME=SPEC" in capsys.readouterr().out
+
+    def test_duplicate_matrix_name_is_a_clean_error(self, capsys):
+        rc = main([
+            "serve", "--matrix", "a=social-small",
+            "--matrix", "a=social-small",
+        ])
+        assert rc == 2
+        assert "more than once" in capsys.readouterr().out
+
+    def test_tcp_and_http_transports_are_exclusive(self, capsys):
+        rc = main([
+            "serve", "--problem", "social-small", "--port", "0",
+            "--http", "0",
+        ])
+        assert rc == 2
+        assert "one transport" in capsys.readouterr().out
 
     def test_unknown_problem_is_a_clean_error(self, capsys):
         rc = main(["serve", "--problem", "no-such-problem"])

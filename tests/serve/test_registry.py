@@ -1,0 +1,303 @@
+"""Unit tests for :class:`repro.serve.MatrixRegistry`.
+
+The routing contracts: requests reach exactly the matrix they name (or
+the default when they name none), pools spawn lazily and are LRU-evicted
+when idle past the cap, eviction is invisible in results and counters,
+and the wire protocol's ``matrix`` field / ``register`` / ``stats`` /
+``matrices`` verbs round-trip through the front-end seam.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import AsyRGS
+from repro.exceptions import ServeError
+from repro.serve import MatrixRegistry, serve_stream
+from repro.workloads import random_unit_diagonal_spd
+
+from ..conftest import manufactured_system
+from .conftest import WAIT
+
+pytestmark = pytest.mark.serve
+
+SOLVE = dict(tol=1e-8, max_sweeps=300, sync_every_sweeps=10)
+
+
+@pytest.fixture(scope="module")
+def two_systems():
+    """Two same-shape, different-content systems: a request routed to
+    the wrong matrix still runs (shapes agree) but converges to a
+    visibly wrong answer — exactly the failure routing must prevent."""
+    A1 = random_unit_diagonal_spd(30, nnz_per_row=4, offdiag_scale=0.6, seed=8)
+    A2 = random_unit_diagonal_spd(30, nnz_per_row=4, offdiag_scale=0.6, seed=21)
+    b1, x1 = manufactured_system(A1, seed=9)
+    b2, x2 = manufactured_system(A2, seed=22)
+    return (A1, b1, x1), (A2, b2, x2)
+
+
+@pytest.fixture()
+def registry(two_systems):
+    (A1, _, _), (A2, _, _) = two_systems
+    with MatrixRegistry(
+        nproc=1, capacity_k=4, max_live_pools=2, max_wait=0.0, **SOLVE
+    ) as reg:
+        reg.register("one", A1)
+        reg.register("two", A2)
+        yield reg
+
+
+class TestRegistration:
+    def test_pools_spawn_lazily(self, registry, two_systems):
+        (_, b1, _), _ = two_systems
+        assert registry.live_pools() == []
+        registry.solve(b1, matrix="one", timeout=WAIT)
+        assert registry.live_pools() == ["one"]
+
+    def test_duplicate_id_rejected(self, registry, two_systems):
+        (A1, _, _), _ = two_systems
+        with pytest.raises(ServeError, match="already registered"):
+            registry.register("one", A1)
+
+    def test_bad_id_rejected(self, registry, two_systems):
+        (A1, _, _), _ = two_systems
+        for bad in ("", None, 7):
+            with pytest.raises(ServeError, match="non-empty string"):
+                registry.register(bad, A1)
+
+    def test_register_spec_problem(self, registry):
+        info = registry.register_spec("lap", problem="laplace2d")
+        assert info["registered"] == "lap"
+        assert info["n"] > 0 and info["nnz"] > 0
+        assert "lap" in registry.matrices()
+
+    def test_register_spec_requires_exactly_one_source(self, registry):
+        with pytest.raises(ServeError, match="exactly one"):
+            registry.register_spec("x")
+        with pytest.raises(ServeError, match="exactly one"):
+            registry.register_spec("x", problem="laplace2d", path="foo.mtx")
+
+    def test_register_spec_missing_file_is_a_serve_error(self, registry):
+        with pytest.raises(ServeError, match="cannot read"):
+            registry.register_spec("x", path="no/such/file.mtx")
+
+    def test_register_after_close_rejected(self, two_systems):
+        (A1, _, _), _ = two_systems
+        reg = MatrixRegistry(nproc=1)
+        reg.close()
+        with pytest.raises(ServeError, match="closed"):
+            reg.register("one", A1)
+
+
+class TestRouting:
+    def test_requests_reach_the_matrix_they_name(self, registry, two_systems):
+        (A1, b1, _), (A2, b2, _) = two_systems
+        r1 = registry.solve(b1, matrix="one", timeout=WAIT)
+        r2 = registry.solve(b2, matrix="two", timeout=WAIT)
+        ref1 = AsyRGS(A1, b1, nproc=1, engine="processes").solve(**SOLVE)
+        ref2 = AsyRGS(A2, b2, nproc=1, engine="processes").solve(**SOLVE)
+        np.testing.assert_array_equal(r1.x, ref1.x)
+        np.testing.assert_array_equal(r2.x, ref2.x)
+
+    def test_unrouted_requests_go_to_the_default(self, registry, two_systems):
+        (A1, b1, x1), _ = two_systems
+        assert registry.default_matrix == "one"  # first registered
+        res = registry.solve(b1, timeout=WAIT)
+        assert np.abs(res.x - x1).max() < 1e-5
+
+    def test_explicit_default_overrides_registration_order(self, two_systems):
+        (A1, _, _), (A2, b2, x2) = two_systems
+        with MatrixRegistry(
+            nproc=1, capacity_k=4, default="two", max_wait=0.0, **SOLVE
+        ) as reg:
+            reg.register("one", A1)
+            reg.register("two", A2)
+            res = reg.solve(b2, timeout=WAIT)
+        assert np.abs(res.x - x2).max() < 1e-5
+
+    def test_unknown_matrix_names_the_known_ones(self, registry, two_systems):
+        (_, b1, _), _ = two_systems
+        with pytest.raises(ServeError, match=r"unknown matrix 'three'.*one.*two"):
+            registry.submit(b1, matrix="three")
+
+    def test_empty_registry_rejects_requests(self):
+        with MatrixRegistry(nproc=1) as reg:
+            with pytest.raises(ServeError, match="no matrices registered"):
+                reg.submit(np.ones(3))
+
+    def test_submit_after_close_rejected(self, two_systems):
+        (A1, b1, _), _ = two_systems
+        reg = MatrixRegistry(nproc=1, capacity_k=4, **SOLVE)
+        reg.register("one", A1)
+        reg.close()
+        with pytest.raises(ServeError, match="closed"):
+            reg.submit(b1)
+
+
+class TestEviction:
+    def test_lru_eviction_and_respawn(self, two_systems):
+        (A1, b1, x1), (A2, b2, x2) = two_systems
+        with MatrixRegistry(
+            nproc=1, capacity_k=4, max_live_pools=1, max_wait=0.0, **SOLVE
+        ) as reg:
+            reg.register("one", A1)
+            reg.register("two", A2)
+            reg.solve(b1, matrix="one", timeout=WAIT)
+            assert reg.live_pools() == ["one"]
+            # Routing to "two" must evict the idle "one" pool first.
+            reg.solve(b2, matrix="two", timeout=WAIT)
+            assert reg.live_pools() == ["two"]
+            # Coming back respawns "one" — invisible in the result...
+            res = reg.solve(b1, matrix="one", timeout=WAIT)
+            assert np.abs(res.x - x1).max() < 1e-5
+            # ...and the counters accumulate across the pool lifetimes.
+            one = reg.stats("one")
+            assert one.requests_served == 2
+            assert one.spawn_count == 2  # original + post-eviction respawn
+            assert reg.stats("two").spawn_count == 1
+            assert reg.stats().requests_served == 3
+
+    def test_busy_pools_are_never_evicted(self, two_systems):
+        """The cap is soft: with a request in flight on the only other
+        pool, the new spawn proceeds anyway instead of tearing down a
+        pool mid-solve (or deadlocking)."""
+        (A1, b1, _), (A2, b2, _) = two_systems
+        with MatrixRegistry(
+            nproc=1, capacity_k=4, max_live_pools=1, max_wait=0.0, **SOLVE
+        ) as reg:
+            reg.register("one", A1)
+            reg.register("two", A2)
+            reg.solve(b1, matrix="one", timeout=WAIT)
+            srv_one = reg._entries["one"].server
+            # Pin "one" as busy deterministically: an in-flight request
+            # is exactly a submitted-but-not-finished counter gap.
+            with srv_one._lock:
+                srv_one._submitted += 1
+            try:
+                fast = reg.solve(b2, matrix="two", timeout=WAIT)
+            finally:
+                with srv_one._lock:
+                    srv_one._submitted -= 1
+            assert fast.converged
+            assert set(reg.live_pools()) == {"one", "two"}
+            assert reg.stats("one").spawn_count == 1  # never torn down
+
+    def test_max_live_pools_validated(self):
+        with pytest.raises(ServeError, match="at least 1"):
+            MatrixRegistry(nproc=1, max_live_pools=0)
+
+
+class TestObservability:
+    def test_matrices_payload(self, registry, two_systems):
+        (_, b1, _), _ = two_systems
+        registry.solve(b1, matrix="one", timeout=WAIT)
+        payload = registry.matrices_payload()
+        by_name = {entry["matrix"]: entry for entry in payload}
+        assert set(by_name) == {"one", "two"}
+        assert by_name["one"]["default"] and not by_name["two"]["default"]
+        assert by_name["one"]["live"] and not by_name["two"]["live"]
+        assert by_name["one"]["requests_served"] == 1
+        assert by_name["two"]["requests_served"] == 0
+        assert by_name["one"]["n"] == 30
+
+    def test_stats_payload_shapes(self, registry, two_systems):
+        (_, b1, _), _ = two_systems
+        registry.solve(b1, matrix="one", timeout=WAIT)
+        everything = registry.stats_payload()
+        assert everything["aggregate"]["requests_served"] == 1
+        assert set(everything["matrices"]) == {"one", "two"}
+        just_one = registry.stats_payload("one")
+        assert just_one["matrix"] == "one"
+        assert just_one["requests_served"] == 1
+
+    def test_stats_survive_close(self, two_systems):
+        (A1, b1, _), _ = two_systems
+        reg = MatrixRegistry(nproc=1, capacity_k=4, max_wait=0.0, **SOLVE)
+        reg.register("one", A1)
+        reg.solve(b1, matrix="one", timeout=WAIT)
+        reg.close()
+        reg.close()  # idempotent
+        assert reg.stats("one").requests_served == 1
+
+    def test_close_counts_requests_served_during_the_drain(self, two_systems):
+        """close() drains in-flight work before snapshotting a pool's
+        counters — a request completing during the drain must appear in
+        the lifetime stats, not vanish into a pre-drain snapshot."""
+        (A1, b1, _), _ = two_systems
+        reg = MatrixRegistry(nproc=1, capacity_k=4, max_wait=0.0, **SOLVE)
+        reg.register("one", A1)
+        handles = [reg.submit(b1 * (j + 1.0), matrix="one") for j in range(4)]
+        reg.close()
+        for h in handles:
+            assert h.result(WAIT).converged
+        stats = reg.stats("one")
+        assert stats.requests_submitted == 4
+        assert stats.requests_served == 4
+
+
+class TestWireProtocol:
+    def test_matrix_field_routes_and_default_wire_format_works(
+        self, registry, two_systems
+    ):
+        (_, b1, x1), (_, b2, x2) = two_systems
+        lines = [
+            json.dumps({"id": "r1", "b": b1.tolist()}),  # default -> "one"
+            json.dumps({"id": "r2", "b": b2.tolist(), "matrix": "two"}),
+            json.dumps({"id": "r3", "b": b1.tolist(), "matrix": "nope"}),
+        ]
+        out = io.StringIO()
+        handled = serve_stream(registry, iter(lines), out)
+        assert handled == 3
+        r1, r2, r3 = [json.loads(ln) for ln in out.getvalue().splitlines()]
+        assert r1["ok"] and np.abs(np.asarray(r1["x"]) - x1).max() < 1e-5
+        assert r2["ok"] and np.abs(np.asarray(r2["x"]) - x2).max() < 1e-5
+        assert r3["ok"] is False and r3["id"] == "r3"
+        assert "unknown matrix" in r3["error"]
+
+    def test_register_stats_matrices_verbs(self, registry, two_systems):
+        from repro.workloads import get_problem
+
+        prob = get_problem("social-small")
+        prob_b = prob.b
+        lines = [
+            json.dumps(
+                {"op": "register", "id": "reg", "matrix": "soc",
+                 "problem": "social-small"}
+            ),
+            json.dumps(
+                {"id": "s1", "b": prob_b.tolist(), "matrix": "soc",
+                 "tol": 1e-4, "max_sweeps": 800}
+            ),
+            json.dumps({"op": "stats", "id": "st", "matrix": "soc"}),
+            json.dumps({"op": "matrices", "id": "mx"}),
+        ]
+        out = io.StringIO()
+        serve_stream(registry, iter(lines), out)
+        reg, s1, st, mx = [json.loads(ln) for ln in out.getvalue().splitlines()]
+        assert reg == {
+            "id": "reg", "ok": True, "registered": "soc",
+            "n": prob.n, "nnz": prob.A.nnz, "source": "social-small",
+        }
+        assert s1["ok"] and s1["converged"]
+        assert st["ok"] and st["matrix"] == "soc"
+        assert st["requests_served"] == 1
+        assert mx["ok"]
+        assert {m["matrix"] for m in mx["matrices"]} == {"one", "two", "soc"}
+
+    def test_register_verb_on_single_matrix_server_is_clean(self, system):
+        from repro.serve import SolverServer
+
+        A, _, _ = system
+        with SolverServer(A, nproc=1, capacity_k=2) as srv:
+            out = io.StringIO()
+            serve_stream(
+                srv,
+                iter([json.dumps({"op": "register", "id": "r",
+                                  "matrix": "m", "problem": "laplace2d"})]),
+                out,
+            )
+        (resp,) = [json.loads(ln) for ln in out.getvalue().splitlines()]
+        assert resp["ok"] is False and resp["id"] == "r"
+        assert "registry front door" in resp["error"]

@@ -16,7 +16,9 @@ from repro.exceptions import ServeError, ShapeError
 from repro.serve import (
     SolverServer,
     encode_error,
+    encode_info,
     encode_result,
+    parse_line,
     parse_request,
 )
 
@@ -305,3 +307,66 @@ class TestProtocol:
     def test_encode_error(self):
         obj = json.loads(encode_error("r9", ValueError("boom")))
         assert obj == {"id": "r9", "ok": False, "error": "boom"}
+
+    def test_encode_info(self):
+        obj = json.loads(encode_info("r2", {"registered": "m", "n": 4}))
+        assert obj == {"id": "r2", "ok": True, "registered": "m", "n": 4}
+
+    def test_parse_matrix_field(self):
+        kwargs = parse_request('{"b": [1.0], "matrix": "lap"}')
+        assert kwargs == {"b": [1.0], "matrix": "lap"}
+        with pytest.raises(ServeError, match="string id"):
+            parse_request('{"b": [1.0], "matrix": 7}')
+
+    def test_protocol_errors_carry_the_id_when_json_parsed(self):
+        """The id-echo contract: valid JSON => the error names the
+        request; unparseable line => request_id is None."""
+        from repro.exceptions import ProtocolError
+
+        cases = [
+            ('{"id": "x", "b": [1], "bogus": 2}', "x"),
+            ('{"id": "y", "tol": 1.0}', "y"),
+            ('{"id": "z", "b": [1], "tol": "huh"}', "z"),
+            ("utterly not json", None),
+        ]
+        for line, expected_id in cases:
+            with pytest.raises(ProtocolError) as err:
+                parse_request(line)
+            assert err.value.request_id == expected_id
+
+    def test_parse_line_dispatches_verbs(self):
+        assert parse_line('{"b": [1.0]}') == ("solve", {"b": [1.0]})
+        op, payload = parse_line(
+            '{"op": "register", "id": "r", "matrix": "m", "problem": "p"}'
+        )
+        assert op == "register"
+        assert payload == {"request_id": "r", "matrix": "m", "problem": "p"}
+        op, payload = parse_line('{"op": "stats", "matrix": "m"}')
+        assert (op, payload["matrix"]) == ("stats", "m")
+        assert parse_line('{"op": "matrices"}') == (
+            "matrices", {"request_id": None},
+        )
+
+    @pytest.mark.parametrize(
+        "line, match",
+        [
+            ('{"op": "dance"}', 'unknown "op"'),
+            ('{"op": "register", "matrix": "m"}', "exactly one"),
+            (
+                '{"op": "register", "matrix": "m", "problem": "p", '
+                '"path": "q"}',
+                "exactly one",
+            ),
+            ('{"op": "register", "problem": "p"}', '"matrix" id'),
+            ('{"op": "stats", "b": [1.0]}', "unknown stats field"),
+            ('{"op": "matrices", "matrix": "m"}', "unknown matrices field"),
+            ('{"op": "solve"}', 'required "b"'),
+        ],
+    )
+    def test_parse_line_rejects_malformed_verbs(self, line, match):
+        with pytest.raises(ServeError, match=match):
+            parse_line(line)
+
+    def test_parse_request_rejects_non_solve_ops(self):
+        with pytest.raises(ServeError, match="not a solve request"):
+            parse_request('{"op": "stats", "id": "q"}')

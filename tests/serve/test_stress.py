@@ -1,6 +1,10 @@
-"""Concurrency and stress tests for the solver server.
+"""Concurrency and stress tests for the solver server and the registry.
 
-Three stories the serving subsystem must survive:
+Four stories the serving subsystem must survive:
+
+* mixed clients hammering two matrices through one registry — every
+  result must match *its own* matrix's serial solve (per-matrix
+  batching never mixes columns across matrices);
 
 * many client threads submitting mixed single/block traffic — every
   result must match the equivalent serial solve;
@@ -21,9 +25,11 @@ import pytest
 
 from repro.core import AsyRGS
 from repro.exceptions import ServeError
-from repro.serve import SolverServer
+from repro.serve import MatrixRegistry, SolverServer
+from repro.workloads import random_unit_diagonal_spd
 import repro.execution.processes as processes_module
 
+from ..conftest import manufactured_system
 from .conftest import WAIT
 
 pytestmark = pytest.mark.serve
@@ -137,6 +143,76 @@ class TestConcurrentClients:
         # The whole quartet really shared solves (x0 is not part of the
         # batch key): fewer batches than requests.
         assert stats.batches < 4
+
+
+class TestRegistryStress:
+    def test_two_matrices_mixed_clients_never_mix(self):
+        """8 client threads interleave traffic to two same-shape,
+        different-content matrices through one registry. Same shape is
+        the point: a request coalesced into the *other* matrix's batch
+        would still run — and converge to a visibly wrong answer. Every
+        result matching its own matrix's serial reference is therefore
+        a proof that per-matrix batching never mixes columns across
+        matrices."""
+        kwargs = dict(tol=1e-8, max_sweeps=300, sync_every_sweeps=10)
+        systems = {}
+        for name, seed in (("one", 8), ("two", 21)):
+            A = random_unit_diagonal_spd(
+                30, nnz_per_row=4, offdiag_scale=0.6, seed=seed
+            )
+            b, _ = manufactured_system(A, seed=seed + 1)
+            ref = AsyRGS(A, b, nproc=1, engine="processes").solve(**kwargs)
+            assert ref.converged
+            systems[name] = (A, b, ref)
+
+        n_threads, per_thread = 8, 6
+        outcomes: dict = {}
+        errors: list = []
+
+        with MatrixRegistry(
+            nproc=1, capacity_k=8, max_live_pools=2, max_wait=0.02, **kwargs
+        ) as reg:
+            for name, (A, _, _) in systems.items():
+                reg.register(name, A)
+
+            def client(tid):
+                try:
+                    for i in range(per_thread):
+                        name = "one" if (tid + i) % 2 == 0 else "two"
+                        res = reg.solve(
+                            systems[name][1], matrix=name, timeout=WAIT
+                        )
+                        outcomes[(tid, i)] = (name, res)
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append((tid, exc))
+
+            threads = [
+                threading.Thread(target=client, args=(tid,))
+                for tid in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            per_matrix = {name: reg.stats(name) for name in systems}
+            total = reg.stats()
+
+        assert not errors, errors
+        assert len(outcomes) == n_threads * per_thread
+        for (tid, i), (name, res) in outcomes.items():
+            ref = systems[name][2]
+            assert res.converged
+            # Identical mathematics modulo batch-width matmul ordering.
+            np.testing.assert_allclose(res.x, ref.x, rtol=1e-9, atol=1e-12)
+        # The counters split cleanly by matrix and add up.
+        assert total.requests_served == n_threads * per_thread
+        assert total.requests_failed == 0
+        assert sum(s.requests_served for s in per_matrix.values()) == (
+            n_threads * per_thread
+        )
+        # Both pools live within the cap: the storm never forced a
+        # respawn, so batching demonstrably stayed within each pool.
+        assert total.spawn_count == 2
 
 
 class TestDispatcherResilience:
