@@ -29,6 +29,7 @@ from .protocol import (
     parse_request,
 )
 from .registry import MatrixRegistry, merge_stats
+from .runtime import THREAD_RUNTIME, ThreadRuntime
 from .server import RequestHandle, ServedResult, ServerStats, SolverServer
 
 __all__ = [
@@ -40,6 +41,8 @@ __all__ = [
     "ServedResult",
     "ServerStats",
     "SolverServer",
+    "THREAD_RUNTIME",
+    "ThreadRuntime",
     "encode_error",
     "encode_info",
     "encode_result",

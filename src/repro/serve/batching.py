@@ -114,6 +114,11 @@ class AdaptiveWait(BatchingPolicy):
         arrive) and the window collapses to 0.
     alpha:
         EWMA smoothing factor in (0, 1]; higher adapts faster.
+    runtime:
+        Source of the snapshot lock (see :mod:`repro.serve.runtime`);
+        defaults to the real :class:`threading.Lock`. The simulation
+        harness injects its scheduler-controlled lock here so policy
+        state accesses are part of the explored interleavings.
     """
 
     name = "adaptive"
@@ -126,6 +131,7 @@ class AdaptiveWait(BatchingPolicy):
         fraction: float = 0.25,
         depth_gate: float = 0.5,
         alpha: float = 0.3,
+        runtime=None,
     ):
         if not 0.0 < alpha <= 1.0:
             raise ServeError(f"alpha must be in (0, 1], got {alpha}")
@@ -140,7 +146,7 @@ class AdaptiveWait(BatchingPolicy):
         self.fraction = float(fraction)
         self.depth_gate = float(depth_gate)
         self.alpha = float(alpha)
-        self._lock = threading.Lock()
+        self._lock = threading.Lock() if runtime is None else runtime.lock()
         self._ewma_depth: float | None = None
         self._ewma_solve: float | None = None
         self._ewma_batch: float | None = None
@@ -192,22 +198,30 @@ class AdaptiveWait(BatchingPolicy):
             }
 
 
-def make_policy(policy, max_wait: float) -> BatchingPolicy:
+def make_policy(policy, max_wait: float, runtime=None) -> BatchingPolicy:
     """Resolve a server's ``policy=`` argument: a ready-made
     :class:`BatchingPolicy` passes through, ``"fixed"`` /
-    ``"adaptive"`` build the named policy seeded with ``max_wait``."""
+    ``"adaptive"`` build the named policy seeded with ``max_wait``
+    (``runtime`` supplies the adaptive policy's lock — see
+    :mod:`repro.serve.runtime`)."""
     if isinstance(policy, BatchingPolicy):
         return policy
+    max_wait = float(max_wait)
     if policy == "fixed":
         return FixedWait(max_wait)
     if policy == "adaptive":
         # The operator's max_wait seeds the pre-measurement window and
-        # raises the adaptive cap when it exceeds the default — the
-        # documented "never stalls longer than max_wait" promise must
-        # hold from the very first batch, and a knob above the default
-        # cap must not be silently clamped once measurements land.
+        # governs the adaptive cap. An explicit 0 means "0 disables
+        # lingering" — the SolverServer contract — so the cap collapses
+        # to 0 and the policy never stalls a request, measurements or
+        # not. A nonzero knob raises the cap when it exceeds the
+        # default: the documented "never stalls longer than max_wait"
+        # promise must hold from the very first batch, and a knob above
+        # the default cap must not be silently clamped once
+        # measurements land.
+        cap = 0.0 if max_wait == 0.0 else max(0.05, max_wait)
         return AdaptiveWait(
-            initial_wait=max_wait, max_wait=max(0.05, float(max_wait))
+            initial_wait=max_wait, max_wait=cap, runtime=runtime
         )
     raise ServeError(
         f"unknown batching policy {policy!r}; expected 'fixed', "

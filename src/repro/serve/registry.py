@@ -36,19 +36,45 @@ eviction races impossible).
 from __future__ import annotations
 
 import itertools
-import threading
 
 from ..exceptions import ServeError
+from .runtime import THREAD_RUNTIME
 from .server import ServerStats, SolverServer
 
 __all__ = ["MatrixRegistry", "merge_stats"]
 
 
+def _merge_policy(snapshots: list[ServerStats]) -> dict:
+    """The ``policy`` field of a merged snapshot. A single pool's
+    snapshot passes through untouched (full policy state). Several
+    pools cannot share one state dict honestly — EWMAs from different
+    pools do not average, and the pools may run *different* policies —
+    so the merge reports a breakdown: the unanimous policy name with
+    the pool count, or ``"mixed"`` with per-policy pool counts. (The
+    old behavior — whichever pool's snapshot came last, i.e. whichever
+    matrix registered last — reported one arbitrary pool's policy as
+    the aggregate's.)"""
+    policies = [s.policy for s in snapshots]
+    if not policies:
+        return {}
+    if len(policies) == 1:
+        return dict(policies[0])
+    counts: dict = {}
+    for p in policies:
+        name = p.get("policy", "?")
+        counts[name] = counts.get(name, 0) + 1
+    if len(counts) == 1:
+        return {"policy": next(iter(counts)), "pools": len(policies)}
+    return {"policy": "mixed", "pools": len(policies), "policies": counts}
+
+
 def merge_stats(snapshots) -> ServerStats:
     """Fold per-pool :class:`ServerStats` snapshots into one: counters
     add, high-water marks take the max, the latency mean is recomputed
-    from the served-weighted sums, and ``worker_pids`` concatenates
-    (live pools only report PIDs; retired snapshots keep theirs)."""
+    from the served-weighted sums, ``worker_pids`` concatenates
+    (live pools only report PIDs; retired snapshots keep theirs), and
+    ``policy`` becomes a per-policy breakdown unless there is exactly
+    one snapshot (see ``_merge_policy``)."""
     snapshots = list(snapshots)
     served = sum(s.requests_served for s in snapshots)
     latency_sum = sum(s.latency_mean * s.requests_served for s in snapshots)
@@ -64,7 +90,7 @@ def merge_stats(snapshots) -> ServerStats:
         latency_max=max((s.latency_max for s in snapshots), default=0.0),
         spawn_count=sum(s.spawn_count for s in snapshots),
         worker_pids=[pid for s in snapshots for pid in s.worker_pids],
-        policy=snapshots[-1].policy if snapshots else {},
+        policy=_merge_policy(snapshots),
     )
 
 
@@ -111,6 +137,12 @@ class MatrixRegistry:
     default:
         Id requests without a ``matrix`` field route to. ``None`` means
         the first registered matrix.
+    runtime:
+        Source of concurrency primitives (see
+        :mod:`repro.serve.runtime`). Supplies the registry lock and is
+        inherited by every per-matrix :class:`SolverServer` this
+        registry spawns, so a simulated registry drives simulated
+        servers. Defaults to the real threading runtime.
 
     Use as a context manager, or call :meth:`close` explicitly.
     """
@@ -121,6 +153,7 @@ class MatrixRegistry:
         nproc: int,
         max_live_pools: int = 4,
         default: str | None = None,
+        runtime=None,
         **server_kwargs,
     ):
         self.max_live_pools = int(max_live_pools)
@@ -128,10 +161,13 @@ class MatrixRegistry:
             raise ServeError(
                 f"max_live_pools must be at least 1, got {max_live_pools}"
             )
-        self._defaults = dict(server_kwargs, nproc=nproc)
+        self._runtime = THREAD_RUNTIME if runtime is None else runtime
+        self._defaults = dict(
+            server_kwargs, nproc=nproc, runtime=self._runtime
+        )
         self._entries: dict[str, _Entry] = {}
         self._default_id = default
-        self._lock = threading.RLock()
+        self._lock = self._runtime.rlock()
         self._closed = False
         self._clock = itertools.count(1)
 

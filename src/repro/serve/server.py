@@ -54,14 +54,23 @@ Observability
 depth high-water mark, per-request latency (mean/max), and the pool's
 spawn count — the numbers ``bench/fig_serve.py`` plots and the stress
 suite asserts on.
+
+Testability
+-----------
+All scheduling primitives (clock, queue, events, locks, the dispatcher
+thread) come from an injectable :mod:`~repro.serve.runtime`, and the
+backing pool from an injectable ``solver_factory``. The deterministic
+simulation harness (``tests/serve/simtest``) substitutes a virtual-clock
+scheduler and an in-process fake pool, driving this exact dispatcher
+logic through thousands of seeded interleavings per CI run with zero
+wall-clock sleeps; production servers pay nothing — the default runtime
+is the real stdlib primitives.
 """
 
 from __future__ import annotations
 
 import itertools
 import queue
-import threading
-import time
 from dataclasses import asdict as dataclasses_asdict
 from dataclasses import dataclass, field as dataclasses_field
 
@@ -73,6 +82,7 @@ from ..rng import DirectionStream
 from ..sparse import CSRMatrix
 from ..validation import check_rhs, check_x0
 from .batching import make_policy
+from .runtime import THREAD_RUNTIME
 
 __all__ = ["SolverServer", "RequestHandle", "ServedResult", "ServerStats"]
 
@@ -89,22 +99,27 @@ class _BatchKey:
 
 
 class _Pending:
-    """One queued request: inputs, completion event, and timestamps."""
+    """One queued request: inputs, completion event, and timestamps.
+
+    The event and the timestamp come from the server's runtime, so a
+    simulated server's requests complete on simulated events and carry
+    virtual-clock latencies.
+    """
 
     __slots__ = (
         "request_id", "b", "x0", "key", "event", "result", "error",
         "enqueued_at",
     )
 
-    def __init__(self, request_id, b, x0, key):
+    def __init__(self, request_id, b, x0, key, event, now):
         self.request_id = request_id
         self.b = b
         self.x0 = x0
         self.key = key
-        self.event = threading.Event()
+        self.event = event
         self.result: ServedResult | None = None
         self.error: BaseException | None = None
-        self.enqueued_at = time.monotonic()
+        self.enqueued_at = now
 
 
 @dataclass
@@ -233,9 +248,12 @@ class SolverServer:
         Cap on coalesced singles per solve (default: ``capacity_k``).
     max_wait:
         Seconds the dispatcher waits for additional compatible requests
-        once a batch has its first occupant (0 disables lingering).
-        With ``policy="adaptive"`` this seeds the window used until the
-        first measurement lands.
+        once a batch has its first occupant. 0 disables lingering under
+        **both** policies — an adaptive server with ``max_wait=0``
+        never stalls a request, measurements or not. With
+        ``policy="adaptive"`` a nonzero value seeds the window used
+        until the first measurement lands (and raises the adaptive cap
+        when it exceeds the default).
     policy:
         Batching policy: ``"fixed"`` (constant ``max_wait`` window, the
         default), ``"adaptive"`` (window sized from the measured
@@ -246,6 +264,19 @@ class SolverServer:
         direction stream restarts from position 0 for every batch, so a
         request's trajectory is a pure function of the batch it rides
         in — repeated identical traffic is deterministic.
+    runtime:
+        The concurrency seam (clock, queue, event, lock, thread spawn);
+        defaults to the real primitives
+        (:data:`~repro.serve.runtime.THREAD_RUNTIME`). The deterministic
+        simulation harness substitutes a virtual-clock scheduler here.
+    solver_factory:
+        Builds the backing pool; defaults to
+        :class:`~repro.execution.ProcessAsyRGS`, called as
+        ``factory(A, zeros_block, nproc=..., beta=..., atomic=...,
+        directions=..., start_method=..., barrier_timeout=...,
+        capacity_k=...)``. The simulation harness substitutes an
+        in-process fake so dispatcher/gather/eviction logic runs under
+        seeded schedules without spawning worker processes.
 
     Use as a context manager, or call :meth:`close` explicitly.
     """
@@ -268,8 +299,12 @@ class SolverServer:
         seed: int = 0,
         start_method: str | None = None,
         barrier_timeout: float = 300.0,
+        runtime=None,
+        solver_factory=None,
     ):
         capacity_k = int(capacity_k)
+        self._runtime = THREAD_RUNTIME if runtime is None else runtime
+        self._clock = self._runtime.monotonic
         self.n = A.shape[0]
         self.capacity_k = capacity_k
         self.default_tol = float(tol)
@@ -279,11 +314,12 @@ class SolverServer:
         if self.max_batch < 1:
             raise ServeError(f"max_batch must be at least 1, got {max_batch}")
         self.max_wait = float(max_wait)
-        self.policy = make_policy(policy, self.max_wait)
+        self.policy = make_policy(policy, self.max_wait, runtime=self._runtime)
         self.nnz = A.nnz
         if directions is None:
             directions = DirectionStream(self.n, seed=seed)
-        self._solver = ProcessAsyRGS(
+        factory = ProcessAsyRGS if solver_factory is None else solver_factory
+        self._solver = factory(
             A,
             np.zeros((self.n, capacity_k)),
             nproc=nproc,
@@ -294,10 +330,12 @@ class SolverServer:
             barrier_timeout=barrier_timeout,
             capacity_k=capacity_k,
         )
-        self._queue: queue.Queue = queue.Queue()
-        self._lock = threading.Lock()
+        self._queue = self._runtime.queue()
+        self._lock = self._runtime.lock()
         self._closed = False
-        self._stash: _Pending | None = None
+        self._broken: str | None = None  # why the dispatcher died, if it did
+        self._stash: _Pending | None = None  # dispatcher-private
+        self._stashed = 0  # lock-protected mirror of `_stash is not None`
         self._stop_after = False
         self._ids = itertools.count()
         # Raw counters; stats() derives the means under the lock.
@@ -311,10 +349,9 @@ class SolverServer:
         self._latency_sum = 0.0
         self._latency_max = 0.0
         self._solver.open()  # spawn workers + copy the CSR exactly once
-        self._dispatcher = threading.Thread(
-            target=self._loop, name="asyrgs-serve-dispatch", daemon=True
+        self._dispatcher = self._runtime.spawn(
+            self._loop, name="asyrgs-serve-dispatch"
         )
-        self._dispatcher.start()
 
     # -- client API -----------------------------------------------------
 
@@ -371,13 +408,21 @@ class SolverServer:
             ),
         )
         with self._lock:
+            if self._broken is not None:
+                raise ServeError(self._broken)
             if self._closed:
                 raise ServeError("server is closed; no new requests accepted")
             if request_id is None:
                 request_id = next(self._ids)
-            pending = _Pending(request_id, b, x0, key)
+            pending = _Pending(
+                request_id, b, x0, key, self._runtime.event(), self._clock()
+            )
             self._submitted += 1
-            depth = self._queue.qsize() + 1 + (1 if self._stash is not None else 0)
+            # `_stash` itself is dispatcher-private; `_stashed` is its
+            # lock-protected occupancy mirror, so this read is ordered
+            # against the dispatcher's stash transitions instead of
+            # racing a foreign thread's plain attribute write.
+            depth = self._queue.qsize() + 1 + self._stashed
             self._max_depth = max(self._max_depth, depth)
             self._queue.put(pending)
         return RequestHandle(pending)
@@ -456,6 +501,10 @@ class SolverServer:
         raised — tearing it down under a live solve would wedge two
         parent waiters on one barrier and free the shared views mid-use.
         Calling ``close()`` again retries.
+
+        A server whose dispatcher already died abnormally (see
+        ``_shutdown_dispatch``) closes cleanly: the queue was drained
+        when the dispatcher exited, so only the pool remains to stop.
         """
         with self._lock:
             already = self._closed
@@ -473,10 +522,10 @@ class SolverServer:
     # -- dispatcher -----------------------------------------------------
 
     def _loop(self) -> None:
+        cause = None
         try:
             while True:
-                item = self._stash
-                self._stash = None
+                item = self._take_stash()
                 if item is None:
                     item = self._queue.get()
                 if item is _SHUTDOWN:
@@ -495,8 +544,46 @@ class SolverServer:
                         raise  # KeyboardInterrupt/SystemExit and kin
                 if self._stop_after:
                     break
+        except BaseException as exc:
+            cause = exc
+            raise
         finally:
-            self._drain()
+            self._shutdown_dispatch(cause)
+
+    def _take_stash(self) -> "_Pending | None":
+        """Pop the stashed request (dispatcher only), keeping the
+        lock-protected occupancy mirror in step for depth accounting."""
+        item = self._stash
+        if item is not None:
+            self._stash = None
+            with self._lock:
+                self._stashed = 0
+        return item
+
+    def _shutdown_dispatch(self, cause: BaseException | None) -> None:
+        """The dispatcher's exit path. A normal exit (shutdown sentinel)
+        just drains; an abnormal one — the loop died of a
+        non-``Exception`` ``BaseException`` — first marks the server
+        broken, so queued requests and every later :meth:`submit` fail
+        fast with a :class:`ServeError` naming the cause instead of
+        enqueuing onto a queue nothing will ever pop again (a client
+        blocked in ``result()`` with no timeout would hang forever).
+        """
+        error = None
+        if cause is not None:
+            reason = (
+                "server is broken: the dispatcher died of "
+                f"{type(cause).__name__}: {cause}"
+            )
+            # Close the intake *before* draining: submit() checks under
+            # the same lock it enqueues under, so once this flag is set
+            # no request can slip in behind the drain and wedge.
+            with self._lock:
+                self._closed = True
+                self._broken = reason
+            error = ServeError(reason)
+            error.__cause__ = cause if isinstance(cause, Exception) else None
+        self._drain(error)
 
     def _fail_batch(self, batch: list[_Pending], exc: BaseException) -> None:
         """Release every still-waiting member of a batch with the error
@@ -523,9 +610,9 @@ class SolverServer:
         batch = [first]
         if first.b.ndim != 1:
             return batch  # block requests run alone
-        deadline = time.monotonic() + self.policy.linger(self._queue.qsize())
+        deadline = self._clock() + self.policy.linger(self._queue.qsize())
         while len(batch) < self.max_batch:
-            remaining = deadline - time.monotonic()
+            remaining = deadline - self._clock()
             try:
                 if remaining > 0:
                     nxt = self._queue.get(timeout=remaining)
@@ -540,11 +627,13 @@ class SolverServer:
                 batch.append(nxt)
             else:
                 self._stash = nxt
+                with self._lock:
+                    self._stashed = 1
                 break
         return batch
 
     def _run_batch(self, batch: list[_Pending]) -> None:
-        started = time.monotonic()
+        started = self._clock()
         block = batch[0].b.ndim != 1
         if block:
             B = batch[0].b
@@ -587,7 +676,7 @@ class SolverServer:
                 r.error = err
                 r.event.set()
             return
-        finish = time.monotonic()
+        finish = self._clock()
         wall = finish - started
         # Feedback for adaptive policies: the queue depth left behind a
         # batch is the concurrency signal (closed-loop clients keep it
@@ -643,12 +732,16 @@ class SolverServer:
             r.result = out
             r.event.set()
 
-    def _drain(self) -> None:
-        """Fail whatever is still queued when the dispatcher exits."""
+    def _drain(self, error: ServeError | None = None) -> None:
+        """Fail whatever is still queued when the dispatcher exits —
+        with ``error`` (the broken-dispatcher cause) when the exit was
+        abnormal, with the plain closed-server message otherwise."""
         leftovers = []
         if self._stash is not None:
             leftovers.append(self._stash)
             self._stash = None
+            with self._lock:
+                self._stashed = 0
         while True:
             try:
                 item = self._queue.get_nowait()
@@ -657,7 +750,9 @@ class SolverServer:
             if item is not _SHUTDOWN:
                 leftovers.append(item)
         if leftovers:
-            err = ServeError("server closed before this request was served")
+            err = error if error is not None else ServeError(
+                "server closed before this request was served"
+            )
             with self._lock:
                 self._failed += len(leftovers)
             for r in leftovers:

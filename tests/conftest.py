@@ -9,6 +9,25 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+def pytest_addoption(parser):
+    """Knobs for the deterministic simulation suite (tests/serve/simtest):
+    replay one failing schedule, or scale the exploration sweeps."""
+    parser.addoption(
+        "--sim-seed",
+        type=int,
+        default=None,
+        help="replay exactly this simulation schedule seed in every "
+        "exploration sweep (printed by a failing simtest run)",
+    )
+    parser.addoption(
+        "--sim-count",
+        type=int,
+        default=None,
+        help="override the number of seeds each simulation exploration "
+        "sweep runs (CI turns this up; quick local runs turn it down)",
+    )
+
 from repro.rng import CounterRNG
 from repro.sparse import CSRMatrix
 from repro.workloads import (

@@ -1,0 +1,1 @@
+"""Deterministic simulation tests for the serving stack (see README.md)."""

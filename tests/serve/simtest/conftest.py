@@ -1,0 +1,36 @@
+"""Fixtures for the simulation suites: seed-range control.
+
+Every exploration test draws its seed range through the ``sim_seeds``
+fixture, which is where the command line hooks in:
+
+* ``--sim-seed=N`` replays exactly one schedule — the workflow when a
+  sweep (locally or in CI) printed a failing seed.
+* ``--sim-count=K`` overrides every sweep's seed count — CI's
+  schedule-exploration slice turns it up, quick local runs turn it
+  down.
+
+Regression tests pin their own recorded seeds and ignore both knobs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def sim_seeds(request):
+    """``sim_seeds(base, count)`` → the seeds an exploration test runs.
+
+    Disjoint ``base`` values keep scenarios on disjoint schedule
+    families, so "seed N" in a failure report is unambiguous."""
+
+    def seeds(base: int, count: int):
+        override = request.config.getoption("--sim-seed")
+        if override is not None:
+            return [int(override)]
+        scale = request.config.getoption("--sim-count")
+        if scale is not None:
+            count = int(scale)
+        return [base + i for i in range(count)]
+
+    return seeds

@@ -1,0 +1,440 @@
+"""Simulation scenarios: the serving stack under seeded schedules.
+
+Each driver builds a :class:`~tests.serve.simtest.scheduler.SimScheduler`
+around the *real* serving code — :class:`~repro.serve.SolverServer`,
+:class:`~repro.serve.MatrixRegistry`, the real batching policies — with
+only the pool faked (:mod:`.fakes`), runs one seeded schedule to
+completion, asserts the invariants that must hold under **every**
+interleaving (exact results, conserved counters, no hung requests), and
+returns what the calling test wants to inspect.
+
+:func:`explore` sweeps a driver across a seed range; any failure is
+re-raised annotated with the seed and the exact replay command, which
+is the harness's contract: a red schedule is a deterministic artifact,
+not a flake.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ServeError
+from repro.serve import FixedWait, MatrixRegistry, SolverServer
+
+from .fakes import diagonal_system, fake_factory
+from .scheduler import SimScheduler
+
+__all__ = [
+    "GatePolicy",
+    "explore",
+    "run_adaptive_linger",
+    "run_dispatcher_death",
+    "run_registry_policies",
+    "run_registry_traffic",
+    "run_server_traffic",
+    "run_stash_depth",
+]
+
+N = 8  # system size for every scenario
+
+#: Powers of two so ``b / diag`` is exact in floating point: result
+#: assertions are equality, never tolerance.
+_DIAG = 2.0 ** (np.arange(N) % 3)
+
+
+def _rhs(tag: int) -> np.ndarray:
+    """A per-request RHS unique to ``tag``: any cross-wiring of batch
+    slices or requests produces an exact mismatch."""
+    return float(tag + 1) * (np.arange(N) + 1.0)
+
+
+def explore(scenario, seeds, check=None, **kwargs):
+    """Run ``scenario(seed, **kwargs)`` for every seed; ``check`` (if
+    given) validates each return value. Failures re-raise annotated
+    with the seed and the replay command."""
+    outcomes = []
+    for seed in seeds:
+        try:
+            out = scenario(seed, **kwargs)
+            if check is not None:
+                check(out)
+            outcomes.append(out)
+        except Exception as exc:
+            raise AssertionError(
+                f"{scenario.__name__} failed at seed {seed} — replay with: "
+                f"pytest tests/serve/simtest --sim-seed={seed} "
+                f"-k {scenario.__name__}  ({type(exc).__name__}: {exc})"
+            ) from exc
+    return outcomes
+
+
+class GatePolicy(FixedWait):
+    """FixedWait that signals an event when the dispatcher first calls
+    :meth:`linger` — scenario plumbing to hold client submissions until
+    a batch's first occupant is being gathered."""
+
+    def __init__(self, max_wait: float, gate):
+        super().__init__(max_wait)
+        self._gate = gate
+
+    def linger(self, queue_depth: int) -> float:
+        self._gate.set()
+        return self.max_wait
+
+
+# ---------------------------------------------------------------------------
+# Generic traffic scenarios (the exploration workhorses)
+# ---------------------------------------------------------------------------
+
+
+def run_server_traffic(
+    seed: int,
+    *,
+    server_cls=SolverServer,
+    n_clients: int = 3,
+    per_client: int = 2,
+    policy="fixed",
+    max_wait: float = 0.002,
+    capacity_k: int = 4,
+    solve_time: float = 0.01,
+    mixed_keys: bool = True,
+    record_trace: bool = False,
+):
+    """Concurrent clients against one server: submit bursts, await all,
+    assert exact answers and conserved counters under the seed's
+    schedule. ``mixed_keys`` alternates per-request tolerances so
+    incompatible neighbors exercise the stash path."""
+    sched = SimScheduler(seed, record_trace=record_trace)
+    A = diagonal_system(_DIAG)
+    pools: list = []
+    server = server_cls(
+        A,
+        nproc=2,
+        capacity_k=capacity_k,
+        max_wait=max_wait,
+        policy=policy,
+        runtime=sched.runtime,
+        solver_factory=fake_factory(
+            sleep=sched.sleep, solve_time=solve_time, made=pools
+        ),
+    )
+
+    def client(idx: int):
+        def work():
+            handles = []
+            for j in range(per_client):
+                tag = idx * per_client + j
+                kwargs = {}
+                if mixed_keys and tag % 2:
+                    kwargs["tol"] = 1e-3
+                handles.append((tag, server.submit(_rhs(tag), **kwargs)))
+            for tag, h in handles:
+                res = h.result()
+                assert np.array_equal(res.x, _rhs(tag) / _DIAG), (
+                    f"request {tag} got another request's answer"
+                )
+                assert res.batch_size >= 1
+                assert res.latency >= res.queue_wait >= 0.0
+
+        return work
+
+    clients = [
+        sched.task(client(i), name=f"client-{i}") for i in range(n_clients)
+    ]
+
+    def closer():
+        for h in clients:
+            h.join()
+        server.close()
+
+    sched.task(closer, name="closer")
+    sched.run()
+
+    total = n_clients * per_client
+    stats = server.stats()
+    assert stats.requests_submitted == total
+    assert stats.requests_served == total
+    assert stats.requests_failed == 0
+    assert stats.batches == pools[0].solve_calls
+    assert stats.max_batch_size <= capacity_k
+    assert stats.max_queue_depth <= total
+    assert sum(pools[0].solved_widths) == total
+    assert not sched.daemon_failures
+    return {"stats": stats, "trace": sched.trace, "steps": sched.steps}
+
+
+def run_registry_traffic(
+    seed: int,
+    *,
+    n_matrices: int = 3,
+    max_live_pools: int = 2,
+    n_clients: int = 3,
+    per_client: int = 2,
+):
+    """Concurrent clients routed across several registered matrices with
+    a pool cap that forces live LRU eviction mid-traffic. Each matrix
+    is a distinctly-scaled diagonal, so a request solved against the
+    wrong resident matrix is an exact mismatch."""
+    sched = SimScheduler(seed)
+    pools: list = []
+    registry = MatrixRegistry(
+        nproc=1,
+        max_live_pools=max_live_pools,
+        capacity_k=4,
+        max_wait=0.002,
+        runtime=sched.runtime,
+        solver_factory=fake_factory(
+            sleep=sched.sleep, solve_time=0.01, made=pools
+        ),
+    )
+    names = [f"m{i}" for i in range(n_matrices)]
+    scales = [2.0**i for i in range(n_matrices)]
+    for name, scale in zip(names, scales):
+        registry.register(name, diagonal_system(scale * _DIAG))
+
+    def client(idx: int):
+        def work():
+            for j in range(per_client):
+                tag = idx * per_client + j
+                which = (idx + j) % n_matrices
+                # Exercise default routing too: m0 is the default.
+                matrix = None if which == 0 else names[which]
+                h = registry.submit(_rhs(tag), matrix=matrix)
+                res = h.result()
+                expect = _rhs(tag) / (scales[which] * _DIAG)
+                assert np.array_equal(res.x, expect), (
+                    f"request {tag} was solved against the wrong matrix"
+                )
+
+        return work
+
+    clients = [
+        sched.task(client(i), name=f"client-{i}") for i in range(n_clients)
+    ]
+
+    def closer():
+        for h in clients:
+            h.join()
+        registry.close()
+
+    sched.task(closer, name="closer")
+    sched.run()
+
+    total = n_clients * per_client
+    agg = registry.stats()
+    assert agg.requests_submitted == total
+    assert agg.requests_served == total
+    assert agg.requests_failed == 0
+    assert agg.spawn_count == sum(p.spawn_count for p in pools)
+    assert not sched.daemon_failures
+    return {"aggregate": agg, "pools_built": len(pools), "steps": sched.steps}
+
+
+# ---------------------------------------------------------------------------
+# Bugfix scenarios (regression drivers; see test_regressions.py)
+# ---------------------------------------------------------------------------
+
+
+def run_dispatcher_death(seed: int, *, server_cls=SolverServer):
+    """A ``BaseException`` (KeyboardInterrupt) kills the dispatcher on
+    the first batch; a second client then submits against the dead
+    server. Post-fix it gets a fast :class:`ServeError` naming the
+    cause; pre-fix its ``result()`` blocks a queue nothing pops — the
+    harness reports that wedge as ``SimDeadlock``."""
+    sched = SimScheduler(seed)
+    server = server_cls(
+        diagonal_system(_DIAG),
+        nproc=1,
+        capacity_k=2,
+        max_wait=0.0,
+        runtime=sched.runtime,
+        solver_factory=fake_factory(
+            sleep=sched.sleep,
+            solve_time=0.01,
+            fail_on={1: KeyboardInterrupt("injected fault")},
+        ),
+    )
+    outcome = {"result_error": None, "submit_error": None, "late_error": None}
+
+    def first():
+        h = server.submit(_rhs(0))
+        try:
+            h.result()
+        except ServeError as exc:
+            outcome["result_error"] = str(exc)
+
+    def second():
+        # Wait until the dispatcher has fully exited, so pre-fix code
+        # deterministically wedges (its exit drain has already run).
+        server._dispatcher.join()
+        try:
+            h = server.submit(_rhs(1))
+        except ServeError as exc:
+            outcome["submit_error"] = str(exc)
+            return
+        try:
+            h.result()  # no timeout: pre-fix, this waits forever
+        except ServeError as exc:
+            outcome["late_error"] = str(exc)
+
+    tasks = [
+        sched.task(first, name="first-client"),
+        sched.task(second, name="second-client"),
+    ]
+
+    def closer():
+        for h in tasks:
+            h.join()
+        server.close()
+
+    sched.task(closer, name="closer")
+    sched.run()
+
+    assert outcome["result_error"] is not None, (
+        "the first request must fail with the batch error"
+    )
+    failures = sched.daemon_failures
+    assert len(failures) == 1 and isinstance(failures[0], KeyboardInterrupt)
+    return outcome
+
+
+def run_stash_depth(seed: int, *, server_cls=SolverServer):
+    """Three requests, never more than two waiting at once: r1 is being
+    gathered (long linger window) when incompatible r2 arrives and gets
+    stashed, while r3's ``submit`` runs concurrently with the stash
+    transition. Returns the queue-depth high-water mark, whose true
+    bound is 2 — the pre-fix unsynchronized ``_stash`` read in
+    ``submit()`` can double-count r2 (once in the queue snapshot, once
+    in the stash) and report 3."""
+    sched = SimScheduler(seed)
+    gate = sched.runtime.event()
+    second_in = sched.runtime.event()
+    server = server_cls(
+        diagonal_system(_DIAG),
+        nproc=1,
+        capacity_k=2,
+        max_wait=5.0,
+        policy=GatePolicy(5.0, gate),
+        runtime=sched.runtime,
+        solver_factory=fake_factory(sleep=sched.sleep, solve_time=0.005),
+    )
+
+    def first():
+        h = server.submit(_rhs(0))
+        res = h.result()
+        assert np.array_equal(res.x, _rhs(0) / _DIAG)
+
+    def second():
+        gate.wait()  # r1 is in-gather: its linger window is open
+        h = server.submit(_rhs(1), tol=1e-3)  # incompatible -> stashed
+        second_in.set()
+        res = h.result()
+        assert np.array_equal(res.x, _rhs(1) / _DIAG)
+
+    def third():
+        second_in.wait()
+        h = server.submit(_rhs(2), tol=1e-3)
+        res = h.result()
+        assert np.array_equal(res.x, _rhs(2) / _DIAG)
+
+    tasks = [
+        sched.task(first, name="first-client"),
+        sched.task(second, name="second-client"),
+        sched.task(third, name="third-client"),
+    ]
+
+    def closer():
+        for h in tasks:
+            h.join()
+        server.close()
+
+    sched.task(closer, name="closer")
+    sched.run()
+
+    stats = server.stats()
+    assert stats.requests_served == 3
+    assert not sched.daemon_failures
+    return stats.max_queue_depth
+
+
+def run_adaptive_linger(
+    seed: int, *, policy="adaptive", max_wait: float = 0.0, burst: int = 6
+):
+    """An open-loop burst trains the adaptive EWMAs (deep queue, slow
+    solves), then one request arrives alone. With ``max_wait=0`` the
+    operator disabled lingering, so the lone request's queue wait must
+    be scheduling noise only; the pre-fix ``make_policy`` cap of
+    ``max(0.05, max_wait)`` stalls it ~50 ms of simulated time once the
+    measurements land. Returns ``(lone_queue_wait, policy_snapshot)``."""
+    sched = SimScheduler(seed)
+    server = SolverServer(
+        diagonal_system(_DIAG),
+        nproc=1,
+        capacity_k=2,
+        max_wait=max_wait,
+        policy=policy,
+        runtime=sched.runtime,
+        solver_factory=fake_factory(sleep=sched.sleep, solve_time=0.2),
+    )
+    lone = {}
+
+    def client():
+        handles = [server.submit(_rhs(t)) for t in range(burst)]
+        for t, h in enumerate(handles):
+            res = h.result()
+            assert np.array_equal(res.x, _rhs(t) / _DIAG)
+        res = server.submit(_rhs(burst)).result()
+        assert np.array_equal(res.x, _rhs(burst) / _DIAG)
+        lone["queue_wait"] = res.queue_wait
+
+    h = sched.task(client, name="client")
+
+    def closer():
+        h.join()
+        server.close()
+
+    sched.task(closer, name="closer")
+    sched.run()
+
+    assert not sched.daemon_failures
+    return lone["queue_wait"], server.policy.snapshot()
+
+
+def run_registry_policies(seed: int):
+    """Two matrices running *different* batching policies behind one
+    registry; returns the ``/v1/stats`` payload. Pre-fix,
+    ``merge_stats`` stamped the whole aggregate with whichever pool's
+    snapshot came last."""
+    sched = SimScheduler(seed)
+    registry = MatrixRegistry(
+        nproc=1,
+        capacity_k=2,
+        max_wait=0.002,
+        runtime=sched.runtime,
+        solver_factory=fake_factory(sleep=sched.sleep, solve_time=0.01),
+    )
+    registry.register("fx", diagonal_system(_DIAG), policy="fixed")
+    registry.register("ad", diagonal_system(2.0 * _DIAG), policy="adaptive")
+
+    def client(name: str, scale: float, tag: int):
+        def work():
+            res = registry.submit(_rhs(tag), matrix=name).result()
+            assert np.array_equal(res.x, _rhs(tag) / (scale * _DIAG))
+
+        return work
+
+    tasks = [
+        sched.task(client("fx", 1.0, 0), name="client-fx"),
+        sched.task(client("ad", 2.0, 1), name="client-ad"),
+    ]
+
+    def closer():
+        for h in tasks:
+            h.join()
+        registry.close()
+
+    sched.task(closer, name="closer")
+    sched.run()
+
+    assert not sched.daemon_failures
+    return registry.stats_payload()

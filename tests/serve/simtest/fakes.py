@@ -1,0 +1,177 @@
+"""In-process stand-ins for the multiprocess solver pool.
+
+The simulation harness tests the *serving* logic — dispatch, gather,
+stash, eviction, policy feedback — not the numerical engine, so the
+pool behind the server is replaced by :class:`FakePool`: an in-process
+object with the exact :class:`~repro.execution.ProcessAsyRGS` surface
+the server touches (``open``/``close``/``solve``/``spawn_count``/
+``worker_pids``) whose "solves" are exact, instantaneous algebra on a
+**diagonal** system.
+
+Diagonal systems make every routing bug visible: for ``A = diag(d)``
+the solution of ``A x = b`` is exactly ``b / d``, computed without
+iteration or rounding ambiguity, so a request that receives another
+request's column, a batch sliced off by one, or a request solved
+against the wrong resident matrix produces an exact mismatch under
+*any* interleaving — the assertion never needs a tolerance.
+
+Solve duration is **virtual**: ``solve_time`` seconds are consumed on
+the simulation clock (via the scheduler's ``sleep``), so batches have
+real extent in simulated time — queues build behind slow solves, linger
+deadlines fire mid-solve — at zero wall-clock cost.
+
+``fail_on`` scripts failures: ``{call_index: exception}`` raises that
+exception from the N-th ``solve`` call (1-based), which is how the
+drivers inject worker crashes (``Exception``) and dispatcher-killing
+``BaseException`` (e.g. ``KeyboardInterrupt``) at a deterministic
+point in the schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse import CSRMatrix
+
+__all__ = ["FakePool", "FakeRunResult", "diagonal_system", "fake_factory"]
+
+
+class FakeRunResult:
+    """The slice of ``ProcessRunResult`` the server reads back."""
+
+    __slots__ = (
+        "x",
+        "converged",
+        "sweeps_done",
+        "converged_columns",
+        "column_sweeps",
+        "column_residuals",
+    )
+
+    def __init__(self, x: np.ndarray):
+        k = x.shape[1]
+        self.x = x
+        self.converged = True
+        self.sweeps_done = 7
+        self.converged_columns = np.ones(k, dtype=bool)
+        self.column_sweeps = np.full(k, 3, dtype=np.int64)
+        self.column_residuals = np.zeros(k, dtype=np.float64)
+
+
+def diagonal_system(diag) -> CSRMatrix:
+    """``diag(d)`` as a CSR matrix: the exactly-solvable test system."""
+    d = np.asarray(diag, dtype=np.float64)
+    n = d.shape[0]
+    return CSRMatrix(
+        (n, n),
+        np.arange(n + 1, dtype=np.int64),
+        np.arange(n, dtype=np.int64),
+        d.copy(),
+    )
+
+
+class FakePool:
+    """In-process pool with the ``ProcessAsyRGS`` surface and exact
+    diagonal-solve semantics (see module docstring).
+
+    Accepts the full keyword surface :class:`~repro.serve.SolverServer`
+    passes its ``solver_factory`` and ignores what a fake has no use
+    for (beta, atomic, directions, start method, barrier timeout).
+    """
+
+    def __init__(
+        self,
+        A: CSRMatrix,
+        x_block: np.ndarray,
+        *,
+        nproc: int,
+        capacity_k: int,
+        sleep=None,
+        solve_time: float = 0.0,
+        fail_on: dict | None = None,
+        **_ignored,
+    ):
+        n = A.shape[0]
+        if A.shape != (n, n) or not np.array_equal(
+            A.indptr, np.arange(n + 1)
+        ):
+            raise ValueError("FakePool requires a diagonal system")
+        self._diag = A.data.copy()
+        self.capacity_k = int(capacity_k)
+        self.nproc = int(nproc)
+        self._sleep = sleep if sleep is not None else (lambda _s: None)
+        self.solve_time = float(solve_time)
+        self.fail_on = dict(fail_on or {})
+        self.spawn_count = 0
+        self.solve_calls = 0
+        self.solved_widths: list[int] = []
+        self._open = False
+        self._respawn_pending = False
+
+    # -- ProcessAsyRGS surface ------------------------------------------
+
+    def open(self) -> None:
+        self._open = True
+        self.spawn_count += 1
+
+    def close(self) -> None:
+        self._open = False
+
+    def worker_pids(self) -> list[int]:
+        return list(range(self.nproc))
+
+    def solve(
+        self,
+        tol: float,
+        max_sweeps: int,
+        x0: np.ndarray | None = None,
+        *,
+        sync_every_sweeps: int,
+        b: np.ndarray | None = None,
+        **_ignored,
+    ) -> FakeRunResult:
+        if not self._open:
+            raise RuntimeError("solve on a closed FakePool")
+        if b is None or b.ndim != 2:
+            raise ValueError("the server always passes a 2-D RHS block")
+        if b.shape[1] > self.capacity_k:
+            raise ValueError(
+                f"RHS width {b.shape[1]} exceeds capacity {self.capacity_k}"
+            )
+        if self._respawn_pending:
+            # The real backend drops a crashed pool and respawns it on
+            # the next batch; spawn_count records that honestly.
+            self.spawn_count += 1
+            self._respawn_pending = False
+        self.solve_calls += 1
+        self.solved_widths.append(b.shape[1])
+        if self.solve_time:
+            self._sleep(self.solve_time)
+        exc = self.fail_on.get(self.solve_calls)
+        if exc is not None:
+            if isinstance(exc, Exception):
+                self._respawn_pending = True
+            raise exc
+        return FakeRunResult(b / self._diag[:, None])
+
+
+def fake_factory(*, sleep=None, solve_time: float = 0.0, fail_on=None, made=None):
+    """A ``solver_factory`` for :class:`~repro.serve.SolverServer`:
+    binds the fake's configuration, forwards the server's construction
+    call, and (when ``made`` is a list) records each pool it builds so
+    drivers can assert on call counts afterwards."""
+
+    def build(A, x_block, **kwargs):
+        pool = FakePool(
+            A,
+            x_block,
+            sleep=sleep,
+            solve_time=solve_time,
+            fail_on=fail_on,
+            **kwargs,
+        )
+        if made is not None:
+            made.append(pool)
+        return pool
+
+    return build

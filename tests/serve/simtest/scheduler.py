@@ -1,0 +1,536 @@
+"""Deterministic simulation scheduler for the serving stack.
+
+The serving layer's concurrency is ordinary threaded Python — a
+dispatcher thread, client threads, queues, events, locks, deadlines.
+Testing it with real time and a real scheduler samples *one* arbitrary
+interleaving per run and hides the rest behind wall-clock sleeps. This
+module replaces both schedulers: time and thread interleaving become a
+pure function of a seed.
+
+How it works
+------------
+Tasks are real OS threads, but they are **serialized**: every thread
+parks on its own semaphore, and exactly one of {the scheduler, one
+task} is ever runnable. A task runs until it touches a simulation
+primitive (clock read, queue op, event, lock, sleep, join) — every such
+call is a *yield point* that hands control back to the scheduler, which
+picks the next runnable task with a seeded counter-based RNG
+(:class:`repro.rng.CounterRNG`, the library's own Philox streams) and
+advances a virtual clock by a tiny seeded jitter. A task blocked on a
+condition (queue non-empty, event set, lock free) is resumed only when
+its predicate holds or its virtual deadline passes; when *nothing* is
+runnable the clock jumps straight to the earliest deadline — zero
+wall-clock sleeping, however long the simulated waits are.
+
+Consequences:
+
+* **Determinism** — with all threads parked except one, the OS scheduler
+  has no choices left to make; the whole execution (interleaving,
+  clock readings, timeouts) is a pure function of the seed.
+* **Replay** — a failing schedule is reproduced exactly by re-running
+  with its seed (``pytest tests/serve/simtest --sim-seed=N``).
+* **Wedge detection** — a real deadlock (every task blocked, no timed
+  wait pending) raises :class:`SimDeadlock` naming the blocked tasks
+  instead of hanging the test run.
+
+Foreground vs daemon tasks mirror the threading semantics the server
+relies on: :meth:`SimScheduler.task` registers a foreground task and
+:meth:`SimScheduler.run` completes when all foreground tasks have
+finished; ``runtime.spawn`` (the server's dispatcher) registers a
+*daemon* task that may still be blocked at exit, exactly like the
+daemon dispatcher thread in production. A daemon task dying of an
+exception does not abort the run — it is recorded in
+:attr:`SimScheduler.daemon_failures` for the driver to assert on
+(the dispatcher *deliberately* re-raises ``KeyboardInterrupt`` and kin).
+"""
+
+from __future__ import annotations
+
+import queue as _queue_mod
+import threading
+from collections import deque
+
+from repro.rng import CounterRNG
+
+__all__ = [
+    "SimDeadlock",
+    "SimEvent",
+    "SimLock",
+    "SimQueue",
+    "SimRLock",
+    "SimRuntime",
+    "SimScheduler",
+    "SimStall",
+    "SimThread",
+]
+
+#: Mean virtual seconds consumed per scheduling step (uniform jitter in
+#: ``[0, _STEP_JITTER)``) — small enough that linger windows span many
+#: interleaving opportunities, large enough that timeouts fire while
+#: other tasks make progress.
+_STEP_JITTER = 1e-4
+
+_CHUNK = 512  # RNG words drawn per Philox batch
+
+
+class SimDeadlock(Exception):
+    """Every task is blocked, none has a timed wait: a real wedge."""
+
+
+class SimStall(Exception):
+    """The schedule exceeded the step budget (runaway loop guard)."""
+
+
+class _Killed(BaseException):
+    """Raised inside a task at teardown to unwind it; never escapes the
+    harness (a ``BaseException`` so ``except Exception`` handlers in
+    the code under test cannot swallow it)."""
+
+
+class _Stream:
+    """Chunked draws from one CounterRNG stream (one Philox evaluation
+    per ``_CHUNK`` words instead of one per scheduling step)."""
+
+    def __init__(self, rng: CounterRNG):
+        self._rng = rng
+        self._pos = 0
+        self._buf = None
+        self._idx = _CHUNK
+
+    def _word(self) -> int:
+        if self._idx >= _CHUNK:
+            self._buf = self._rng.uint32(self._pos, _CHUNK)
+            self._pos += _CHUNK
+            self._idx = 0
+        w = int(self._buf[self._idx])
+        self._idx += 1
+        return w
+
+    def pick(self, n: int) -> int:
+        """Uniform int in [0, n)."""
+        return (self._word() * n) >> 32
+
+    def jitter(self) -> float:
+        """Uniform float in [0, _STEP_JITTER)."""
+        return self._word() * (_STEP_JITTER / 2.0**32)
+
+
+class _Task:
+    """One simulated thread: a parked OS thread plus its block state."""
+
+    def __init__(self, sched: "SimScheduler", name: str, target, daemon: bool):
+        self.sched = sched
+        self.name = name
+        self.target = target
+        self.daemon = daemon
+        self.sem = threading.Semaphore(0)
+        self.done = False
+        self.failure: BaseException | None = None
+        # None predicate = plain yield (always runnable once parked).
+        self.predicate = None
+        self.deadline: float | None = None
+        self.thread = threading.Thread(
+            target=self._run, name=f"sim:{name}", daemon=True
+        )
+        self.thread.start()
+
+    def _run(self) -> None:
+        self.sem.acquire()  # park until first scheduled
+        try:
+            if not self.sched._killing:
+                self.target()
+        except _Killed:
+            pass
+        except BaseException as exc:  # noqa: BLE001 — report, don't crash
+            self.failure = exc
+        finally:
+            self.done = True
+            self.sched._sched_sem.release()
+
+    def runnable(self, now: float) -> bool:
+        if self.predicate is None:
+            return True
+        if self.deadline is not None and now >= self.deadline:
+            return True
+        return bool(self.predicate())
+
+
+class SimScheduler:
+    """Owns virtual time and the interleaving of registered tasks.
+
+    Parameters
+    ----------
+    seed:
+        The schedule. Same seed, same tasks → identical execution.
+    max_steps:
+        Runaway guard: :class:`SimStall` after this many scheduling
+        steps (a healthy scenario takes hundreds to a few thousand).
+    record_trace:
+        When true, :attr:`trace` records the picked task name per step
+        (the determinism tests diff these).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        max_steps: int = 200_000,
+        record_trace: bool = False,
+    ):
+        self.seed = int(seed)
+        self.now = 0.0
+        self._choice = _Stream(CounterRNG(seed, stream=0x5C4E))
+        self._jitter = _Stream(CounterRNG(seed, stream=0x71CC))
+        self._tasks: list[_Task] = []
+        self._task_of: dict[threading.Thread, _Task] = {}
+        self._sched_sem = threading.Semaphore(0)
+        self._killing = False
+        self._steps = 0
+        self._max_steps = int(max_steps)
+        self.trace: list[str] | None = [] if record_trace else None
+        self.runtime = SimRuntime(self)
+
+    # -- task registration ----------------------------------------------
+
+    def task(self, target, name: str) -> "SimThread":
+        """Register a foreground task; :meth:`run` waits for it."""
+        return self._register(target, name, daemon=False)
+
+    def _register(self, target, name, *, daemon: bool) -> "SimThread":
+        task = _Task(self, name or f"task-{len(self._tasks)}", target, daemon)
+        self._tasks.append(task)
+        self._task_of[task.thread] = task
+        return SimThread(self, task)
+
+    # -- the yield point -------------------------------------------------
+
+    def _pause(self, predicate=None, deadline: float | None = None) -> bool:
+        """Hand control to the scheduler (every sim primitive calls
+        this). With a predicate, do not resume until it holds or the
+        virtual ``deadline`` passes; returns the predicate's value at
+        resume (``True`` for plain yields).
+
+        Called from a non-task thread (test setup before :meth:`run`,
+        or inspection after), this is pass-through: no scheduling
+        exists, so it just evaluates the predicate.
+        """
+        task = self._task_of.get(threading.current_thread())
+        if task is None:
+            return True if predicate is None else bool(predicate())
+        if self._killing:
+            raise _Killed()
+        task.predicate = predicate
+        task.deadline = deadline
+        self._sched_sem.release()
+        task.sem.acquire()
+        if self._killing:
+            raise _Killed()
+        return True if predicate is None else bool(predicate())
+
+    def sleep(self, seconds: float) -> None:
+        """Consume virtual time (the fake pool's solve durations)."""
+        deadline = self.now + float(seconds)
+        self._pause(lambda: self.now >= deadline, deadline)
+
+    # -- the scheduling loop ---------------------------------------------
+
+    def run(self) -> None:
+        """Execute the registered tasks to foreground completion.
+
+        Raises the first foreground task failure (after tearing the
+        rest down), :class:`SimDeadlock` on a wedge, :class:`SimStall`
+        past the step budget. Daemon failures land in
+        :attr:`daemon_failures` instead of raising.
+        """
+        try:
+            while True:
+                alive = [t for t in self._tasks if not t.done]
+                if not any(not t.daemon for t in alive):
+                    break  # all foreground tasks finished
+                runnable = [t for t in alive if t.runnable(self.now)]
+                if not runnable:
+                    deadlines = [
+                        t.deadline for t in alive if t.deadline is not None
+                    ]
+                    if not deadlines:
+                        raise SimDeadlock(self._wedge_report(alive))
+                    # Nothing can run until a timed wait fires: jump.
+                    self.now = max(self.now, min(deadlines))
+                    continue
+                self._steps += 1
+                if self._steps > self._max_steps:
+                    raise SimStall(
+                        f"seed {self.seed}: exceeded {self._max_steps} "
+                        "scheduling steps — livelock or runaway loop"
+                    )
+                task = runnable[self._choice.pick(len(runnable))]
+                self.now += self._jitter.jitter()
+                if self.trace is not None:
+                    self.trace.append(task.name)
+                self._step(task)
+                if task.failure is not None and not task.daemon:
+                    raise task.failure
+        finally:
+            self.kill()
+
+    def _step(self, task: _Task) -> None:
+        task.predicate = None
+        task.deadline = None
+        task.sem.release()
+        self._sched_sem.acquire()
+
+    def _wedge_report(self, alive: list[_Task]) -> str:
+        blocked = ", ".join(
+            f"{t.name}{' (daemon)' if t.daemon else ''}" for t in alive
+        )
+        return (
+            f"seed {self.seed}: deadlock after {self._steps} steps at "
+            f"t={self.now:.6f} — every task is blocked with no timed "
+            f"wait pending: {blocked}. Replay with --sim-seed={self.seed}."
+        )
+
+    def kill(self) -> None:
+        """Unwind every unfinished task (idempotent). Parked tasks are
+        released with the kill flag set; their next yield point raises
+        ``_Killed``, which unwinds the task through any ``except
+        Exception`` handlers in the code under test."""
+        self._killing = True
+        for task in self._tasks:
+            if not task.done:
+                task.sem.release()
+                self._sched_sem.acquire()
+
+    @property
+    def steps(self) -> int:
+        return self._steps
+
+    @property
+    def daemon_failures(self) -> list[BaseException]:
+        """Exceptions that escaped daemon tasks (e.g. the dispatcher's
+        deliberate ``KeyboardInterrupt`` re-raise), in task order."""
+        return [
+            t.failure
+            for t in self._tasks
+            if t.daemon and t.failure is not None
+        ]
+
+
+class SimThread:
+    """Handle with the ``threading.Thread`` surface the server uses."""
+
+    def __init__(self, sched: SimScheduler, task: _Task):
+        self._sched = sched
+        self._task = task
+
+    @property
+    def name(self) -> str:
+        return self._task.name
+
+    def join(self, timeout: float | None = None) -> None:
+        deadline = None if timeout is None else self._sched.now + timeout
+        self._sched._pause(lambda: self._task.done, deadline)
+
+    def is_alive(self) -> bool:
+        self._sched._pause()
+        return not self._task.done
+
+
+class SimLock:
+    """Non-reentrant mutex on the simulated scheduler."""
+
+    def __init__(self, sched: SimScheduler):
+        self._sched = sched
+        self._owner: _Task | None = None
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        sched = self._sched
+        me = sched._task_of.get(threading.current_thread())
+        if me is not None and self._owner is me:
+            raise SimDeadlock(
+                f"seed {sched.seed}: task {me.name!r} re-acquired a "
+                "non-reentrant lock it already holds"
+            )
+        deadline = (
+            sched.now + timeout if (blocking and timeout >= 0) else None
+        )
+        if not blocking:
+            sched._pause()
+            if self._owner is not None:
+                return False
+        else:
+            free = sched._pause(lambda: self._owner is None, deadline)
+            if not free:
+                return False
+            if self._owner is not None:
+                # pass-through mode with a dead owner: nothing can ever
+                # release it, so surface the wedge instead of spinning
+                raise SimDeadlock(
+                    f"seed {sched.seed}: lock held by "
+                    f"{self._owner.name!r} outside the scheduling loop"
+                )
+        self._owner = me if me is not None else _DIRECT
+        return True
+
+    def release(self) -> None:
+        if self._owner is None:
+            raise RuntimeError("release of an unheld SimLock")
+        self._owner = None
+        self._sched._pause()
+
+    def locked(self) -> bool:
+        return self._owner is not None
+
+    def __enter__(self) -> "SimLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
+
+#: Sentinel owner for acquisitions from outside the scheduling loop
+#: (test setup / post-run inspection on the main thread).
+_DIRECT = object()
+
+
+class SimRLock:
+    """Reentrant mutex on the simulated scheduler."""
+
+    def __init__(self, sched: SimScheduler):
+        self._sched = sched
+        self._owner = None
+        self._count = 0
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        sched = self._sched
+        me = sched._task_of.get(threading.current_thread()) or _DIRECT
+        if self._owner is me:
+            self._count += 1
+            return True
+        free = sched._pause(lambda: self._owner is None)
+        if not free or self._owner is not None:
+            raise SimDeadlock(
+                f"seed {sched.seed}: rlock held outside the scheduling loop"
+            )
+        self._owner = me
+        self._count = 1
+        return True
+
+    def release(self) -> None:
+        if self._count <= 0:
+            raise RuntimeError("release of an unheld SimRLock")
+        self._count -= 1
+        if self._count == 0:
+            self._owner = None
+            self._sched._pause()
+
+    def __enter__(self) -> "SimRLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
+
+class SimEvent:
+    """``threading.Event`` on the simulated scheduler."""
+
+    def __init__(self, sched: SimScheduler):
+        self._sched = sched
+        self._flag = False
+
+    def is_set(self) -> bool:
+        # Snapshot, then yield: a real thread can be preempted between
+        # reading the flag and acting on the answer, so the returned
+        # value must be allowed to go stale.
+        flag = self._flag
+        self._sched._pause()
+        return flag
+
+    def set(self) -> None:
+        self._flag = True
+        self._sched._pause()
+
+    def clear(self) -> None:
+        self._flag = False
+        self._sched._pause()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        deadline = None if timeout is None else self._sched.now + timeout
+        self._sched._pause(lambda: self._flag, deadline)
+        return self._flag
+
+
+class SimQueue:
+    """Unbounded FIFO with the ``queue.Queue`` surface the server uses."""
+
+    def __init__(self, sched: SimScheduler):
+        self._sched = sched
+        self._items: deque = deque()
+
+    def put(self, item) -> None:
+        self._sched._pause()
+        self._items.append(item)
+
+    def get(self, block: bool = True, timeout: float | None = None):
+        sched = self._sched
+        if not block:
+            return self.get_nowait()
+        deadline = None if timeout is None else sched.now + timeout
+        got = sched._pause(lambda: bool(self._items), deadline)
+        if not got or not self._items:
+            raise _queue_mod.Empty
+        return self._items.popleft()
+
+    def get_nowait(self):
+        self._sched._pause()
+        if not self._items:
+            raise _queue_mod.Empty
+        return self._items.popleft()
+
+    def qsize(self) -> int:
+        # Snapshot, then yield (see SimEvent.is_set): by the time the
+        # caller acts on this count it may already be stale — exactly
+        # the property that makes depth-accounting races reachable.
+        size = len(self._items)
+        self._sched._pause()
+        return size
+
+    def empty(self) -> bool:
+        return self.qsize() == 0
+
+
+class SimRuntime:
+    """The :mod:`repro.serve.runtime` contract, on the sim scheduler.
+
+    Inject into :class:`~repro.serve.SolverServer` /
+    :class:`~repro.serve.MatrixRegistry` (``runtime=sched.runtime``):
+    every clock read, queue op, event, lock, and thread the serving
+    stack performs becomes a scheduling decision of the seed.
+    """
+
+    def __init__(self, sched: SimScheduler):
+        self.sched = sched
+
+    def monotonic(self) -> float:
+        # A yield point: clock reads are exactly where real threads get
+        # preempted between reading state and acting on it.
+        self.sched._pause()
+        return self.sched.now
+
+    def queue(self) -> SimQueue:
+        return SimQueue(self.sched)
+
+    def event(self) -> SimEvent:
+        return SimEvent(self.sched)
+
+    def lock(self) -> SimLock:
+        return SimLock(self.sched)
+
+    def rlock(self) -> SimRLock:
+        return SimRLock(self.sched)
+
+    def spawn(self, target, name: str | None = None) -> SimThread:
+        return self.sched._register(target, name, daemon=True)

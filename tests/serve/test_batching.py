@@ -135,6 +135,43 @@ class TestMakePolicy:
         policy.observe(batch_size=4, queue_depth=6, solve_wall=100.0)
         assert policy.linger(0) == 0.25
 
+    def test_adaptive_honors_explicit_zero_max_wait(self):
+        """The SolverServer contract says "0 disables lingering" — under
+        **both** policies. Pre-fix, the adaptive branch raised the cap
+        to max(0.05, 0) and lingered up to 50 ms once the EWMAs crossed
+        the depth gate, overriding the operator's explicit 0."""
+        policy = make_policy("adaptive", 0.0)
+        assert policy.max_wait == 0.0
+        assert policy.linger(10) == 0.0  # pre-measurement window is 0 too
+        for _ in range(3):
+            policy.observe(batch_size=2, queue_depth=8, solve_wall=0.5)
+        assert policy.linger(10) == 0.0  # measurements land, still 0
+        assert policy.snapshot()["current_window"] == 0.0
+
+    def test_fixed_honors_explicit_zero_max_wait(self):
+        policy = make_policy("fixed", 0.0)
+        policy.observe(batch_size=2, queue_depth=8, solve_wall=0.5)
+        assert policy.linger(10) == 0.0
+
+    def test_adaptive_ewma_trajectory_is_exact(self):
+        """The window trajectory is pure arithmetic on the observation
+        sequence — no sleeping, no clock: feed three batches and check
+        the blended EWMAs and the derived window exactly."""
+        policy = make_policy("adaptive", 0.01)
+        alpha = policy.alpha
+        depths, solves = [4.0, 2.0, 0.0], [0.2, 0.4, 0.1]
+        ewma_d = ewma_s = None
+        for d, s in zip(depths, solves):
+            policy.observe(batch_size=2, queue_depth=int(d), solve_wall=s)
+            ewma_d = d if ewma_d is None else (1 - alpha) * ewma_d + alpha * d
+            ewma_s = s if ewma_s is None else (1 - alpha) * ewma_s + alpha * s
+        snap = policy.snapshot()
+        assert snap["ewma_queue_depth"] == pytest.approx(ewma_d)
+        assert snap["ewma_solve_wall"] == pytest.approx(ewma_s)
+        assert policy.linger(0) == pytest.approx(
+            min(policy.max_wait, policy.fraction * ewma_s)
+        )
+
     def test_instance_passes_through(self):
         policy = FixedWait(0.1)
         assert make_policy(policy, 0.5) is policy

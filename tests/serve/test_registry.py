@@ -15,7 +15,7 @@ import pytest
 
 from repro.core import AsyRGS
 from repro.exceptions import ServeError
-from repro.serve import MatrixRegistry, serve_stream
+from repro.serve import MatrixRegistry, ServerStats, merge_stats, serve_stream
 from repro.workloads import random_unit_diagonal_spd
 
 from ..conftest import manufactured_system
@@ -47,6 +47,57 @@ def registry(two_systems):
         reg.register("one", A1)
         reg.register("two", A2)
         yield reg
+
+
+def _snapshot(policy: dict, served: int = 1) -> ServerStats:
+    """A minimal per-pool snapshot for merge arithmetic tests."""
+    return ServerStats(
+        requests_submitted=served,
+        requests_served=served,
+        requests_failed=0,
+        batches=1,
+        batched_singles=0,
+        max_batch_size=1,
+        max_queue_depth=1,
+        latency_mean=0.5,
+        latency_max=1.0,
+        spawn_count=1,
+        worker_pids=[],
+        policy=policy,
+    )
+
+
+class TestMergeStats:
+    """The aggregate's ``policy`` field must describe the fleet, not
+    whichever pool's snapshot happened to come last."""
+
+    def test_single_snapshot_policy_passes_through(self):
+        policy = {"policy": "adaptive", "batches_observed": 3}
+        merged = merge_stats([_snapshot(policy)])
+        assert merged.policy == policy
+
+    def test_unanimous_fleet_reports_name_and_pool_count(self):
+        merged = merge_stats(
+            [_snapshot({"policy": "fixed", "max_wait": 0.01}) for _ in range(3)]
+        )
+        assert merged.policy == {"policy": "fixed", "pools": 3}
+
+    def test_mixed_fleet_reports_the_breakdown(self):
+        merged = merge_stats(
+            [
+                _snapshot({"policy": "fixed", "max_wait": 0.01}),
+                _snapshot({"policy": "adaptive", "batches_observed": 2}),
+                _snapshot({"policy": "fixed", "max_wait": 0.05}),
+            ]
+        )
+        assert merged.policy == {
+            "policy": "mixed",
+            "pools": 3,
+            "policies": {"fixed": 2, "adaptive": 1},
+        }
+
+    def test_empty_merge_has_empty_policy(self):
+        assert merge_stats([]).policy == {}
 
 
 class TestRegistration:
