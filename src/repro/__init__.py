@@ -35,17 +35,20 @@ from .core import (
     AsyRGS,
     AsyRGSResult,
     AsyncLeastSquares,
+    AsyncSolver,
     ConvergenceHistory,
     randomized_gauss_seidel,
     rcd_least_squares,
     relative_residual,
 )
 from .execution import (
+    AsyRK,
     AsyncSimulator,
     MachineModel,
     PhasedSimulator,
     ProcessAsyRGS,
     ThreadedAsyRGS,
+    make_solver,
 )
 from .krylov import (
     AsyRGSPreconditioner,
@@ -68,8 +71,10 @@ __all__ = [
     "AsyRGS",
     "AsyRGSPreconditioner",
     "AsyRGSResult",
+    "AsyRK",
     "AsyncLeastSquares",
     "AsyncSimulator",
+    "AsyncSolver",
     "COOBuilder",
     "CSRMatrix",
     "ConvergenceHistory",
@@ -85,6 +90,7 @@ __all__ = [
     "flexible_conjugate_gradient",
     "get_problem",
     "laplacian_2d",
+    "make_solver",
     "randomized_gauss_seidel",
     "rcd_least_squares",
     "relative_residual",

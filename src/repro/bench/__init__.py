@@ -2,10 +2,12 @@
 plus the ablation studies. See DESIGN.md's per-experiment index."""
 
 from .ablations import (
+    SamplingAblationResult,
     run_beta_sweep,
     run_consistency_gap,
     run_delay_schedules,
     run_direction_strategies,
+    run_sampling_ablation,
     run_tau_sweep,
     run_theory_envelope,
 )

@@ -70,6 +70,11 @@ Serving:
   spawn lazily on first use and idle ones are LRU-evicted past
   --max-live-pools, and {"op": "register", "matrix": "m2",
   "problem": "laplace2d"} registers matrices live over the wire.
+  A trailing ,method=asyrk on a --matrix SPEC (or a "method" field on
+  the register verb) serves that matrix with asynchronous randomized
+  Kaczmarz — rectangular least-squares systems over the same pool
+  core; the default method=asyrgs needs square SPD systems. Methods
+  never share a batch: coalescing happens inside one matrix's pool.
 
   Batching policy: --policy fixed lingers --max-wait seconds for batch
   company; --policy adaptive sizes the linger window from the measured
@@ -91,12 +96,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_solve = sub.add_parser("solve", help="solve a MatrixMarket SPD system")
-    p_solve.add_argument("matrix", help="MatrixMarket .mtx file (SPD)")
+    p_solve = sub.add_parser("solve", help="solve a MatrixMarket system")
+    p_solve.add_argument(
+        "matrix",
+        help="MatrixMarket .mtx file (SPD; rectangular with --method asyrk)",
+    )
     p_solve.add_argument(
         "--method",
-        choices=["asyrgs", "rgs", "cg", "fcg"],
+        choices=["asyrgs", "asyrk", "rgs", "cg", "fcg"],
         default="asyrgs",
+        help="asyrgs/rgs/cg/fcg solve a square SPD system; asyrk runs "
+        "asynchronous randomized Kaczmarz on a (possibly rectangular) "
+        "least-squares system over the shared-memory process pool",
     )
     p_solve.add_argument("--rhs", default=None, help="optional whitespace RHS file")
     p_solve.add_argument(
@@ -135,7 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
             "fig1", "fig2-left", "fig2-center", "fig2-right", "fig3", "table1",
             "tau-sweep", "beta-sweep", "consistency-gap", "delay-schedules",
             "theory-envelope", "direction-strategies", "motivation", "extensions",
-            "block", "serve",
+            "block", "serve", "ablation",
         ],
     )
     p_exp.add_argument("--problem", default=None, help="named problem override")
@@ -258,8 +269,10 @@ def _load_system(args):
                 f"is {A.shape[0]}x{A.shape[1]}; the row counts must match"
             )
     else:
-        # Default: the all-ones image b = A·1 (known solution).
-        b = A.matvec(np.ones(A.shape[0]))
+        # Default: the all-ones image b = A·1 (known solution). Sized by
+        # the column count so a rectangular least-squares system gets a
+        # consistent right-hand side too.
+        b = A.matvec(np.ones(A.shape[1]))
     return A, b
 
 
@@ -286,7 +299,46 @@ def _cmd_solve(args) -> int:
         )
         return 2
     beta = args.beta if args.beta == "auto" else float(args.beta)
-    if args.method == "asyrgs":
+    if args.method == "asyrk":
+        from .execution import AsyRK
+        from .rng import DirectionStream
+
+        if beta == "auto":
+            print(
+                "error: --beta auto is the AsyRGS spectral heuristic; "
+                "give a numeric --beta for asyrk"
+            )
+            return 2
+        solver = AsyRK(
+            A, b, nproc=args.nproc, beta=beta,
+            directions=DirectionStream(A.shape[0], seed=args.seed),
+        )
+        result = solver.solve(
+            tol=args.tol, max_sweeps=args.max_sweeps,
+            retire=False if args.no_retire else None,
+        )
+        x, converged = result.x, result.converged
+        residual = (
+            float(result.column_residuals.max())
+            if result.column_residuals is not None
+            else float("nan")
+        )
+        rhs_note = f", {n_rhs} RHS columns" if n_rhs > 1 else ""
+        m, ncols = A.shape
+        print(
+            f"AsyRK (nproc={args.nproc}, beta={beta:.4g}, "
+            f"{m}x{ncols} system{rhs_note}): {result.sweeps_done} sweeps, "
+            f"normal-equations residual {residual:.3e}, "
+            f"converged={converged}"
+        )
+        if result.tau_observed is not None:
+            print(
+                f"measured delays: tau_observed={result.tau_observed.max}, "
+                f"mean={result.tau_observed.mean:.2f} over "
+                f"{result.tau_observed.count} updates "
+                f"({result.wall_time:.3f}s wall in {args.nproc} processes)"
+            )
+    elif args.method == "asyrgs":
         solver = AsyRGS(
             A, b, nproc=args.nproc, beta=beta, seed=args.seed, engine=args.engine
         )
@@ -397,10 +449,14 @@ def _cmd_estimate(args) -> int:
 
 
 def _serve_sources(args):
-    """Resolve the serve command's matrix sources to (name, A, label)
-    triples: either the legacy single matrix (file or --problem) under
-    the id ``"default"``, or every repeated ``--matrix NAME=SPEC``."""
+    """Resolve the serve command's matrix sources to
+    ``(name, A, label, overrides)`` tuples: either the legacy single
+    matrix (file or --problem) under the id ``"default"``, or every
+    repeated ``--matrix NAME=SPEC[,method=asyrgs|asyrk]`` — trailing
+    comma-separated ``key=value`` options become per-matrix server
+    overrides."""
     from .exceptions import ReproError
+    from .execution import SOLVER_METHODS
     from .sparse import read_matrix_market
     from .workloads import available_problems, get_problem
 
@@ -408,6 +464,23 @@ def _serve_sources(args):
         if spec in available_problems():
             return get_problem(spec).A, f"problem {spec!r}"
         return read_matrix_market(spec), spec
+
+    def parse_options(opts, item):
+        overrides = {}
+        for opt in opts:
+            key, sep, value = opt.partition("=")
+            if key != "method" or not sep or not value:
+                raise ReproError(
+                    f"unknown --matrix option {opt!r} in {item!r} "
+                    "(supported: method=asyrgs|asyrk)"
+                )
+            if value not in SOLVER_METHODS:
+                known = "|".join(sorted(SOLVER_METHODS))
+                raise ReproError(
+                    f"--matrix method must be one of {known}, got {value!r}"
+                )
+            overrides["method"] = value
+        return overrides
 
     legacy = [s for s in (args.matrix, args.problem) if s is not None]
     if (len(legacy) + (1 if args.matrices else 0)) != 1:
@@ -420,7 +493,7 @@ def _serve_sources(args):
             A, label = get_problem(args.problem).A, f"problem {args.problem!r}"
         else:
             A, label = read_matrix_market(args.matrix), args.matrix
-        return [("default", A, label)]
+        return [("default", A, label, {})]
     out = []
     seen = set()
     for item in args.matrices:
@@ -432,8 +505,12 @@ def _serve_sources(args):
         if name in seen:
             raise ReproError(f"--matrix name {name!r} given more than once")
         seen.add(name)
+        spec, *opts = spec.split(",")
+        if not spec:
+            raise ReproError(f"--matrix expects NAME=SPEC, got {item!r}")
+        overrides = parse_options(opts, item)
         A, label = resolve(spec)
-        out.append((name, A, label))
+        out.append((name, A, label, overrides))
     return out
 
 
@@ -480,11 +557,17 @@ def _cmd_serve(args) -> int:
         policy=args.policy,
         seed=args.seed,
     ) as server:
-        for name, A, _ in sources:
-            server.register(name, A)
+        for name, A, _, overrides in sources:
+            server.register(name, A, **overrides)
         roster = ", ".join(
-            f"{name}={label} (n={A.shape[0]}, nnz={A.nnz})"
-            for name, A, label in sources
+            f"{name}={label} (n={A.shape[0]}, nnz={A.nnz}"
+            + (
+                f", method={overrides['method']}"
+                if "method" in overrides
+                else ""
+            )
+            + ")"
+            for name, A, label, overrides in sources
         )
         pool_note = (
             f"{args.nproc} worker process(es)/pool, capacity "
@@ -560,6 +643,7 @@ _EXPERIMENTS = {
     "extensions": ("run_extensions", {}),
     "block": ("run_block", {}),
     "serve": ("run_serve", {}),
+    "ablation": ("run_sampling_ablation", {}),
 }
 
 

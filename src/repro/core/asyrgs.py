@@ -60,7 +60,32 @@ from ..execution import (
 from .residuals import ColumnTracker, ConvergenceHistory, relative_residual
 from .stepsize import auto_step_size
 
-__all__ = ["AsyRGSResult", "AsyRGS"]
+__all__ = ["AsyRGSResult", "AsyRGS", "AsyncSolver"]
+
+
+def AsyncSolver(A: CSRMatrix, b: np.ndarray, *, method: str = "asyrgs", **kwargs):
+    """One entry point for every pool-backed asynchronous solver.
+
+    Picks the engine by wire-level ``method`` name — the same names the
+    serve protocol and the CLI accept — and returns the pool solver
+    directly (:class:`~repro.execution.ProcessAsyRGS` or
+    :class:`~repro.execution.AsyRK`), with the shared surface: context-
+    manager pool persistence, ``run()``, ``solve()`` with per-column
+    tracking/retirement, capacity-k layouts, and the
+    ``directions``/``adaptive`` sampling options::
+
+        with AsyncSolver(A, b, method="asyrk", nproc=4) as solver:
+            result = solver.solve(tol=1e-3, max_sweeps=200)
+
+    ``method="asyrgs"`` requires a square positive-diagonal system;
+    ``method="asyrk"`` accepts any rectangle with nonzero rows and
+    judges convergence on the normal-equations residual. The
+    :class:`AsyRGS` façade below remains the front-end for the
+    *simulated* engines (modeled delays, write races, ``beta="auto"``).
+    """
+    from ..execution import make_solver
+
+    return make_solver(method, A, b, **kwargs)
 
 
 @dataclass
@@ -176,6 +201,12 @@ class AsyRGS:
         ``False`` for ``engine="processes"``, where honoring A-1 costs
         striped locks and the unlocked run is the paper's Section 9
         non-atomic experiment (matching the ``speedup`` benchmark).
+    adaptive:
+        Residual-weighted direction sampling (``engine="processes"``
+        only): the parent reweights the row-draw distribution by
+        per-row residual mass at every epoch boundary. Equivalent to
+        ``directions="adaptive"``; the default uniform mode is the
+        paper's sampling, bit for bit.
     capacity_k:
         Column capacity of the shared pool layout (``engine="processes"``
         only): the underlying :class:`ProcessAsyRGS` allocates its
@@ -196,8 +227,9 @@ class AsyRGS:
         delay_model: DelayModel | None = None,
         engine: str = "phased",
         beta: float | str = 1.0,
-        directions: DirectionStream | None = None,
+        directions: DirectionStream | str | None = None,
         atomic: bool | None = None,
+        adaptive: bool = False,
         write_model: WriteModel | None = None,
         jitter: int = 0,
         seed: int = 0,
@@ -206,6 +238,24 @@ class AsyRGS:
         if engine not in ("phased", "general", "processes"):
             raise ModelError(
                 f"unknown engine {engine!r}; use 'phased', 'general', or 'processes'"
+            )
+        if isinstance(directions, str):
+            # The string forms ("uniform"/"adaptive") are resolved here so
+            # self.directions is always a real stream; the simulated
+            # engines have no adaptive mode, so the string is a
+            # processes-engine option like capacity_k.
+            if directions == "adaptive":
+                adaptive = True
+            elif directions != "uniform":
+                raise ModelError(
+                    "directions must be a DirectionStream, 'uniform', or "
+                    f"'adaptive', got {directions!r}"
+                )
+            directions = None
+        if adaptive and engine != "processes":
+            raise ModelError(
+                "adaptive direction sampling reweights draws on the shared-"
+                "memory pool; only the 'processes' engine supports it"
             )
         if engine != "general" and delay_model is not None:
             raise ModelError("delay_model is only supported by the 'general' engine")
@@ -293,6 +343,7 @@ class AsyRGS:
                 beta=self.beta,
                 atomic=atomic,
                 directions=self.directions,
+                adaptive=adaptive,
                 capacity_k=capacity_k,
             )
         else:

@@ -28,10 +28,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..exceptions import ModelError, ShapeError
+from ..exceptions import ModelError
 from ..rng import DirectionStream
 from ..sparse import CSRMatrix, gram
 from ..execution.delays import DelayModel, ZeroDelay
+from ..validation import check_vector_rhs, check_x0
 from .residuals import ConvergenceHistory
 
 __all__ = [
@@ -45,9 +46,7 @@ __all__ = [
 
 def normal_equations(A: CSRMatrix, b: np.ndarray, *, shift: float = 0.0):
     """Form ``(AᵀA + shift·I, Aᵀb)`` explicitly (test oracle / small n)."""
-    b = np.asarray(b, dtype=np.float64)
-    if b.shape != (A.shape[0],):
-        raise ShapeError(f"b has shape {b.shape}, expected ({A.shape[0]},)")
+    b = check_vector_rhs(b, A.shape[0])
     return gram(A, shift=shift), A.rmatvec(b)
 
 
@@ -90,18 +89,14 @@ def rcd_least_squares(
     if (sweeps is None) == (iterations is None):
         raise ModelError("specify exactly one of sweeps= or iterations=")
     m, n = A.shape
-    b = np.asarray(b, dtype=np.float64)
-    if b.shape != (m,):
-        raise ShapeError(f"b has shape {b.shape}, expected ({m},)")
+    b = check_vector_rhs(b, m)
     if not 0.0 < float(beta) < 2.0:
         raise ModelError(f"beta must lie in (0, 2), got {beta}")
     w = column_squared_norms(A)
     if np.any(w <= 0):
         bad = int(np.argmin(w))
         raise ModelError(f"column {bad} of A is identically zero (not full rank)")
-    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
-    if x.shape != (n,):
-        raise ShapeError(f"x0 has shape {x.shape}, expected ({n},)")
+    x = np.zeros(n) if x0 is None else check_x0(x0, (n,)).copy()
     if directions is None:
         directions = DirectionStream(n, seed=0)
     At = A.transpose()
@@ -172,9 +167,7 @@ class AsyncLeastSquares:
         beta: float = 0.5,
     ):
         m, n = A.shape
-        b = np.asarray(b, dtype=np.float64)
-        if b.shape != (m,):
-            raise ShapeError(f"b has shape {b.shape}, expected ({m},)")
+        b = check_vector_rhs(b, m)
         self.A = A
         self.At = A.transpose()
         self.b = b
@@ -221,9 +214,7 @@ class AsyncLeastSquares:
         num_iterations = int(num_iterations)
         if num_iterations < 0:
             raise ModelError("num_iterations must be non-negative")
-        x = np.array(x0, dtype=np.float64)
-        if x.shape != (self.n,):
-            raise ShapeError(f"x0 has shape {x.shape}, expected ({self.n},)")
+        x = check_x0(x0, (self.n,)).copy()
         A, At, b, beta, w = self.A, self.At, self.b, self.beta, self.w
         model = self.delay_model
         tau = model.tau

@@ -18,9 +18,18 @@ backend                concurrency                 demonstrates
                                                    block (n, k) right-hand
                                                    sides on a persistent
                                                    worker pool
+:class:`AsyRK`            real OS processes        asynchronous randomized
+                                                   Kaczmarz on rectangular
+                                                   least-squares systems,
+                                                   same pool core
 =====================  ==========================  =========================
+
+Both process backends are thin update methods over the solver-agnostic
+pool core in :mod:`repro.execution.pool`; :func:`make_solver` maps the
+wire-level ``method`` names (``"asyrgs"``/``"asyrk"``) to them.
 """
 
+from ..exceptions import ModelError
 from .cost_model import MachineModel, round_robin_imbalance
 from .delays import (
     AdversarialDelay,
@@ -32,14 +41,50 @@ from .delays import (
     UniformDelay,
     ZeroDelay,
 )
-from .processes import DelayStats, ProcessAsyRGS, ProcessRunResult, available_cpus
+from .kaczmarz import AsyRK, KaczmarzUpdate, LeastSquaresTracker
+from .pool import PoolSolver
+from .processes import (
+    AsyRGSUpdate,
+    DelayStats,
+    ProcessAsyRGS,
+    ProcessRunResult,
+    available_cpus,
+)
 from .shared_memory import AtomicWrites, LossyWrites, SharedVector, WriteModel
 from .simulator import AsyncSimulator, PhasedSimulator, SimulationResult
 from .threads import ThreadedAsyRGS, ThreadedRunResult
 from .trace import ExecutionTrace, replay_trace
 
+#: Wire-level method names → pool-backed solver classes. This is the
+#: registry the façade, the CLI, and the serve protocol all resolve
+#: ``method=`` through, so the three layers cannot drift apart.
+SOLVER_METHODS = {
+    "asyrgs": ProcessAsyRGS,
+    "asyrk": AsyRK,
+}
+
+
+def make_solver(method: str, A, b, **kwargs):
+    """Build a pool-backed solver by wire-level method name.
+
+    ``method`` is ``"asyrgs"`` (square, positive-diagonal systems) or
+    ``"asyrk"`` (rectangular least-squares systems); every other kwarg
+    is forwarded to the solver constructor unchanged.
+    """
+    try:
+        cls = SOLVER_METHODS[method]
+    except KeyError:
+        known = ", ".join(sorted(SOLVER_METHODS))
+        raise ModelError(
+            f"unknown solver method {method!r}; expected one of: {known}"
+        ) from None
+    return cls(A, b, **kwargs)
+
+
 __all__ = [
     "AdversarialDelay",
+    "AsyRGSUpdate",
+    "AsyRK",
     "AsyncSimulator",
     "AtomicWrites",
     "DelayModel",
@@ -48,12 +93,16 @@ __all__ = [
     "FixedDelay",
     "InconsistentAdversarial",
     "InconsistentUniform",
+    "KaczmarzUpdate",
+    "LeastSquaresTracker",
     "LossyWrites",
     "MachineModel",
     "PhasedSimulator",
+    "PoolSolver",
     "ProcessAsyRGS",
     "ProcessRunResult",
     "ProcessorPhaseDelay",
+    "SOLVER_METHODS",
     "SharedVector",
     "SimulationResult",
     "ThreadedAsyRGS",
@@ -62,6 +111,7 @@ __all__ = [
     "WriteModel",
     "ZeroDelay",
     "available_cpus",
+    "make_solver",
     "replay_trace",
     "round_robin_imbalance",
 ]

@@ -1,0 +1,264 @@
+"""AsyRK — asynchronous randomized Kaczmarz on the shared-memory pool.
+
+Where AsyRGS relaxes *coordinates* of a square positive-diagonal system,
+randomized Kaczmarz projects onto *equations* of a rectangular system
+``A ∈ R^{m×n}``: draw row ``r``, compute the equation's residual against
+the live shared iterate, and move ``x`` along ``a_r``:
+
+    γ = (b[r] − a_r · x) / ‖a_r‖²,       x += β · γ · a_rᵀ
+
+This is the AsyRK iteration of Liu, Wright & Sridhar (arXiv 1401.4780,
+"An Asynchronous Parallel Randomized Kaczmarz Algorithm"): workers read
+the shared iterate inconsistently — the same regime the source paper
+proves convergent for AsyRGS — and the expected update direction is a
+uniformly random row, so the whole pool apparatus (per-worker strided
+Philox streams, epoch/barrier scheme, write-log staleness measurement,
+per-column retirement) transfers unchanged. The update method is the
+only new arithmetic; :mod:`repro.execution.pool` supplies everything
+else. The layout geometry differs from AsyRGS: directions and the RHS
+live in row space (``m``), the iterate in column space (``n``).
+
+Consistency and the convergence horizon
+---------------------------------------
+On a *consistent* system (``b ∈ range(A)``) the iteration converges to
+the solution in expectation at a linear rate. On an inconsistent system
+— the interesting least-squares case — plain Kaczmarz converges only to
+within a horizon of radius O(β·‖r*‖) around the least-squares solution
+``x* = argmin ‖Ax − b‖`` (``r* = b − Ax*`` is the optimal residual):
+each projection re-injects the inconsistent part of its equation.
+Convergence is therefore judged on the *normal-equations* residual
+``‖Aᵀ(b − Ax)‖ / ‖Aᵀb‖`` (zero exactly at ``x*``, well-defined for any
+rectangle), per column of the RHS block, by
+:class:`LeastSquaresTracker` — the rectangular counterpart of
+:class:`~repro.core.residuals.ColumnTracker`, with the same retirement
+surface. Tolerances should respect the horizon: loose ``tol`` or small
+``noise_scale`` workloads (see
+:func:`repro.workloads.least_squares.random_least_squares`).
+
+No atomic mode
+--------------
+AsyRGS's optional striped locks key on the *written* coordinate ``r``;
+a Kaczmarz projection scatters into every column of row ``r``'s support,
+and two different rows overlap in arbitrary column sets, so per-row
+stripes protect nothing. ``atomic=True`` is rejected rather than
+silently downgraded — AsyRK always runs in the free (inconsistent-read,
+non-atomic-write) regime, which is exactly the regime Liu & Wright
+analyze.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..rng import DirectionStream
+from ..sparse import CSRMatrix
+from ..validation import check_rhs
+from .pool import PoolSolver
+
+__all__ = ["AsyRK", "KaczmarzUpdate", "LeastSquaresTracker"]
+
+
+class KaczmarzUpdate:
+    """The Kaczmarz row projection as a pool update method.
+
+    Draw equation ``r``, gather its sparse support once, and project
+    every active column of the iterate block: the single row gather
+    serves all ``k`` right-hand sides exactly as AsyRGS's row gather
+    does (the paper's block amortization carried over to row space).
+    """
+
+    @staticmethod
+    def make_updater(v, *, k, act, locks, nlocks, beta):
+        indptr, indices, data = v["indptr"], v["indices"], v["data"]
+        x, b, norms = v["x"], v["b"], v["norms"]
+        x1, b1 = x[:, 0], b[:, 0]  # scalar fast path for single-RHS pools
+        nact = int(act.size)
+        full = nact == k
+        single = nact == 1
+        j0 = int(act[0]) if nact else 0
+        head = nact > 1 and int(act[-1]) == nact - 1
+        xh, bh = (x[:, :nact], b[:, :nact]) if head else (x, b)
+
+        def update(r: int) -> int:
+            s, e = int(indptr[r]), int(indptr[r + 1])
+            cols = indices[s:e]
+            vals = data[s:e]
+            # γ from the live shared iterate (inconsistent read), then
+            # scatter β·γ·a_r into the active columns. No lock variant:
+            # AsyRK rejects atomic mode at construction.
+            if k == 1:
+                gamma = (b1[r] - float(vals @ x1[cols])) / norms[r]
+                x1[cols] += (beta * gamma) * vals
+            elif full:
+                gamma = (b[r] - vals @ x[cols, :]) / norms[r]
+                x[cols, :] += (beta * vals)[:, None] * gamma
+            elif single:
+                gamma = (b[r, j0] - float(vals @ x[cols, j0])) / norms[r]
+                x[cols, j0] += (beta * gamma) * vals
+            elif head:
+                gamma = (bh[r] - vals @ xh[cols, :]) / norms[r]
+                xh[cols, :] += (beta * vals)[:, None] * gamma
+            else:
+                gamma = (b[r, act] - vals @ x[cols[:, None], act]) / norms[r]
+                x[cols[:, None], act] += (beta * vals)[:, None] * gamma
+            return e - s
+
+        return update
+
+
+class LeastSquaresTracker:
+    """Per-column normal-equations convergence for rectangular systems.
+
+    The rectangular counterpart of
+    :class:`~repro.core.residuals.ColumnTracker` — same surface
+    (``value``, ``converged``, ``col``, ``done_mask``, ``column_sweeps``,
+    ``active()``, ``update()``), different measure: column ``j`` is
+    converged when ``‖Aᵀ(b_j − A x_j)‖ / ‖Aᵀ b_j‖ < tol`` (absolute when
+    the denominator is zero). The plain residual ``‖b_j − A x_j‖`` cannot
+    reach zero on an inconsistent system; the normal-equations residual
+    vanishes exactly at the least-squares solution.
+    """
+
+    def __init__(self, A: CSRMatrix, At: CSRMatrix, x0, b, tol: float):
+        self.A = A
+        self.At = At
+        self.tol = float(tol)
+        b2 = b if b.ndim == 2 else b[:, None]
+        self._b2 = b2
+        self.k = int(b2.shape[1])
+        denom_block = At.matmat(b2)
+        self._denom = np.sqrt((denom_block * denom_block).sum(axis=0))
+        self._denom_total = float(np.linalg.norm(denom_block))
+        x2 = x0 if x0.ndim == 2 else x0[:, None]
+        self.num = self._measure(x2, np.arange(self.k))
+        self.col = np.where(self._denom > 0, self.num / np.where(self._denom > 0, self._denom, 1.0), self.num)
+        self.done_mask = self.col < self.tol
+        self.column_sweeps = np.where(self.done_mask, 0, -1).astype(np.int64)
+
+    def _measure(self, x2: np.ndarray, which: np.ndarray) -> np.ndarray:
+        """``‖Aᵀ(b_j − A x_j)‖`` for the requested columns (``x2`` holds
+        exactly those columns)."""
+        R = self._b2[:, which] - self.A.matmat(x2)
+        G = self.At.matmat(R)
+        return np.sqrt((G * G).sum(axis=0))
+
+    @property
+    def value(self) -> float:
+        """The aggregate (Frobenius) relative normal-equations residual."""
+        total = float(np.linalg.norm(self.num))
+        return total / self._denom_total if self._denom_total > 0 else total
+
+    @property
+    def converged(self) -> bool:
+        return bool(self.done_mask.all())
+
+    def active(self) -> np.ndarray:
+        return np.flatnonzero(~self.done_mask)
+
+    def update(self, x, sweeps_done: int, retire: bool) -> np.ndarray:
+        """Re-measure, stamp newly converged columns, return the ones to
+        retire (empty with ``retire=False``). Retired columns keep their
+        last measured residual — they are frozen in the pool too."""
+        recheck = self.active() if retire else np.arange(self.k)
+        if recheck.size:
+            x2 = x if x.ndim == 2 else x[:, None]
+            num = self._measure(x2[:, recheck], recheck)
+            self.num[recheck] = num
+            denom = self._denom[recheck]
+            self.col[recheck] = np.where(denom > 0, num / np.where(denom > 0, denom, 1.0), num)
+        below = self.col < self.tol
+        newly_below = np.flatnonzero(below & (self.column_sweeps < 0))
+        self.column_sweeps[newly_below] = sweeps_done
+        if retire:
+            newly_retired = np.flatnonzero(below & ~self.done_mask)
+            self.done_mask |= below
+        else:
+            newly_retired = np.empty(0, dtype=np.int64)
+            self.done_mask = below
+        return newly_retired
+
+
+class AsyRK(PoolSolver):
+    """Asynchronous randomized Kaczmarz on real OS processes.
+
+    Parameters mirror :class:`~repro.execution.ProcessAsyRGS` — the two
+    solvers share the pool core, the persistent-pool lifecycle, the
+    capacity-k layout, and the ``directions``/``adaptive`` sampling
+    options — with the rectangular geometry: ``A`` is ``m × n``
+    (``m ≥ n`` for a genuine least-squares system, though any rectangle
+    with nonzero rows is accepted), ``b`` has ``m`` rows, the iterate
+    and the solution have ``n`` rows. Directions are drawn over the
+    ``m`` equations.
+
+    ``atomic=True`` raises: row projections scatter into overlapping
+    column sets that per-row lock stripes cannot protect (see the module
+    docstring).
+    """
+
+    method_name = "asyrk"
+    update_method = KaczmarzUpdate
+
+    def __init__(
+        self,
+        A: CSRMatrix,
+        b: np.ndarray,
+        *,
+        nproc: int,
+        beta: float = 1.0,
+        atomic: bool = False,
+        directions: DirectionStream | str | None = None,
+        adaptive: bool = False,
+        start_method: str | None = None,
+        log_capacity: int = 4096,
+        lock_stripes: int = 64,
+        block: int = 512,
+        barrier_timeout: float = 300.0,
+        capacity_k: int | None = None,
+    ):
+        m, n = A.shape
+        b = check_rhs(b, m)
+        if atomic:
+            raise ModelError(
+                "AsyRK does not support atomic=True: a Kaczmarz row "
+                "projection scatters into the row's whole column support, "
+                "and different rows overlap in arbitrary column sets that "
+                "per-row lock stripes cannot protect"
+            )
+        norms = A.row_squared_sums()
+        if np.any(norms <= 0):
+            bad = int(np.argmin(norms))
+            raise ModelError(
+                f"row {bad} of A is identically zero; Kaczmarz projects "
+                "onto equations and needs every row to have a nonzero norm"
+            )
+        super().__init__(
+            A,
+            b,
+            norms,
+            n_rows=m,
+            x_rows=n,
+            b_rows=m,
+            nproc=nproc,
+            beta=beta,
+            atomic=False,
+            directions=directions,
+            adaptive=adaptive,
+            start_method=start_method,
+            log_capacity=log_capacity,
+            lock_stripes=lock_stripes,
+            block=block,
+            barrier_timeout=barrier_timeout,
+            capacity_k=capacity_k,
+        )
+        self.m = m
+        self.n = n  # unknown count — the solution/iterate row count
+        self._at: CSRMatrix | None = None
+
+    def _transpose(self) -> CSRMatrix:
+        if self._at is None:
+            self._at = self.A.transpose()
+        return self._at
+
+    def _tracker(self, x0: np.ndarray, b: np.ndarray, tol: float):
+        return LeastSquaresTracker(self.A, self._transpose(), x0, b, tol)

@@ -1,0 +1,1109 @@
+"""Solver-agnostic shared-memory worker-pool core.
+
+This module is the method-independent half of what used to be
+``execution/processes.py``: the one-segment ``SharedMemory`` layout and
+zero-copy views, worker attach/crash attribution, the epoch/barrier
+protocol (control word, cumulative update targets, generation stamps
+for pool reuse), per-worker Philox direction streams, the delay
+write-log, per-column retirement, and the persistent-pool lifecycle
+(:class:`PoolSolver`).
+
+What a concrete solver contributes is an **update method** — a class
+with the small static surface below — plus its system geometry:
+
+``make_updater(views, *, k, act, locks, nlocks, beta)``
+    Called once per epoch segment, right after the start gate, with the
+    live shared views and the active-column set sampled for this
+    segment. Returns a per-draw closure ``update(r) -> touched_nnz``
+    that performs the method's arithmetic on the shared iterate. The
+    pool core owns everything around the call: direction draws,
+    progress ticketing, the staleness write-log, and both barriers.
+
+Two methods ship with the library:
+
+* :class:`~repro.execution.processes.AsyRGSUpdate` — the paper's
+  asynchronous randomized Gauss-Seidel coordinate update (square,
+  positive-diagonal systems; ``x[r] += β·(b[r] − A_r·x)/A_rr``).
+* :class:`~repro.execution.kaczmarz.KaczmarzUpdate` — asynchronous
+  randomized Kaczmarz row projections (rectangular least-squares
+  systems, Liu/Wright/Sridhar arXiv 1401.4780;
+  ``x += β·a_r·(b[r] − a_r·x)/‖a_r‖²``).
+
+Geometry
+--------
+The layout is parameterized by ``(n_rows, x_rows, b_rows, nnz, k)``:
+``n_rows`` is the number of CSR rows (the direction space — every draw
+picks a row), ``x_rows``/``b_rows`` the row counts of the shared
+iterate and RHS blocks. For AsyRGS all three equal ``n``; for AsyRK on
+an ``m × n`` operator they are ``m, n, m``.
+
+Adaptive direction sampling
+---------------------------
+With ``adaptive=True`` (or ``directions="adaptive"`` on a solver), the
+parent recomputes residual-proportional row weights at every epoch
+boundary — while it owns the segment — and publishes their CDF into a
+dedicated shared slot. Workers map each uniform Philox draw ``d`` over
+``{0..n_rows−1}`` through the inverse CDF via the stratified quantile
+``u = (d + ½)/n_rows``: the strided-union determinism of the direction
+streams is untouched (same words, same positions), only the *meaning*
+of a draw changes, and ``adaptive=False`` runs the exact uniform code
+path bit for bit. The quantization means a row needs roughly
+``1/n_rows`` of the total weight to be drawn at all — the floor weight
+below guarantees every row keeps nonzero mass. This is the
+residual-weighted sampling of Patel–Jahangoshahi–Maldonado (arXiv
+2104.04816) adapted to the counter-based stream.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+
+import multiprocessing
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..exceptions import ModelError, ShapeError
+from ..rng import DirectionStream, interleave_counts
+from ..validation import check_rhs, check_x0, rhs_empty_message
+
+__all__ = [
+    "DelayStats",
+    "PoolSolver",
+    "ProcessRunResult",
+    "available_cpus",
+    "residual_weights",
+]
+
+
+# Control-word slots (int64): command, cumulative update target, error
+# flag, and the generation stamp that tells workers a new call started.
+_CTRL_COMMAND = 0
+_CTRL_TARGET = 1
+_CTRL_ERROR = 2
+_CTRL_GENERATION = 3
+_CMD_RUN = 0
+_CMD_STOP = 1
+
+_ALIGN = 64  # cache-line alignment for every shared array
+
+#: Relative floor on adaptive sampling weights: no row's mass ever
+#: drops below this fraction of the mean weight, so coverage of the
+#: whole row space survives however skewed the residual is.
+#: Uniform mass blended into the adaptive sampling weights, as a
+#: multiple of the mean residual weight. See ``refresh_sampling``.
+_UNIFORM_BLEND = 1.0
+
+
+def _layout(geom, nproc: int, log_capacity: int):
+    """Offsets and dtypes of every shared array inside the one segment.
+
+    ``geom`` is ``(n_rows, x_rows, b_rows, nnz, k)`` — see the module
+    docstring. ``norms`` holds the method's per-row normalizers (the
+    diagonal for AsyRGS, squared row norms for AsyRK) and ``cdf`` the
+    adaptive-sampling CDF (written only in adaptive mode, always
+    allocated: 8 bytes per row keeps the layout uniform).
+    """
+    n_rows, x_rows, b_rows, nnz, k = geom
+    specs = {
+        "data": (np.float64, (nnz,)),
+        "indices": (np.int64, (nnz,)),
+        "indptr": (np.int64, (n_rows + 1,)),
+        "b": (np.float64, (b_rows, k)),
+        "norms": (np.float64, (n_rows,)),
+        "x": (np.float64, (x_rows, k)),
+        "cdf": (np.float64, (n_rows,)),
+        "active": (np.int64, (k,)),
+        "progress": (np.int64, (nproc,)),
+        "row_nnz": (np.int64, (nproc,)),
+        "col_updates": (np.int64, (nproc,)),
+        "control": (np.int64, (4,)),
+        "delay_sum": (np.int64, (nproc,)),
+        "delay_max": (np.int64, (nproc,)),
+        "delay_count": (np.int64, (nproc,)),
+        "delay_log": (np.int64, (nproc, log_capacity)),
+    }
+    offsets = {}
+    cursor = 0
+    for name, (dtype, shape) in specs.items():
+        cursor = (cursor + _ALIGN - 1) & ~(_ALIGN - 1)
+        offsets[name] = cursor
+        cursor += int(np.dtype(dtype).itemsize) * int(np.prod(shape))
+    return specs, offsets, max(cursor, 1)
+
+
+def _views(
+    shm: shared_memory.SharedMemory, geom, nproc: int, log_capacity: int
+) -> dict[str, np.ndarray]:
+    """Zero-copy NumPy views of every shared array in the segment."""
+    specs, offsets, _ = _layout(geom, nproc, log_capacity)
+    return {
+        name: np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offsets[name])
+        for name, (dtype, shape) in specs.items()
+    }
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without registering it for cleanup.
+
+    Until Python 3.13 (``track=False``) every attach re-registers the
+    segment with the shared resource tracker, which then sees more
+    unregisters than registers once several workers attach the same
+    name. Only the parent owns the segment's lifetime, so workers
+    suppress tracker registration entirely (worker processes never
+    create shared resources of their own).
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register = lambda name, rtype: None
+    except Exception:
+        pass
+    return shared_memory.SharedMemory(name=name)
+
+
+def _row_block_products(data, indices, indptr, X) -> np.ndarray:
+    """``(A X)`` from the raw shared CSR triplet — one vectorized pass.
+
+    ``X`` is ``(x_rows, c)``; the result is ``(n_rows, c)``. Rows with
+    no stored entries contribute exact zeros (``np.add.reduceat`` is
+    wrong on empty slices, so they are masked out explicitly).
+    """
+    n_rows = indptr.shape[0] - 1
+    prod = data[:, None] * X[indices, :]
+    starts = np.asarray(indptr[:-1])
+    lengths = np.diff(indptr)
+    out = np.zeros((n_rows, X.shape[1]))
+    nonempty = lengths > 0
+    if prod.shape[0]:
+        # reduceat needs strictly valid start offsets; clip the starts
+        # of empty rows to a safe index and mask their bogus sums away.
+        safe = np.minimum(starts, prod.shape[0] - 1)
+        sums = np.add.reduceat(prod, safe, axis=0)
+        out[nonempty] = sums[nonempty]
+    return out
+
+
+def residual_weights(v: dict[str, np.ndarray]) -> np.ndarray:
+    """Per-row adaptive sampling weights from the live shared segment.
+
+    The weight of row ``r`` is ``Σ_j |b[r,j] − (A x_j)[r]|`` over the
+    active columns — the residual mass a draw of ``r`` can remove. The
+    formula is geometry-agnostic: for AsyRGS rows are coordinates, for
+    AsyRK rows are equations, and in both layouts ``b`` has one row per
+    direction. Called by the parent only (between an end gate and the
+    next start gate, when it owns the segment).
+    """
+    act = np.flatnonzero(v["active"] != 0)
+    if act.size == 0:
+        return np.ones(v["norms"].shape[0])
+    S = _row_block_products(v["data"], v["indices"], v["indptr"], v["x"][:, act])
+    return np.abs(v["b"][:, act] - S).sum(axis=1)
+
+
+def _worker_main(
+    wid: int,
+    nproc: int,
+    shm_name: str,
+    geom,
+    method,
+    log_capacity: int,
+    beta: float,
+    seed: int,
+    stream: int,
+    adaptive: bool,
+    barrier,
+    locks,
+    block: int,
+) -> None:
+    """Worker entry point: attach, run the epoch loop, clean up."""
+    # Workers are torn down by the parent through the control word,
+    # never by signals: a terminal ^C or a supervisor's TERM is
+    # delivered to the whole process group, and a signal landing inside
+    # barrier.wait() would raise past the crash handler (KeyboardInterrupt
+    # is not an Exception) without aborting the barrier — the parent
+    # would then burn its full barrier_timeout waiting on a dead
+    # worker's gate. The parent escalates to SIGKILL when a worker
+    # genuinely must die.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    except ValueError:  # pragma: no cover - non-main thread (in-process use)
+        pass
+    shm = _attach(shm_name)
+    try:
+        _worker_loop(
+            wid, nproc, shm, geom, method, log_capacity, beta, seed, stream,
+            adaptive, barrier, locks, block,
+        )
+    except threading.BrokenBarrierError:
+        # A sibling crashed and aborted the barrier; it already reported
+        # itself. Recording this secondary death would misattribute the
+        # crash to an innocent worker.
+        pass
+    except Exception:  # pragma: no cover - exercised only on worker crashes
+        try:
+            # Record *which* worker crashed (wid + 1 so 0 keeps meaning
+            # "no error"). First reporter wins; two genuine crashers
+            # racing is fine — either id is attributable.
+            ctrl = _views(shm, geom, nproc, log_capacity)["control"]
+            if ctrl[_CTRL_ERROR] == 0:
+                ctrl[_CTRL_ERROR] = wid + 1
+        except Exception:
+            pass
+        traceback.print_exc()
+        barrier.abort()  # wake the parent instead of deadlocking it
+    finally:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - stray view refs at exit
+            pass
+
+
+def _worker_loop(
+    wid: int,
+    nproc: int,
+    shm: shared_memory.SharedMemory,
+    geom,
+    method,
+    log_capacity: int,
+    beta: float,
+    seed: int,
+    stream: int,
+    adaptive: bool,
+    barrier,
+    locks,
+    block: int,
+) -> None:
+    """Worker body: epochs of randomized updates on the shared iterate.
+
+    The loop outlives any single ``run()``/``solve()`` call: a change of
+    the generation stamp at the start gate rewinds the worker's position
+    in the direction stream to 0, so one pool serves many calls. All
+    per-draw arithmetic is delegated to the closure the update method
+    builds per epoch segment; everything else — direction draws,
+    progress ticketing, the staleness write-log, the gates — is method
+    independent.
+    """
+    n_rows, x_rows, b_rows, nnz, k = geom
+    v = _views(shm, geom, nproc, log_capacity)
+    progress, control = v["progress"], v["control"]
+    row_nnz, active = v["row_nnz"], v["active"]
+    col_updates = v["col_updates"]
+    delay_sum, delay_max = v["delay_sum"], v["delay_max"]
+    delay_count, delay_log = v["delay_count"], v["delay_log"]
+    cdf = v["cdf"]
+    view = DirectionStream(n_rows, seed=seed, stream=stream).for_processor(wid, nproc)
+    nlocks = len(locks) if locks else 0
+    done = 0
+    generation = 0
+    while True:
+        barrier.wait()  # start gate: parent has published the control word
+        if control[_CTRL_COMMAND] == _CMD_STOP:
+            break
+        if control[_CTRL_GENERATION] != generation:
+            generation = int(control[_CTRL_GENERATION])
+            done = 0  # new call on the same pool: rewind the stream
+        target = int(interleave_counts(int(control[_CTRL_TARGET]), nproc)[wid])
+        # The active-column set is sampled once per epoch, right after
+        # the start gate: the parent retires columns only while it owns
+        # the segment (between the end gate and the next start gate), so
+        # the set never changes mid-segment — Theorem 2's segment
+        # structure is preserved, the segments just narrow.
+        act = np.flatnonzero(active != 0)
+        nact = int(act.size)
+        update = method.make_updater(
+            v, k=k, act=act, locks=locks, nlocks=nlocks, beta=beta
+        )
+        while done < target:
+            take = min(block, target - done)
+            rows = view.directions(done, take)
+            if adaptive:
+                # Inverse-CDF through the stratified quantile of the
+                # uniform draw: same Philox words, same stream
+                # positions, only the row they name changes. The CDF is
+                # stable for the whole segment (the parent republishes
+                # it only while it owns the segment).
+                u = (rows.astype(np.float64) + 0.5) / n_rows
+                rows = np.minimum(
+                    np.searchsorted(cdf, u, side="right"), n_rows - 1
+                )
+            for r in rows:
+                r = int(r)
+                # Ticket before the read: everything committed after
+                # this and before our own commit raced with us.
+                before = int(progress.sum())
+                touched = update(r)
+                done += 1
+                progress[wid] = done  # single-writer slot
+                row_nnz[wid] += touched
+                col_updates[wid] += nact
+                # Write-log entry: foreign commits during our span.
+                sample = int(progress.sum()) - before - 1
+                delay_sum[wid] += sample
+                if sample > delay_max[wid]:
+                    delay_max[wid] = sample
+                j = int(delay_count[wid])
+                if j < log_capacity:
+                    delay_log[wid, j] = sample
+                delay_count[wid] = j + 1
+        barrier.wait()  # end gate: all updates of the epoch are visible
+
+
+@dataclass
+class DelayStats:
+    """Empirical staleness recovered from the shared write-log.
+
+    Each sample counts the foreign commits that landed between one
+    update's read of the shared iterate and its own commit — the measured
+    counterpart of the paper's bounded delay ``τ`` (Assumptions A-3/A-4).
+    """
+
+    count: int
+    mean: float
+    max: int
+    samples: np.ndarray = field(repr=False)
+
+    @property
+    def tau_observed(self) -> int:
+        """The empirical delay bound: the largest staleness witnessed."""
+        return self.max
+
+
+@dataclass
+class ProcessRunResult:
+    """Outcome of a multiprocess run.
+
+    Attributes
+    ----------
+    x:
+        Final iterate (a private copy; ``(x_rows,)`` or ``(x_rows, k)``
+        following the request's ``b``).
+    iterations:
+        Total row updates committed across all workers (a block update
+        of all ``k`` columns counts once, as in the simulators).
+    per_worker_iterations:
+        Commit counts per worker process.
+    sync_points:
+        Barrier crossings executed (epoch boundaries).
+    converged:
+        Whether the tolerance was reached (``False`` without one).
+    wall_time:
+        Wall-clock seconds spent inside the worker session (excludes
+        process startup, includes barrier waits — the honest number a
+        strong-scaling plot should use).
+    tau_observed:
+        :class:`DelayStats` from the shared write-log.
+    checkpoints:
+        ``(cumulative_updates, metric)`` pairs recorded at epoch
+        boundaries by the parent.
+    atomic:
+        Whether updates went through the striped locks.
+    sweeps_done:
+        Completed sweeps of ``n_rows`` row updates — the quantity the
+        epoch loop actually executed, reported identically by every
+        engine.
+    column_updates:
+        Σ over commits of the number of columns actually refreshed —
+        ``iterations · k`` without retirement, strictly less once
+        columns start retiring (the work the retirement saves).
+    converged_columns:
+        Per-column convergence mask at the final synchronization point
+        (``None`` for runs without a tolerance or with a custom metric).
+    column_sweeps:
+        Sweep count at which each column first reached the tolerance
+        (its retirement epoch when retirement is on); ``-1`` for columns
+        that never got there. ``None`` like ``converged_columns``.
+    column_residuals:
+        Final per-column residual measures (``None`` like the above).
+    column_checkpoints:
+        ``(cumulative_updates, per-column residuals)`` pairs recorded at
+        epoch boundaries alongside ``checkpoints``.
+    """
+
+    x: np.ndarray
+    iterations: int
+    per_worker_iterations: list[int]
+    sync_points: int
+    converged: bool
+    wall_time: float
+    tau_observed: DelayStats
+    checkpoints: list[tuple[int, float]] = field(default_factory=list)
+    atomic: bool = False
+    total_row_nnz: int = 0
+    sweeps_done: int = 0
+    column_updates: int = 0
+    converged_columns: np.ndarray | None = None
+    column_sweeps: np.ndarray | None = None
+    column_residuals: np.ndarray | None = None
+    column_checkpoints: list[tuple[int, np.ndarray]] = field(default_factory=list)
+
+
+class _WorkerPool:
+    """A live worker pool over one shared segment (epoch-stepped).
+
+    Spawning the pool copies the CSR into shared memory and starts the
+    worker processes; :meth:`begin` then prepares the segment for one
+    ``run()``/``solve()`` call (iterate, RHS, counters, generation
+    stamp) without touching the processes — the persistent-pool reuse
+    path. Workers are always parked at the start-gate barrier between
+    epochs, so the parent owns the segment whenever it writes.
+    """
+
+    def __init__(self, backend: "PoolSolver"):
+        self.backend = backend
+        P = backend.nproc
+        A = backend.A
+        self._shm = shared_memory.SharedMemory(
+            create=True,
+            size=_layout(backend._geom(), P, backend.log_capacity)[2],
+        )
+        self.target = 0
+        self.generation = 0
+        self.sync_points = 0
+        self.wall_time = 0.0
+        self.procs = []
+        self._alive = True
+        try:
+            self._setup(backend, P, A)
+        except BaseException:
+            # Abort before any barrier crossing so already-started workers
+            # (blocked at the start gate) wake and exit instead of hanging,
+            # then free the segment — callers install their finally only
+            # after __init__ returns.
+            try:
+                if hasattr(self, "barrier"):
+                    self.barrier.abort()
+            except Exception:
+                pass
+            self._kill()
+            raise
+
+    def _setup(self, backend: "PoolSolver", P: int, A) -> None:
+        self.views = _views(self._shm, backend._geom(), P, backend.log_capacity)
+        self.views["data"][:] = A.data
+        self.views["indices"][:] = A.indices
+        self.views["indptr"][:] = A.indptr
+        self.views["norms"][:] = backend._norms
+        self.views["control"][:] = 0
+        backend.csr_copies += 1
+        ctx = backend._ctx
+        self.barrier = ctx.Barrier(P + 1)
+        locks = (
+            [ctx.Lock() for _ in range(min(backend.n_rows, backend.lock_stripes))]
+            if backend.atomic
+            else []
+        )
+        self.procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(
+                    wid, P, self._shm.name, backend._geom(),
+                    backend.update_method, backend.log_capacity, backend.beta,
+                    backend.directions.seed, backend.directions.stream,
+                    backend.adaptive, self.barrier, locks, backend.block,
+                ),
+                name=f"{backend.method_name}-proc-{wid}",
+                daemon=True,
+            )
+            for wid in range(P)
+        ]
+        for p in self.procs:
+            p.start()
+        backend.spawn_count += 1
+
+    def begin(self, x0: np.ndarray, b: np.ndarray) -> None:
+        """Arm the pool for one call: publish iterate + RHS, zero the
+        counters, bump the generation so workers rewind their streams.
+
+        ``b`` may be narrower than the pool's ``capacity_k`` layout: the
+        request occupies the first ``k`` columns, the spare columns are
+        zeroed, and their active-mask slots are cleared so workers never
+        gather into or scatter onto them — a changed ``k`` costs a
+        memset, not a respawn."""
+        backend = self.backend
+        kreq = 1 if b.ndim == 1 else int(b.shape[1])
+        cap = backend.capacity_k
+        xv, bv, act = self.views["x"], self.views["b"], self.views["active"]
+        xv[:, :kreq] = x0.reshape(backend.x_rows, kreq)
+        bv[:, :kreq] = b.reshape(backend.b_rows, kreq)
+        act[:kreq] = 1
+        if kreq < cap:
+            xv[:, kreq:] = 0.0
+            bv[:, kreq:] = 0.0
+            act[kreq:] = 0
+        self.views["progress"][:] = 0
+        self.views["row_nnz"][:] = 0
+        self.views["col_updates"][:] = 0
+        self.views["delay_sum"][:] = 0
+        self.views["delay_max"][:] = 0
+        self.views["delay_count"][:] = 0
+        self.target = 0
+        self.sync_points = 0
+        self.wall_time = 0.0
+        self.generation += 1
+        ctrl = self.views["control"]
+        ctrl[_CTRL_TARGET] = 0
+        ctrl[_CTRL_GENERATION] = self.generation
+
+    def refresh_sampling(self) -> None:
+        """Recompute and publish the adaptive-sampling CDF.
+
+        Called only while the parent owns the segment (between gates);
+        no-op for uniform pools. The floor keeps every row's mass
+        strictly positive however concentrated the residual is.
+        """
+        if not self.backend.adaptive:
+            return
+        w = residual_weights(self.views)
+        mean = float(w.mean())
+        if mean > 0:
+            # Blend with a uniform component: the weights go stale over
+            # a whole epoch, and a pure residual distribution starves
+            # the rows it has already visited (their residual is zero
+            # *now*, but neighbouring updates re-raise it mid-epoch).
+            # The blend keeps every row sampled at a bounded fraction
+            # of its uniform rate while still biasing toward rows with
+            # residual mass left to remove.
+            w = w + _UNIFORM_BLEND * mean
+        else:
+            w = np.ones_like(w)
+        c = np.cumsum(w)
+        c /= c[-1]
+        c[-1] = 1.0
+        self.views["cdf"][:] = c
+
+    def _wait(self) -> None:
+        try:
+            self.barrier.wait(timeout=self.backend.barrier_timeout)
+        except threading.BrokenBarrierError:
+            # Read the flag before _kill() frees the shared views.
+            reported = int(self.views["control"][_CTRL_ERROR])
+            self._kill()
+            if reported > 0:
+                raise ModelError(
+                    f"worker process {reported - 1} crashed (reported an "
+                    "exception mid-epoch)"
+                ) from None
+            raise ModelError("a worker process crashed or stalled") from None
+
+    def advance(self, additional_updates: int) -> None:
+        """Run one asynchronous segment of ``additional_updates`` commits,
+        ending at a barrier (all writes visible)."""
+        self.refresh_sampling()
+        self.target += int(additional_updates)
+        ctrl = self.views["control"]
+        ctrl[_CTRL_COMMAND] = _CMD_RUN
+        ctrl[_CTRL_TARGET] = self.target
+        start = time.perf_counter()
+        self._wait()  # start gate
+        self._wait()  # end gate — the epoch's updates are all visible now
+        self.wall_time += time.perf_counter() - start
+        self.sync_points += 1
+
+    def x(self) -> np.ndarray:
+        return self.views["x"]
+
+    def retire_columns(self, cols: np.ndarray) -> None:
+        """Drop columns from the active set. Must only be called between
+        an end gate and the next start gate (the parent owns the segment
+        there), so workers never observe a mid-segment change."""
+        self.views["active"][cols] = 0
+
+    def column_updates(self) -> int:
+        """Σ over commits of the number of columns actually refreshed."""
+        return int(self.views["col_updates"].sum())
+
+    def delay_stats(self) -> DelayStats:
+        counts = self.views["delay_count"].copy()
+        total = int(counts.sum())
+        cap = self.backend.log_capacity
+        samples = np.concatenate(
+            [self.views["delay_log"][w, : min(int(c), cap)] for w, c in enumerate(counts)]
+        ) if total else np.empty(0, dtype=np.int64)
+        return DelayStats(
+            count=total,
+            mean=float(self.views["delay_sum"].sum() / total) if total else 0.0,
+            max=int(self.views["delay_max"].max(initial=0)),
+            samples=samples,
+        )
+
+    def per_worker(self) -> list[int]:
+        return [int(c) for c in self.views["progress"]]
+
+    def total_row_nnz(self) -> int:
+        return int(self.views["row_nnz"].sum())
+
+    def _kill(self) -> None:
+        for p in self.procs:
+            if p.is_alive():
+                p.kill()  # workers ignore SIGTERM; escalation is SIGKILL
+        self._join_and_free()
+
+    def stop(self) -> None:
+        """Orderly shutdown: release workers through the start gate with STOP."""
+        if not self._alive:
+            return
+        self.views["control"][_CTRL_COMMAND] = _CMD_STOP
+        try:
+            self.barrier.wait(timeout=self.backend.barrier_timeout)
+        except Exception:
+            self._kill()
+            return
+        self._join_and_free()
+
+    def _join_and_free(self) -> None:
+        if not self._alive:
+            return
+        self._alive = False
+        for p in self.procs:
+            p.join(timeout=self.backend.barrier_timeout)
+            if p.is_alive():  # pragma: no cover
+                p.kill()  # workers ignore SIGTERM; escalation is SIGKILL
+                p.join()
+        if hasattr(self, "views"):
+            del self.views
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - stray view refs
+            pass
+        self._shm.unlink()
+
+
+class PoolSolver:
+    """Method-independent persistent-pool solver base.
+
+    A concrete solver (``ProcessAsyRGS``, ``AsyRK``) validates its
+    system, derives the layout geometry and per-row normalizers, then
+    hands everything here. This class owns the pool lifecycle
+    (context-manager persistence, one-shot fallback, crash recovery),
+    request plumbing (capacity-k checks, request-shaped views), the
+    free-running :meth:`run`, and the epoch-synchronized :meth:`solve`
+    with per-column tracking and retirement.
+
+    Subclass contract: set :attr:`method_name` and
+    :attr:`update_method`, call ``__init__`` with the prepared system,
+    and implement :meth:`_tracker` returning a per-column convergence
+    tracker with the ``ColumnTracker`` surface (``value``,
+    ``converged``, ``col``, ``done_mask``, ``column_sweeps``,
+    ``update(x, sweeps_done, retire)``).
+    """
+
+    method_name = "pool"
+    update_method: type | None = None
+
+    def __init__(
+        self,
+        A,
+        b: np.ndarray,
+        norms: np.ndarray,
+        *,
+        n_rows: int,
+        x_rows: int,
+        b_rows: int,
+        nproc: int,
+        beta: float = 1.0,
+        atomic: bool = False,
+        directions: DirectionStream | str | None = None,
+        adaptive: bool = False,
+        start_method: str | None = None,
+        log_capacity: int = 4096,
+        lock_stripes: int = 64,
+        block: int = 512,
+        barrier_timeout: float = 300.0,
+        capacity_k: int | None = None,
+    ):
+        nproc = int(nproc)
+        if nproc < 1:
+            raise ModelError(f"nproc must be at least 1, got {nproc}")
+        self.A = A
+        self.b = b
+        self.n_rows = int(n_rows)
+        self.x_rows = int(x_rows)
+        self.b_rows = int(b_rows)
+        self.k = 1 if b.ndim == 1 else int(b.shape[1])
+        if self.k < 1:
+            raise ShapeError(rhs_empty_message())
+        if capacity_k is None:
+            self.capacity_k = self.k
+        else:
+            self.capacity_k = int(capacity_k)
+            if self.capacity_k < 1:
+                raise ModelError(
+                    f"capacity_k must be at least 1, got {capacity_k}"
+                )
+            if self.capacity_k < self.k:
+                raise ModelError(
+                    f"capacity_k={self.capacity_k} is narrower than the "
+                    f"constructor RHS block ({self.k} columns); the layout "
+                    "must fit the widest request"
+                )
+        self._norms = norms
+        self.nproc = nproc
+        self.beta = float(beta)
+        if not 0.0 < self.beta < 2.0:
+            raise ModelError(f"step size beta must lie in (0, 2), got {self.beta}")
+        self.atomic = bool(atomic)
+        self.adaptive = bool(adaptive)
+        if isinstance(directions, str):
+            if directions == "adaptive":
+                self.adaptive = True
+            elif directions != "uniform":
+                raise ModelError(
+                    "directions must be a DirectionStream, 'uniform', or "
+                    f"'adaptive', got {directions!r}"
+                )
+            directions = None
+        self.directions = (
+            directions if directions is not None
+            else DirectionStream(self.n_rows, seed=0)
+        )
+        if self.directions.n != self.n_rows:
+            raise ModelError("direction stream dimension mismatch")
+        if start_method is None:
+            start_method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        self._ctx = multiprocessing.get_context(start_method)
+        self.log_capacity = int(log_capacity)
+        if self.log_capacity < 1:
+            raise ModelError("log_capacity must be at least 1")
+        self.lock_stripes = int(lock_stripes)
+        if self.lock_stripes < 1:
+            raise ModelError("lock_stripes must be at least 1")
+        self.block = int(block)
+        if self.block < 1:
+            raise ModelError("block must be at least 1")
+        self.barrier_timeout = float(barrier_timeout)
+        self._pool: _WorkerPool | None = None
+        self._persistent = False
+        self.spawn_count = 0  # pools spawned over this solver's lifetime
+        self.csr_copies = 0  # CSR copies into shared memory (once per pool)
+
+    def _geom(self):
+        return (self.n_rows, self.x_rows, self.b_rows, self.A.nnz, self.capacity_k)
+
+    def _tracker(self, x0: np.ndarray, b: np.ndarray, tol: float):
+        raise NotImplementedError  # pragma: no cover - subclass contract
+
+    # -- pool lifecycle -------------------------------------------------
+
+    def __enter__(self):
+        self._persistent = True
+        self._ensure_pool()
+        return self
+
+    def open(self):
+        """Enter persistent-pool mode without a ``with`` block: spawn the
+        workers and copy the CSR now, serve every subsequent call from
+        the live pool. Pair with :meth:`close` — long-lived owners (the
+        solver server) cannot scope the pool to a lexical block."""
+        return self.__enter__()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent)."""
+        pool, self._pool = self._pool, None
+        self._persistent = False
+        if pool is not None:
+            pool.stop()
+
+    @property
+    def pool_active(self) -> bool:
+        """Whether a persistent pool is currently alive."""
+        pool = self._pool  # one read: _release_pool may null it concurrently
+        return pool is not None and pool._alive
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live persistent pool's workers (empty when none).
+
+        Safe to call from any thread: the pool reference is read once,
+        so a concurrent failure-path ``_release_pool`` (which nulls
+        ``_pool``) yields ``[]`` or the old PIDs, never a crash.
+        """
+        pool = self._pool
+        if pool is None or not pool._alive:
+            return []
+        return [p.pid for p in pool.procs]
+
+    def _ensure_pool(self) -> _WorkerPool:
+        if self._pool is None or not self._pool._alive:
+            self._pool = _WorkerPool(self)
+        return self._pool
+
+    def _acquire_pool(self) -> tuple[_WorkerPool, bool]:
+        """The pool to serve one call, and whether to stop it afterwards."""
+        if self._persistent:
+            return self._ensure_pool(), False
+        return _WorkerPool(self), True
+
+    def _release_pool(self, pool: _WorkerPool, oneshot: bool, failed: bool) -> None:
+        if oneshot:
+            pool.stop()
+            return
+        if failed or not pool._alive:
+            # A failure can leave workers mid-epoch, out of step with the
+            # parent's barrier phase — unusable. Drop the pool; the next
+            # call respawns (visible through spawn_count, honestly).
+            if pool is self._pool:
+                self._pool = None
+            pool.stop()
+
+    # -- per-call plumbing ----------------------------------------------
+
+    def _check_b(self, b: np.ndarray | None) -> np.ndarray:
+        """The request's right-hand side: the constructor default, or a
+        per-call override of any width ``k ≤ capacity_k`` (the shared
+        wording table covers dtype/ndim/rows/capacity violations)."""
+        if b is None:
+            return self.b
+        return check_rhs(b, self.b_rows, capacity=self.capacity_k)
+
+    def _check_x0(self, x0: np.ndarray | None, b: np.ndarray) -> np.ndarray:
+        """The request's initial iterate: ``x_rows`` rows, ``b``'s width."""
+        shape = (self.x_rows,) + b.shape[1:]
+        if x0 is None:
+            return np.zeros(shape)
+        return check_x0(x0, shape)
+
+    @staticmethod
+    def _request_view(x_shared: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """The slice of the shared ``(x_rows, capacity_k)`` iterate this
+        request occupies, shaped like its ``b`` (no copy)."""
+        return x_shared[:, 0] if b.ndim == 1 else x_shared[:, : b.shape[1]]
+
+    def _out(self, x_shared: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """A private, request-shaped copy of the shared iterate."""
+        return self._request_view(x_shared, b).copy()
+
+    def run(
+        self,
+        x0: np.ndarray | None,
+        num_iterations: int,
+        *,
+        b: np.ndarray | None = None,
+    ) -> ProcessRunResult:
+        """One free-running asynchronous segment of ``num_iterations``
+        commits — the regime of Theorem 2(b) (no interior barriers).
+
+        ``b=`` overrides the right-hand side for this call only. Any
+        width ``k ≤ capacity_k`` is served by the live pool without a
+        respawn; the result is shaped like the ``b`` of this call.
+        """
+        num_iterations = int(num_iterations)
+        if num_iterations < 0:
+            raise ModelError("num_iterations must be non-negative")
+        b = self._check_b(b)
+        x0 = self._check_x0(x0, b)
+        pool, oneshot = self._acquire_pool()
+        failed = True
+        try:
+            pool.begin(x0, b)
+            if num_iterations:
+                pool.advance(num_iterations)
+            result = ProcessRunResult(
+                x=self._out(pool.x(), b),
+                iterations=sum(pool.per_worker()),
+                per_worker_iterations=pool.per_worker(),
+                sync_points=pool.sync_points,
+                converged=False,
+                total_row_nnz=pool.total_row_nnz(),
+                wall_time=pool.wall_time,
+                tau_observed=pool.delay_stats(),
+                atomic=self.atomic,
+                sweeps_done=num_iterations // self.n_rows,
+                column_updates=pool.column_updates(),
+            )
+            failed = False
+        finally:
+            self._release_pool(pool, oneshot, failed)
+        return result
+
+    def solve(
+        self,
+        tol: float,
+        max_sweeps: int,
+        x0: np.ndarray | None = None,
+        *,
+        sync_every_sweeps: int = 1,
+        metric=None,
+        b: np.ndarray | None = None,
+        retire: bool | None = None,
+    ) -> ProcessRunResult:
+        """Solve to tolerance with the epoch scheme of Theorem 2's
+        discussion: ``sync_every_sweeps · n_rows`` asynchronous commits,
+        a real barrier, a residual check on the shared iterate, repeat.
+
+        Convergence is judged **per column** by the method's tracker
+        (relative residual for AsyRGS, normal-equations residual for
+        AsyRK): the run stops when every column sits below ``tol``.
+        With ``retire`` (the default), a column that reaches ``tol`` is
+        *retired* at that epoch boundary — the shared active-column mask
+        shrinks and subsequent row gathers scatter only into the
+        still-active columns, so a skewed block stops paying for its
+        easy labels. Retirement only ever happens at synchronization
+        points, never mid-segment. ``retire=False`` keeps updating every
+        column (same convergence criterion, more work).
+
+        A custom ``metric`` restores the aggregate-only criterion
+        (``metric(x) < tol``); it cannot be decomposed per column, so
+        combining it with ``retire=True`` raises.
+
+        ``b=`` overrides the right-hand side for this call only; any
+        width ``k ≤ capacity_k`` reuses the live pool, and ``x0``/the
+        result are shaped to ``x_rows`` rows at the ``b``'s width."""
+        tol = float(tol)
+        max_sweeps = int(max_sweeps)
+        sync_every = int(sync_every_sweeps)
+        if sync_every < 1:
+            raise ModelError("sync_every_sweeps must be at least 1")
+        if retire is None:
+            retire = metric is None
+        elif retire and metric is not None:
+            raise ModelError(
+                "column retirement tracks the built-in per-column "
+                "residual; a custom metric cannot be decomposed per column"
+            )
+        b = self._check_b(b)
+        x0 = self._check_x0(x0, b)
+        if metric is not None:
+            return self._solve_metric(
+                tol, max_sweeps, x0, sync_every, metric, b
+            )
+        tracker = self._tracker(x0, b, tol)
+        checkpoints = [(0, tracker.value)]
+        column_checkpoints = [(0, tracker.col.copy())]
+        if tracker.converged or max_sweeps == 0:
+            return ProcessRunResult(
+                x=x0.copy(),
+                iterations=0,
+                per_worker_iterations=[0] * self.nproc,
+                sync_points=0,
+                converged=tracker.converged,
+                wall_time=0.0,
+                tau_observed=DelayStats(0, 0.0, 0, np.empty(0, dtype=np.int64)),
+                checkpoints=checkpoints,
+                atomic=self.atomic,
+                sweeps_done=0,
+                converged_columns=tracker.done_mask,
+                column_sweeps=tracker.column_sweeps,
+                column_residuals=tracker.col,
+                column_checkpoints=column_checkpoints,
+            )
+        pool, oneshot = self._acquire_pool()
+        failed = True
+        try:
+            pool.begin(x0, b)
+            if retire and tracker.done_mask.any():
+                # Columns converged before the first epoch never enter
+                # the active set at all.
+                pool.retire_columns(np.flatnonzero(tracker.done_mask))
+            sweeps_done = 0
+            while not tracker.converged and sweeps_done < max_sweeps:
+                take = min(sync_every, max_sweeps - sweeps_done)
+                pool.advance(take * self.n_rows)
+                sweeps_done += take
+                # The barrier just crossed is a paper-sense sync point:
+                # the parent's read below sees every worker's writes.
+                # The tracker re-measures only the active columns when
+                # retiring (retired ones are frozen); newly converged
+                # columns leave the shared mask while the parent owns
+                # the segment, never mid-epoch.
+                xv = self._request_view(pool.x(), b)
+                newly_retired = tracker.update(xv, sweeps_done, retire)
+                if newly_retired.size:
+                    pool.retire_columns(newly_retired)
+                checkpoints.append((pool.target, tracker.value))
+                column_checkpoints.append((pool.target, tracker.col.copy()))
+            result = ProcessRunResult(
+                x=self._out(pool.x(), b),
+                iterations=sum(pool.per_worker()),
+                per_worker_iterations=pool.per_worker(),
+                sync_points=pool.sync_points,
+                converged=tracker.converged,
+                total_row_nnz=pool.total_row_nnz(),
+                wall_time=pool.wall_time,
+                tau_observed=pool.delay_stats(),
+                checkpoints=checkpoints,
+                atomic=self.atomic,
+                sweeps_done=sweeps_done,
+                column_updates=pool.column_updates(),
+                converged_columns=tracker.done_mask.copy(),
+                column_sweeps=tracker.column_sweeps,
+                column_residuals=tracker.col.copy(),
+                column_checkpoints=column_checkpoints,
+            )
+            failed = False
+        finally:
+            self._release_pool(pool, oneshot, failed)
+        return result
+
+    def _solve_metric(
+        self, tol, max_sweeps, x0, sync_every, metric, b
+    ) -> ProcessRunResult:
+        """The aggregate-only epoch loop for caller-supplied metrics
+        (no per-column tracking, no retirement)."""
+        value = metric(x0)
+        checkpoints = [(0, value)]
+        converged = value < tol
+        if converged or max_sweeps == 0:
+            return ProcessRunResult(
+                x=x0.copy(),
+                iterations=0,
+                per_worker_iterations=[0] * self.nproc,
+                sync_points=0,
+                converged=converged,
+                wall_time=0.0,
+                tau_observed=DelayStats(0, 0.0, 0, np.empty(0, dtype=np.int64)),
+                checkpoints=checkpoints,
+                atomic=self.atomic,
+                sweeps_done=0,
+            )
+        pool, oneshot = self._acquire_pool()
+        failed = True
+        try:
+            pool.begin(x0, b)
+            sweeps_done = 0
+            while not converged and sweeps_done < max_sweeps:
+                take = min(sync_every, max_sweeps - sweeps_done)
+                pool.advance(take * self.n_rows)
+                sweeps_done += take
+                # The barrier just crossed is a paper-sense sync point:
+                # the parent's read below sees every worker's writes
+                # (request-shaped view, no copy).
+                xv = self._request_view(pool.x(), b)
+                value = metric(xv)
+                checkpoints.append((pool.target, value))
+                converged = value < tol
+            result = ProcessRunResult(
+                x=self._out(pool.x(), b),
+                iterations=sum(pool.per_worker()),
+                per_worker_iterations=pool.per_worker(),
+                sync_points=pool.sync_points,
+                converged=converged,
+                total_row_nnz=pool.total_row_nnz(),
+                wall_time=pool.wall_time,
+                tau_observed=pool.delay_stats(),
+                checkpoints=checkpoints,
+                atomic=self.atomic,
+                sweeps_done=sweeps_done,
+                column_updates=pool.column_updates(),
+            )
+            failed = False
+        finally:
+            self._release_pool(pool, oneshot, failed)
+        return result
+
+
+def available_cpus() -> int:
+    """Usable CPU count (affinity-aware where the platform exposes it)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1

@@ -8,16 +8,16 @@ threaded backend is serialized by the GIL (correctness only), and the
 simulators model delays instead of incurring them. Here delays are real,
 reads are genuinely inconsistent, and wall-clock speedup is measurable.
 
-Layout
-------
-One ``SharedMemory`` segment holds every shared array, cache-line
-aligned: the CSR triplet (``data``/``indices``/``indptr``), the RHS
-block ``b`` of shape ``(n, k)``, the diagonal, the iterate block ``x``
-of shape ``(n, k)``, the active-column mask, per-worker progress and
-column-update counters, the epoch control word, and the delay
-write-log. Workers attach by segment name (spawn-safe) and build
-zero-copy NumPy views at fixed offsets — no serialization of the
-matrix ever happens after startup.
+The machinery that is *not* specific to Gauss-Seidel — the one-segment
+``SharedMemory`` layout, the worker lifecycle (control word,
+generations, epochs/barriers, crash attribution), the per-worker Philox
+direction streams, per-column retirement, and the persistent-pool
+plumbing — lives in :mod:`repro.execution.pool`. This module contributes
+only the AsyRGS coordinate update (:class:`AsyRGSUpdate`) and the
+system preparation (:class:`ProcessAsyRGS`); the asynchronous Kaczmarz
+method for rectangular least-squares systems
+(:class:`~repro.execution.kaczmarz.AsyRK`) is a sibling on the same
+core.
 
 Per-column convergence and retirement
 -------------------------------------
@@ -91,7 +91,11 @@ exactly (the paper's Random123 technique, Section 9). Per-epoch shares
 are cut with :func:`~repro.rng.interleave_counts` of the *cumulative*
 update budget, which keeps the union property across epoch boundaries.
 Every call served by one pool restarts the stream from position 0, so a
-reused pool answers exactly like a fresh one.
+reused pool answers exactly like a fresh one. ``directions="adaptive"``
+keeps the stream identical and reinterprets each draw through the
+residual-weighted CDF the parent republishes at every epoch boundary
+(see :mod:`repro.execution.pool`); the default uniform mode is bit-for-
+bit the paper's sampling.
 
 Epochs
 ------
@@ -125,203 +129,36 @@ scaling); in block mode the lock covers the whole row slice
 
 from __future__ import annotations
 
-import os
-import signal
-import threading
-import time
-import traceback
-from dataclasses import dataclass, field
-
-import multiprocessing
-from multiprocessing import shared_memory
-
 import numpy as np
 
-from ..exceptions import ModelError, ShapeError
-from ..rng import DirectionStream, interleave_counts
+from ..rng import DirectionStream
 from ..sparse import CSRMatrix
-from ..validation import check_rhs, check_x0, rhs_empty_message
+from .pool import (  # noqa: F401  (re-exported: the public result types live here)
+    DelayStats,
+    PoolSolver,
+    ProcessRunResult,
+    available_cpus,
+)
 from .simulator import _prepare_system
 
-__all__ = ["ProcessAsyRGS", "ProcessRunResult", "DelayStats"]
+__all__ = ["AsyRGSUpdate", "ProcessAsyRGS", "ProcessRunResult", "DelayStats"]
 
 
-# Control-word slots (int64): command, cumulative update target, error
-# flag, and the generation stamp that tells workers a new call started.
-_CTRL_COMMAND = 0
-_CTRL_TARGET = 1
-_CTRL_ERROR = 2
-_CTRL_GENERATION = 3
-_CMD_RUN = 0
-_CMD_STOP = 1
+class AsyRGSUpdate:
+    """The AsyRGS coordinate update as a pool update method.
 
-_ALIGN = 64  # cache-line alignment for every shared array
-
-
-def _layout(n: int, nnz: int, k: int, nproc: int, log_capacity: int):
-    """Offsets and dtypes of every shared array inside the one segment."""
-    specs = {
-        "data": (np.float64, (nnz,)),
-        "indices": (np.int64, (nnz,)),
-        "indptr": (np.int64, (n + 1,)),
-        "b": (np.float64, (n, k)),
-        "diag": (np.float64, (n,)),
-        "x": (np.float64, (n, k)),
-        "active": (np.int64, (k,)),
-        "progress": (np.int64, (nproc,)),
-        "row_nnz": (np.int64, (nproc,)),
-        "col_updates": (np.int64, (nproc,)),
-        "control": (np.int64, (4,)),
-        "delay_sum": (np.int64, (nproc,)),
-        "delay_max": (np.int64, (nproc,)),
-        "delay_count": (np.int64, (nproc,)),
-        "delay_log": (np.int64, (nproc, log_capacity)),
-    }
-    offsets = {}
-    cursor = 0
-    for name, (dtype, shape) in specs.items():
-        cursor = (cursor + _ALIGN - 1) & ~(_ALIGN - 1)
-        offsets[name] = cursor
-        cursor += int(np.dtype(dtype).itemsize) * int(np.prod(shape))
-    return specs, offsets, max(cursor, 1)
-
-
-def _views(shm: shared_memory.SharedMemory, n: int, nnz: int, k: int,
-           nproc: int, log_capacity: int) -> dict[str, np.ndarray]:
-    """Zero-copy NumPy views of every shared array in the segment."""
-    specs, offsets, _ = _layout(n, nnz, k, nproc, log_capacity)
-    return {
-        name: np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=offsets[name])
-        for name, (dtype, shape) in specs.items()
-    }
-
-
-def _attach(name: str) -> shared_memory.SharedMemory:
-    """Attach to an existing segment without registering it for cleanup.
-
-    Until Python 3.13 (``track=False``) every attach re-registers the
-    segment with the shared resource tracker, which then sees more
-    unregisters than registers once several workers attach the same
-    name. Only the parent owns the segment's lifetime, so workers
-    suppress tracker registration entirely (worker processes never
-    create shared resources of their own).
+    Lines 5–7 of Algorithm 1: draw coordinate ``r``, gather row ``r``
+    from the live shared iterate (no snapshot — the inconsistent-read
+    regime), and relax ``x[r] += β·(b[r] − A_r·x)/A_rr`` across the
+    active columns. One row gather serves all active columns (the
+    paper's 51-RHS amortization).
     """
-    try:  # pragma: no cover - depends on interpreter internals
-        from multiprocessing import resource_tracker
 
-        resource_tracker.register = lambda name, rtype: None
-    except Exception:
-        pass
-    return shared_memory.SharedMemory(name=name)
-
-
-def _worker_main(
-    wid: int,
-    nproc: int,
-    shm_name: str,
-    n: int,
-    nnz: int,
-    k: int,
-    log_capacity: int,
-    beta: float,
-    seed: int,
-    stream: int,
-    barrier,
-    locks,
-    block: int,
-) -> None:
-    """Worker entry point: attach, run the epoch loop, clean up."""
-    # Workers are torn down by the parent through the control word,
-    # never by signals: a terminal ^C or a supervisor's TERM is
-    # delivered to the whole process group, and a signal landing inside
-    # barrier.wait() would raise past the crash handler (KeyboardInterrupt
-    # is not an Exception) without aborting the barrier — the parent
-    # would then burn its full barrier_timeout waiting on a dead
-    # worker's gate. The parent escalates to SIGKILL when a worker
-    # genuinely must die.
-    try:
-        signal.signal(signal.SIGINT, signal.SIG_IGN)
-        signal.signal(signal.SIGTERM, signal.SIG_IGN)
-    except ValueError:  # pragma: no cover - non-main thread (in-process use)
-        pass
-    shm = _attach(shm_name)
-    try:
-        _worker_loop(
-            wid, nproc, shm, n, nnz, k, log_capacity, beta, seed, stream,
-            barrier, locks, block,
-        )
-    except threading.BrokenBarrierError:
-        # A sibling crashed and aborted the barrier; it already reported
-        # itself. Recording this secondary death would misattribute the
-        # crash to an innocent worker.
-        pass
-    except Exception:  # pragma: no cover - exercised only on worker crashes
-        try:
-            # Record *which* worker crashed (wid + 1 so 0 keeps meaning
-            # "no error"). First reporter wins; two genuine crashers
-            # racing is fine — either id is attributable.
-            ctrl = _views(shm, n, nnz, k, nproc, log_capacity)["control"]
-            if ctrl[_CTRL_ERROR] == 0:
-                ctrl[_CTRL_ERROR] = wid + 1
-        except Exception:
-            pass
-        traceback.print_exc()
-        barrier.abort()  # wake the parent instead of deadlocking it
-    finally:
-        try:
-            shm.close()
-        except BufferError:  # pragma: no cover - stray view refs at exit
-            pass
-
-
-def _worker_loop(
-    wid: int,
-    nproc: int,
-    shm: shared_memory.SharedMemory,
-    n: int,
-    nnz: int,
-    k: int,
-    log_capacity: int,
-    beta: float,
-    seed: int,
-    stream: int,
-    barrier,
-    locks,
-    block: int,
-) -> None:
-    """Worker body: epochs of Algorithm-1 updates on the shared iterate.
-
-    The loop outlives any single ``run()``/``solve()`` call: a change of
-    the generation stamp at the start gate rewinds the worker's position
-    in the direction stream to 0, so one pool serves many calls.
-    """
-    v = _views(shm, n, nnz, k, nproc, log_capacity)
-    indptr, indices, data = v["indptr"], v["indices"], v["data"]
-    x, b, diag = v["x"], v["b"], v["diag"]
-    x1, b1 = x[:, 0], b[:, 0]  # scalar fast path for single-RHS pools
-    progress, control = v["progress"], v["control"]
-    row_nnz, active = v["row_nnz"], v["active"]
-    col_updates = v["col_updates"]
-    delay_sum, delay_max = v["delay_sum"], v["delay_max"]
-    delay_count, delay_log = v["delay_count"], v["delay_log"]
-    view = DirectionStream(n, seed=seed, stream=stream).for_processor(wid, nproc)
-    nlocks = len(locks) if locks else 0
-    done = 0
-    generation = 0
-    while True:
-        barrier.wait()  # start gate: parent has published the control word
-        if control[_CTRL_COMMAND] == _CMD_STOP:
-            break
-        if control[_CTRL_GENERATION] != generation:
-            generation = int(control[_CTRL_GENERATION])
-            done = 0  # new call on the same pool: rewind the stream
-        target = int(interleave_counts(int(control[_CTRL_TARGET]), nproc)[wid])
-        # The active-column set is sampled once per epoch, right after
-        # the start gate: the parent retires columns only while it owns
-        # the segment (between the end gate and the next start gate), so
-        # the set never changes mid-segment — Theorem 2's segment
-        # structure is preserved, the segments just narrow.
-        act = np.flatnonzero(active != 0)
+    @staticmethod
+    def make_updater(v, *, k, act, locks, nlocks, beta):
+        indptr, indices, data = v["indptr"], v["indices"], v["data"]
+        x, b, diag = v["x"], v["b"], v["norms"]
+        x1, b1 = x[:, 0], b[:, 0]  # scalar fast path for single-RHS pools
         nact = int(act.size)
         full = nact == k
         # A lone active column (a single-RHS request on a capacity-k
@@ -341,370 +178,60 @@ def _worker_loop(
         # wins once the active set is genuinely narrow. Retired columns
         # are never *written* either way.
         wide = 2 * nact >= k
-        while done < target:
-            take = min(block, target - done)
-            rows = view.directions(done, take)
-            for r in rows:
-                r = int(r)
-                s, e = int(indptr[r]), int(indptr[r + 1])
-                cols = indices[s:e]
-                # Ticket before the read: everything committed after
-                # this and before our own commit raced with us.
-                before = int(progress.sum())
-                # Lines 5-6 of Algorithm 1 — the read is live shared
-                # memory, no snapshot: the inconsistent-read regime. In
-                # block mode one gather of row r serves all k columns
-                # (the paper's 51-RHS amortization), or only the active
-                # ones once the parent starts retiring columns.
-                if k == 1:
-                    gamma = (b1[r] - float(data[s:e] @ x1[cols])) / diag[r]
-                    # Line 7: the update.
-                    if nlocks:
-                        with locks[r % nlocks]:
-                            x1[r] += beta * gamma
-                    else:
+
+        def update(r: int) -> int:
+            s, e = int(indptr[r]), int(indptr[r + 1])
+            cols = indices[s:e]
+            # Lines 5-6 of Algorithm 1 — the read is live shared
+            # memory, no snapshot: the inconsistent-read regime. In
+            # block mode one gather of row r serves all k columns
+            # (the paper's 51-RHS amortization), or only the active
+            # ones once the parent starts retiring columns.
+            if k == 1:
+                gamma = (b1[r] - float(data[s:e] @ x1[cols])) / diag[r]
+                # Line 7: the update.
+                if nlocks:
+                    with locks[r % nlocks]:
                         x1[r] += beta * gamma
-                elif full:
-                    gamma = (b[r] - data[s:e] @ x[cols, :]) / diag[r]
-                    if nlocks:
-                        with locks[r % nlocks]:
-                            x[r] += beta * gamma
-                    else:
+                else:
+                    x1[r] += beta * gamma
+            elif full:
+                gamma = (b[r] - data[s:e] @ x[cols, :]) / diag[r]
+                if nlocks:
+                    with locks[r % nlocks]:
                         x[r] += beta * gamma
-                elif single:
-                    gamma = (b[r, j0] - float(data[s:e] @ x[cols, j0])) / diag[r]
-                    if nlocks:
-                        with locks[r % nlocks]:
-                            x[r, j0] += beta * gamma
-                    else:
+                else:
+                    x[r] += beta * gamma
+            elif single:
+                gamma = (b[r, j0] - float(data[s:e] @ x[cols, j0])) / diag[r]
+                if nlocks:
+                    with locks[r % nlocks]:
                         x[r, j0] += beta * gamma
-                elif head:
-                    gamma = (bh[r] - data[s:e] @ xh[cols, :]) / diag[r]
-                    if nlocks:
-                        with locks[r % nlocks]:
-                            xh[r] += beta * gamma
-                    else:
+                else:
+                    x[r, j0] += beta * gamma
+            elif head:
+                gamma = (bh[r] - data[s:e] @ xh[cols, :]) / diag[r]
+                if nlocks:
+                    with locks[r % nlocks]:
                         xh[r] += beta * gamma
                 else:
-                    if wide:
-                        gamma = (b[r, act] - (data[s:e] @ x[cols, :])[act]) / diag[r]
-                    else:
-                        gamma = (b[r, act] - data[s:e] @ x[cols[:, None], act]) / diag[r]
-                    if nlocks:
-                        with locks[r % nlocks]:
-                            x[r, act] += beta * gamma
-                    else:
+                    xh[r] += beta * gamma
+            else:
+                if wide:
+                    gamma = (b[r, act] - (data[s:e] @ x[cols, :])[act]) / diag[r]
+                else:
+                    gamma = (b[r, act] - data[s:e] @ x[cols[:, None], act]) / diag[r]
+                if nlocks:
+                    with locks[r % nlocks]:
                         x[r, act] += beta * gamma
-                done += 1
-                progress[wid] = done  # single-writer slot
-                row_nnz[wid] += e - s
-                col_updates[wid] += nact
-                # Write-log entry: foreign commits during our span.
-                sample = int(progress.sum()) - before - 1
-                delay_sum[wid] += sample
-                if sample > delay_max[wid]:
-                    delay_max[wid] = sample
-                j = int(delay_count[wid])
-                if j < log_capacity:
-                    delay_log[wid, j] = sample
-                delay_count[wid] = j + 1
-        barrier.wait()  # end gate: all updates of the epoch are visible
+                else:
+                    x[r, act] += beta * gamma
+            return e - s
+
+        return update
 
 
-@dataclass
-class DelayStats:
-    """Empirical staleness recovered from the shared write-log.
-
-    Each sample counts the foreign commits that landed between one
-    update's read of the shared iterate and its own commit — the measured
-    counterpart of the paper's bounded delay ``τ`` (Assumptions A-3/A-4).
-    """
-
-    count: int
-    mean: float
-    max: int
-    samples: np.ndarray = field(repr=False)
-
-    @property
-    def tau_observed(self) -> int:
-        """The empirical delay bound: the largest staleness witnessed."""
-        return self.max
-
-
-@dataclass
-class ProcessRunResult:
-    """Outcome of a multiprocess run.
-
-    Attributes
-    ----------
-    x:
-        Final iterate (a private copy, shaped like ``b``: ``(n,)`` or
-        ``(n, k)``).
-    iterations:
-        Total row updates committed across all workers (a block update
-        of all ``k`` columns counts once, as in the simulators).
-    per_worker_iterations:
-        Commit counts per worker process.
-    sync_points:
-        Barrier crossings executed (epoch boundaries).
-    converged:
-        Whether the tolerance was reached (``False`` without one).
-    wall_time:
-        Wall-clock seconds spent inside the worker session (excludes
-        process startup, includes barrier waits — the honest number a
-        strong-scaling plot should use).
-    tau_observed:
-        :class:`DelayStats` from the shared write-log.
-    checkpoints:
-        ``(cumulative_updates, metric)`` pairs recorded at epoch
-        boundaries by the parent.
-    atomic:
-        Whether updates went through the striped locks.
-    sweeps_done:
-        Completed sweeps of ``n`` row updates — the quantity the epoch
-        loop actually executed, reported identically by every engine.
-    column_updates:
-        Σ over commits of the number of columns actually refreshed —
-        ``iterations · k`` without retirement, strictly less once
-        columns start retiring (the work the retirement saves).
-    converged_columns:
-        Per-column convergence mask at the final synchronization point
-        (``None`` for runs without a tolerance or with a custom metric).
-    column_sweeps:
-        Sweep count at which each column first reached the tolerance
-        (its retirement epoch when retirement is on); ``-1`` for columns
-        that never got there. ``None`` like ``converged_columns``.
-    column_residuals:
-        Final per-column relative residuals (``None`` like the above).
-    column_checkpoints:
-        ``(cumulative_updates, per-column residuals)`` pairs recorded at
-        epoch boundaries alongside ``checkpoints``.
-    """
-
-    x: np.ndarray
-    iterations: int
-    per_worker_iterations: list[int]
-    sync_points: int
-    converged: bool
-    wall_time: float
-    tau_observed: DelayStats
-    checkpoints: list[tuple[int, float]] = field(default_factory=list)
-    atomic: bool = False
-    total_row_nnz: int = 0
-    sweeps_done: int = 0
-    column_updates: int = 0
-    converged_columns: np.ndarray | None = None
-    column_sweeps: np.ndarray | None = None
-    column_residuals: np.ndarray | None = None
-    column_checkpoints: list[tuple[int, np.ndarray]] = field(default_factory=list)
-
-
-class _WorkerPool:
-    """A live worker pool over one shared segment (epoch-stepped).
-
-    Spawning the pool copies the CSR into shared memory and starts the
-    worker processes; :meth:`begin` then prepares the segment for one
-    ``run()``/``solve()`` call (iterate, RHS, counters, generation
-    stamp) without touching the processes — the persistent-pool reuse
-    path. Workers are always parked at the start-gate barrier between
-    epochs, so the parent owns the segment whenever it writes.
-    """
-
-    def __init__(self, backend: "ProcessAsyRGS"):
-        self.backend = backend
-        P = backend.nproc
-        A = backend.A
-        self._shm = shared_memory.SharedMemory(
-            create=True,
-            size=_layout(backend.n, A.nnz, backend.capacity_k, P, backend.log_capacity)[2],
-        )
-        self.target = 0
-        self.generation = 0
-        self.sync_points = 0
-        self.wall_time = 0.0
-        self.procs = []
-        self._alive = True
-        try:
-            self._setup(backend, P, A)
-        except BaseException:
-            # Abort before any barrier crossing so already-started workers
-            # (blocked at the start gate) wake and exit instead of hanging,
-            # then free the segment — callers install their finally only
-            # after __init__ returns.
-            try:
-                if hasattr(self, "barrier"):
-                    self.barrier.abort()
-            except Exception:
-                pass
-            self._kill()
-            raise
-
-    def _setup(self, backend: "ProcessAsyRGS", P: int, A) -> None:
-        self.views = _views(
-            self._shm, backend.n, A.nnz, backend.capacity_k, P, backend.log_capacity
-        )
-        self.views["data"][:] = A.data
-        self.views["indices"][:] = A.indices
-        self.views["indptr"][:] = A.indptr
-        self.views["diag"][:] = backend._diag
-        self.views["control"][:] = 0
-        backend.csr_copies += 1
-        ctx = backend._ctx
-        self.barrier = ctx.Barrier(P + 1)
-        locks = (
-            [ctx.Lock() for _ in range(min(backend.n, backend.lock_stripes))]
-            if backend.atomic
-            else []
-        )
-        self.procs = [
-            ctx.Process(
-                target=_worker_main,
-                args=(
-                    wid, P, self._shm.name, backend.n, A.nnz, backend.capacity_k,
-                    backend.log_capacity, backend.beta,
-                    backend.directions.seed, backend.directions.stream,
-                    self.barrier, locks, backend.block,
-                ),
-                name=f"asyrgs-proc-{wid}",
-                daemon=True,
-            )
-            for wid in range(P)
-        ]
-        for p in self.procs:
-            p.start()
-        backend.spawn_count += 1
-
-    def begin(self, x0: np.ndarray, b: np.ndarray) -> None:
-        """Arm the pool for one call: publish iterate + RHS, zero the
-        counters, bump the generation so workers rewind their streams.
-
-        ``b`` may be narrower than the pool's ``capacity_k`` layout: the
-        request occupies the first ``k`` columns, the spare columns are
-        zeroed, and their active-mask slots are cleared so workers never
-        gather into or scatter onto them — a changed ``k`` costs a
-        memset, not a respawn."""
-        n = self.backend.n
-        kreq = 1 if b.ndim == 1 else int(b.shape[1])
-        cap = self.backend.capacity_k
-        xv, bv, act = self.views["x"], self.views["b"], self.views["active"]
-        xv[:, :kreq] = x0.reshape(n, kreq)
-        bv[:, :kreq] = b.reshape(n, kreq)
-        act[:kreq] = 1
-        if kreq < cap:
-            xv[:, kreq:] = 0.0
-            bv[:, kreq:] = 0.0
-            act[kreq:] = 0
-        self.views["progress"][:] = 0
-        self.views["row_nnz"][:] = 0
-        self.views["col_updates"][:] = 0
-        self.views["delay_sum"][:] = 0
-        self.views["delay_max"][:] = 0
-        self.views["delay_count"][:] = 0
-        self.target = 0
-        self.sync_points = 0
-        self.wall_time = 0.0
-        self.generation += 1
-        ctrl = self.views["control"]
-        ctrl[_CTRL_TARGET] = 0
-        ctrl[_CTRL_GENERATION] = self.generation
-
-    def _wait(self) -> None:
-        try:
-            self.barrier.wait(timeout=self.backend.barrier_timeout)
-        except threading.BrokenBarrierError:
-            # Read the flag before _kill() frees the shared views.
-            reported = int(self.views["control"][_CTRL_ERROR])
-            self._kill()
-            if reported > 0:
-                raise ModelError(
-                    f"worker process {reported - 1} crashed (reported an "
-                    "exception mid-epoch)"
-                ) from None
-            raise ModelError("a worker process crashed or stalled") from None
-
-    def advance(self, additional_updates: int) -> None:
-        """Run one asynchronous segment of ``additional_updates`` commits,
-        ending at a barrier (all writes visible)."""
-        self.target += int(additional_updates)
-        ctrl = self.views["control"]
-        ctrl[_CTRL_COMMAND] = _CMD_RUN
-        ctrl[_CTRL_TARGET] = self.target
-        start = time.perf_counter()
-        self._wait()  # start gate
-        self._wait()  # end gate — the epoch's updates are all visible now
-        self.wall_time += time.perf_counter() - start
-        self.sync_points += 1
-
-    def x(self) -> np.ndarray:
-        return self.views["x"]
-
-    def retire_columns(self, cols: np.ndarray) -> None:
-        """Drop columns from the active set. Must only be called between
-        an end gate and the next start gate (the parent owns the segment
-        there), so workers never observe a mid-segment change."""
-        self.views["active"][cols] = 0
-
-    def column_updates(self) -> int:
-        """Σ over commits of the number of columns actually refreshed."""
-        return int(self.views["col_updates"].sum())
-
-    def delay_stats(self) -> DelayStats:
-        counts = self.views["delay_count"].copy()
-        total = int(counts.sum())
-        cap = self.backend.log_capacity
-        samples = np.concatenate(
-            [self.views["delay_log"][w, : min(int(c), cap)] for w, c in enumerate(counts)]
-        ) if total else np.empty(0, dtype=np.int64)
-        return DelayStats(
-            count=total,
-            mean=float(self.views["delay_sum"].sum() / total) if total else 0.0,
-            max=int(self.views["delay_max"].max(initial=0)),
-            samples=samples,
-        )
-
-    def per_worker(self) -> list[int]:
-        return [int(c) for c in self.views["progress"]]
-
-    def total_row_nnz(self) -> int:
-        return int(self.views["row_nnz"].sum())
-
-    def _kill(self) -> None:
-        for p in self.procs:
-            if p.is_alive():
-                p.kill()  # workers ignore SIGTERM; escalation is SIGKILL
-        self._join_and_free()
-
-    def stop(self) -> None:
-        """Orderly shutdown: release workers through the start gate with STOP."""
-        if not self._alive:
-            return
-        self.views["control"][_CTRL_COMMAND] = _CMD_STOP
-        try:
-            self.barrier.wait(timeout=self.backend.barrier_timeout)
-        except Exception:
-            self._kill()
-            return
-        self._join_and_free()
-
-    def _join_and_free(self) -> None:
-        if not self._alive:
-            return
-        self._alive = False
-        for p in self.procs:
-            p.join(timeout=self.backend.barrier_timeout)
-            if p.is_alive():  # pragma: no cover
-                p.kill()  # workers ignore SIGTERM; escalation is SIGKILL
-                p.join()
-        if hasattr(self, "views"):
-            del self.views
-        try:
-            self._shm.close()
-        except BufferError:  # pragma: no cover - stray view refs
-            pass
-        self._shm.unlink()
-
-
-class ProcessAsyRGS:
+class ProcessAsyRGS(PoolSolver):
     """Asynchronous randomized Gauss-Seidel on real OS processes.
 
     Parameters
@@ -730,7 +257,14 @@ class ProcessAsyRGS:
     directions:
         Shared coordinate stream; defaults to seed 0. The union of
         directions consumed by the workers equals this stream's serial
-        prefix, epoch by epoch.
+        prefix, epoch by epoch. The strings ``"uniform"`` (the default
+        stream) and ``"adaptive"`` (residual-weighted row selection on
+        the default stream) are also accepted.
+    adaptive:
+        ``True`` reweights direction draws by per-row residual mass at
+        every epoch boundary (composes with a custom ``directions``
+        stream); the default uniform mode is the paper's sampling,
+        bit for bit.
     start_method:
         ``multiprocessing`` start method; default prefers ``fork`` (fast,
         POSIX) and falls back to the platform default.
@@ -753,6 +287,9 @@ class ProcessAsyRGS:
     call manages its own short-lived pool.
     """
 
+    method_name = "asyrgs"
+    update_method = AsyRGSUpdate
+
     def __init__(
         self,
         A: CSRMatrix,
@@ -761,7 +298,8 @@ class ProcessAsyRGS:
         nproc: int,
         beta: float = 1.0,
         atomic: bool = False,
-        directions: DirectionStream | None = None,
+        directions: DirectionStream | str | None = None,
+        adaptive: bool = False,
         start_method: str | None = None,
         log_capacity: int = 4096,
         lock_stripes: int = 64,
@@ -770,374 +308,31 @@ class ProcessAsyRGS:
         capacity_k: int | None = None,
     ):
         b, diag, n = _prepare_system(A, b)
-        nproc = int(nproc)
-        if nproc < 1:
-            raise ModelError(f"nproc must be at least 1, got {nproc}")
-        self.A = A
-        self.b = b
+        super().__init__(
+            A,
+            b,
+            diag,
+            n_rows=n,
+            x_rows=n,
+            b_rows=n,
+            nproc=nproc,
+            beta=beta,
+            atomic=atomic,
+            directions=directions,
+            adaptive=adaptive,
+            start_method=start_method,
+            log_capacity=log_capacity,
+            lock_stripes=lock_stripes,
+            block=block,
+            barrier_timeout=barrier_timeout,
+            capacity_k=capacity_k,
+        )
         self.n = n
-        self.k = 1 if b.ndim == 1 else int(b.shape[1])
-        if self.k < 1:
-            raise ShapeError(rhs_empty_message())
-        if capacity_k is None:
-            self.capacity_k = self.k
-        else:
-            self.capacity_k = int(capacity_k)
-            if self.capacity_k < 1:
-                raise ModelError(
-                    f"capacity_k must be at least 1, got {capacity_k}"
-                )
-            if self.capacity_k < self.k:
-                raise ModelError(
-                    f"capacity_k={self.capacity_k} is narrower than the "
-                    f"constructor RHS block ({self.k} columns); the layout "
-                    "must fit the widest request"
-                )
         self._diag = diag
-        self.nproc = nproc
-        self.beta = float(beta)
-        if not 0.0 < self.beta < 2.0:
-            raise ModelError(f"step size beta must lie in (0, 2), got {self.beta}")
-        self.atomic = bool(atomic)
-        self.directions = directions if directions is not None else DirectionStream(n, seed=0)
-        if self.directions.n != n:
-            raise ModelError("direction stream dimension mismatch")
-        if start_method is None:
-            start_method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
-        self._ctx = multiprocessing.get_context(start_method)
-        self.log_capacity = int(log_capacity)
-        if self.log_capacity < 1:
-            raise ModelError("log_capacity must be at least 1")
-        self.lock_stripes = int(lock_stripes)
-        if self.lock_stripes < 1:
-            raise ModelError("lock_stripes must be at least 1")
-        self.block = int(block)
-        if self.block < 1:
-            raise ModelError("block must be at least 1")
-        self.barrier_timeout = float(barrier_timeout)
-        self._pool: _WorkerPool | None = None
-        self._persistent = False
-        self.spawn_count = 0  # pools spawned over this solver's lifetime
-        self.csr_copies = 0  # CSR copies into shared memory (once per pool)
 
-    # -- pool lifecycle -------------------------------------------------
-
-    def __enter__(self) -> "ProcessAsyRGS":
-        self._persistent = True
-        self._ensure_pool()
-        return self
-
-    def open(self) -> "ProcessAsyRGS":
-        """Enter persistent-pool mode without a ``with`` block: spawn the
-        workers and copy the CSR now, serve every subsequent call from
-        the live pool. Pair with :meth:`close` — long-lived owners (the
-        solver server) cannot scope the pool to a lexical block."""
-        return self.__enter__()
-
-    def __exit__(self, exc_type, exc, tb) -> bool:
-        self.close()
-        return False
-
-    def close(self) -> None:
-        """Shut the persistent pool down (idempotent)."""
-        pool, self._pool = self._pool, None
-        self._persistent = False
-        if pool is not None:
-            pool.stop()
-
-    @property
-    def pool_active(self) -> bool:
-        """Whether a persistent pool is currently alive."""
-        pool = self._pool  # one read: _release_pool may null it concurrently
-        return pool is not None and pool._alive
-
-    def worker_pids(self) -> list[int]:
-        """PIDs of the live persistent pool's workers (empty when none).
-
-        Safe to call from any thread: the pool reference is read once,
-        so a concurrent failure-path ``_release_pool`` (which nulls
-        ``_pool``) yields ``[]`` or the old PIDs, never a crash.
-        """
-        pool = self._pool
-        if pool is None or not pool._alive:
-            return []
-        return [p.pid for p in pool.procs]
-
-    def _ensure_pool(self) -> _WorkerPool:
-        if self._pool is None or not self._pool._alive:
-            self._pool = _WorkerPool(self)
-        return self._pool
-
-    def _acquire_pool(self) -> tuple[_WorkerPool, bool]:
-        """The pool to serve one call, and whether to stop it afterwards."""
-        if self._persistent:
-            return self._ensure_pool(), False
-        return _WorkerPool(self), True
-
-    def _release_pool(self, pool: _WorkerPool, oneshot: bool, failed: bool) -> None:
-        if oneshot:
-            pool.stop()
-            return
-        if failed or not pool._alive:
-            # A failure can leave workers mid-epoch, out of step with the
-            # parent's barrier phase — unusable. Drop the pool; the next
-            # call respawns (visible through spawn_count, honestly).
-            if pool is self._pool:
-                self._pool = None
-            pool.stop()
-
-    # -- per-call plumbing ----------------------------------------------
-
-    def _check_b(self, b: np.ndarray | None) -> np.ndarray:
-        """The request's right-hand side: the constructor default, or a
-        per-call override of any width ``k ≤ capacity_k`` (the shared
-        wording table covers dtype/ndim/rows/capacity violations)."""
-        if b is None:
-            return self.b
-        return check_rhs(b, self.n, capacity=self.capacity_k)
-
-    def _check_x0(self, x0: np.ndarray | None, b: np.ndarray) -> np.ndarray:
-        """The request's initial iterate, shaped like *this call's* b."""
-        if x0 is None:
-            return np.zeros_like(b)
-        return check_x0(x0, b.shape)
-
-    @staticmethod
-    def _request_view(x_shared: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """The slice of the shared ``(n, capacity_k)`` iterate this
-        request occupies, shaped like its ``b`` (no copy)."""
-        return x_shared[:, 0] if b.ndim == 1 else x_shared[:, : b.shape[1]]
-
-    def _out(self, x_shared: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """A private, request-shaped copy of the shared iterate."""
-        return self._request_view(x_shared, b).copy()
-
-    def run(
-        self,
-        x0: np.ndarray | None,
-        num_iterations: int,
-        *,
-        b: np.ndarray | None = None,
-    ) -> ProcessRunResult:
-        """One free-running asynchronous segment of ``num_iterations``
-        commits — the regime of Theorem 2(b) (no interior barriers).
-
-        ``b=`` overrides the right-hand side for this call only. Any
-        width ``k ≤ capacity_k`` is served by the live pool without a
-        respawn; the result is shaped like the ``b`` of this call.
-        """
-        num_iterations = int(num_iterations)
-        if num_iterations < 0:
-            raise ModelError("num_iterations must be non-negative")
-        b = self._check_b(b)
-        x0 = self._check_x0(x0, b)
-        pool, oneshot = self._acquire_pool()
-        failed = True
-        try:
-            pool.begin(x0, b)
-            if num_iterations:
-                pool.advance(num_iterations)
-            result = ProcessRunResult(
-                x=self._out(pool.x(), b),
-                iterations=sum(pool.per_worker()),
-                per_worker_iterations=pool.per_worker(),
-                sync_points=pool.sync_points,
-                converged=False,
-                total_row_nnz=pool.total_row_nnz(),
-                wall_time=pool.wall_time,
-                tau_observed=pool.delay_stats(),
-                atomic=self.atomic,
-                sweeps_done=num_iterations // self.n,
-                column_updates=pool.column_updates(),
-            )
-            failed = False
-        finally:
-            self._release_pool(pool, oneshot, failed)
-        return result
-
-    def solve(
-        self,
-        tol: float,
-        max_sweeps: int,
-        x0: np.ndarray | None = None,
-        *,
-        sync_every_sweeps: int = 1,
-        metric=None,
-        b: np.ndarray | None = None,
-        retire: bool | None = None,
-    ) -> ProcessRunResult:
-        """Solve to tolerance with the epoch scheme of Theorem 2's
-        discussion: ``sync_every_sweeps · n`` asynchronous commits, a
-        real barrier, a residual check on the shared iterate, repeat.
-
-        Convergence is judged **per column**: the run stops when every
-        column's relative residual is below ``tol`` (the Frobenius
-        aggregate can pass while one label column is still far off).
-        With ``retire`` (the default), a column that reaches ``tol`` is
-        *retired* at that epoch boundary — the shared active-column mask
-        shrinks and subsequent row gathers scatter only into the
-        still-active columns, so a skewed block stops paying for its
-        easy labels. Retirement only ever happens at synchronization
-        points, never mid-segment. ``retire=False`` keeps updating every
-        column (same convergence criterion, more work).
-
-        A custom ``metric`` restores the aggregate-only criterion
-        (``metric(x) < tol``); it cannot be decomposed per column, so
-        combining it with ``retire=True`` raises.
-
-        ``b=`` overrides the right-hand side for this call only; any
-        width ``k ≤ capacity_k`` reuses the live pool, and ``x0``/the
-        result are shaped like the ``b`` of this call."""
-        tol = float(tol)
-        max_sweeps = int(max_sweeps)
-        sync_every = int(sync_every_sweeps)
-        if sync_every < 1:
-            raise ModelError("sync_every_sweeps must be at least 1")
-        if retire is None:
-            retire = metric is None
-        elif retire and metric is not None:
-            raise ModelError(
-                "column retirement tracks the built-in per-column relative "
-                "residual; a custom metric cannot be decomposed per column"
-            )
-        b = self._check_b(b)
-        x0 = self._check_x0(x0, b)
-        if metric is not None:
-            return self._solve_metric(
-                tol, max_sweeps, x0, sync_every, metric, b
-            )
+    def _tracker(self, x0: np.ndarray, b: np.ndarray, tol: float):
         # Deferred import: repro.core imports repro.execution at package
         # init, so a module-level import here would be circular.
         from ..core.residuals import ColumnTracker
 
-        tracker = ColumnTracker(self.A, x0, b, tol)
-        checkpoints = [(0, tracker.value)]
-        column_checkpoints = [(0, tracker.col.copy())]
-        if tracker.converged or max_sweeps == 0:
-            return ProcessRunResult(
-                x=x0.copy(),
-                iterations=0,
-                per_worker_iterations=[0] * self.nproc,
-                sync_points=0,
-                converged=tracker.converged,
-                wall_time=0.0,
-                tau_observed=DelayStats(0, 0.0, 0, np.empty(0, dtype=np.int64)),
-                checkpoints=checkpoints,
-                atomic=self.atomic,
-                sweeps_done=0,
-                converged_columns=tracker.done_mask,
-                column_sweeps=tracker.column_sweeps,
-                column_residuals=tracker.col,
-                column_checkpoints=column_checkpoints,
-            )
-        pool, oneshot = self._acquire_pool()
-        failed = True
-        try:
-            pool.begin(x0, b)
-            if retire and tracker.done_mask.any():
-                # Columns converged before the first epoch never enter
-                # the active set at all.
-                pool.retire_columns(np.flatnonzero(tracker.done_mask))
-            sweeps_done = 0
-            while not tracker.converged and sweeps_done < max_sweeps:
-                take = min(sync_every, max_sweeps - sweeps_done)
-                pool.advance(take * self.n)
-                sweeps_done += take
-                # The barrier just crossed is a paper-sense sync point:
-                # the parent's read below sees every worker's writes.
-                # The tracker re-measures only the active columns when
-                # retiring (retired ones are frozen); newly converged
-                # columns leave the shared mask while the parent owns
-                # the segment, never mid-epoch.
-                xv = self._request_view(pool.x(), b)
-                newly_retired = tracker.update(xv, sweeps_done, retire)
-                if newly_retired.size:
-                    pool.retire_columns(newly_retired)
-                checkpoints.append((pool.target, tracker.value))
-                column_checkpoints.append((pool.target, tracker.col.copy()))
-            result = ProcessRunResult(
-                x=self._out(pool.x(), b),
-                iterations=sum(pool.per_worker()),
-                per_worker_iterations=pool.per_worker(),
-                sync_points=pool.sync_points,
-                converged=tracker.converged,
-                total_row_nnz=pool.total_row_nnz(),
-                wall_time=pool.wall_time,
-                tau_observed=pool.delay_stats(),
-                checkpoints=checkpoints,
-                atomic=self.atomic,
-                sweeps_done=sweeps_done,
-                column_updates=pool.column_updates(),
-                converged_columns=tracker.done_mask.copy(),
-                column_sweeps=tracker.column_sweeps,
-                column_residuals=tracker.col.copy(),
-                column_checkpoints=column_checkpoints,
-            )
-            failed = False
-        finally:
-            self._release_pool(pool, oneshot, failed)
-        return result
-
-    def _solve_metric(
-        self, tol, max_sweeps, x0, sync_every, metric, b
-    ) -> ProcessRunResult:
-        """The aggregate-only epoch loop for caller-supplied metrics
-        (no per-column tracking, no retirement)."""
-        value = metric(x0)
-        checkpoints = [(0, value)]
-        converged = value < tol
-        if converged or max_sweeps == 0:
-            return ProcessRunResult(
-                x=x0.copy(),
-                iterations=0,
-                per_worker_iterations=[0] * self.nproc,
-                sync_points=0,
-                converged=converged,
-                wall_time=0.0,
-                tau_observed=DelayStats(0, 0.0, 0, np.empty(0, dtype=np.int64)),
-                checkpoints=checkpoints,
-                atomic=self.atomic,
-                sweeps_done=0,
-            )
-        pool, oneshot = self._acquire_pool()
-        failed = True
-        try:
-            pool.begin(x0, b)
-            sweeps_done = 0
-            while not converged and sweeps_done < max_sweeps:
-                take = min(sync_every, max_sweeps - sweeps_done)
-                pool.advance(take * self.n)
-                sweeps_done += take
-                # The barrier just crossed is a paper-sense sync point:
-                # the parent's read below sees every worker's writes
-                # (request-shaped view, no copy).
-                xv = self._request_view(pool.x(), b)
-                value = metric(xv)
-                checkpoints.append((pool.target, value))
-                converged = value < tol
-            result = ProcessRunResult(
-                x=self._out(pool.x(), b),
-                iterations=sum(pool.per_worker()),
-                per_worker_iterations=pool.per_worker(),
-                sync_points=pool.sync_points,
-                converged=converged,
-                total_row_nnz=pool.total_row_nnz(),
-                wall_time=pool.wall_time,
-                tau_observed=pool.delay_stats(),
-                checkpoints=checkpoints,
-                atomic=self.atomic,
-                sweeps_done=sweeps_done,
-                column_updates=pool.column_updates(),
-            )
-            failed = False
-        finally:
-            self._release_pool(pool, oneshot, failed)
-        return result
-
-
-def available_cpus() -> int:
-    """Usable CPU count (affinity-aware where the platform exposes it)."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
+        return ColumnTracker(self.A, x0, b, tol)

@@ -72,6 +72,7 @@ def _run_verb(server, op: str, payload: dict) -> str:
             payload["matrix"],
             problem=payload.get("problem"),
             path=payload.get("path"),
+            method=payload.get("method"),
         )
         return encode_info(request_id, info)
     if op == "stats":

@@ -38,8 +38,12 @@ default ``"solve"``:
 
 ``{"op": "register", "matrix": "lap", "problem": "laplace2d"}``
     Register a named matrix with the registry (``"path"`` points at a
-    MatrixMarket file instead of a named workload problem). Answers
-    ``{"ok": true, "registered": "lap", "n": ..., "nnz": ...}``.
+    MatrixMarket file instead of a named workload problem). An optional
+    ``"method"`` field selects the matrix's update method —
+    ``"asyrgs"`` (the default) or ``"asyrk"`` for rectangular
+    least-squares systems served by asynchronous randomized Kaczmarz.
+    Answers ``{"ok": true, "registered": "lap", "n": ..., "nnz": ...,
+    "method": ...}``.
 ``{"op": "stats"}`` (optionally ``"matrix": "lap"``)
     A JSON snapshot of the serving counters.
 ``{"op": "matrices"}``
@@ -67,6 +71,11 @@ _ALLOWED_KEYS = {
     "id", "b", "x0", "tol", "max_sweeps", "sync_every_sweeps", "matrix",
 }
 _OPS = ("solve", "register", "stats", "matrices")
+# The wire-level method names the register verb accepts. Kept as a
+# literal (not imported from the execution layer) so the protocol
+# module stays a pure parsing layer; the serve-layer registry performs
+# the authoritative check against SOLVER_METHODS.
+_METHODS = ("asyrgs", "asyrk")
 
 
 def _load_object(line: str) -> dict:
@@ -175,7 +184,7 @@ def parse_line(line: str) -> tuple[str, dict]:
         return op, _solve_kwargs(obj)
     payload: dict = {"request_id": request_id}
     if op == "register":
-        allowed = {"op", "id", "matrix", "problem", "path"}
+        allowed = {"op", "id", "matrix", "problem", "path", "method"}
         unknown = set(obj) - allowed
         if unknown:
             raise ProtocolError(
@@ -196,6 +205,15 @@ def parse_line(line: str) -> tuple[str, dict]:
                 'workload) or "path" (a MatrixMarket file)',
                 request_id=request_id,
             )
+        method = obj.get("method")
+        if method is not None:
+            if not isinstance(method, str) or method not in _METHODS:
+                raise ProtocolError(
+                    f'"method" must be one of {sorted(_METHODS)}, '
+                    f"got {method!r}",
+                    request_id=request_id,
+                )
+            payload["method"] = method
         payload["matrix"] = matrix
         payload[sources[0]] = str(obj[sources[0]])
     elif op == "stats":

@@ -38,6 +38,7 @@ from __future__ import annotations
 import itertools
 
 from ..exceptions import ServeError
+from ..execution import SOLVER_METHODS
 from .runtime import THREAD_RUNTIME
 from .server import ServerStats, SolverServer
 
@@ -68,13 +69,38 @@ def _merge_policy(snapshots: list[ServerStats]) -> dict:
     return {"policy": "mixed", "pools": len(policies), "policies": counts}
 
 
+def _merge_methods(snapshots: list[ServerStats]):
+    """The ``method`` field of a merged snapshot, per-policy-style: the
+    unanimous method name passes through as a plain string (the common
+    case — one matrix's pools all run one method, and a homogeneous
+    gateway stays homogeneous), while a merge across pools running
+    *different* update methods reports ``"mixed"`` with per-method pool
+    counts rather than pretending one method speaks for all. Nested
+    breakdowns (an aggregate of aggregates) fold their counts in."""
+    counts: dict = {}
+    for s in snapshots:
+        m = s.method
+        if isinstance(m, dict):
+            for name, c in m.get("methods", {}).items():
+                counts[name] = counts.get(name, 0) + int(c)
+        else:
+            counts[m] = counts.get(m, 0) + 1
+    if not counts:
+        return "none"
+    if len(counts) == 1:
+        return next(iter(counts))
+    return {"method": "mixed", "methods": counts}
+
+
 def merge_stats(snapshots) -> ServerStats:
     """Fold per-pool :class:`ServerStats` snapshots into one: counters
     add, high-water marks take the max, the latency mean is recomputed
     from the served-weighted sums, ``worker_pids`` concatenates
-    (live pools only report PIDs; retired snapshots keep theirs), and
+    (live pools only report PIDs; retired snapshots keep theirs),
     ``policy`` becomes a per-policy breakdown unless there is exactly
-    one snapshot (see ``_merge_policy``)."""
+    one snapshot (see ``_merge_policy``), and ``method`` stays the
+    unanimous method name or becomes a per-method breakdown (see
+    ``_merge_methods``)."""
     snapshots = list(snapshots)
     served = sum(s.requests_served for s in snapshots)
     latency_sum = sum(s.latency_mean * s.requests_served for s in snapshots)
@@ -91,6 +117,7 @@ def merge_stats(snapshots) -> ServerStats:
         spawn_count=sum(s.spawn_count for s in snapshots),
         worker_pids=[pid for s in snapshots for pid in s.worker_pids],
         policy=_merge_policy(snapshots),
+        method=_merge_methods(snapshots),
     )
 
 
@@ -193,15 +220,27 @@ class MatrixRegistry:
             self._entries[name] = _Entry(name, A, dict(overrides))
 
     def register_spec(
-        self, name: str, *, problem: str | None = None, path: str | None = None
+        self,
+        name: str,
+        *,
+        problem: str | None = None,
+        path: str | None = None,
+        method: str | None = None,
     ) -> dict:
         """The wire-protocol ``register`` verb: resolve a named workload
-        problem or a MatrixMarket file and register it. Returns the
-        info payload echoed to the client."""
+        problem or a MatrixMarket file and register it. ``method``
+        selects the matrix's update method (``"asyrgs"``/``"asyrk"``;
+        ``None`` inherits the registry default). Returns the info
+        payload echoed to the client."""
         if (problem is None) == (path is None):
             raise ServeError(
                 "register requires exactly one of a named problem or a "
                 "MatrixMarket path"
+            )
+        if method is not None and method not in SOLVER_METHODS:
+            known = ", ".join(sorted(SOLVER_METHODS))
+            raise ServeError(
+                f"unknown solver method {method!r}; expected one of: {known}"
             )
         if problem is not None:
             from ..workloads import get_problem
@@ -214,12 +253,14 @@ class MatrixRegistry:
                 A = read_matrix_market(path)
             except OSError as exc:
                 raise ServeError(f"cannot read matrix file: {exc}") from exc
-        self.register(name, A)
+        overrides = {} if method is None else {"method": method}
+        self.register(name, A, **overrides)
         return {
             "registered": name,
             "n": A.shape[0],
             "nnz": A.nnz,
             "source": problem if problem is not None else path,
+            "method": self._method_of(self._entries[name]),
         }
 
     # -- routing --------------------------------------------------------
@@ -344,8 +385,17 @@ class MatrixRegistry:
                 },
             }
 
+    def _method_of(self, entry: _Entry) -> str:
+        """The update method ``entry``'s pool runs (its override, or the
+        registry default, or the server default)."""
+        return entry.overrides.get(
+            "method", self._defaults.get("method", "asyrgs")
+        )
+
     def matrices_payload(self) -> list[dict]:
-        """The ``matrices`` verb / ``GET /v1/matrices`` payload."""
+        """The ``matrices`` verb / ``GET /v1/matrices`` payload; each
+        entry carries the matrix's update ``method`` so clients can see
+        which resident systems answer Kaczmarz least-squares requests."""
         with self._lock:
             default = self._resolve_default()
             out = []
@@ -361,6 +411,7 @@ class MatrixRegistry:
                             "capacity_k",
                             self._defaults.get("capacity_k", 8),
                         ),
+                        "method": self._method_of(entry),
                         "live": entry.server is not None,
                         "requests_submitted": stats.requests_submitted,
                         "requests_served": stats.requests_served,

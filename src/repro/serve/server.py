@@ -77,7 +77,7 @@ from dataclasses import dataclass, field as dataclasses_field
 import numpy as np
 
 from ..exceptions import ServeError
-from ..execution import ProcessAsyRGS
+from ..execution import SOLVER_METHODS, make_solver
 from ..rng import DirectionStream
 from ..sparse import CSRMatrix
 from ..validation import check_rhs, check_x0
@@ -87,6 +87,12 @@ from .runtime import THREAD_RUNTIME
 __all__ = ["SolverServer", "RequestHandle", "ServedResult", "ServerStats"]
 
 _SHUTDOWN = object()
+
+
+def _default_factory(A, b, *, method, **kwargs):
+    """The default ``solver_factory``: dispatch by wire-level method
+    name through the execution layer's registry."""
+    return make_solver(method, A, b, **kwargs)
 
 
 @dataclass(frozen=True)
@@ -189,6 +195,11 @@ class ServerStats:
     spawn_count: int
     worker_pids: list[int]
     policy: dict = dataclasses_field(default_factory=dict)
+    #: The pool's update method (``"asyrgs"``/``"asyrk"``). A merged
+    #: snapshot over pools running different methods carries a
+    #: ``{"method": "mixed", ...}`` breakdown instead (see
+    #: :func:`~repro.serve.registry.merge_stats`).
+    method: str | dict = "asyrgs"
 
     @property
     def mean_batch_size(self) -> float:
@@ -259,11 +270,20 @@ class SolverServer:
         default), ``"adaptive"`` (window sized from the measured
         queue-depth/solve-wall EWMAs), or a ready-made
         :class:`~repro.serve.batching.BatchingPolicy` instance.
+    method:
+        The pool's update method: ``"asyrgs"`` (the default — square
+        systems with a positive diagonal) or ``"asyrk"`` (asynchronous
+        randomized Kaczmarz on rectangular least-squares systems).
+        With ``"asyrk"`` requests carry an ``m``-row right-hand side
+        and receive an ``n``-entry iterate (``A`` is ``m×n``); the
+        coalescing, retirement, and failure-containment machinery is
+        identical — one pool core serves both.
     beta, atomic, directions, seed, start_method, barrier_timeout:
-        Forwarded to :class:`~repro.execution.ProcessAsyRGS`. The
-        direction stream restarts from position 0 for every batch, so a
-        request's trajectory is a pure function of the batch it rides
-        in — repeated identical traffic is deterministic.
+        Forwarded to the pool solver (see
+        :func:`~repro.execution.make_solver`). The direction stream
+        restarts from position 0 for every batch, so a request's
+        trajectory is a pure function of the batch it rides in —
+        repeated identical traffic is deterministic.
     runtime:
         The concurrency seam (clock, queue, event, lock, thread spawn);
         defaults to the real primitives
@@ -271,12 +291,13 @@ class SolverServer:
         simulation harness substitutes a virtual-clock scheduler here.
     solver_factory:
         Builds the backing pool; defaults to
-        :class:`~repro.execution.ProcessAsyRGS`, called as
-        ``factory(A, zeros_block, nproc=..., beta=..., atomic=...,
-        directions=..., start_method=..., barrier_timeout=...,
-        capacity_k=...)``. The simulation harness substitutes an
-        in-process fake so dispatcher/gather/eviction logic runs under
-        seeded schedules without spawning worker processes.
+        :func:`~repro.execution.make_solver` dispatch, called as
+        ``factory(A, zeros_block, method=..., nproc=..., beta=...,
+        atomic=..., directions=..., start_method=...,
+        barrier_timeout=..., capacity_k=...)`` — the ``method`` kwarg
+        is always passed explicitly. The simulation harness substitutes
+        an in-process fake so dispatcher/gather/eviction logic runs
+        under seeded schedules without spawning worker processes.
 
     Use as a context manager, or call :meth:`close` explicitly.
     """
@@ -293,6 +314,7 @@ class SolverServer:
         max_batch: int | None = None,
         max_wait: float = 0.005,
         policy="fixed",
+        method: str = "asyrgs",
         beta: float = 1.0,
         atomic: bool = False,
         directions: DirectionStream | None = None,
@@ -303,9 +325,20 @@ class SolverServer:
         solver_factory=None,
     ):
         capacity_k = int(capacity_k)
+        if method not in SOLVER_METHODS:
+            known = ", ".join(sorted(SOLVER_METHODS))
+            raise ServeError(
+                f"unknown solver method {method!r}; expected one of: {known}"
+            )
         self._runtime = THREAD_RUNTIME if runtime is None else runtime
         self._clock = self._runtime.monotonic
+        self.method = method
+        # Request geometry: a right-hand side always has one entry per
+        # *row* of A; the iterate has one entry per *column*. For AsyRGS
+        # the matrix is square so the two coincide; for AsyRK they are
+        # the rectangle's two sides.
         self.n = A.shape[0]
+        self.x_rows = A.shape[1]
         self.capacity_k = capacity_k
         self.default_tol = float(tol)
         self.default_max_sweeps = int(max_sweeps)
@@ -318,10 +351,11 @@ class SolverServer:
         self.nnz = A.nnz
         if directions is None:
             directions = DirectionStream(self.n, seed=seed)
-        factory = ProcessAsyRGS if solver_factory is None else solver_factory
+        factory = _default_factory if solver_factory is None else solver_factory
         self._solver = factory(
             A,
             np.zeros((self.n, capacity_k)),
+            method=method,
             nproc=nproc,
             beta=beta,
             atomic=atomic,
@@ -395,7 +429,7 @@ class SolverServer:
             )
         b = np.array(check_rhs(b, self.n, capacity=self.capacity_k))
         if x0 is not None:
-            x0 = np.array(check_x0(x0, b.shape))
+            x0 = np.array(check_x0(x0, (self.x_rows,) + b.shape[1:]))
         key = _BatchKey(
             tol=self.default_tol if tol is None else float(tol),
             max_sweeps=(
@@ -449,6 +483,7 @@ class SolverServer:
                 spawn_count=self._solver.spawn_count,
                 worker_pids=self._solver.worker_pids(),
                 policy=self.policy.snapshot(),
+                method=self.method,
             )
 
     def stats_payload(self, matrix: str | None = None) -> dict:
@@ -474,6 +509,7 @@ class SolverServer:
                 "n": self.n,
                 "nnz": self.nnz,
                 "capacity_k": self.capacity_k,
+                "method": self.method,
                 "live": True,
                 "requests_submitted": stats.requests_submitted,
                 "requests_served": stats.requests_served,
@@ -644,7 +680,7 @@ class SolverServer:
             if any(r.x0 is not None for r in batch):
                 X0 = np.column_stack(
                     [
-                        r.x0 if r.x0 is not None else np.zeros(self.n)
+                        r.x0 if r.x0 is not None else np.zeros(self.x_rows)
                         for r in batch
                     ]
                 )

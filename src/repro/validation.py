@@ -19,7 +19,16 @@ row-count mismatch   :func:`rhs_rows_message`
 zero columns         :func:`rhs_empty_message`
 k > capacity_k       :func:`rhs_capacity_message`
 x0 shape mismatch    :func:`x0_shape_message`
+vector-only RHS      :func:`rhs_vector_message`
 ==================  ==================================================
+
+The table serves rectangular systems too: the least-squares entry
+points (``rcd_least_squares``, ``AsyncLeastSquares``,
+``normal_equations``) validate their ``b`` against the *row* count of
+the rectangle through :func:`check_vector_rhs` — same dtype guard,
+vector-specific shape wording — and block-capable AsyRK goes through
+:func:`check_rhs` with ``n`` = the number of equations, so a mismatched
+rectangular ``b`` produces byte-identical wording to the SPD path.
 """
 
 from __future__ import annotations
@@ -30,12 +39,14 @@ from .exceptions import ShapeError
 
 __all__ = [
     "check_rhs",
+    "check_vector_rhs",
     "check_x0",
     "rhs_dtype_message",
     "rhs_ndim_message",
     "rhs_rows_message",
     "rhs_empty_message",
     "rhs_capacity_message",
+    "rhs_vector_message",
     "x0_shape_message",
 ]
 
@@ -68,6 +79,13 @@ def rhs_capacity_message(name: str, k: int, capacity: int) -> str:
         f"{capacity}; build the solver with capacity_k >= {k} to serve "
         "wider blocks"
     )
+
+
+def rhs_vector_message(name: str, shape: tuple, m: int) -> str:
+    """Wording for entry points whose contract is a single vector RHS
+    (the scalar least-squares iterations); kept byte-identical to the
+    message those paths have always raised."""
+    return f"{name} has shape {shape}, expected ({m},)"
 
 
 def x0_shape_message(shape: tuple, expected: tuple) -> str:
@@ -118,6 +136,21 @@ def check_rhs(
         raise ShapeError(rhs_empty_message(name))
     if capacity is not None and k > int(capacity):
         raise ShapeError(rhs_capacity_message(name, k, int(capacity)))
+    return arr
+
+
+def check_vector_rhs(b, m: int, *, name: str = "b") -> np.ndarray:
+    """Validate a strictly-vector right-hand side against ``m`` rows.
+
+    The same float64 conversion guard as :func:`check_rhs` (non-numeric
+    and complex inputs raise :class:`ShapeError` with the shared dtype
+    wording), then the vector contract: exactly one dimension of length
+    ``m``, with the wording the scalar least-squares entry points have
+    always used.
+    """
+    arr = _as_float64(b, name)
+    if arr.shape != (m,):
+        raise ShapeError(rhs_vector_message(name, arr.shape, m))
     return arr
 
 

@@ -62,7 +62,10 @@ def random_least_squares(
     """Generate a sparse overdetermined system with known structure.
 
     Construction: random sparse entries plus an embedded scaled identity
-    on the first ``n`` rows, which guarantees full column rank. With
+    on the first ``n`` rows (full column rank) and a wrap-around band
+    ``(i, i mod n)`` on the remaining rows, so *every* row carries at
+    least one entry — row-action methods (Kaczmarz projections) divide
+    by the row norm and reject matrices with empty equations. With
     ``column_norm`` set (default 1, the paper's normalization), columns
     are rescaled to that Euclidean norm.
 
@@ -84,6 +87,12 @@ def random_least_squares(
         np.arange(n, dtype=np.int64),
         np.full(n, 2.0),
     )
+    if m > n:
+        # Wrap-around band: rows beyond the identity each get one
+        # guaranteed entry, so no equation is empty whatever the random
+        # draws below leave out.
+        tail = np.arange(n, m, dtype=np.int64)
+        builder.add_batch(tail, tail % n, np.ones(m - n))
     n_extra = m * max(0, int(nnz_per_row) - 1)
     if n_extra:
         rows = rng.randint(0, n_extra, m)

@@ -778,7 +778,7 @@ class TestWorkerCrashReporting:
         """A worker that raises mid-epoch surfaces as ModelError naming
         the *guilty* worker (not a sibling that died of the aborted
         barrier), and the context exit stays clean."""
-        import repro.execution.processes as processes_module
+        import repro.execution.pool as processes_module
 
         A, b, _ = system
         flag = tmp_path / "armed"

@@ -56,6 +56,15 @@ class TestExamples:
         assert "block CG" in out
 
     @pytest.mark.multiprocess
+    def test_least_squares(self, capsys):
+        out = run_example("least_squares.py", capsys)
+        assert "no solution" in out  # the system is inconsistent…
+        assert "normal-equations residual" in out  # …so the tolerance
+        assert "noise floor" in out  # …cannot be on the plain residual
+        assert "RCD" in out and "AsyRK" in out and "converged=True" in out
+        assert "adaptive sampling saved" in out  # the ablation's headline
+
+    @pytest.mark.multiprocess
     def test_true_parallel(self, capsys):
         out = run_example("true_parallel.py", capsys)
         assert "AsyRGS[processes]" in out

@@ -21,7 +21,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.theory import nu_tau, rho_infinity, theorem2_epoch_bound
-from repro.execution import ProcessAsyRGS
+from repro.execution import AsyRK, ProcessAsyRGS
 from repro.rng import DirectionStream
 from repro.workloads import random_unit_diagonal_spd
 
@@ -94,3 +94,84 @@ class TestEpochSchemeBound:
         if stats.samples.size:
             assert stats.samples.max() <= stats.max
             assert stats.samples.min() >= 0
+
+
+class TestSerialEquivalence:
+    """A one-worker pool is bit-identical to a serial Python reference.
+
+    At ``nproc=1`` there is no concurrency, so the refactored pool core
+    (draw chunking, progress ticketing, the active-set machinery) must
+    be arithmetically invisible: the iterate after ``run()`` has to
+    equal — ``np.array_equal``, not ``allclose`` — a plain Python loop
+    consuming the same :class:`DirectionStream` prefix with the same
+    float64 update expressions. Run twice on the *same* persistent pool:
+    the generation bump rewinds each worker's stream position to 0, so
+    pool reuse must replay the exact same trajectory.
+    """
+
+    @given(seed=st.integers(0, 5))
+    @settings(max_examples=3, deadline=None, derandomize=True)
+    def test_asyrgs_bit_identical_to_serial_reference_across_reuse(self, seed):
+        A = random_unit_diagonal_spd(
+            18, nnz_per_row=3, offdiag_scale=0.4, seed=seed
+        )
+        n = A.shape[0]
+        b = A.matvec(np.linspace(-1.0, 1.0, n))
+        beta, total = 0.9, 3 * n
+
+        # Serial reference: the exact k=1 AsyRGS relaxation, consuming
+        # worker 0's (== the global) stream prefix in draw order.
+        rows = DirectionStream(n, seed=seed).for_processor(0, 1).directions(0, total)
+        diag = A.diagonal()
+        x_ref = np.zeros(n)
+        for r in rows:
+            r = int(r)
+            s, e = int(A.indptr[r]), int(A.indptr[r + 1])
+            cols = A.indices[s:e]
+            gamma = (b[r] - float(A.data[s:e] @ x_ref[cols])) / diag[r]
+            x_ref[r] += beta * gamma
+
+        with ProcessAsyRGS(
+            A, b, nproc=1, beta=beta, directions=DirectionStream(n, seed=seed)
+        ) as solver:
+            first = solver.run(None, total)
+            second = solver.run(None, total)
+        assert solver.spawn_count == 1  # both calls served by one pool
+        assert first.per_worker_iterations == [total]
+        assert np.array_equal(first.x, x_ref)
+        assert np.array_equal(second.x, x_ref)
+
+    @given(seed=st.integers(0, 5))
+    @settings(max_examples=3, deadline=None, derandomize=True)
+    def test_asyrk_bit_identical_to_serial_reference_across_reuse(self, seed):
+        # A consistent square SPD system: Kaczmarz draws over the same
+        # row space AsyRGS does, so the two methods' streams align and
+        # only the update arithmetic differs.
+        A = random_unit_diagonal_spd(
+            18, nnz_per_row=3, offdiag_scale=0.4, seed=seed
+        )
+        n = A.shape[0]
+        b = A.matvec(np.linspace(-1.0, 1.0, n))
+        beta, total = 0.8, 3 * n
+
+        # Serial reference: the exact k=1 Kaczmarz row projection.
+        rows = DirectionStream(n, seed=seed).for_processor(0, 1).directions(0, total)
+        norms = A.row_squared_sums()
+        x_ref = np.zeros(n)
+        for r in rows:
+            r = int(r)
+            s, e = int(A.indptr[r]), int(A.indptr[r + 1])
+            cols = A.indices[s:e]
+            vals = A.data[s:e]
+            gamma = (b[r] - float(vals @ x_ref[cols])) / norms[r]
+            x_ref[cols] += (beta * gamma) * vals
+
+        with AsyRK(
+            A, b, nproc=1, beta=beta, directions=DirectionStream(n, seed=seed)
+        ) as solver:
+            first = solver.run(None, total)
+            second = solver.run(None, total)
+        assert solver.spawn_count == 1
+        assert first.per_worker_iterations == [total]
+        assert np.array_equal(first.x, x_ref)
+        assert np.array_equal(second.x, x_ref)

@@ -29,6 +29,7 @@ __all__ = [
     "explore",
     "run_adaptive_linger",
     "run_dispatcher_death",
+    "run_mixed_methods",
     "run_registry_policies",
     "run_registry_traffic",
     "run_server_traffic",
@@ -438,3 +439,99 @@ def run_registry_policies(seed: int):
 
     assert not sched.daemon_failures
     return registry.stats_payload()
+
+
+def run_mixed_methods(
+    seed: int,
+    *,
+    n_clients: int = 3,
+    per_client: int = 3,
+):
+    """AsyRGS and AsyRK pools resident in one registry simultaneously.
+
+    Two matrices share the gateway: ``rgs`` under the default method and
+    ``rk`` registered with ``method="asyrk"``. Clients interleave
+    requests to both under the seeded schedule. Methods must never
+    share a batch: coalescing happens inside one matrix's own server,
+    and the method travels to the factory per pool — so every fake pool
+    records exactly one method, every pool's system identifies which
+    matrix it serves (distinct diagonal scales make a cross-routed
+    request an exact mismatch), and each method's pools carry exactly
+    the requests addressed to its matrix.
+    """
+    sched = SimScheduler(seed)
+    pools: list = []
+    registry = MatrixRegistry(
+        nproc=1,
+        max_live_pools=2,
+        capacity_k=4,
+        max_wait=0.002,
+        runtime=sched.runtime,
+        solver_factory=fake_factory(
+            sleep=sched.sleep, solve_time=0.01, made=pools
+        ),
+    )
+    scales = {"rgs": 1.0, "rk": 4.0}
+    registry.register("rgs", diagonal_system(scales["rgs"] * _DIAG))
+    registry.register("rk", diagonal_system(scales["rk"] * _DIAG), method="asyrk")
+    routed = {"rgs": 0, "rk": 0}
+
+    def client(idx: int):
+        def work():
+            for j in range(per_client):
+                tag = idx * per_client + j
+                which = "rgs" if (idx + j) % 2 == 0 else "rk"
+                routed[which] += 1
+                h = registry.submit(_rhs(tag), matrix=which)
+                res = h.result()
+                expect = _rhs(tag) / (scales[which] * _DIAG)
+                assert np.array_equal(res.x, expect), (
+                    f"request {tag} for {which!r} was solved against the "
+                    "wrong resident matrix (cross-method batch?)"
+                )
+
+        return work
+
+    clients = [
+        sched.task(client(i), name=f"client-{i}") for i in range(n_clients)
+    ]
+
+    def closer():
+        for h in clients:
+            h.join()
+        registry.close()
+
+    sched.task(closer, name="closer")
+    sched.run()
+
+    total = n_clients * per_client
+    agg = registry.stats()
+    assert agg.requests_submitted == total
+    assert agg.requests_served == total
+    assert agg.requests_failed == 0
+    assert not sched.daemon_failures
+
+    # Every pool carries exactly one method, and the method matches the
+    # matrix the pool's system belongs to.
+    by_method = {"asyrgs": 0, "asyrk": 0}
+    for pool in pools:
+        assert pool.method in by_method, f"unexpected method {pool.method!r}"
+        expected_scale = scales["rgs" if pool.method == "asyrgs" else "rk"]
+        assert np.array_equal(pool._diag, expected_scale * _DIAG), (
+            f"a {pool.method} pool was built over the other matrix's system"
+        )
+        by_method[pool.method] += sum(pool.solved_widths)
+    # Column conservation per method: every request's single column was
+    # solved by a pool of its own method — a batch that coalesced
+    # across methods would shift a column from one side to the other.
+    assert by_method["asyrgs"] == routed["rgs"]
+    assert by_method["asyrk"] == routed["rk"]
+    assert by_method["asyrgs"] > 0 and by_method["asyrk"] > 0
+    # The aggregate stats report the heterogeneity honestly.
+    assert agg.method == {
+        "method": "mixed",
+        "methods": {"asyrgs": 1, "asyrk": 1},
+    }
+    assert registry.stats("rgs").method == "asyrgs"
+    assert registry.stats("rk").method == "asyrk"
+    return {"aggregate": agg, "pools_built": len(pools), "steps": sched.steps}

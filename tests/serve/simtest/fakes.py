@@ -86,6 +86,7 @@ class FakePool:
         *,
         nproc: int,
         capacity_k: int,
+        method: str = "asyrgs",
         sleep=None,
         solve_time: float = 0.0,
         fail_on: dict | None = None,
@@ -99,6 +100,10 @@ class FakePool:
         self._diag = A.data.copy()
         self.capacity_k = int(capacity_k)
         self.nproc = int(nproc)
+        # The server passes its update method explicitly on every
+        # factory call; recording it lets mixed-method drivers assert
+        # which pool each batch landed on.
+        self.method = str(method)
         self._sleep = sleep if sleep is not None else (lambda _s: None)
         self.solve_time = float(solve_time)
         self.fail_on = dict(fail_on or {})

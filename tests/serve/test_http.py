@@ -17,7 +17,7 @@ import threading
 import numpy as np
 import pytest
 
-import repro.execution.processes as processes_module
+import repro.execution.pool as processes_module
 from repro.serve import MatrixRegistry, SolverServer, make_http_server
 
 from .conftest import WAIT

@@ -16,7 +16,8 @@ import pytest
 from repro.core import AsyRGS
 from repro.exceptions import ServeError
 from repro.serve import MatrixRegistry, ServerStats, merge_stats, serve_stream
-from repro.workloads import random_unit_diagonal_spd
+from repro.sparse import write_matrix_market
+from repro.workloads import random_least_squares, random_unit_diagonal_spd
 
 from ..conftest import manufactured_system
 from .conftest import WAIT
@@ -330,6 +331,7 @@ class TestWireProtocol:
         assert reg == {
             "id": "reg", "ok": True, "registered": "soc",
             "n": prob.n, "nnz": prob.A.nnz, "source": "social-small",
+            "method": "asyrgs",
         }
         assert s1["ok"] and s1["converged"]
         assert st["ok"] and st["matrix"] == "soc"
@@ -352,3 +354,61 @@ class TestWireProtocol:
         (resp,) = [json.loads(ln) for ln in out.getvalue().splitlines()]
         assert resp["ok"] is False and resp["id"] == "r"
         assert "registry front door" in resp["error"]
+
+
+class TestAsyRKOverTheWire:
+    """The acceptance path for per-matrix update methods: a rectangular
+    least-squares system registered with ``method=asyrk`` solves to its
+    normal-equations tolerance over the JSON-lines wire, next to a
+    square AsyRGS matrix, and the method is visible on every
+    observability surface (register echo, per-matrix stats, the
+    matrices listing, and the mixed aggregate breakdown)."""
+
+    def test_rectangular_ls_solves_and_reports_method(
+        self, two_systems, tmp_path
+    ):
+        (A1, b1, x1), _ = two_systems
+        prob = random_least_squares(
+            60, 20, nnz_per_row=5, noise_scale=0.01, seed=7
+        )
+        path = tmp_path / "ls.mtx"
+        write_matrix_market(prob.A, path)
+        lines = [
+            json.dumps({"op": "register", "id": "reg", "matrix": "ls",
+                        "path": str(path), "method": "asyrk"}),
+            json.dumps({"id": "q1", "b": b1.tolist()}),
+            json.dumps({"id": "q2", "b": prob.b.tolist(), "matrix": "ls",
+                        "tol": 2e-2, "max_sweeps": 400}),
+            json.dumps({"op": "stats", "id": "st", "matrix": "ls"}),
+            json.dumps({"op": "matrices", "id": "mx"}),
+        ]
+        with MatrixRegistry(
+            nproc=1, capacity_k=2, max_wait=0.0, **SOLVE
+        ) as reg:
+            reg.register("sq", A1)
+            out = io.StringIO()
+            handled = serve_stream(reg, iter(lines), out)
+            agg = reg.stats()
+        regd, q1, q2, st, mx = [
+            json.loads(ln) for ln in out.getvalue().splitlines()
+        ]
+        assert handled == 5
+        assert regd["ok"] and regd["method"] == "asyrk"
+        assert q1["ok"] and np.abs(np.asarray(q1["x"]) - x1).max() < 1e-5
+        assert q2["ok"] and q2["converged"]
+        x = np.asarray(q2["x"])
+        assert x.shape == (prob.A.shape[1],)
+        # The request's tolerance is on the normal-equations residual —
+        # the plain residual cannot vanish on this noisy system.
+        At = prob.A.transpose()
+        ne = float(
+            np.linalg.norm(At.matvec(prob.b - prob.A.matvec(x)))
+            / np.linalg.norm(At.matvec(prob.b))
+        )
+        assert ne < 2e-2
+        assert st["ok"] and st["method"] == "asyrk"
+        methods = {m["matrix"]: m["method"] for m in mx["matrices"]}
+        assert methods == {"sq": "asyrgs", "ls": "asyrk"}
+        assert agg.method == {
+            "method": "mixed", "methods": {"asyrgs": 1, "asyrk": 1}
+        }

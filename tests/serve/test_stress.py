@@ -27,7 +27,7 @@ from repro.core import AsyRGS
 from repro.exceptions import ServeError
 from repro.serve import MatrixRegistry, SolverServer
 from repro.workloads import random_unit_diagonal_spd
-import repro.execution.processes as processes_module
+import repro.execution.pool as processes_module
 
 from ..conftest import manufactured_system
 from .conftest import WAIT

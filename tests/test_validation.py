@@ -13,16 +13,22 @@ import numpy as np
 import pytest
 
 from repro.core import AsyRGS
+from repro.core.least_squares import (
+    AsyncLeastSquares,
+    normal_equations,
+    rcd_least_squares,
+)
 from repro.exceptions import ShapeError
 from repro.execution import (
     AsyncSimulator,
+    AsyRK,
     PhasedSimulator,
     ThreadedAsyRGS,
     ZeroDelay,
 )
 from repro.rng import DirectionStream
 from repro.validation import check_rhs, check_x0
-from repro.workloads import random_unit_diagonal_spd
+from repro.workloads import random_least_squares, random_unit_diagonal_spd
 
 
 @pytest.fixture(scope="module")
@@ -112,6 +118,65 @@ class TestWordingTable:
             messages.add(str(err.value))
         assert len(messages) == 1, messages
         assert "x0 has shape" in messages.pop()
+
+
+class TestRectangularWordingTable:
+    """The same table serves the rectangular entry points: the scalar
+    least-squares paths validate through ``check_vector_rhs`` and AsyRK
+    through ``check_rhs``, so a malformed ``b`` on an m×n system fails
+    with wording from :mod:`repro.validation` everywhere."""
+
+    @pytest.fixture(scope="class")
+    def rect(self):
+        return random_least_squares(30, 8, nnz_per_row=4, seed=2).A
+
+    @staticmethod
+    def vector_entry_points(A):
+        """Every rectangular constructor with the vector-b contract."""
+        return {
+            "normal-equations": lambda b: normal_equations(A, b),
+            "rcd": lambda b: rcd_least_squares(A, b, iterations=1),
+            "async-ls": lambda b: AsyncLeastSquares(A, b),
+        }
+
+    def test_vector_paths_share_wording(self, rect):
+        """Wrong-rows b: one message across all three scalar paths, and
+        it is exactly the shared vector wording for m=30."""
+        bad = np.zeros(7)
+        messages = set()
+        for name, make in self.vector_entry_points(rect).items():
+            with pytest.raises(ShapeError) as err:
+                make(bad)
+            messages.add(str(err.value))
+        assert messages == {"b has shape (7,), expected (30,)"}
+
+    def test_vector_paths_share_dtype_wording(self, rect):
+        bad = np.zeros(30, dtype=np.complex128)
+        messages = set()
+        for name, make in self.vector_entry_points(rect).items():
+            with pytest.raises(ShapeError, match="cannot be converted") as err:
+                make(bad)
+            messages.add(str(err.value))
+        assert len(messages) == 1, messages
+
+    def test_asyrk_matches_the_spd_table(self, rect):
+        """AsyRK's block contract on an m-equation rectangle produces
+        byte-identical wording to an m×m SPD system's — the table is
+        keyed by row count, not by matrix shape."""
+        m = rect.shape[0]
+        spd = random_unit_diagonal_spd(
+            m, nnz_per_row=3, offdiag_scale=0.4, seed=0
+        )
+        for bad in (np.zeros(7), np.zeros((7, 2)), np.zeros((m, 2, 2))):
+            with pytest.raises(ShapeError) as rk_err:
+                AsyRK(rect, bad, nproc=1)
+            with pytest.raises(ShapeError) as gs_err:
+                AsyRGS(spd, bad, nproc=2, engine="phased")
+            assert str(rk_err.value) == str(gs_err.value)
+
+    def test_asyrk_empty_block_wording(self, rect):
+        with pytest.raises(ShapeError, match="at least one column"):
+            AsyRK(rect, np.empty((rect.shape[0], 0)), nproc=1)
 
 
 class TestNonContiguousBlocks:
