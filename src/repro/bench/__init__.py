@@ -33,6 +33,7 @@ from .fig_block import (
     run_block,
     run_block_retirement,
 )
+from .fig_shard import ShardBenchResult, run_shard
 from .fig_serve import (
     ServeBenchResult,
     ServePolicyResult,
@@ -83,8 +84,10 @@ __all__ = [
     "run_fig3",
     "run_serve",
     "run_serve_adaptive",
+    "run_shard",
     "ServeBenchResult",
     "ServePolicyResult",
+    "ShardBenchResult",
     "run_speedup",
     "run_table1",
     "run_tau_sweep",

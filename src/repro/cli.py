@@ -76,6 +76,16 @@ Serving:
   core; the default method=asyrgs needs square SPD systems. Methods
   never share a batch: coalescing happens inside one matrix's pool.
 
+  Sharding: a trailing ,shards=N on a --matrix SPEC (or a "shards"
+  field on the register verb) backs that matrix with N row-partitioned
+  worker pools (--nproc processes each) exchanging boundary entries of
+  the iterate asynchronously at their own epoch boundaries — for one
+  matrix too big for a single pool's shared-memory segment.
+  Convergence is judged on the assembled global residual; a sharded
+  matrix counts as N pools against --max-live-pools and its shards are
+  always evicted together. Run `repro experiment shard` for the
+  convergence-vs-staleness bench behind this design.
+
   Batching policy: --policy fixed lingers --max-wait seconds for batch
   company; --policy adaptive sizes the linger window from the measured
   queue-depth/solve-wall EWMAs (sequential traffic pays no window at
@@ -130,6 +140,13 @@ def build_parser() -> argparse.ArgumentParser:
         "them at epoch boundaries (AsyRGS only)",
     )
     p_solve.add_argument("--inner-sweeps", type=int, default=2, help="FCG inner sweeps")
+    p_solve.add_argument(
+        "--shards", type=int, default=1,
+        help="row-partition the system across this many worker pools "
+        "(--nproc processes each) coordinated by asynchronous halo "
+        "exchange; convergence is judged on the assembled global "
+        "residual (asyrgs only, real OS processes)",
+    )
     p_solve.add_argument("--seed", type=int, default=0)
     p_solve.add_argument("--output", default=None, help="write solution vector here")
 
@@ -146,7 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
             "fig1", "fig2-left", "fig2-center", "fig2-right", "fig3", "table1",
             "tau-sweep", "beta-sweep", "consistency-gap", "delay-schedules",
             "theory-envelope", "direction-strategies", "motivation", "extensions",
-            "block", "serve", "ablation",
+            "block", "serve", "ablation", "shard",
         ],
     )
     p_exp.add_argument("--problem", default=None, help="named problem override")
@@ -299,7 +316,46 @@ def _cmd_solve(args) -> int:
         )
         return 2
     beta = args.beta if args.beta == "auto" else float(args.beta)
-    if args.method == "asyrk":
+    if args.shards > 1:
+        from .execution import ShardedSolver
+
+        if args.method != "asyrgs":
+            print(
+                f"error: --shards partitions the AsyRGS row space; "
+                f"--method {args.method} has no sharded path"
+            )
+            return 2
+        if beta == "auto":
+            print(
+                "error: --beta auto is resolved per pool; give a numeric "
+                "--beta for a sharded solve"
+            )
+            return 2
+        solver = ShardedSolver(
+            A, b, shards=args.shards, nproc=args.nproc, beta=beta,
+            seed=args.seed,
+        )
+        result = solver.solve(
+            tol=args.tol, max_sweeps=args.max_sweeps,
+            retire=False if args.no_retire else None,
+        )
+        x, converged = result.x, result.converged
+        rhs_note = f", {n_rhs} RHS columns" if n_rhs > 1 else ""
+        final = result.checkpoints[-1][1] if result.checkpoints else float("nan")
+        print(
+            f"sharded AsyRGS ({args.shards} shards x {args.nproc} "
+            f"process(es), beta={beta:.4g}{rhs_note}): "
+            f"{result.sweeps_done} local sweeps, assembled residual "
+            f"{final:.3e}, converged={converged}"
+        )
+        print(
+            "per-shard updates: "
+            + ", ".join(
+                f"#{s}={u}" for s, u in enumerate(result.shard_updates)
+            )
+            + f" ({result.wall_time:.3f}s wall)"
+        )
+    elif args.method == "asyrk":
         from .execution import AsyRK
         from .rng import DirectionStream
 
@@ -469,17 +525,29 @@ def _serve_sources(args):
         overrides = {}
         for opt in opts:
             key, sep, value = opt.partition("=")
-            if key != "method" or not sep or not value:
+            if key not in ("method", "shards") or not sep or not value:
                 raise ReproError(
                     f"unknown --matrix option {opt!r} in {item!r} "
-                    "(supported: method=asyrgs|asyrk)"
+                    "(supported: method=asyrgs|asyrk, shards=N)"
                 )
-            if value not in SOLVER_METHODS:
-                known = "|".join(sorted(SOLVER_METHODS))
-                raise ReproError(
-                    f"--matrix method must be one of {known}, got {value!r}"
-                )
-            overrides["method"] = value
+            if key == "method":
+                if value not in SOLVER_METHODS:
+                    known = "|".join(sorted(SOLVER_METHODS))
+                    raise ReproError(
+                        f"--matrix method must be one of {known}, got {value!r}"
+                    )
+                overrides["method"] = value
+            else:
+                try:
+                    shards = int(value)
+                except ValueError:
+                    shards = 0
+                if shards < 1:
+                    raise ReproError(
+                        f"--matrix shards must be an integer >= 1, "
+                        f"got {value!r}"
+                    )
+                overrides["shards"] = shards
         return overrides
 
     legacy = [s for s in (args.matrix, args.problem) if s is not None]
@@ -566,6 +634,11 @@ def _cmd_serve(args) -> int:
                 if "method" in overrides
                 else ""
             )
+            + (
+                f", shards={overrides['shards']}"
+                if "shards" in overrides
+                else ""
+            )
             + ")"
             for name, A, label, overrides in sources
         )
@@ -644,6 +717,7 @@ _EXPERIMENTS = {
     "block": ("run_block", {}),
     "serve": ("run_serve", {}),
     "ablation": ("run_sampling_ablation", {}),
+    "shard": ("run_shard", {}),
 }
 
 

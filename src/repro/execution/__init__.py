@@ -50,6 +50,14 @@ from .processes import (
     ProcessRunResult,
     available_cpus,
 )
+from .sharded import (
+    ShardedAsyRGSUpdate,
+    ShardedRunResult,
+    ShardedSolver,
+    balanced_partition,
+    contiguous_partition,
+    segment_bytes,
+)
 from .shared_memory import AtomicWrites, LossyWrites, SharedVector, WriteModel
 from .simulator import AsyncSimulator, PhasedSimulator, SimulationResult
 from .threads import ThreadedAsyRGS, ThreadedRunResult
@@ -103,6 +111,9 @@ __all__ = [
     "ProcessRunResult",
     "ProcessorPhaseDelay",
     "SOLVER_METHODS",
+    "ShardedAsyRGSUpdate",
+    "ShardedRunResult",
+    "ShardedSolver",
     "SharedVector",
     "SimulationResult",
     "ThreadedAsyRGS",
@@ -111,7 +122,10 @@ __all__ = [
     "WriteModel",
     "ZeroDelay",
     "available_cpus",
+    "balanced_partition",
+    "contiguous_partition",
     "make_solver",
+    "segment_bytes",
     "replay_trace",
     "round_robin_imbalance",
 ]

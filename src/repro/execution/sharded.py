@@ -1,0 +1,859 @@
+"""Row-partitioned multi-pool solves: one matrix, N shards, N pools.
+
+The paper defers distributed memory to future work ("each processor
+owns and be the sole updater of only a subset of the entries");
+``extensions/block_partitioned.py`` proves the owner-computes
+randomization convergent in simulation. This module productionizes it
+on the real pool core: :class:`ShardedSolver` splits a square system's
+CSR into contiguous row blocks, runs **one persistent worker pool per
+shard** (pool.py's capacity-k layouts, per-column retirement, and RNG
+streams unchanged), and exchanges halo entries of the iterate between
+the shards **asynchronously** — at each shard's own epoch boundaries,
+with no barrier that all shards cross together.
+
+Geometry of a shard
+-------------------
+Shard ``s`` owns the contiguous row range ``[r0, r1)`` of the global
+``n × n`` system. Its pool is a *rectangular* instance of the solver-
+agnostic layout of :mod:`repro.execution.pool`:
+
+* ``n_rows = r1 − r0`` — the direction space: every draw picks one of
+  the shard's *owned* rows (owner-computes randomization; the union
+  over shards is a uniform-per-block restriction of the paper's
+  sampling, the regime ``extensions/block_partitioned.py`` studies).
+* ``x_rows = n`` — the shared iterate holds the **full** global block,
+  owned rows plus halo, so a row gather crosses shard boundaries with
+  global column indices and no index translation.
+* ``b_rows = n_rows`` — the RHS rows of the owned block only.
+
+The shard's CSR is the row slice ``A[r0:r1, :]`` with global column
+indices; its ``norms`` slot carries the owned rows' diagonal. The
+update method is :class:`ShardedAsyRGSUpdate` — the AsyRGS relaxation
+with the shard's row offset folded into the write target, so workers
+scatter only into rows they own.
+
+Halo exchange (no global barrier)
+---------------------------------
+The coordinator keeps a plain *board*: an ``(n, k)`` array holding the
+most recently **published** owned block of every shard. Each shard is
+driven by its own parent-side thread::
+
+    begin → [ advance(epoch) → publish owned block → pull halo → … ]
+
+At a shard's epoch boundary (its pool's end gate — the parent owns
+*that shard's* segment there, nobody else's), the driver copies the
+shard's owned rows to the board and copies the *latest published*
+foreign blocks into the shard's halo rows. Publishes are serialized by
+a short mutex (a memcpy, not a barrier: no shard ever waits for
+another shard's epoch); halo **pulls are deliberately unlocked**, so a
+pull racing a foreign publish can observe a torn mix of that shard's
+epochs ``t`` and ``t+1`` — exactly the inconsistent-read regime the
+source paper (arXiv 1304.6475) and Liu/Wright's asynchronous analysis
+(arXiv 1401.4780) prove convergent. Convergence is judged by the
+coordinator on the **assembled global residual**: it snapshots the
+board (under the publish mutex, so the snapshot is a per-shard-
+consistent mixture of epochs), runs the ordinary
+:class:`~repro.core.residuals.ColumnTracker` on the full ``A``, and
+retires globally converged columns on every shard — each shard applies
+the retirement at its *own* next boundary, never mid-segment.
+
+Staleness is therefore controlled by the epoch length
+(``sync_every_sweeps``): longer epochs mean fewer exchanges and staler
+halos. ``repro experiment shard`` measures that convergence-vs-
+staleness trade-off.
+
+Failure attribution
+-------------------
+A worker crash inside shard ``s`` surfaces as that pool's
+:class:`~repro.exceptions.ModelError`; the coordinator stops every
+other shard at its next boundary, tears the shards' pools down
+**together** (they live and die as one matrix), and re-raises naming
+the guilty shard id. The serving layer's batch containment then fails
+only that matrix's in-flight requests, exactly like a single-pool
+crash.
+
+Shared-memory budget
+--------------------
+``shm_limit`` (bytes) bounds the segment any single pool may allocate:
+a one-pool solve whose ``(n, k)`` layout exceeds the limit refuses
+with a :class:`~repro.exceptions.ModelError` that names the sharding
+escape hatch, while each shard's rectangular segment — ``nnz/S`` CSR
+entries and ``n_s`` RHS/norm rows, though still ``n`` iterate rows —
+fits. :func:`segment_bytes` exposes the exact accounting.
+
+``shards=1`` delegates
+----------------------
+With ``shards=1`` there is nothing to exchange, so the constructor
+returns to the plain single-pool path (:class:`ProcessAsyRGS` /
+:class:`AsyRK`) by composition: every call forwards verbatim, making
+``shards=1`` **bit-identical** to the unsharded solver by construction
+— the property the serving layer's serial-equivalence tests pin.
+
+Fake shards
+-----------
+``shard_factory`` replaces the per-shard pool construction for tests:
+it is called as ``factory(index, A_s, b_s, norms_s, offset=r0,
+**pool_kwargs)`` and must return an object with the small driving
+surface the coordinator uses — ``open()``/``close()``,
+``_ensure_pool()`` returning a pool with ``begin(x0, b)``,
+``advance(n)``, ``x()``, ``retire_columns(cols)``, ``per_worker()``,
+``column_updates()``, ``total_row_nnz()``, ``delay_stats()``, and
+``sync_points``/``wall_time`` attributes — plus ``spawn_count``,
+``worker_pids()``, and ``n_rows``. The simulation-test harness drives
+the coordinator through scripted shard deaths this way without
+spawning a single OS process.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..rng import DirectionStream
+from ..sparse import CSRMatrix
+from ..validation import check_rhs, check_x0
+from .kaczmarz import AsyRK
+from .pool import DelayStats, PoolSolver, ProcessRunResult, _layout
+from .processes import ProcessAsyRGS
+from .simulator import _prepare_system
+
+__all__ = [
+    "ShardedAsyRGSUpdate",
+    "ShardedRunResult",
+    "ShardedSolver",
+    "balanced_partition",
+    "contiguous_partition",
+    "segment_bytes",
+]
+
+#: Philox sub-stream base for shard direction streams: shard ``s`` draws
+#: from ``stream = _SHARD_STREAM_BASE + s`` of the solver's seed, so the
+#: shards' sequences are mutually independent and any single-pool stream
+#: (stream 0 by default) is never reused.
+_SHARD_STREAM_BASE = 0x5A4D
+
+
+# -- owner-block partitions (lifted from extensions.block_partitioned) --
+#
+# These used to live in the extensions module; the sharded solver is
+# their production consumer, so they moved here and the extensions
+# module re-exports them. Both reject nproc > n explicitly: silently
+# producing zero-size owner blocks would give some "owner" an empty
+# direction space (a uniform draw over nothing) downstream.
+
+
+def balanced_partition(n: int, nproc: int) -> list[np.ndarray]:
+    """Round-robin owner blocks: coordinate ``i`` belongs to owner
+    ``i mod nproc`` — the size-balanced default."""
+    n = int(n)
+    nproc = int(nproc)
+    if nproc < 1:
+        raise ModelError(
+            f"balanced_partition needs at least one owner block, got "
+            f"nproc={nproc}"
+        )
+    if nproc > n:
+        raise ModelError(
+            f"balanced_partition cannot split {n} coordinate(s) into "
+            f"{nproc} non-empty owner blocks; need nproc <= n "
+            f"(an empty block would leave its owner nothing to draw from)"
+        )
+    return [np.arange(p, n, nproc, dtype=np.int64) for p in range(nproc)]
+
+
+def contiguous_partition(n: int, nproc: int) -> list[np.ndarray]:
+    """Contiguous owner blocks (the natural distributed-memory layout)."""
+    n = int(n)
+    nproc = int(nproc)
+    if nproc < 1:
+        raise ModelError(
+            f"contiguous_partition needs at least one owner block, got "
+            f"nproc={nproc}"
+        )
+    if nproc > n:
+        raise ModelError(
+            f"contiguous_partition cannot split {n} coordinate(s) into "
+            f"{nproc} non-empty owner blocks; need nproc <= n "
+            f"(an empty block would leave its owner nothing to draw from)"
+        )
+    bounds = np.linspace(0, n, nproc + 1).astype(np.int64)
+    if np.any(np.diff(bounds) < 1):  # pragma: no cover - floor arithmetic
+        # With nproc <= n every floor(p·n/P) step is at least 1; this
+        # guard keeps the no-empty-blocks contract explicit anyway.
+        raise ModelError(
+            f"contiguous_partition produced an empty owner block for "
+            f"n={n}, nproc={nproc}"
+        )
+    return [np.arange(bounds[p], bounds[p + 1], dtype=np.int64) for p in range(nproc)]
+
+
+def segment_bytes(
+    *,
+    n_rows: int,
+    x_rows: int,
+    b_rows: int,
+    nnz: int,
+    capacity_k: int,
+    nproc: int,
+    log_capacity: int = 4096,
+) -> int:
+    """Exact shared-memory segment size (bytes) of one pool with this
+    geometry — the number ``shm_limit`` is checked against. The bench
+    uses it to demonstrate a system whose single-pool layout exceeds a
+    budget that every shard's layout fits."""
+    geom = (int(n_rows), int(x_rows), int(b_rows), int(nnz), int(capacity_k))
+    return int(_layout(geom, int(nproc), int(log_capacity))[2])
+
+
+class ShardedAsyRGSUpdate:
+    """The AsyRGS relaxation restricted to a shard's owned rows.
+
+    A picklable *instance* (it travels to the shard's workers with the
+    pool spawn) carrying the shard's global row offset: local draw ``r``
+    names global row ``offset + r``, whose CSR slice lives at local
+    position ``r`` and whose iterate row lives at global position
+    ``offset + r`` in the full-height shared block. The gather reads the
+    live shared iterate — owned rows current, halo rows as stale as the
+    last exchange — and the scatter touches only the owned row: the
+    sole-updater property distributed memory needs.
+    """
+
+    def __init__(self, offset: int):
+        self.offset = int(offset)
+
+    def make_updater(self, v, *, k, act, locks, nlocks, beta):
+        indptr, indices, data = v["indptr"], v["indices"], v["data"]
+        x, b, diag = v["x"], v["b"], v["norms"]
+        x1, b1 = x[:, 0], b[:, 0]  # scalar fast path for single-RHS pools
+        offset = self.offset
+        nact = int(act.size)
+        full = nact == k
+        head = nact > 1 and int(act[-1]) == nact - 1
+        xh, bh = (x[:, :nact], b[:, :nact]) if head else (x, b)
+        single = nact == 1
+        j0 = int(act[0]) if nact else 0
+
+        def update(r: int) -> int:
+            s, e = int(indptr[r]), int(indptr[r + 1])
+            cols = indices[s:e]
+            g = offset + r  # the owned global row this local draw names
+            if k == 1:
+                gamma = (b1[r] - float(data[s:e] @ x1[cols])) / diag[r]
+                if nlocks:
+                    with locks[g % nlocks]:
+                        x1[g] += beta * gamma
+                else:
+                    x1[g] += beta * gamma
+            elif full:
+                gamma = (b[r] - data[s:e] @ x[cols, :]) / diag[r]
+                if nlocks:
+                    with locks[g % nlocks]:
+                        x[g] += beta * gamma
+                else:
+                    x[g] += beta * gamma
+            elif single:
+                gamma = (b[r, j0] - float(data[s:e] @ x[cols, j0])) / diag[r]
+                if nlocks:
+                    with locks[g % nlocks]:
+                        x[g, j0] += beta * gamma
+                else:
+                    x[g, j0] += beta * gamma
+            elif head:
+                gamma = (bh[r] - data[s:e] @ xh[cols, :]) / diag[r]
+                if nlocks:
+                    with locks[g % nlocks]:
+                        xh[g] += beta * gamma
+                else:
+                    xh[g] += beta * gamma
+            else:
+                gamma = (b[r, act] - data[s:e] @ x[cols[:, None], act]) / diag[r]
+                if nlocks:
+                    with locks[g % nlocks]:
+                        x[g, act] += beta * gamma
+                else:
+                    x[g, act] += beta * gamma
+            return e - s
+
+        return update
+
+
+class _ShardPool(PoolSolver):
+    """One shard's pool: a rectangular-geometry :class:`PoolSolver` over
+    the shard's row slice. Driven through its ``_WorkerPool`` directly
+    by the coordinator — ``solve()`` (which needs a per-column tracker)
+    is never called on a shard; convergence belongs to the assembled
+    global residual."""
+
+    method_name = "sharded-asyrgs"
+
+    def __init__(self, index, A_s, b_s, norms_s, *, offset, **kwargs):
+        self.shard_index = int(index)
+        self.offset = int(offset)
+        # Instance attribute shadows the class-level slot: the pool
+        # spawn pickles exactly this offset-carrying method to workers.
+        self.update_method = ShardedAsyRGSUpdate(offset)
+        super().__init__(A_s, b_s, norms_s, **kwargs)
+
+
+def _default_shard_factory(index, A_s, b_s, norms_s, *, offset, **kwargs):
+    return _ShardPool(index, A_s, b_s, norms_s, offset=offset, **kwargs)
+
+
+def _merge_delay_stats(parts: list[DelayStats]) -> DelayStats:
+    """Fold per-shard staleness measurements into one (samples concat,
+    mean update-weighted, max over shards)."""
+    count = sum(p.count for p in parts)
+    mean = (
+        sum(p.mean * p.count for p in parts) / count if count else 0.0
+    )
+    samples = (
+        np.concatenate([p.samples for p in parts if p.samples.size])
+        if any(p.samples.size for p in parts)
+        else np.empty(0, dtype=np.int64)
+    )
+    return DelayStats(
+        count=count,
+        mean=float(mean),
+        max=max((p.max for p in parts), default=0),
+        samples=samples,
+    )
+
+
+@dataclass
+class ShardedRunResult(ProcessRunResult):
+    """A :class:`ProcessRunResult` plus the sharding detail: how many
+    shards ran, each shard's committed update count, and each shard's
+    local epoch (sweeps-over-its-own-block) count."""
+
+    shards: int = 1
+    shard_updates: list[int] = field(default_factory=list)
+    shard_sweeps: list[int] = field(default_factory=list)
+
+
+def _row_slice(A: CSRMatrix, r0: int, r1: int) -> CSRMatrix:
+    """The CSR rows ``[r0, r1)`` of ``A`` with **global** column indices
+    (an ``(r1−r0) × n`` rectangle)."""
+    s, e = int(A.indptr[r0]), int(A.indptr[r1])
+    return CSRMatrix(
+        (r1 - r0, A.shape[1]),
+        (A.indptr[r0 : r1 + 1] - s).astype(np.int64),
+        A.indices[s:e].copy(),
+        A.data[s:e].copy(),
+    )
+
+
+class ShardedSolver:
+    """Row-partitioned AsyRGS: one persistent pool per shard, halo
+    exchange at per-shard epoch boundaries, convergence on the
+    assembled global residual. See the module docstring for the
+    architecture; the public surface matches the single-pool solvers
+    (``open``/``close``/context manager, :meth:`solve`,
+    ``spawn_count``, ``worker_pids``) so the serving layer treats a
+    sharded matrix like any other.
+
+    Parameters
+    ----------
+    A, b:
+        The square system (positive diagonal — the AsyRGS requirement;
+        ``method="asyrk"`` is only accepted at ``shards=1``, where this
+        class delegates to the plain pool path).
+    shards:
+        Number of contiguous row shards. ``1`` delegates to the
+        unsharded solver — bit-identical by construction.
+    nproc:
+        Worker processes **per shard** (total workers =
+        ``shards · nproc``).
+    shm_limit:
+        Optional per-pool shared-memory budget in bytes. Any single
+        pool (the ``shards=1`` delegate included) whose segment would
+        exceed it refuses to spawn with a :class:`ModelError` naming
+        the overrun — the bench's "one matrix too big for one box"
+        gate.
+    shard_factory:
+        Test seam replacing per-shard pool construction (see module
+        docstring).
+    seed, beta, atomic, directions, adaptive, start_method,
+    log_capacity, lock_stripes, block, barrier_timeout, capacity_k:
+        As on :class:`~repro.execution.ProcessAsyRGS`. ``directions``
+        may be a stream (its seed is reused), ``"uniform"``, or
+        ``"adaptive"``; shard ``s`` draws from the independent Philox
+        sub-stream ``_SHARD_STREAM_BASE + s`` of that seed.
+    """
+
+    method_name = "asyrgs"
+
+    def __init__(
+        self,
+        A: CSRMatrix,
+        b: np.ndarray,
+        *,
+        shards: int,
+        nproc: int = 1,
+        method: str = "asyrgs",
+        beta: float = 1.0,
+        atomic: bool = False,
+        directions: DirectionStream | str | None = None,
+        adaptive: bool = False,
+        start_method: str | None = None,
+        log_capacity: int = 4096,
+        lock_stripes: int = 64,
+        block: int = 512,
+        barrier_timeout: float = 300.0,
+        capacity_k: int | None = None,
+        seed: int = 0,
+        shm_limit: int | None = None,
+        shard_factory=None,
+    ):
+        shards = int(shards)
+        if shards < 1:
+            raise ModelError(f"shards must be at least 1, got {shards}")
+        self.shards = shards
+        self.shm_limit = None if shm_limit is None else int(shm_limit)
+        self._delegate = None
+        self._shards: list = []
+        self._persistent = False
+        # Resolve the seed/adaptive flags the same way PoolSolver does,
+        # so shards and the shards=1 delegate agree on semantics.
+        if isinstance(directions, str):
+            if directions == "adaptive":
+                adaptive = True
+            elif directions != "uniform":
+                raise ModelError(
+                    "directions must be a DirectionStream, 'uniform', or "
+                    f"'adaptive', got {directions!r}"
+                )
+            directions = None
+        if directions is not None:
+            seed = directions.seed
+        if shards == 1:
+            # Nothing to exchange: the plain single-pool path, verbatim.
+            # Composition (not reimplementation) is what makes shards=1
+            # bit-identical to the unsharded solver.
+            if self.shm_limit is not None:
+                m = A.shape[0]
+                need = segment_bytes(
+                    n_rows=m,
+                    x_rows=A.shape[1],
+                    b_rows=m,
+                    nnz=A.nnz,
+                    capacity_k=(
+                        (1 if b.ndim == 1 else b.shape[1])
+                        if capacity_k is None
+                        else int(capacity_k)
+                    ),
+                    nproc=nproc,
+                    log_capacity=log_capacity,
+                )
+                if need > self.shm_limit:
+                    raise ModelError(
+                        f"single-pool layout needs {need} bytes of shared "
+                        f"memory, over the {self.shm_limit}-byte budget; "
+                        "partition the matrix across pools with shards > 1"
+                    )
+            cls = {"asyrgs": ProcessAsyRGS, "asyrk": AsyRK}.get(method)
+            if cls is None:
+                raise ModelError(
+                    f"unknown solver method {method!r}; expected one of: "
+                    "asyrgs, asyrk"
+                )
+            self._delegate = cls(
+                A,
+                b,
+                nproc=nproc,
+                beta=beta,
+                atomic=atomic,
+                directions=(
+                    directions
+                    if directions is not None
+                    else DirectionStream(A.shape[0], seed=seed)
+                ),
+                adaptive=adaptive,
+                start_method=start_method,
+                log_capacity=log_capacity,
+                lock_stripes=lock_stripes,
+                block=block,
+                barrier_timeout=barrier_timeout,
+                capacity_k=capacity_k,
+            )
+            self.A = A
+            self.n = A.shape[0]
+            self.capacity_k = self._delegate.capacity_k
+            self.nproc = int(nproc)
+            self._shard_total_updates = [0]
+            return
+        if method != "asyrgs":
+            raise ModelError(
+                f"sharded solves support method 'asyrgs' only (got "
+                f"{method!r}); rectangular Kaczmarz systems have no "
+                "row-ownership structure to shard on yet"
+            )
+        b, diag, n = _prepare_system(A, b)
+        self.A = A
+        self.b = b
+        self.n = n
+        self.k = 1 if b.ndim == 1 else int(b.shape[1])
+        self.capacity_k = self.k if capacity_k is None else int(capacity_k)
+        self.nproc = int(nproc)
+        self.atomic = bool(atomic)
+        self.barrier_timeout = float(barrier_timeout)
+        blocks = contiguous_partition(n, shards)  # raises on shards > n
+        self._bounds = [
+            (int(blk[0]), int(blk[-1]) + 1) for blk in blocks
+        ]
+        factory = shard_factory if shard_factory is not None else _default_shard_factory
+        self._halos: list[np.ndarray] = []
+        budget_note = []
+        for s, (r0, r1) in enumerate(self._bounds):
+            A_s = _row_slice(A, r0, r1)
+            n_s = r1 - r0
+            if self.shm_limit is not None:
+                need = segment_bytes(
+                    n_rows=n_s,
+                    x_rows=n,
+                    b_rows=n_s,
+                    nnz=A_s.nnz,
+                    capacity_k=self.capacity_k,
+                    nproc=nproc,
+                    log_capacity=log_capacity,
+                )
+                if need > self.shm_limit:
+                    raise ModelError(
+                        f"shard {s} of {shards} needs {need} bytes of "
+                        f"shared memory, over the {self.shm_limit}-byte "
+                        "budget; raise shards (or the budget)"
+                    )
+                budget_note.append(need)
+            # Halo: the foreign iterate rows this shard's gathers read —
+            # exactly the column indices outside its owned range.
+            cols = A_s.indices
+            foreign = cols[(cols < r0) | (cols >= r1)]
+            self._halos.append(np.unique(foreign))
+            self._shards.append(
+                factory(
+                    s,
+                    A_s,
+                    b[r0:r1],
+                    diag[r0:r1],
+                    offset=r0,
+                    n_rows=n_s,
+                    x_rows=n,
+                    b_rows=n_s,
+                    nproc=nproc,
+                    beta=beta,
+                    atomic=atomic,
+                    directions=DirectionStream(
+                        n_s, seed=seed, stream=_SHARD_STREAM_BASE + s
+                    ),
+                    adaptive=adaptive,
+                    start_method=start_method,
+                    log_capacity=log_capacity,
+                    lock_stripes=lock_stripes,
+                    block=block,
+                    barrier_timeout=barrier_timeout,
+                    capacity_k=self.capacity_k,
+                )
+            )
+        self.segment_bytes_per_shard = budget_note
+        self._shard_total_updates = [0] * shards
+
+    # -- lifecycle ------------------------------------------------------
+
+    def __enter__(self):
+        return self.open()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def open(self):
+        """Spawn every shard's pool now and keep them across calls."""
+        self._persistent = True
+        if self._delegate is not None:
+            self._delegate.open()
+            return self
+        for sh in self._shards:
+            sh.open()
+        return self
+
+    def close(self) -> None:
+        """Shut every shard's pool down together (idempotent)."""
+        self._persistent = False
+        if self._delegate is not None:
+            self._delegate.close()
+            return
+        for sh in self._shards:
+            sh.close()
+
+    @property
+    def spawn_count(self) -> int:
+        """Pool spawns summed over shards (``shards`` per cold start)."""
+        if self._delegate is not None:
+            return self._delegate.spawn_count
+        return sum(sh.spawn_count for sh in self._shards)
+
+    def worker_pids(self) -> list[int]:
+        """Live worker PIDs across every shard's pool."""
+        if self._delegate is not None:
+            return self._delegate.worker_pids()
+        return [pid for sh in self._shards for pid in sh.worker_pids()]
+
+    @property
+    def pool_active(self) -> bool:
+        if self._delegate is not None:
+            return self._delegate.pool_active
+        return all(sh.pool_active for sh in self._shards)
+
+    def shard_update_counts(self) -> list[int]:
+        """Cumulative committed updates per shard over this solver's
+        lifetime (one entry for the ``shards=1`` delegate). The serving
+        layer surfaces these as the per-shard stats breakdown."""
+        return list(self._shard_total_updates)
+
+    # -- the coordinated solve ------------------------------------------
+
+    def solve(
+        self,
+        tol: float,
+        max_sweeps: int,
+        x0: np.ndarray | None = None,
+        *,
+        sync_every_sweeps: int = 1,
+        metric=None,
+        b: np.ndarray | None = None,
+        retire: bool | None = None,
+    ) -> ProcessRunResult:
+        """Solve to tolerance on the assembled global residual.
+
+        Each shard runs epochs of ``sync_every_sweeps`` local sweeps
+        (``sync_every_sweeps · n_s`` committed updates) and exchanges
+        halos at its own boundaries; ``max_sweeps`` bounds each shard's
+        local sweep count. Per-column convergence and retirement work
+        exactly as on the single pool, measured on the assembled
+        iterate; retirement decisions propagate to each shard at its
+        next boundary."""
+        if self._delegate is not None:
+            result = self._delegate.solve(
+                tol,
+                max_sweeps,
+                x0,
+                sync_every_sweeps=sync_every_sweeps,
+                metric=metric,
+                b=b,
+                retire=retire,
+            )
+            self._shard_total_updates[0] += result.iterations
+            return result
+        if metric is not None:
+            raise ModelError(
+                "sharded solves judge convergence on the assembled global "
+                "residual; a custom metric cannot be decomposed per shard"
+            )
+        tol = float(tol)
+        max_sweeps = int(max_sweeps)
+        sync_every = int(sync_every_sweeps)
+        if sync_every < 1:
+            raise ModelError("sync_every_sweeps must be at least 1")
+        if retire is None:
+            retire = True
+        b = check_rhs(
+            self.b if b is None else b, self.n, capacity=self.capacity_k
+        )
+        shape = (self.n,) + b.shape[1:]
+        x0 = np.zeros(shape) if x0 is None else check_x0(x0, shape)
+        from ..core.residuals import ColumnTracker  # deferred: core imports execution
+
+        tracker = ColumnTracker(self.A, x0, b, tol)
+        checkpoints = [(0, tracker.value)]
+        column_checkpoints = [(0, tracker.col.copy())]
+        S = self.shards
+        if tracker.converged or max_sweeps == 0:
+            return ShardedRunResult(
+                x=x0.copy(),
+                iterations=0,
+                per_worker_iterations=[0] * (S * self.nproc),
+                sync_points=0,
+                converged=tracker.converged,
+                wall_time=0.0,
+                tau_observed=DelayStats(0, 0.0, 0, np.empty(0, dtype=np.int64)),
+                checkpoints=checkpoints,
+                atomic=self.atomic,
+                sweeps_done=0,
+                converged_columns=tracker.done_mask,
+                column_sweeps=tracker.column_sweeps,
+                column_residuals=tracker.col,
+                column_checkpoints=column_checkpoints,
+                shards=S,
+                shard_updates=[0] * S,
+                shard_sweeps=[0] * S,
+            )
+        kreq = 1 if b.ndim == 1 else int(b.shape[1])
+        board = x0.reshape(self.n, kreq).copy()
+        board_lock = threading.Lock()
+        cond = threading.Condition()
+        stop = threading.Event()
+        epochs = [0] * S  # completed local sweeps per shard (cond-guarded)
+        failures: dict[int, BaseException] = {}
+        retired_cols: list[int] = []  # cond-guarded, append-only
+        if not self._persistent:
+            for sh in self._shards:
+                sh.open()
+        try:
+            pools = [sh._ensure_pool() for sh in self._shards]
+        except BaseException:
+            for sh in self._shards:
+                sh.close()
+            raise
+
+        def drive(s: int) -> None:
+            sh, pool = self._shards[s], pools[s]
+            r0, r1 = self._bounds[s]
+            halo = self._halos[s]
+            applied = 0
+            try:
+                pool.begin(x0.reshape(self.n, kreq), b.reshape(self.n, kreq)[r0:r1])
+                if retire and tracker.done_mask.any():
+                    # Columns converged before the first epoch never
+                    # enter this shard's active set at all (the tracker
+                    # is not mutated after this point except under cond,
+                    # and begin() happens before any coordinator update).
+                    pool.retire_columns(np.flatnonzero(tracker.done_mask))
+                local = 0
+                while local < max_sweeps:
+                    take = min(sync_every, max_sweeps - local)
+                    pool.advance(take * sh.n_rows)
+                    local += take
+                    # Boundary: this shard's workers are parked at their
+                    # start gate — the parent owns *this* segment, and
+                    # only this one.
+                    xv = pool.x()
+                    with board_lock:
+                        board[r0:r1] = xv[r0:r1, :kreq]
+                    # Halo pull: deliberately unlocked — racing a foreign
+                    # publish yields a torn, stale mix of that shard's
+                    # epochs. Inconsistent reads by design.
+                    if halo.size:
+                        xv[halo, :kreq] = board[halo]
+                    with cond:
+                        newly = retired_cols[applied:]
+                        applied = len(retired_cols)
+                        epochs[s] = local
+                        cond.notify_all()
+                    if newly:
+                        pool.retire_columns(np.asarray(newly, dtype=np.int64))
+                    if stop.is_set():
+                        break
+            except BaseException as exc:
+                with cond:
+                    failures.setdefault(s, exc)
+                    stop.set()
+                    cond.notify_all()
+
+        threads = [
+            threading.Thread(
+                target=drive, args=(s,), name=f"shard-drive-{s}", daemon=True
+            )
+            for s in range(S)
+        ]
+        for t in threads:
+            t.start()
+        sizes = [r1 - r0 for r0, r1 in self._bounds]
+        seen = 0
+        failed = True
+        try:
+            while True:
+                with cond:
+                    cond.wait(timeout=0.1)
+                    esum = sum(epochs)
+                    crashed = bool(failures)
+                    alive = any(t.is_alive() for t in threads)
+                if crashed:
+                    break
+                if esum > seen:
+                    seen = esum
+                    with board_lock:
+                        xg = (
+                            board[:, 0].copy() if b.ndim == 1 else board.copy()
+                        )
+                    newly = tracker.update(xg, max(epochs), retire)
+                    if newly.size:
+                        with cond:
+                            retired_cols.extend(int(c) for c in newly)
+                    updates = sum(e * w for e, w in zip(epochs, sizes))
+                    checkpoints.append((updates, tracker.value))
+                    column_checkpoints.append((updates, tracker.col.copy()))
+                    if tracker.converged:
+                        stop.set()
+                        break
+                if not alive:
+                    break
+            for t in threads:
+                t.join(timeout=self.barrier_timeout)
+            if failures:
+                s = min(failures)
+                exc = failures[s]
+                raise ModelError(
+                    f"shard {s} of {S} failed mid-solve: {exc}"
+                ) from (exc if isinstance(exc, Exception) else None)
+            if any(t.is_alive() for t in threads):
+                raise ModelError(
+                    "a shard driver failed to stop within barrier_timeout"
+                )
+            # All publishes are in: assemble the final iterate and
+            # re-measure honestly (later epochs may have landed after
+            # the checkpoint that declared convergence; retired columns
+            # are frozen in the tracker and cannot un-converge).
+            with board_lock:
+                xg = board[:, 0].copy() if b.ndim == 1 else board.copy()
+            tracker.update(xg, max(epochs), retire)
+            updates = sum(e * w for e, w in zip(epochs, sizes))
+            checkpoints.append((updates, tracker.value))
+            column_checkpoints.append((updates, tracker.col.copy()))
+            shard_updates = [sum(p.per_worker()) for p in pools]
+            for s, u in enumerate(shard_updates):
+                self._shard_total_updates[s] += u
+            result = ShardedRunResult(
+                x=xg,
+                iterations=sum(shard_updates),
+                per_worker_iterations=[
+                    c for p in pools for c in p.per_worker()
+                ],
+                sync_points=sum(p.sync_points for p in pools),
+                converged=tracker.converged,
+                wall_time=max((p.wall_time for p in pools), default=0.0),
+                tau_observed=_merge_delay_stats(
+                    [p.delay_stats() for p in pools]
+                ),
+                checkpoints=checkpoints,
+                atomic=self.atomic,
+                total_row_nnz=sum(p.total_row_nnz() for p in pools),
+                sweeps_done=max(epochs),
+                column_updates=sum(p.column_updates() for p in pools),
+                converged_columns=tracker.done_mask.copy(),
+                column_sweeps=tracker.column_sweeps,
+                column_residuals=tracker.col.copy(),
+                column_checkpoints=column_checkpoints,
+                shards=S,
+                shard_updates=shard_updates,
+                shard_sweeps=list(epochs),
+            )
+            failed = False
+        finally:
+            stop.set()
+            if failed or not self._persistent:
+                # The shards' pools live and die together: any failure
+                # (even one shard's) tears all of them down; the next
+                # call respawns the full set (spawn_count says so,
+                # honestly).
+                for sh in self._shards:
+                    try:
+                        sh.close()
+                    except Exception:
+                        pass
+                if failed and self._persistent:
+                    # Keep serving: close() above dropped the pools but
+                    # the solver stays in persistent mode for respawn.
+                    self._persistent = True
+        return result

@@ -42,6 +42,11 @@ import numpy as np
 from ..core.residuals import ConvergenceHistory, relative_residual
 from ..exceptions import ModelError, ShapeError
 from ..execution import PhasedSimulator
+
+# The owner-block partitions graduated to the execution layer when the
+# sharded solver became their production consumer; they are re-exported
+# here (and from the extensions package) for the existing import sites.
+from ..execution.sharded import balanced_partition, contiguous_partition
 from ..rng import CounterRNG
 from ..sparse import CSRMatrix
 
@@ -52,26 +57,6 @@ __all__ = [
     "OwnerComputesResult",
     "owner_computes_solve",
 ]
-
-
-def balanced_partition(n: int, nproc: int) -> list[np.ndarray]:
-    """Round-robin owner blocks: coordinate ``i`` belongs to owner
-    ``i mod nproc`` — the size-balanced default."""
-    n = int(n)
-    nproc = int(nproc)
-    if nproc < 1 or n < nproc:
-        raise ModelError(f"need 1 <= nproc <= n, got nproc={nproc}, n={n}")
-    return [np.arange(p, n, nproc, dtype=np.int64) for p in range(nproc)]
-
-
-def contiguous_partition(n: int, nproc: int) -> list[np.ndarray]:
-    """Contiguous owner blocks (the natural distributed-memory layout)."""
-    n = int(n)
-    nproc = int(nproc)
-    if nproc < 1 or n < nproc:
-        raise ModelError(f"need 1 <= nproc <= n, got nproc={nproc}, n={n}")
-    bounds = np.linspace(0, n, nproc + 1).astype(np.int64)
-    return [np.arange(bounds[p], bounds[p + 1], dtype=np.int64) for p in range(nproc)]
 
 
 class BlockPartitionedDirections:

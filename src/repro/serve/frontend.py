@@ -73,6 +73,7 @@ def _run_verb(server, op: str, payload: dict) -> str:
             problem=payload.get("problem"),
             path=payload.get("path"),
             method=payload.get("method"),
+            shards=payload.get("shards"),
         )
         return encode_info(request_id, info)
     if op == "stats":

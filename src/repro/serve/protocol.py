@@ -42,8 +42,11 @@ default ``"solve"``:
     ``"method"`` field selects the matrix's update method —
     ``"asyrgs"`` (the default) or ``"asyrk"`` for rectangular
     least-squares systems served by asynchronous randomized Kaczmarz.
-    Answers ``{"ok": true, "registered": "lap", "n": ..., "nnz": ...,
-    "method": ...}``.
+    An optional ``"shards"`` field (integer ≥ 1) backs the matrix with
+    that many row-partitioned pools coordinated by asynchronous halo
+    exchange — for matrices too big for one pool's shared-memory
+    segment. Answers ``{"ok": true, "registered": "lap", "n": ...,
+    "nnz": ..., "method": ..., "shards": ...}``.
 ``{"op": "stats"}`` (optionally ``"matrix": "lap"``)
     A JSON snapshot of the serving counters.
 ``{"op": "matrices"}``
@@ -184,7 +187,7 @@ def parse_line(line: str) -> tuple[str, dict]:
         return op, _solve_kwargs(obj)
     payload: dict = {"request_id": request_id}
     if op == "register":
-        allowed = {"op", "id", "matrix", "problem", "path", "method"}
+        allowed = {"op", "id", "matrix", "problem", "path", "method", "shards"}
         unknown = set(obj) - allowed
         if unknown:
             raise ProtocolError(
@@ -214,6 +217,19 @@ def parse_line(line: str) -> tuple[str, dict]:
                     request_id=request_id,
                 )
             payload["method"] = method
+        shards = obj.get("shards")
+        if shards is not None:
+            # bool is an int subclass; reject it explicitly.
+            if (
+                isinstance(shards, bool)
+                or not isinstance(shards, int)
+                or shards < 1
+            ):
+                raise ProtocolError(
+                    f'"shards" must be an integer >= 1, got {shards!r}',
+                    request_id=request_id,
+                )
+            payload["shards"] = shards
         payload["matrix"] = matrix
         payload[sources[0]] = str(obj[sources[0]])
     elif op == "stats":

@@ -92,6 +92,43 @@ def _merge_methods(snapshots: list[ServerStats]):
     return {"method": "mixed", "methods": counts}
 
 
+def _merge_shards(snapshots: list[ServerStats]):
+    """The ``shards`` field of a merged snapshot, per-method-style: the
+    unanimous shard count passes through as a plain int (one matrix's
+    pool lifetimes all carry the same count, so a single matrix's
+    lifetime merge stays a scalar), while a merge across matrices
+    sharded differently reports ``"mixed"`` with per-count pool tallies.
+    Nested breakdowns fold their tallies in."""
+    counts: dict = {}
+    for s in snapshots:
+        sh = s.shards
+        if isinstance(sh, dict):
+            for count, c in sh.get("counts", {}).items():
+                counts[int(count)] = counts.get(int(count), 0) + int(c)
+        else:
+            counts[int(sh)] = counts.get(int(sh), 0) + 1
+    if not counts:
+        return 1
+    if len(counts) == 1:
+        return next(iter(counts))
+    return {"shards": "mixed", "counts": counts}
+
+
+def _merge_shard_updates(snapshots: list[ServerStats]) -> list[int]:
+    """The ``shard_updates`` field of a merged snapshot: elementwise
+    sums, shorter breakdowns padded with zeros. Exact for the common
+    case this field exists for — one sharded matrix's pool lifetimes,
+    where slot ``s`` is the same row block in every snapshot; across
+    *different* matrices slot ``s`` is just "each matrix's shard s",
+    still a faithful per-slot load view."""
+    width = max((len(s.shard_updates) for s in snapshots), default=0)
+    merged = [0] * width
+    for s in snapshots:
+        for i, c in enumerate(s.shard_updates):
+            merged[i] += int(c)
+    return merged
+
+
 def merge_stats(snapshots) -> ServerStats:
     """Fold per-pool :class:`ServerStats` snapshots into one: counters
     add, high-water marks take the max, the latency mean is recomputed
@@ -118,6 +155,8 @@ def merge_stats(snapshots) -> ServerStats:
         worker_pids=[pid for s in snapshots for pid in s.worker_pids],
         policy=_merge_policy(snapshots),
         method=_merge_methods(snapshots),
+        shards=_merge_shards(snapshots),
+        shard_updates=_merge_shard_updates(snapshots),
     )
 
 
@@ -160,7 +199,10 @@ class MatrixRegistry:
         Soft cap on simultaneously live worker pools. Spawning past the
         cap first LRU-evicts an idle pool; busy pools are never torn
         down, so the cap can be exceeded transiently under concurrent
-        traffic to more than ``max_live_pools`` matrices.
+        traffic to more than ``max_live_pools`` matrices. A matrix
+        registered with ``shards=N`` counts as N pools against the cap
+        (it really holds N), and eviction always retires its shards
+        together.
     default:
         Id requests without a ``matrix`` field route to. ``None`` means
         the first registered matrix.
@@ -226,12 +268,14 @@ class MatrixRegistry:
         problem: str | None = None,
         path: str | None = None,
         method: str | None = None,
+        shards: int | None = None,
     ) -> dict:
         """The wire-protocol ``register`` verb: resolve a named workload
         problem or a MatrixMarket file and register it. ``method``
-        selects the matrix's update method (``"asyrgs"``/``"asyrk"``;
-        ``None`` inherits the registry default). Returns the info
-        payload echoed to the client."""
+        selects the matrix's update method (``"asyrgs"``/``"asyrk"``),
+        ``shards`` the number of row-partitioned pools backing it
+        (``None`` inherits the registry default for either). Returns the
+        info payload echoed to the client."""
         if (problem is None) == (path is None):
             raise ServeError(
                 "register requires exactly one of a named problem or a "
@@ -242,6 +286,10 @@ class MatrixRegistry:
             raise ServeError(
                 f"unknown solver method {method!r}; expected one of: {known}"
             )
+        if shards is not None:
+            shards = int(shards)
+            if shards < 1:
+                raise ServeError(f"shards must be at least 1, got {shards}")
         if problem is not None:
             from ..workloads import get_problem
 
@@ -253,7 +301,11 @@ class MatrixRegistry:
                 A = read_matrix_market(path)
             except OSError as exc:
                 raise ServeError(f"cannot read matrix file: {exc}") from exc
-        overrides = {} if method is None else {"method": method}
+        overrides = {}
+        if method is not None:
+            overrides["method"] = method
+        if shards is not None:
+            overrides["shards"] = shards
         self.register(name, A, **overrides)
         return {
             "registered": name,
@@ -261,6 +313,7 @@ class MatrixRegistry:
             "nnz": A.nnz,
             "source": problem if problem is not None else path,
             "method": self._method_of(self._entries[name]),
+            "shards": self._shards_of(self._entries[name]),
         }
 
     # -- routing --------------------------------------------------------
@@ -292,9 +345,16 @@ class MatrixRegistry:
 
     def _evict_for_room(self) -> None:
         """LRU-evict idle pools until a new spawn fits under the cap.
-        Busy pools are skipped — the cap is soft, never a deadlock."""
+        Busy pools are skipped — the cap is soft, never a deadlock.
+
+        ``max_live_pools`` counts *pools*, not matrices: a matrix backed
+        by N shards holds N live pools, so it weighs N against the cap,
+        and evicting it retires all N together — a sharded matrix's
+        pools live and die as one (closing some shards of a live solve
+        would wedge the halo exchange)."""
         live = [e for e in self._entries.values() if e.server is not None]
-        if len(live) < self.max_live_pools:
+        pools = sum(self._shards_of(e) for e in live)
+        if pools < self.max_live_pools:
             return
         idle = []
         for entry in live:
@@ -305,12 +365,12 @@ class MatrixRegistry:
                 idle.append(entry)
         idle.sort(key=lambda e: e.last_used)
         for entry in idle:
-            if len(live) < self.max_live_pools:
+            if pools < self.max_live_pools:
                 break
             entry.retired.append(entry.server.stats())
             entry.server.close()
             entry.server = None
-            live.remove(entry)
+            pools -= self._shards_of(entry)
 
     def _ensure_live(self, entry: _Entry) -> SolverServer:
         if entry.server is None:
@@ -392,6 +452,13 @@ class MatrixRegistry:
             "method", self._defaults.get("method", "asyrgs")
         )
 
+    def _shards_of(self, entry: _Entry) -> int:
+        """How many row-shard pools back ``entry`` (its override, or the
+        registry default, or the classic single pool)."""
+        return int(
+            entry.overrides.get("shards", self._defaults.get("shards", 1))
+        )
+
     def matrices_payload(self) -> list[dict]:
         """The ``matrices`` verb / ``GET /v1/matrices`` payload; each
         entry carries the matrix's update ``method`` so clients can see
@@ -412,6 +479,7 @@ class MatrixRegistry:
                             self._defaults.get("capacity_k", 8),
                         ),
                         "method": self._method_of(entry),
+                        "shards": self._shards_of(entry),
                         "live": entry.server is not None,
                         "requests_submitted": stats.requests_submitted,
                         "requests_served": stats.requests_served,

@@ -77,7 +77,7 @@ from dataclasses import dataclass, field as dataclasses_field
 import numpy as np
 
 from ..exceptions import ServeError
-from ..execution import SOLVER_METHODS, make_solver
+from ..execution import SOLVER_METHODS, ShardedSolver, make_solver
 from ..rng import DirectionStream
 from ..sparse import CSRMatrix
 from ..validation import check_rhs, check_x0
@@ -89,10 +89,21 @@ __all__ = ["SolverServer", "RequestHandle", "ServedResult", "ServerStats"]
 _SHUTDOWN = object()
 
 
-def _default_factory(A, b, *, method, **kwargs):
+def _default_factory(A, b, *, method, shards=1, **kwargs):
     """The default ``solver_factory``: dispatch by wire-level method
-    name through the execution layer's registry."""
-    return make_solver(method, A, b, **kwargs)
+    name through the execution layer's registry.
+
+    ``shards=1`` (the default) takes the exact single-pool path that has
+    always existed — :class:`~repro.execution.ShardedSolver` is not even
+    in the loop, which is what keeps unsharded serving bit-identical
+    across this refactor. ``shards>1`` builds the row-partitioned
+    multi-pool coordinator instead; its public surface (``open``,
+    ``close``, ``solve``, ``spawn_count``, ``worker_pids``) matches the
+    single-pool solvers, so the dispatcher cannot tell the difference.
+    """
+    if int(shards) == 1:
+        return make_solver(method, A, b, **kwargs)
+    return ShardedSolver(A, b, shards=int(shards), method=method, **kwargs)
 
 
 @dataclass(frozen=True)
@@ -200,6 +211,14 @@ class ServerStats:
     #: ``{"method": "mixed", ...}`` breakdown instead (see
     #: :func:`~repro.serve.registry.merge_stats`).
     method: str | dict = "asyrgs"
+    #: Row shards backing the matrix (1 = the classic single pool). A
+    #: merged snapshot over matrices with different shard counts carries
+    #: a ``{"shards": "mixed", ...}`` breakdown instead.
+    shards: int | dict = 1
+    #: Cumulative committed updates per shard over the pools' lifetime
+    #: (one entry at ``shards=1``) — the per-shard balance view the
+    #: sharded bench and ``GET /v1/stats`` report.
+    shard_updates: list[int] = dataclasses_field(default_factory=list)
 
     @property
     def mean_batch_size(self) -> float:
@@ -278,6 +297,16 @@ class SolverServer:
         and receive an ``n``-entry iterate (``A`` is ``m×n``); the
         coalescing, retirement, and failure-containment machinery is
         identical — one pool core serves both.
+    shards:
+        Row shards backing the matrix (default 1 — one pool, the
+        classic path, untouched by this option). ``N > 1`` splits the
+        matrix into N contiguous row blocks, each its own persistent
+        pool (``nproc`` workers *per shard*), coordinated by the
+        asynchronous halo-exchange loop of
+        :class:`~repro.execution.ShardedSolver` — for matrices whose
+        single-pool shared-memory segment is too big for one box.
+        Sharding requires ``method="asyrgs"``; the pools live and die
+        together on eviction and crash.
     beta, atomic, directions, seed, start_method, barrier_timeout:
         Forwarded to the pool solver (see
         :func:`~repro.execution.make_solver`). The direction stream
@@ -315,6 +344,7 @@ class SolverServer:
         max_wait: float = 0.005,
         policy="fixed",
         method: str = "asyrgs",
+        shards: int = 1,
         beta: float = 1.0,
         atomic: bool = False,
         directions: DirectionStream | None = None,
@@ -330,9 +360,13 @@ class SolverServer:
             raise ServeError(
                 f"unknown solver method {method!r}; expected one of: {known}"
             )
+        shards = int(shards)
+        if shards < 1:
+            raise ServeError(f"shards must be at least 1, got {shards}")
         self._runtime = THREAD_RUNTIME if runtime is None else runtime
         self._clock = self._runtime.monotonic
         self.method = method
+        self.shards = shards
         # Request geometry: a right-hand side always has one entry per
         # *row* of A; the iterate has one entry per *column*. For AsyRGS
         # the matrix is square so the two coincide; for AsyRK they are
@@ -356,6 +390,7 @@ class SolverServer:
             A,
             np.zeros((self.n, capacity_k)),
             method=method,
+            shards=shards,
             nproc=nproc,
             beta=beta,
             atomic=atomic,
@@ -484,7 +519,18 @@ class SolverServer:
                 worker_pids=self._solver.worker_pids(),
                 policy=self.policy.snapshot(),
                 method=self.method,
+                shards=self.shards,
+                shard_updates=self._shard_updates(),
             )
+
+    def _shard_updates(self) -> list[int]:
+        """Per-shard cumulative update counts, when the backing solver
+        keeps them (the sharded coordinator does; plain pools and the
+        simulation fakes do not — those report an empty breakdown)."""
+        counts = getattr(self._solver, "shard_update_counts", None)
+        if counts is None:
+            return []
+        return [int(c) for c in counts()]
 
     def stats_payload(self, matrix: str | None = None) -> dict:
         """The :meth:`stats` snapshot as a JSON-ready dict (the shape
@@ -510,6 +556,7 @@ class SolverServer:
                 "nnz": self.nnz,
                 "capacity_k": self.capacity_k,
                 "method": self.method,
+                "shards": self.shards,
                 "live": True,
                 "requests_submitted": stats.requests_submitted,
                 "requests_served": stats.requests_served,

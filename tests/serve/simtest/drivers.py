@@ -21,7 +21,7 @@ import numpy as np
 from repro.exceptions import ServeError
 from repro.serve import FixedWait, MatrixRegistry, SolverServer
 
-from .fakes import diagonal_system, fake_factory
+from .fakes import FakePool, diagonal_system, fake_factory
 from .scheduler import SimScheduler
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "run_registry_policies",
     "run_registry_traffic",
     "run_server_traffic",
+    "run_shard_crash",
     "run_stash_depth",
 ]
 
@@ -439,6 +440,137 @@ def run_registry_policies(seed: int):
 
     assert not sched.daemon_failures
     return registry.stats_payload()
+
+
+def run_shard_crash(seed: int, *, shards: int = 3):
+    """A shard dies mid-solve behind the gateway; the blast radius must
+    be exactly one matrix's in-flight batch.
+
+    Two matrices share the registry: ``big`` registered with
+    ``shards=3`` (its fake pool scripts a shard death on the first
+    batch, raising the coordinator's own ``ModelError`` shape) and
+    ``small`` on the classic single pool. The first ``big`` request
+    must fail with a :class:`ServeError` *naming the guilty shard id*;
+    ``small`` traffic running concurrently must keep getting exact
+    answers; the next ``big`` request after the crash must succeed
+    against the respawned shard set (all N spawned together — the
+    spawn counter moves in steps of N); and the dispatcher must survive
+    — a shard crash is a batch failure, never a daemon death or a
+    wedge. The stats must report the heterogeneity honestly: per-matrix
+    shard counts, per-shard update lists, and the aggregate's
+    ``{"shards": "mixed"}`` breakdown.
+    """
+    sched = SimScheduler(seed)
+    pools: list = []
+
+    def factory(A, x_block, **kwargs):
+        opts = {}
+        if int(kwargs.get("shards", 1)) > 1:
+            # First batch on the sharded matrix: shard 1 dies.
+            opts["fail_shard_on"] = {1: 1}
+        pool = FakePool(
+            A, x_block, sleep=sched.sleep, solve_time=0.01,
+            **opts, **kwargs,
+        )
+        pools.append(pool)
+        return pool
+
+    registry = MatrixRegistry(
+        nproc=1,
+        # big weighs `shards` pools against the cap, small weighs 1;
+        # the cap admits both, so shard-weighted accounting is what
+        # keeps this scenario eviction-free.
+        max_live_pools=shards + 1,
+        capacity_k=4,
+        max_wait=0.002,
+        runtime=sched.runtime,
+        solver_factory=factory,
+    )
+    registry.register("big", diagonal_system(_DIAG), shards=shards)
+    registry.register("small", diagonal_system(2.0 * _DIAG))
+
+    crashed = sched.runtime.event()
+    outcome = {"error": None, "late_ok": False}
+
+    def big_first():
+        h = registry.submit(_rhs(0), matrix="big")
+        try:
+            h.result()
+        except ServeError as exc:
+            outcome["error"] = str(exc)
+        finally:
+            crashed.set()
+
+    def big_second():
+        # Strictly after the crash surfaced: this request lands on the
+        # respawned shard set, never in the doomed batch.
+        crashed.wait()
+        res = registry.submit(_rhs(1), matrix="big").result()
+        assert np.array_equal(res.x, _rhs(1) / _DIAG), (
+            "the post-crash request must solve exactly on the "
+            "respawned shards"
+        )
+        outcome["late_ok"] = True
+
+    def small_client(idx: int):
+        def work():
+            for j in range(2):
+                tag = 10 + idx * 2 + j
+                res = registry.submit(_rhs(tag), matrix="small").result()
+                assert np.array_equal(res.x, _rhs(tag) / (2.0 * _DIAG)), (
+                    f"small request {tag} caught the big matrix's "
+                    "shard crash"
+                )
+
+        return work
+
+    tasks = [
+        sched.task(big_first, name="big-first"),
+        sched.task(big_second, name="big-second"),
+        sched.task(small_client(0), name="small-0"),
+        sched.task(small_client(1), name="small-1"),
+    ]
+
+    def closer():
+        for h in tasks:
+            h.join()
+        registry.close()
+
+    sched.task(closer, name="closer")
+    sched.run()
+
+    # The crash was attributed, contained, and survived.
+    assert outcome["error"] is not None, (
+        "the crash-batch request must fail, not hang or succeed"
+    )
+    assert f"shard 1 of {shards} failed mid-solve" in outcome["error"], (
+        f"failure must name the guilty shard: {outcome['error']!r}"
+    )
+    assert outcome["late_ok"]
+    assert not sched.daemon_failures, (
+        "a shard crash must never kill the dispatcher"
+    )
+
+    big = registry.stats("big")
+    small = registry.stats("small")
+    assert big.shards == shards
+    assert big.requests_failed == 1
+    assert big.requests_served == 1
+    # One open + one respawn, each spawning all N shards together.
+    assert big.spawn_count == 2 * shards
+    assert len(big.shard_updates) == shards
+    assert min(big.shard_updates) > 0
+    assert small.shards == 1
+    assert small.shard_updates == []
+    assert small.requests_failed == 0
+    agg = registry.stats()
+    assert agg.shards == {"shards": "mixed", "counts": {shards: 1, 1: 1}}
+    return {
+        "error": outcome["error"],
+        "aggregate": agg,
+        "pools_built": len(pools),
+        "steps": sched.steps,
+    }
 
 
 def run_mixed_methods(

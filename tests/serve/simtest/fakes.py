@@ -25,12 +25,25 @@ exception from the N-th ``solve`` call (1-based), which is how the
 drivers inject worker crashes (``Exception``) and dispatcher-killing
 ``BaseException`` (e.g. ``KeyboardInterrupt``) at a deterministic
 point in the schedule.
+
+Sharded matrices fake the same way: ``shards=N`` (the kwarg the server
+forwards from a ``shards=N`` registration) makes the fake account like
+the real :class:`~repro.execution.ShardedSolver` — ``spawn_count``
+moves in steps of N because a sharded matrix's pools spawn and respawn
+together, and ``shard_update_counts()`` reports a per-shard load list
+(absent-equivalent ``[]`` at ``shards=1``, exactly like the plain pool
+which has no such attribute). ``fail_shard_on`` scripts a *shard*
+death: ``{call_index: shard_id}`` raises the coordinator's own failure
+shape — :class:`~repro.exceptions.ModelError` naming the guilty shard
+— from the N-th solve call, so drivers can assert the gateway
+attributes the crash without spawning a single OS process.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.exceptions import ModelError
 from repro.sparse import CSRMatrix
 
 __all__ = ["FakePool", "FakeRunResult", "diagonal_system", "fake_factory"]
@@ -87,9 +100,11 @@ class FakePool:
         nproc: int,
         capacity_k: int,
         method: str = "asyrgs",
+        shards: int = 1,
         sleep=None,
         solve_time: float = 0.0,
         fail_on: dict | None = None,
+        fail_shard_on: dict | None = None,
         **_ignored,
     ):
         n = A.shape[0]
@@ -104,9 +119,16 @@ class FakePool:
         # factory call; recording it lets mixed-method drivers assert
         # which pool each batch landed on.
         self.method = str(method)
+        # The server forwards its shard count to the factory; a fake
+        # "sharded" pool stays one in-process object but accounts like
+        # the real coordinator (see module docstring).
+        self.shards = int(shards)
+        if self.shards < 1:
+            raise ValueError(f"shards must be at least 1, got {shards}")
         self._sleep = sleep if sleep is not None else (lambda _s: None)
         self.solve_time = float(solve_time)
         self.fail_on = dict(fail_on or {})
+        self.fail_shard_on = dict(fail_shard_on or {})
         self.spawn_count = 0
         self.solve_calls = 0
         self.solved_widths: list[int] = []
@@ -117,13 +139,25 @@ class FakePool:
 
     def open(self) -> None:
         self._open = True
-        self.spawn_count += 1
+        # A sharded matrix's pools spawn together: one open costs N
+        # pool spawns, exactly the real ShardedSolver's accounting.
+        self.spawn_count += self.shards
 
     def close(self) -> None:
         self._open = False
 
     def worker_pids(self) -> list[int]:
-        return list(range(self.nproc))
+        return list(range(self.nproc * self.shards))
+
+    def shard_update_counts(self) -> list[int]:
+        """Per-shard load, the real coordinator's shape: every shard
+        participates in every solve (each owns a row block of each
+        column), so each slot carries the pool's total solved columns.
+        Empty at ``shards=1`` — the delegated single pool has no such
+        attribute, and the server maps that to ``[]``."""
+        if self.shards == 1:
+            return []
+        return [sum(self.solved_widths)] * self.shards
 
     def solve(
         self,
@@ -145,13 +179,24 @@ class FakePool:
             )
         if self._respawn_pending:
             # The real backend drops a crashed pool and respawns it on
-            # the next batch; spawn_count records that honestly.
-            self.spawn_count += 1
+            # the next batch; spawn_count records that honestly — and a
+            # sharded matrix respawns all N shards together, so the
+            # step is N, never 1.
+            self.spawn_count += self.shards
             self._respawn_pending = False
         self.solve_calls += 1
         self.solved_widths.append(b.shape[1])
         if self.solve_time:
             self._sleep(self.solve_time)
+        guilty = self.fail_shard_on.get(self.solve_calls)
+        if guilty is not None:
+            # The coordinator's exact failure shape: the lowest failed
+            # shard named, the whole solve torn down.
+            self._respawn_pending = True
+            raise ModelError(
+                f"shard {int(guilty)} of {self.shards} failed mid-solve: "
+                "injected shard fault (simtest)"
+            )
         exc = self.fail_on.get(self.solve_calls)
         if exc is not None:
             if isinstance(exc, Exception):
@@ -160,7 +205,14 @@ class FakePool:
         return FakeRunResult(b / self._diag[:, None])
 
 
-def fake_factory(*, sleep=None, solve_time: float = 0.0, fail_on=None, made=None):
+def fake_factory(
+    *,
+    sleep=None,
+    solve_time: float = 0.0,
+    fail_on=None,
+    fail_shard_on=None,
+    made=None,
+):
     """A ``solver_factory`` for :class:`~repro.serve.SolverServer`:
     binds the fake's configuration, forwards the server's construction
     call, and (when ``made`` is a list) records each pool it builds so
@@ -173,6 +225,7 @@ def fake_factory(*, sleep=None, solve_time: float = 0.0, fail_on=None, made=None
             sleep=sleep,
             solve_time=solve_time,
             fail_on=fail_on,
+            fail_shard_on=fail_shard_on,
             **kwargs,
         )
         if made is not None:

@@ -331,7 +331,7 @@ class TestWireProtocol:
         assert reg == {
             "id": "reg", "ok": True, "registered": "soc",
             "n": prob.n, "nnz": prob.A.nnz, "source": "social-small",
-            "method": "asyrgs",
+            "method": "asyrgs", "shards": 1,
         }
         assert s1["ok"] and s1["converged"]
         assert st["ok"] and st["matrix"] == "soc"
