@@ -32,7 +32,16 @@ concurrently, like traffic — are multiplexed onto it by
 7. shard a matrix across pools: ``shards=2`` row-partitions a Laplacian
    into two capacity-k pools that exchange halo rows at their own epoch
    boundaries (no global barrier — stale reads by design), while the
-   server's stats break updates down per shard.
+   server's stats break updates down per shard,
+
+8. turn on warm-start caching and scrape the metrics: with
+   ``cache_solutions=True`` the gateway keys recent answers by
+   (matrix, rhs fingerprint) and seeds ``x0`` for repeats and
+   near-repeats — an iterative solver converts cache *similarity* into
+   sweep savings, not just exact hits — and
+   :func:`repro.serve.render_metrics` renders every counter (the cache
+   family included) in the Prometheus text format that
+   ``GET /v1/metrics`` serves.
 
 The same servers speak JSON lines on stdin or TCP via ``repro serve``,
 and HTTP/1.1 via ``repro serve --http PORT``::
@@ -56,7 +65,7 @@ import time
 import numpy as np
 
 from repro.execution import available_cpus
-from repro.serve import MatrixRegistry, SolverServer
+from repro.serve import MatrixRegistry, SolverServer, render_metrics
 from repro.workloads import get_problem, laplacian_2d
 
 
@@ -187,8 +196,43 @@ def main() -> None:
         print(
             f"per-shard updates {st.shard_updates} "
             f"(balance max/min = {hi / lo:.2f}); spawn_count "
-            f"{st.spawn_count} — both shards, one cold start"
+            f"{st.spawn_count} — both shards, one cold start\n"
         )
+
+    # -- 8. Warm-start caching + the Prometheus scrape. ----------------
+    # Bursty real traffic repeats itself: the gateway caches recent
+    # answers by (matrix, rhs fingerprint) and seeds x0 for repeats and
+    # near-repeats. A *near* hit still pays sweeps — just far fewer,
+    # because the iteration starts next to the answer instead of at
+    # zero. `repro serve --cache-solutions` is this, behind the wire.
+    small = get_problem("social-small")
+    with MatrixRegistry(
+        nproc=1, capacity_k=4, tol=1e-6, max_sweeps=2000,
+        cache_solutions=True, cache_similarity=0.05,
+    ) as gateway:
+        gateway.register("social", small.A)
+        cold = gateway.solve(small.b, matrix="social", timeout=600.0)
+        warm = gateway.solve(small.b, matrix="social", timeout=600.0)
+        near = gateway.solve(
+            small.b * (1.0 + 1e-3), matrix="social", timeout=600.0
+        )
+        cs = gateway.cache_stats()
+        print(
+            f"cache: cold solve {cold.sweeps} sweeps; exact repeat "
+            f"{warm.sweeps}; near-duplicate (0.1% perturbed) "
+            f"{near.sweeps} — hits {cs['hits_exact']} exact / "
+            f"{cs['hits_near']} near, {cs['entries']} entered"
+        )
+        # The same counters, as a monitoring system scrapes them
+        # (GET /v1/metrics when serving over HTTP).
+        scrape = render_metrics(gateway)
+        cache_lines = [
+            ln for ln in scrape.splitlines()
+            if ln.startswith("repro_cache") and "_total" in ln
+        ]
+        print("metrics excerpt (GET /v1/metrics):")
+        for ln in cache_lines:
+            print(f"  {ln}")
 
 
 if __name__ == "__main__":

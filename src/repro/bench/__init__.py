@@ -40,6 +40,7 @@ from .fig_serve import (
     run_serve,
     run_serve_adaptive,
 )
+from .fig_slo import SLOCacheResult, SLOResult, run_slo, run_slo_cache
 from .fig_speedup import SpeedupResult, run_speedup
 from .fig3_fcg import (
     FCGRun,
@@ -85,9 +86,13 @@ __all__ = [
     "run_serve",
     "run_serve_adaptive",
     "run_shard",
+    "run_slo",
+    "run_slo_cache",
     "ServeBenchResult",
     "ServePolicyResult",
     "ShardBenchResult",
+    "SLOCacheResult",
+    "SLOResult",
     "run_speedup",
     "run_table1",
     "run_tau_sweep",

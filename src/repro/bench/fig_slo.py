@@ -1,0 +1,436 @@
+"""Benchmark: the SLO load harness — max sustainable req/s under a p99
+target, and the warm-start cache's sweep savings on bursty traffic.
+
+The serving stack's perf trajectory starts here: ``repro experiment
+slo`` drives an **open-loop** load generator through the
+:func:`~repro.serve.frontend.handle_line` seam — requests are submitted
+at fixed arrival times regardless of when earlier ones complete, the
+traffic shape real gateways face (a closed-loop generator, which waits
+for each answer, self-throttles exactly when the server saturates and
+so cannot see saturation at all; see the coordinated-omission
+literature). The generator ramps the arrival rate geometrically and
+records p50/p99 latency per rate; the **max sustainable rate** is the
+highest rate whose p99 stays under the target. The result is persisted
+to ``results/BENCH_serve.json`` — the artifact CI uploads and gates on
+(a >30% regression of ``max_sustainable_rps`` against the committed
+baseline fails the threshold check loudly).
+
+``repro experiment slo --cache`` (:func:`run_slo_cache`) replays the
+*same* fixed arrival schedule twice — warm-start caching on vs. off —
+over a bursty near-duplicate workload: a few base right-hand sides,
+each arriving as exact repeats and small perturbations, the traffic
+shape the cache exists for. The comparison is **mean solve sweeps per
+request** (not wall clock): identical schedules, identical rhs
+sequence, so the only difference is the ``x0`` seeding, and the
+convergence bound's ``‖x⁰ − x*‖`` scaling shows up directly as fewer
+sweeps to tolerance.
+
+Both drivers calibrate themselves against a probe solve, so the same
+code exercises a laptop and a loaded CI box without hand-tuned rates.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ServeError
+from ..execution import available_cpus
+from ..serve import MatrixRegistry, handle_line
+from ..workloads import get_problem
+from .reporting import render_table, save_json
+
+__all__ = ["SLOResult", "SLOCacheResult", "run_slo", "run_slo_cache"]
+
+
+@dataclass
+class SLOResult:
+    """Open-loop ramp measurements for one problem.
+
+    ``rows_data`` holds one entry per offered rate:
+    ``(rate, requests, achieved req/s, p50, p99, within SLO?)``.
+    ``max_sustainable_rps`` is the headline — the highest offered rate
+    whose p99 stayed under ``target_p99`` (0 when even the first rate
+    breached).
+    """
+
+    problem: str
+    n: int
+    nproc: int
+    cpus: int
+    tol: float
+    max_sweeps: int
+    target_p99: float
+    probe_latency: float
+    duration: float
+    rows_data: list = field(default_factory=list)
+    all_ok: bool = True
+
+    @property
+    def max_sustainable_rps(self) -> float:
+        sustained = [r[0] for r in self.rows_data if r[5]]
+        return max(sustained, default=0.0)
+
+    def rows(self):
+        return [list(r) for r in self.rows_data]
+
+    def table(self) -> str:
+        title = (
+            f"SLO load harness — {self.problem} (n={self.n}), open-loop "
+            f"ramp on {self.nproc} process(es), {self.cpus} CPU(s), "
+            f"p99 target {1e3 * self.target_p99:.1f} ms (probe solve "
+            f"{1e3 * self.probe_latency:.1f} ms); max sustainable rate "
+            f"{self.max_sustainable_rps:.1f} req/s"
+        )
+        return render_table(
+            ["offered req/s", "requests", "achieved req/s", "p50 [s]",
+             "p99 [s]", "within SLO"],
+            self.rows(),
+            title=title,
+        )
+
+    def payload(self) -> dict:
+        return {
+            "problem": self.problem,
+            "n": self.n,
+            "nproc": self.nproc,
+            "cpus": self.cpus,
+            "tol": self.tol,
+            "max_sweeps": self.max_sweeps,
+            "target_p99": self.target_p99,
+            "probe_latency": self.probe_latency,
+            "duration": self.duration,
+            "rates": [
+                {
+                    "offered_rps": r[0],
+                    "requests": r[1],
+                    "achieved_rps": r[2],
+                    "p50": r[3],
+                    "p99": r[4],
+                    "within_slo": r[5],
+                }
+                for r in self.rows_data
+            ],
+            "max_sustainable_rps": self.max_sustainable_rps,
+            "all_ok": self.all_ok,
+        }
+
+
+@dataclass
+class SLOCacheResult:
+    """Warm-start savings on one bursty near-duplicate schedule.
+
+    ``rows_data`` holds one entry per mode:
+    ``(mode, requests, mean sweeps, total sweeps, warm starts,
+    cache hits, p50, p99)``. The headline, ``sweeps_savings``, is the
+    cache-off mean sweeps over the cache-on mean — > 1 means warm
+    starts saved iterations on identical traffic.
+    """
+
+    problem: str
+    n: int
+    nproc: int
+    cpus: int
+    tol: float
+    max_sweeps: int
+    sync_every_sweeps: int
+    bases: int
+    repeats: int
+    perturbation: float
+    rows_data: list = field(default_factory=list)
+    all_ok: bool = True
+
+    def _mean_sweeps(self, mode: str) -> float:
+        for r in self.rows_data:
+            if r[0] == mode:
+                return r[2]
+        return float("nan")
+
+    @property
+    def sweeps_savings(self) -> float:
+        warm = self._mean_sweeps("cache-on")
+        cold = self._mean_sweeps("cache-off")
+        return cold / warm if warm > 0 else float("nan")
+
+    def rows(self):
+        return [list(r) for r in self.rows_data]
+
+    def table(self) -> str:
+        title = (
+            f"Warm-start caching — {self.problem} (n={self.n}), "
+            f"{self.bases} base rhs × {self.repeats} bursty "
+            f"repeats/perturbations (ε={self.perturbation:g}) on "
+            f"{self.nproc} process(es), {self.cpus} CPU(s), identical "
+            f"arrival schedules; cache-off mean sweeps is "
+            f"{self.sweeps_savings:.2f}x cache-on"
+        )
+        return render_table(
+            ["mode", "requests", "mean sweeps", "total sweeps",
+             "warm starts", "cache hits", "p50 [s]", "p99 [s]"],
+            self.rows(),
+            title=title,
+        )
+
+    def payload(self) -> dict:
+        return {
+            "problem": self.problem,
+            "n": self.n,
+            "nproc": self.nproc,
+            "cpus": self.cpus,
+            "tol": self.tol,
+            "max_sweeps": self.max_sweeps,
+            "sync_every_sweeps": self.sync_every_sweeps,
+            "bases": self.bases,
+            "repeats": self.repeats,
+            "perturbation": self.perturbation,
+            "modes": [
+                {
+                    "mode": r[0],
+                    "requests": r[1],
+                    "mean_sweeps": r[2],
+                    "total_sweeps": r[3],
+                    "warm_requests": r[4],
+                    "cache_hits": r[5],
+                    "p50": r[6],
+                    "p99": r[7],
+                }
+                for r in self.rows_data
+            ],
+            "sweeps_savings": self.sweeps_savings,
+            "all_ok": self.all_ok,
+        }
+
+
+def _open_loop(registry, schedule) -> list[dict]:
+    """Drive one open-loop round through :func:`handle_line`: submit
+    each request at its scheduled arrival time (never waiting on a
+    completion — the queue absorbs what the server cannot keep up
+    with), then resolve every response. Returns the parsed response
+    objects in submission order."""
+    resolvers = []
+    t0 = time.perf_counter()
+    for i, (arrival, b) in enumerate(schedule):
+        delay = arrival - (time.perf_counter() - t0)
+        if delay > 0:
+            time.sleep(delay)
+        line = json.dumps({"id": f"req-{i}", "b": b.tolist()})
+        resolvers.append(handle_line(registry, line))
+    return [json.loads(resolve()) for resolve in resolvers]
+
+
+def _latencies(responses) -> np.ndarray:
+    return np.array([r["latency_s"] for r in responses if r.get("ok")])
+
+
+def _probe(registry, rng, n, rounds: int = 3) -> float:
+    """Median solo-solve latency — the self-calibration anchor for the
+    rate ramp and the p99 target."""
+    walls = []
+    for _ in range(rounds):
+        b = rng.standard_normal(n)
+        start = time.perf_counter()
+        registry.solve(b, timeout=600.0)
+        walls.append(time.perf_counter() - start)
+    return float(np.median(walls))
+
+
+def run_slo(
+    problem: str = "social-small",
+    *,
+    nproc: int = 2,
+    capacity_k: int = 8,
+    target_p99: float | None = None,
+    rates: tuple | None = None,
+    ramp_steps: int = 6,
+    duration: float = 2.0,
+    min_requests: int = 10,
+    max_requests: int = 200,
+    tol: float = 1e-2,
+    max_sweeps: int = 800,
+    sync_every_sweeps: int = 10,
+    seed: int = 0,
+    persist: bool = True,
+) -> SLOResult:
+    """Ramp an open-loop arrival rate until p99 breaches the target.
+
+    Each rate offers ``duration`` seconds of Poisson-free fixed-interval
+    arrivals (at least ``min_requests``, at most ``max_requests``),
+    submitted through :func:`~repro.serve.frontend.handle_line` exactly
+    as the wire front-ends submit — so batching, routing, and the
+    protocol layer are all in the measured path. ``target_p99``
+    defaults to 10× the probe solve's latency (a server keeping p99
+    within an order of magnitude of a solo solve is coalescing, not
+    collapsing); ``rates`` defaults to a geometric ramp from half the
+    probe's service rate. The ramp stops at the first breach.
+    """
+    prob = get_problem(problem)
+    A = prob.A
+    n = A.shape[0]
+    rng = np.random.default_rng(seed)
+    with MatrixRegistry(
+        nproc=int(nproc),
+        capacity_k=int(capacity_k),
+        tol=tol,
+        max_sweeps=int(max_sweeps),
+        sync_every_sweeps=int(sync_every_sweeps),
+        seed=seed,
+    ) as registry:
+        registry.register(problem, A)
+        probe = _probe(registry, rng, n)
+        if target_p99 is None:
+            target_p99 = 10.0 * probe
+        if rates is None:
+            base = 0.5 / max(probe, 1e-6)
+            rates = tuple(base * 2.0**i for i in range(int(ramp_steps)))
+        out = SLOResult(
+            problem=problem,
+            n=n,
+            nproc=int(nproc),
+            cpus=available_cpus(),
+            tol=float(tol),
+            max_sweeps=int(max_sweeps),
+            target_p99=float(target_p99),
+            probe_latency=probe,
+            duration=float(duration),
+        )
+        for rate in rates:
+            count = int(np.clip(round(rate * duration), min_requests,
+                                max_requests))
+            schedule = [
+                (i / rate, rng.standard_normal(n)) for i in range(count)
+            ]
+            start = time.perf_counter()
+            responses = _open_loop(registry, schedule)
+            wall = time.perf_counter() - start
+            out.all_ok &= all(r.get("ok") for r in responses)
+            lats = _latencies(responses)
+            if lats.size == 0:
+                raise ServeError(
+                    f"SLO round at {rate:g} req/s produced no successful "
+                    "responses"
+                )
+            p50 = float(np.percentile(lats, 50))
+            p99 = float(np.percentile(lats, 99))
+            within = p99 <= out.target_p99
+            out.rows_data.append(
+                [float(rate), count, count / wall if wall > 0 else
+                 float("nan"), p50, p99, within]
+            )
+            if not within:
+                break  # saturation found; higher rates only queue deeper
+    if persist:
+        save_json("BENCH_serve", out.payload())
+    return out
+
+
+def _bursty_schedule(rng, n, *, bases, repeats, perturbation, gap):
+    """The near-duplicate workload: ``bases`` distinct right-hand
+    sides, then ``repeats`` bursts, each revisiting every base as an
+    exact repeat or a small relative perturbation. One burst per
+    ``gap`` seconds — enough headroom for the previous burst's
+    solutions to land in the cache, which is the regime the cache is
+    for (a re-arrival *before* its twin completes is the dedupe
+    scenario, covered by the simtest suite instead)."""
+    base_vectors = [rng.standard_normal(n) for _ in range(bases)]
+    schedule = []
+    when = 0.0
+    for b in base_vectors:  # burst 0: everything is cold
+        schedule.append((when, b.copy()))
+    for r in range(1, repeats + 1):
+        when = r * gap
+        for j, b in enumerate(base_vectors):
+            if (r + j) % 2 == 0:
+                schedule.append((when, b.copy()))  # exact repeat
+            else:
+                noise = rng.standard_normal(n)
+                noise *= perturbation * np.linalg.norm(b) / np.linalg.norm(noise)
+                schedule.append((when, b + noise))
+    return schedule
+
+
+def run_slo_cache(
+    problem: str = "social-small",
+    *,
+    nproc: int = 2,
+    capacity_k: int = 8,
+    bases: int = 4,
+    repeats: int = 5,
+    perturbation: float = 0.005,
+    cache_similarity: float = 0.05,
+    tol: float = 1e-2,
+    max_sweeps: int = 800,
+    sync_every_sweeps: int = 2,
+    seed: int = 0,
+    persist: bool = True,
+) -> SLOCacheResult:
+    """Warm-start savings: the same bursty schedule, cache on vs. off.
+
+    The workload is the cache's home turf — a few base right-hand
+    sides arriving as bursts of exact repeats and ε-perturbations.
+    Both modes replay the byte-identical rhs sequence on the same
+    arrival schedule; the comparison is mean solve sweeps per request,
+    the hardware-independent number the convergence bound actually
+    predicts (``sync_every_sweeps`` is kept small so retirement
+    resolves sweep savings finely). Persists
+    ``results/BENCH_serve_cache.json``.
+    """
+    prob = get_problem(problem)
+    A = prob.A
+    n = A.shape[0]
+    rng = np.random.default_rng(seed)
+    probe_rng = np.random.default_rng(seed + 1)
+    out = SLOCacheResult(
+        problem=problem,
+        n=n,
+        nproc=int(nproc),
+        cpus=available_cpus(),
+        tol=float(tol),
+        max_sweeps=int(max_sweeps),
+        sync_every_sweeps=int(sync_every_sweeps),
+        bases=int(bases),
+        repeats=int(repeats),
+        perturbation=float(perturbation),
+    )
+    schedule = None
+    for mode in ("cache-off", "cache-on"):
+        with MatrixRegistry(
+            nproc=int(nproc),
+            capacity_k=int(capacity_k),
+            tol=tol,
+            max_sweeps=int(max_sweeps),
+            sync_every_sweeps=int(sync_every_sweeps),
+            cache_solutions=(mode == "cache-on"),
+            cache_similarity=float(cache_similarity),
+            seed=seed,
+        ) as registry:
+            registry.register(problem, A)
+            if schedule is None:
+                # Calibrate the burst gap once, against the cold mode's
+                # pool, and reuse the identical schedule for both modes.
+                gap = 3.0 * bases * _probe(registry, probe_rng, n)
+                schedule = _bursty_schedule(
+                    rng, n, bases=int(bases), repeats=int(repeats),
+                    perturbation=float(perturbation), gap=gap,
+                )
+            responses = _open_loop(registry, schedule)
+            cache_stats = registry.cache_stats()
+        out.all_ok &= all(r.get("ok") for r in responses)
+        sweeps = np.array(
+            [r["sweeps"] for r in responses if r.get("ok")], dtype=float
+        )
+        lats = _latencies(responses)
+        warm = hits = 0
+        if cache_stats is not None:
+            warm = cache_stats["warm_requests"]
+            hits = cache_stats["hits_exact"] + cache_stats["hits_near"]
+        out.rows_data.append(
+            [mode, len(schedule), float(sweeps.mean()),
+             int(sweeps.sum()), warm, hits,
+             float(np.percentile(lats, 50)), float(np.percentile(lats, 99))]
+        )
+    if persist:
+        save_json("BENCH_serve_cache", out.payload())
+    return out

@@ -93,6 +93,20 @@ Serving:
   `repro experiment serve` to benchmark batched serving against
   one-shot-per-request throughput on the 51-label workload, and
   `repro experiment serve --adaptive` to compare the two policies.
+
+  Observability & caching: every response carries a trace_id (minted
+  per request, or propagated from a "trace_id" field the client sends)
+  on success and failure alike; {"op": "metrics"} — and, over HTTP,
+  GET /v1/metrics, raw — renders every serving counter in Prometheus
+  text format for scrape-based monitoring. --cache-solutions keeps
+  recently served solutions keyed by (matrix, rhs fingerprint) and
+  seeds x0 for requests whose b exactly or nearly (--cache-similarity
+  relative L2) repeats one — the solve still runs and judges its own
+  convergence, so warm starts save sweeps but never change answers.
+  Run `repro experiment slo` for the open-loop SLO load harness (max
+  sustainable req/s under a p99 target), and `repro experiment slo
+  --cache` for the warm-vs-cold sweep savings on bursty near-duplicate
+  traffic.
 """
 
 
@@ -163,7 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
             "fig1", "fig2-left", "fig2-center", "fig2-right", "fig3", "table1",
             "tau-sweep", "beta-sweep", "consistency-gap", "delay-schedules",
             "theory-envelope", "direction-strategies", "motivation", "extensions",
-            "block", "serve", "ablation", "shard",
+            "block", "serve", "ablation", "shard", "slo",
         ],
     )
     p_exp.add_argument("--problem", default=None, help="named problem override")
@@ -177,6 +191,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--adaptive", action="store_true",
         help="for 'serve': compare the adaptive batching policy against "
         "the fixed linger window on burst and closed-loop traffic",
+    )
+    p_exp.add_argument(
+        "--cache", action="store_true",
+        help="for 'slo': replay a bursty near-duplicate arrival schedule "
+        "with warm-start caching on vs. off and compare mean sweeps per "
+        "request instead of ramping the rate",
     )
 
     p_speed = sub.add_parser(
@@ -243,6 +263,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="batching policy: a fixed --max-wait linger window, or a "
         "window sized adaptively from the measured queue-depth/"
         "solve-wall EWMAs",
+    )
+    p_serve.add_argument(
+        "--cache-solutions", action="store_true",
+        help="warm-start requests from recently served solutions: a "
+        "request without x0 whose b exactly or nearly repeats a cached "
+        "one is seeded with that solution (the solve still runs and "
+        "judges its own convergence — hits save sweeps, never change "
+        "answers); the cache is invalidated on register and pool "
+        "eviction and reported under repro_cache_* in GET /v1/metrics",
+    )
+    p_serve.add_argument(
+        "--cache-max-entries", type=int, default=256,
+        help="LRU bound on cached solutions (with --cache-solutions)",
+    )
+    p_serve.add_argument(
+        "--cache-similarity", type=float, default=0.05,
+        help="relative L2 threshold for near-duplicate warm starts "
+        "(0 restricts hits to bitwise-identical b)",
     )
     p_serve.add_argument("--tol", type=float, default=1e-6, help="default tolerance")
     p_serve.add_argument("--max-sweeps", type=int, default=400)
@@ -623,6 +661,9 @@ def _cmd_serve(args) -> int:
         max_batch=args.max_batch,
         max_wait=args.max_wait,
         policy=args.policy,
+        cache_solutions=args.cache_solutions,
+        cache_max_entries=args.cache_max_entries,
+        cache_similarity=args.cache_similarity,
         seed=args.seed,
     ) as server:
         for name, A, _, overrides in sources:
@@ -666,8 +707,8 @@ def _cmd_serve(args) -> int:
             host, port = httpd.server_address[:2]
             print(
                 f"serving {roster} on http://{host}:{port} (POST "
-                f"/v1/solve, GET /v1/stats, GET /v1/matrices) with "
-                f"{pool_note} — ^C to stop",
+                f"/v1/solve, GET /v1/stats, GET /v1/matrices, "
+                f"GET /v1/metrics) with {pool_note} — ^C to stop",
                 file=sys.stderr,
             )
             try:
@@ -718,6 +759,7 @@ _EXPERIMENTS = {
     "serve": ("run_serve", {}),
     "ablation": ("run_sampling_ablation", {}),
     "shard": ("run_shard", {}),
+    "slo": ("run_slo", {}),
 }
 
 
@@ -737,6 +779,11 @@ def _cmd_experiment(args) -> int:
             print("--adaptive is a mode of the 'serve' experiment")
             return 2
         fn_name = "run_serve_adaptive"
+    if getattr(args, "cache", False):
+        if args.name != "slo":
+            print("--cache is a mode of the 'slo' experiment")
+            return 2
+        fn_name = "run_slo_cache"
     fn = getattr(bench, fn_name)
     if args.problem:
         if "problem" not in inspect.signature(fn).parameters:

@@ -75,12 +75,16 @@ class ProtocolError(ServeError):
     unknown verb. ``request_id`` carries the ``id`` of the offending
     request whenever the line was valid JSON — the front-ends echo it so
     the client can correlate the error; it is ``None`` only for lines
-    that could not be parsed at all.
+    that could not be parsed at all. ``trace_id`` carries the request's
+    trace id (:func:`repro.serve.protocol.parse_line` stamps one on
+    every error it raises), so even a malformed request's error response
+    is traceable.
     """
 
-    def __init__(self, message: str, *, request_id=None):
+    def __init__(self, message: str, *, request_id=None, trace_id=None):
         super().__init__(message)
         self.request_id = request_id
+        self.trace_id = trace_id
 
 
 class ModelError(ReproError, ValueError):

@@ -12,19 +12,32 @@ measured queue-depth/solve-wall EWMAs). :class:`MatrixRegistry` routes
 requests across several named resident matrices with lazily-spawned,
 LRU-evicted per-matrix pools. :mod:`repro.serve.frontend` exposes
 either over stdin JSON-lines, TCP, and HTTP/1.1 (``repro serve``).
+
+Observability and caching: every response carries a ``trace_id``
+(minted per request at :func:`parse_line`/submission, echoed on
+success and failure alike), :func:`render_metrics` renders the serving
+counters in Prometheus text format (``GET /v1/metrics``, the
+``metrics`` verb), and :class:`SolutionCache` (``repro serve
+--cache-solutions``) warm-starts near-duplicate requests from recently
+served solutions — the iterative-solver payoff where cache *similarity*
+(not just identity) converts into sweep savings.
 """
 
 from .batching import AdaptiveWait, BatchingPolicy, FixedWait, make_policy
+from .cache import SolutionCache, rhs_fingerprint
 from .frontend import (
     handle_line,
     make_http_server,
     make_tcp_server,
     serve_stream,
 )
+from .metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from .metrics import render_metrics
 from .protocol import (
     encode_error,
     encode_info,
     encode_result,
+    mint_trace_id,
     parse_line,
     parse_request,
 )
@@ -37,9 +50,11 @@ __all__ = [
     "BatchingPolicy",
     "FixedWait",
     "MatrixRegistry",
+    "METRICS_CONTENT_TYPE",
     "RequestHandle",
     "ServedResult",
     "ServerStats",
+    "SolutionCache",
     "SolverServer",
     "THREAD_RUNTIME",
     "ThreadRuntime",
@@ -51,7 +66,10 @@ __all__ = [
     "make_policy",
     "make_tcp_server",
     "merge_stats",
+    "mint_trace_id",
     "parse_line",
     "parse_request",
+    "render_metrics",
+    "rhs_fingerprint",
     "serve_stream",
 ]

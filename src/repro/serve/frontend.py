@@ -17,9 +17,17 @@ submission path (:func:`handle_line`):
 * :func:`make_http_server` — the same payloads over HTTP/1.1
   (``repro serve --http``): ``POST /v1/solve`` carries one request
   object per body, ``GET /v1/stats`` and ``GET /v1/matrices`` expose
-  the control verbs to anything that can speak ``curl``. Every handler
-  thread submits through :func:`handle_line`, so concurrent HTTP
-  clients coalesce into block solves exactly like TCP ones.
+  the control verbs to anything that can speak ``curl``, and
+  ``GET /v1/metrics`` serves the Prometheus text rendition raw (the
+  scrape endpoint). Every handler thread submits through
+  :func:`handle_line`, so concurrent HTTP clients coalesce into block
+  solves exactly like TCP ones.
+
+Every response carries the request's ``trace_id`` — success and
+failure alike: :func:`~repro.serve.protocol.parse_line` mints (or
+adopts) it per line, a submitted request carries it on its handle, and
+the error paths read it off the exception, the parsed payload, or the
+handle, whichever the failure left standing.
 
 ``handle_line`` is the seam all three share: parse one protocol line,
 act on it immediately (submit a solve, run a control verb), and return
@@ -39,7 +47,15 @@ import threading
 import urllib.parse
 
 from ..exceptions import ServeError
-from .protocol import encode_error, encode_info, encode_result, parse_line
+from .metrics import CONTENT_TYPE as _METRICS_CONTENT_TYPE
+from .metrics import render_metrics
+from .protocol import (
+    encode_error,
+    encode_info,
+    encode_result,
+    mint_trace_id,
+    parse_line,
+)
 
 __all__ = [
     "handle_line",
@@ -64,6 +80,7 @@ def _run_verb(server, op: str, payload: dict) -> str:
     :class:`SolverServer` or a :class:`MatrixRegistry` — duck-typed on
     the handful of methods the verbs need)."""
     request_id = payload.get("request_id")
+    trace_id = payload.get("trace_id")
     if op == "register":
         register = getattr(server, "register_spec", None)
         if register is None:
@@ -75,13 +92,19 @@ def _run_verb(server, op: str, payload: dict) -> str:
             method=payload.get("method"),
             shards=payload.get("shards"),
         )
-        return encode_info(request_id, info)
+        return encode_info(request_id, info, trace_id)
     if op == "stats":
         return encode_info(
-            request_id, server.stats_payload(payload.get("matrix"))
+            request_id, server.stats_payload(payload.get("matrix")), trace_id
+        )
+    if op == "metrics":
+        return encode_info(
+            request_id, {"metrics": render_metrics(server)}, trace_id
         )
     # matrices
-    return encode_info(request_id, {"matrices": server.matrices_payload()})
+    return encode_info(
+        request_id, {"matrices": server.matrices_payload()}, trace_id
+    )
 
 
 def handle_line(server, line: str):
@@ -103,14 +126,18 @@ def handle_line(server, line: str):
     try:
         op, payload = parse_line(line)
     except Exception as exc:  # malformed JSON / protocol violation
-        # ProtocolError carries the id of any line that parsed as JSON.
+        # ProtocolError carries the id of any line that parsed as JSON,
+        # and always a trace id (minted before parsing) — encode_error
+        # reads the latter off the exception.
         text = encode_error(getattr(exc, "request_id", None), exc)
         return lambda: text
     if op == "register":
         try:
             text = _run_verb(server, op, payload)
         except Exception as exc:  # unknown problem, single-matrix server
-            text = encode_error(payload.get("request_id"), exc)
+            text = encode_error(
+                payload.get("request_id"), exc, payload.get("trace_id")
+            )
         return lambda: text
     if op != "solve":
 
@@ -118,21 +145,28 @@ def handle_line(server, line: str):
             try:
                 return _run_verb(server, op, payload)
             except Exception as exc:  # unknown matrix, closed registry
-                return encode_error(payload.get("request_id"), exc)
+                return encode_error(
+                    payload.get("request_id"), exc, payload.get("trace_id")
+                )
 
         return _query
     try:
         handle = server.submit(**payload)
     except Exception as exc:  # shape/dtype violations, closed server
-        # The line parsed, so its id is trustworthy — echo it.
-        text = encode_error(payload.get("request_id"), exc)
+        # The line parsed, so its id and trace are trustworthy — echo
+        # them (this is the broken-server fast-fail path, among others).
+        text = encode_error(
+            payload.get("request_id"), exc, payload.get("trace_id")
+        )
         return lambda: text
 
     def _resolve() -> str:
         try:
             return encode_result(handle.result())
         except ServeError as exc:
-            return encode_error(handle.request_id, exc)
+            # Crash containment: the batch failed but the request's
+            # identity survives on its handle.
+            return encode_error(handle.request_id, exc, handle.trace_id)
 
     return _resolve
 
@@ -241,6 +275,11 @@ def make_http_server(server, host: str = "127.0.0.1", port: int = 0):
     * ``GET /v1/stats`` — the ``stats`` verb (``?matrix=ID`` narrows a
       registry to one matrix).
     * ``GET /v1/matrices`` — the ``matrices`` verb.
+    * ``GET /v1/metrics`` — the Prometheus text rendition of the same
+      counters (:func:`~repro.serve.metrics.render_metrics`), served
+      raw with the exposition-format content type — point a Prometheus
+      scrape job straight at it. The response carries the request's
+      trace id in an ``X-Trace-Id`` header (the body is not JSON).
 
     Returns the ``http.server.ThreadingHTTPServer``; the caller runs
     ``serve_forever()`` (and ``shutdown()``/``server_close()`` to
@@ -271,6 +310,23 @@ def make_http_server(server, host: str = "127.0.0.1", port: int = 0):
                 ok = False
             self._respond(200 if ok else 400, text)
 
+        def _respond_metrics(self) -> None:
+            # The one non-JSON route: raw Prometheus text, trace id in a
+            # header since there is no JSON envelope to echo it in.
+            trace_id = mint_trace_id()
+            try:
+                text = render_metrics(server)
+            except Exception as exc:  # snapshot failure: JSON error body
+                self._respond(500, encode_error(None, exc, trace_id))
+                return
+            body = text.encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", _METRICS_CONTENT_TYPE)
+            self.send_header("X-Trace-Id", trace_id)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
         def do_POST(self):
             # Drain the body before any response: unread bytes would be
             # parsed as the next request line on a keep-alive connection.
@@ -279,7 +335,12 @@ def make_http_server(server, host: str = "127.0.0.1", port: int = 0):
             path = urllib.parse.urlsplit(self.path).path
             if path != "/v1/solve":
                 self._respond(
-                    404, encode_error(None, ServeError(f"no such route {path!r}"))
+                    404,
+                    encode_error(
+                        None,
+                        ServeError(f"no such route {path!r}"),
+                        mint_trace_id(),
+                    ),
                 )
                 return
             self._respond_line(handle_line(server, body)())
@@ -287,6 +348,9 @@ def make_http_server(server, host: str = "127.0.0.1", port: int = 0):
         def do_GET(self):
             split = urllib.parse.urlsplit(self.path)
             query = urllib.parse.parse_qs(split.query)
+            if split.path == "/v1/metrics":
+                self._respond_metrics()
+                return
             if split.path == "/v1/stats":
                 request = {"op": "stats"}
                 if query.get("matrix"):
@@ -297,7 +361,9 @@ def make_http_server(server, host: str = "127.0.0.1", port: int = 0):
                 self._respond(
                     404,
                     encode_error(
-                        None, ServeError(f"no such route {split.path!r}")
+                        None,
+                        ServeError(f"no such route {split.path!r}"),
+                        mint_trace_id(),
                     ),
                 )
                 return

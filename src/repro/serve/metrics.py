@@ -1,0 +1,235 @@
+"""Prometheus text rendering of the serving counters.
+
+The server and registry have always *kept* the numbers a production
+gateway needs — request/batch counters, queue high-water marks,
+latency, pool spawns, per-shard update balance, and (with
+``--cache-solutions``) the warm-start cache's hit/miss/savings
+counters — but only behind ad-hoc ``stats`` verbs. This module renders
+those same snapshots in the Prometheus text exposition format
+(version 0.0.4: ``# HELP`` / ``# TYPE`` comment lines followed by the
+family's samples), which is what ``GET /v1/metrics`` and the
+``metrics`` wire verb return, so any scrape-based monitoring stack can
+watch a ``repro serve`` gateway without bespoke glue.
+
+Naming scheme
+-------------
+Every family is ``repro_``-prefixed. Request/batch/spawn counters are
+``_total``-suffixed counters labeled by resident matrix
+(``repro_requests_served_total{matrix="lap"}``) — a bare
+:class:`~repro.serve.SolverServer` reports its single anonymous matrix
+as ``matrix="default"``. High-water marks and latency are per-matrix
+gauges. Shard balance is ``repro_shard_updates_total{matrix=...,
+shard=...}``, one series per row shard. Gateway-level gauges
+(``repro_matrices_registered``, ``repro_live_pools``) and the cache
+family (``repro_cache_*``) are unlabeled — there is one registry and
+one cache per process. ``repro_matrix_info`` carries the
+non-numeric identity bits (update method, batching policy) as labels
+on a constant ``1``, the standard info-metric idiom.
+
+Everything is rendered from one consistent snapshot per section: the
+registry's ``stats_payload`` snapshots every matrix under its lock, so
+a scrape never mixes counters from two moments.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_metrics", "CONTENT_TYPE"]
+
+#: The content type ``GET /v1/metrics`` answers with.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label(value) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r'\"')
+        .replace("\n", r"\n")
+    )
+
+
+def _format_value(value) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+class _Families:
+    """Accumulate samples per metric family, then render the families
+    in first-touched order with one HELP/TYPE header each."""
+
+    def __init__(self):
+        self._families: dict[str, tuple[str, str, list]] = {}
+
+    def add(self, name, kind, help_text, value, labels=None):
+        family = self._families.setdefault(name, (kind, help_text, []))
+        family[2].append((labels or {}, value))
+
+    def render(self) -> str:
+        lines = []
+        for name, (kind, help_text, samples) in self._families.items():
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for labels, value in samples:
+                if labels:
+                    inner = ",".join(
+                        f'{k}="{_escape_label(v)}"'
+                        for k, v in labels.items()
+                    )
+                    lines.append(f"{name}{{{inner}}} {_format_value(value)}")
+                else:
+                    lines.append(f"{name} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+
+_COUNTERS = (
+    ("requests_submitted", "repro_requests_submitted_total",
+     "Solve requests accepted by the matrix's server."),
+    ("requests_served", "repro_requests_served_total",
+     "Solve requests completed successfully."),
+    ("requests_failed", "repro_requests_failed_total",
+     "Solve requests that failed (crashed batch, drained queue)."),
+    ("batches", "repro_batches_total",
+     "Solve calls dispatched to the matrix's pool."),
+    ("batched_singles", "repro_batched_singles_total",
+     "Single-RHS requests that rode a coalesced batch of size > 1."),
+    ("spawn_count", "repro_pool_spawns_total",
+     "Worker-pool spawns over the matrix's lifetime (>1 means respawn "
+     "after a crash or eviction)."),
+)
+
+_GAUGES = (
+    ("max_batch_size", "repro_max_batch_size",
+     "Largest coalesced batch the matrix's pools ever ran."),
+    ("max_queue_depth", "repro_max_queue_depth",
+     "High-water mark of requests waiting on the matrix's queue."),
+    ("latency_mean", "repro_latency_mean_seconds",
+     "Mean request latency (submission to completion) in seconds."),
+    ("latency_max", "repro_latency_max_seconds",
+     "Worst request latency in seconds."),
+)
+
+_CACHE_COUNTERS = (
+    ("hits_exact", "repro_cache_hits_total", "exact"),
+    ("hits_near", "repro_cache_hits_total", "near"),
+)
+
+
+def _per_matrix(out: _Families, name: str, stats: dict) -> None:
+    labels = {"matrix": name}
+    for field, metric, help_text in _COUNTERS:
+        out.add(metric, "counter", help_text, stats.get(field, 0), labels)
+    for field, metric, help_text in _GAUGES:
+        out.add(metric, "gauge", help_text, stats.get(field, 0.0), labels)
+    for shard, updates in enumerate(stats.get("shard_updates", []) or []):
+        out.add(
+            "repro_shard_updates_total", "counter",
+            "Committed updates per row shard over the pools' lifetime.",
+            updates, {"matrix": name, "shard": str(shard)},
+        )
+    shards = stats.get("shards", 1)
+    if isinstance(shards, int):
+        out.add(
+            "repro_matrix_shards", "gauge",
+            "Row-shard pools backing the matrix (1 = the classic "
+            "single pool).",
+            shards, labels,
+        )
+    method = stats.get("method", "asyrgs")
+    policy = stats.get("policy", {})
+    policy_name = (
+        policy.get("policy", "?") if isinstance(policy, dict) else "?"
+    )
+    out.add(
+        "repro_matrix_info", "gauge",
+        "Constant 1; the matrix's update method and batching policy "
+        "ride as labels.",
+        1,
+        {
+            "matrix": name,
+            "method": method if isinstance(method, str) else "mixed",
+            "policy": str(policy_name),
+        },
+    )
+
+
+def _cache_section(out: _Families, cache_stats: dict) -> None:
+    for field, metric, kind in _CACHE_COUNTERS:
+        out.add(
+            metric, "counter",
+            "Warm-start cache hits by kind (exact fingerprint vs "
+            "nearest-fingerprint).",
+            cache_stats.get(field, 0), {"kind": kind},
+        )
+    out.add(
+        "repro_cache_misses_total", "counter",
+        "Warm-start cache lookups that found no seed (cold solves).",
+        cache_stats.get("misses", 0),
+    )
+    out.add(
+        "repro_cache_stores_total", "counter",
+        "Solutions written into the warm-start cache.",
+        cache_stats.get("stores", 0),
+    )
+    out.add(
+        "repro_cache_evictions_total", "counter",
+        "Cache entries dropped by the LRU bound.",
+        cache_stats.get("evictions", 0),
+    )
+    out.add(
+        "repro_cache_invalidations_total", "counter",
+        "Cache entries dropped by register/evict invalidation.",
+        cache_stats.get("invalidations", 0),
+    )
+    out.add(
+        "repro_cache_entries", "gauge",
+        "Solutions currently cached.",
+        cache_stats.get("entries", 0),
+    )
+    for start in ("warm", "cold"):
+        labels = {"start": start}
+        out.add(
+            "repro_cache_requests_total", "counter",
+            "Served requests by start kind (warm = x0 seeded from the "
+            "cache).",
+            cache_stats.get(f"{start}_requests", 0), labels,
+        )
+        out.add(
+            "repro_cache_sweeps_total", "counter",
+            "Total solve sweeps by start kind — the warm-start savings "
+            "signal (compare sweeps/request across the two series).",
+            cache_stats.get(f"{start}_sweeps", 0), labels,
+        )
+
+
+def render_metrics(server) -> str:
+    """Render one Prometheus text snapshot of ``server`` — a
+    :class:`~repro.serve.MatrixRegistry` (per-matrix series plus
+    gateway gauges) or a bare :class:`~repro.serve.SolverServer` (its
+    single matrix reported as ``matrix="default"``). Includes the
+    ``repro_cache_*`` family whenever warm-start caching is enabled."""
+    out = _Families()
+    payload = server.stats_payload()
+    if "aggregate" in payload:  # a MatrixRegistry snapshot
+        matrices = payload["matrices"]
+        out.add(
+            "repro_matrices_registered", "gauge",
+            "Matrices registered with the gateway.",
+            len(matrices),
+        )
+        live = server.live_pools() if hasattr(server, "live_pools") else []
+        out.add(
+            "repro_live_pools", "gauge",
+            "Matrices whose worker pool is currently live (spawned, "
+            "not evicted).",
+            len(live),
+        )
+        for name, stats in matrices.items():
+            _per_matrix(out, name, stats)
+    else:
+        _per_matrix(out, "default", payload)
+    cache_stats = getattr(server, "cache_stats", lambda: None)()
+    if cache_stats is not None:
+        _cache_section(out, cache_stats)
+    return out.render()

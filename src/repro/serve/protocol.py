@@ -52,11 +52,28 @@ default ``"solve"``:
 ``{"op": "matrices"}``
     The list of registered matrices (one anonymous entry for a bare
     single-matrix server).
+``{"op": "metrics"}``
+    The same counters rendered in Prometheus text format (the payload
+    the HTTP front-end serves raw on ``GET /v1/metrics``), wrapped in
+    the JSON envelope as ``{"ok": true, "metrics": "..."}``.
+
+Tracing
+-------
+Every response — success, protocol violation, failed solve — carries a
+``trace_id``. :func:`parse_line` mints one per request the moment the
+line arrives (before parsing, so even an unparseable line's error
+response is traceable) unless the client supplied its own ``trace_id``
+field (a non-empty string — distributed callers propagate their ids);
+the id travels with the request through batching and the pool and is
+echoed in the response, so one request can be followed across client
+logs, server stderr, and the stats it contributed to.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 
 import numpy as np
 
@@ -66,14 +83,30 @@ __all__ = [
     "encode_error",
     "encode_info",
     "encode_result",
+    "mint_trace_id",
     "parse_line",
     "parse_request",
 ]
 
 _ALLOWED_KEYS = {
     "id", "b", "x0", "tol", "max_sweeps", "sync_every_sweeps", "matrix",
+    "trace_id",
 }
-_OPS = ("solve", "register", "stats", "matrices")
+_OPS = ("solve", "register", "stats", "matrices", "metrics")
+
+# Per-process trace prefix + a monotone counter: ids are unique within
+# a process and collision-resistant across the fleet, and minting is a
+# counter bump — no clock reads, no entropy pool, nothing that could
+# perturb a deterministic simulation schedule after import.
+_TRACE_PREFIX = os.urandom(4).hex()
+_TRACE_COUNTER = itertools.count(1)
+
+
+def mint_trace_id() -> str:
+    """A fresh trace id: ``t-<process prefix>-<counter>``."""
+    return f"t-{_TRACE_PREFIX}-{next(_TRACE_COUNTER)}"
+
+
 # The wire-level method names the register verb accepts. Kept as a
 # literal (not imported from the execution layer) so the protocol
 # module stays a pure parsing layer; the serve-layer registry performs
@@ -105,7 +138,21 @@ def _matrix_id(obj: dict, request_id) -> str | None:
     return matrix
 
 
-def _solve_kwargs(obj: dict) -> dict:
+def _trace_of(obj: dict, request_id) -> str:
+    """The request's trace id: the client's own (a non-empty string —
+    distributed callers propagate theirs), else freshly minted."""
+    trace = obj.get("trace_id")
+    if trace is None:
+        return mint_trace_id()
+    if not isinstance(trace, str) or not trace:
+        raise ProtocolError(
+            f'"trace_id" must be a non-empty string, got {trace!r}',
+            request_id=request_id,
+        )
+    return trace
+
+
+def _solve_kwargs(obj: dict, trace_id: str) -> dict:
     """Turn a parsed solve object into :meth:`SolverServer.submit`
     kwargs. The line already parsed as JSON, so every protocol
     violation past this point carries the request's id."""
@@ -122,7 +169,7 @@ def _solve_kwargs(obj: dict) -> dict:
             'request is missing the required "b" field',
             request_id=request_id,
         )
-    kwargs = {"b": obj["b"]}
+    kwargs = {"b": obj["b"], "trace_id": trace_id}
     if "id" in obj:
         kwargs["request_id"] = request_id
     matrix = _matrix_id(obj, request_id)
@@ -155,39 +202,78 @@ def parse_request(line: str) -> dict:
     the business of :func:`parse_line` — a non-``solve`` ``op`` is a
     protocol violation here.
     """
-    obj = _load_object(line)
-    op = obj.get("op", "solve")
-    if op != "solve":
-        raise ProtocolError(
-            f'non-solve "op" {op!r} is not a solve request '
-            "(front-ends dispatch verbs via parse_line)",
-            request_id=obj.get("id"),
-        )
-    return _solve_kwargs(obj)
+    try:
+        obj = _load_object(line)
+    except ProtocolError as exc:
+        exc.trace_id = mint_trace_id()
+        raise
+    trace_id = _attach_trace(obj, obj.get("id"))
+    try:
+        op = obj.get("op", "solve")
+        if op != "solve":
+            raise ProtocolError(
+                f'non-solve "op" {op!r} is not a solve request '
+                "(front-ends dispatch verbs via parse_line)",
+                request_id=obj.get("id"),
+            )
+        return _solve_kwargs(obj, trace_id)
+    except ProtocolError as exc:
+        exc.trace_id = trace_id
+        raise
+
+
+def _attach_trace(obj: dict, request_id) -> str:
+    """Resolve the request's trace id, stamping any trace-field
+    violation with a freshly minted one (the error response must be
+    traceable too)."""
+    try:
+        return _trace_of(obj, request_id)
+    except ProtocolError as exc:
+        exc.trace_id = mint_trace_id()
+        raise
 
 
 def parse_line(line: str) -> tuple[str, dict]:
     """Parse one protocol line into ``(op, payload)``.
 
     ``op`` is one of ``solve`` / ``register`` / ``stats`` /
-    ``matrices``; for ``solve`` the payload is the
+    ``matrices`` / ``metrics``; for ``solve`` the payload is the
     :meth:`SolverServer.submit` kwargs, for the control verbs it is
-    ``{"request_id": ..., ...verb fields...}``. This is the one parsing
-    entry point the three transports share.
+    ``{"request_id": ..., "trace_id": ..., ...verb fields...}``. This
+    is the one parsing entry point the three transports share. A trace
+    id is minted (or adopted from the request's ``trace_id`` field) the
+    moment the line arrives; :class:`ProtocolError` raised here always
+    carries one, so front-ends can echo it on the error path.
     """
-    obj = _load_object(line)
-    op = obj.get("op", "solve")
+    try:
+        obj = _load_object(line)
+    except ProtocolError as exc:
+        exc.trace_id = mint_trace_id()
+        raise
     request_id = obj.get("id")
+    trace_id = _attach_trace(obj, request_id)
+    try:
+        return _parse_verb(obj, request_id, trace_id)
+    except ProtocolError as exc:
+        exc.trace_id = trace_id
+        raise
+
+
+def _parse_verb(obj: dict, request_id, trace_id: str) -> tuple[str, dict]:
+    op = obj.get("op", "solve")
     if not isinstance(op, str) or op not in _OPS:
         raise ProtocolError(
             f'unknown "op" {op!r}; expected one of {list(_OPS)}',
             request_id=request_id,
         )
     if op == "solve":
-        return op, _solve_kwargs(obj)
-    payload: dict = {"request_id": request_id}
+        return op, _solve_kwargs(obj, trace_id)
+    payload: dict = {"request_id": request_id, "trace_id": trace_id}
     if op == "register":
-        allowed = {"op", "id", "matrix", "problem", "path", "method", "shards"}
+        allowed = {
+            "op", "id", "trace_id", "matrix", "problem", "path", "method",
+            "shards",
+        }
         unknown = set(obj) - allowed
         if unknown:
             raise ProtocolError(
@@ -233,7 +319,7 @@ def parse_line(line: str) -> tuple[str, dict]:
         payload["matrix"] = matrix
         payload[sources[0]] = str(obj[sources[0]])
     elif op == "stats":
-        allowed = {"op", "id", "matrix"}
+        allowed = {"op", "id", "trace_id", "matrix"}
         unknown = set(obj) - allowed
         if unknown:
             raise ProtocolError(
@@ -242,12 +328,12 @@ def parse_line(line: str) -> tuple[str, dict]:
                 request_id=request_id,
             )
         payload["matrix"] = _matrix_id(obj, request_id)
-    else:  # matrices
-        allowed = {"op", "id"}
+    else:  # matrices / metrics
+        allowed = {"op", "id", "trace_id"}
         unknown = set(obj) - allowed
         if unknown:
             raise ProtocolError(
-                f"unknown matrices field(s) {sorted(unknown)}; "
+                f"unknown {op} field(s) {sorted(unknown)}; "
                 f"allowed: {sorted(allowed)}",
                 request_id=request_id,
             )
@@ -260,6 +346,7 @@ def encode_result(result) -> str:
     payload = {
         "id": result.request_id,
         "ok": True,
+        "trace_id": getattr(result, "trace_id", None),
         "x": x.tolist(),
         "converged": bool(result.converged),
         "sweeps": int(result.sweeps),
@@ -275,12 +362,22 @@ def encode_result(result) -> str:
     return json.dumps(payload)
 
 
-def encode_info(request_id, payload: dict) -> str:
+def encode_info(request_id, payload: dict, trace_id=None) -> str:
     """One response line for a successful control verb (``register`` /
-    ``stats`` / ``matrices``): ``ok: true`` plus the verb's payload."""
-    return json.dumps({"id": request_id, "ok": True, **payload})
+    ``stats`` / ``matrices`` / ``metrics``): ``ok: true`` plus the
+    verb's payload."""
+    return json.dumps(
+        {"id": request_id, "ok": True, "trace_id": trace_id, **payload}
+    )
 
 
-def encode_error(request_id, exc: BaseException) -> str:
-    """One response line for a failed or malformed request."""
-    return json.dumps({"id": request_id, "ok": False, "error": str(exc)})
+def encode_error(request_id, exc: BaseException, trace_id=None) -> str:
+    """One response line for a failed or malformed request. The trace
+    id defaults to the one riding on the exception (every
+    :class:`ProtocolError` out of :func:`parse_line` carries one)."""
+    if trace_id is None:
+        trace_id = getattr(exc, "trace_id", None)
+    return json.dumps(
+        {"id": request_id, "ok": False, "trace_id": trace_id,
+         "error": str(exc)}
+    )

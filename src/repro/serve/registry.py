@@ -39,6 +39,7 @@ import itertools
 
 from ..exceptions import ServeError
 from ..execution import SOLVER_METHODS
+from .cache import SolutionCache
 from .runtime import THREAD_RUNTIME
 from .server import ServerStats, SolverServer
 
@@ -206,6 +207,19 @@ class MatrixRegistry:
     default:
         Id requests without a ``matrix`` field route to. ``None`` means
         the first registered matrix.
+    cache_solutions:
+        Enable warm-start solution caching (``repro serve
+        --cache-solutions``): one shared
+        :class:`~repro.serve.SolutionCache` across all matrices, keyed
+        by matrix id, seeding ``x0`` for requests whose right-hand side
+        exactly or nearly repeats a recently served one. The cache is
+        invalidated per matrix on (re-)registration and on pool
+        eviction, so a matrix id never serves seeds from a different
+        system than the one its pool holds.
+    cache_max_entries, cache_similarity:
+        The cache's LRU bound and relative-L2 near-hit threshold (see
+        :class:`~repro.serve.SolutionCache`); ignored unless
+        ``cache_solutions`` is set.
     runtime:
         Source of concurrency primitives (see
         :mod:`repro.serve.runtime`). Supplies the registry lock and is
@@ -222,6 +236,9 @@ class MatrixRegistry:
         nproc: int,
         max_live_pools: int = 4,
         default: str | None = None,
+        cache_solutions: bool = False,
+        cache_max_entries: int = 256,
+        cache_similarity: float = 0.05,
         runtime=None,
         **server_kwargs,
     ):
@@ -233,6 +250,15 @@ class MatrixRegistry:
         self._runtime = THREAD_RUNTIME if runtime is None else runtime
         self._defaults = dict(
             server_kwargs, nproc=nproc, runtime=self._runtime
+        )
+        self._cache = (
+            SolutionCache(
+                max_entries=cache_max_entries,
+                similarity=cache_similarity,
+                runtime=self._runtime,
+            )
+            if cache_solutions
+            else None
         )
         self._entries: dict[str, _Entry] = {}
         self._default_id = default
@@ -259,6 +285,12 @@ class MatrixRegistry:
                     f"matrix {name!r} is already registered "
                     f"(n={self._entries[name].A.shape[0]})"
                 )
+            if self._cache is not None:
+                # A fresh registration must never inherit seeds a prior
+                # matrix left under the same id (the registry forbids
+                # live re-registration, but ids do get reused across
+                # registry generations in tests and restarts).
+                self._cache.invalidate(name)
             self._entries[name] = _Entry(name, A, dict(overrides))
 
     def register_spec(
@@ -371,12 +403,23 @@ class MatrixRegistry:
             entry.server.close()
             entry.server = None
             pools -= self._shards_of(entry)
+            if self._cache is not None:
+                # LRU eviction is the memory-pressure signal: a matrix
+                # cold enough to lose its pool gives its cache capacity
+                # back too (the respawned pool re-earns entries from its
+                # own traffic). Contrast the crash-respawn path inside
+                # SolverServer, which keeps entries — the matrix did not
+                # change, so they are still valid seeds.
+                self._cache.invalidate(entry.name)
 
     def _ensure_live(self, entry: _Entry) -> SolverServer:
         if entry.server is None:
             self._evict_for_room()
             entry.server = SolverServer(
-                entry.A, **{**self._defaults, **entry.overrides}
+                entry.A,
+                **{**self._defaults, **entry.overrides},
+                cache=self._cache,
+                cache_key=entry.name,
             )
         entry.last_used = next(self._clock)
         return entry.server
@@ -444,6 +487,14 @@ class MatrixRegistry:
                     name: asdict(snap) for name, snap in snapshots.items()
                 },
             }
+
+    def cache_stats(self) -> dict | None:
+        """The shared solution cache's counter snapshot, or ``None``
+        when caching is disabled (the shape the metrics renderer and
+        the stats verbs report)."""
+        if self._cache is None:
+            return None
+        return self._cache.stats()
 
     def _method_of(self, entry: _Entry) -> str:
         """The update method ``entry``'s pool runs (its override, or the

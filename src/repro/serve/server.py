@@ -82,6 +82,7 @@ from ..rng import DirectionStream
 from ..sparse import CSRMatrix
 from ..validation import check_rhs, check_x0
 from .batching import make_policy
+from .protocol import mint_trace_id
 from .runtime import THREAD_RUNTIME
 
 __all__ = ["SolverServer", "RequestHandle", "ServedResult", "ServerStats"]
@@ -125,10 +126,11 @@ class _Pending:
 
     __slots__ = (
         "request_id", "b", "x0", "key", "event", "result", "error",
-        "enqueued_at",
+        "enqueued_at", "trace_id", "warm",
     )
 
-    def __init__(self, request_id, b, x0, key, event, now):
+    def __init__(self, request_id, b, x0, key, event, now, trace_id,
+                 warm=False):
         self.request_id = request_id
         self.b = b
         self.x0 = x0
@@ -137,6 +139,8 @@ class _Pending:
         self.result: ServedResult | None = None
         self.error: BaseException | None = None
         self.enqueued_at = now
+        self.trace_id = trace_id
+        self.warm = warm  # x0 seeded from the solution cache?
 
 
 @dataclass
@@ -168,6 +172,10 @@ class ServedResult:
         Number of requests its solve carried (1 for block requests).
     solve_wall:
         Wall-clock seconds of the batch's solve call.
+    trace_id:
+        The request's trace id — minted at submission (or at
+        :func:`~repro.serve.protocol.parse_line` for wire traffic) and
+        echoed in every response.
     """
 
     request_id: object
@@ -182,6 +190,7 @@ class ServedResult:
     column_converged: np.ndarray | None = None
     column_sweeps: np.ndarray | None = None
     column_residuals: np.ndarray | None = None
+    trace_id: object = None
 
 
 @dataclass
@@ -242,6 +251,12 @@ class RequestHandle:
     @property
     def request_id(self):
         return self._pending.request_id
+
+    @property
+    def trace_id(self):
+        """The request's trace id (available before completion, so the
+        failure path can echo it too)."""
+        return self._pending.trace_id
 
     def done(self) -> bool:
         return self._pending.event.is_set()
@@ -313,6 +328,17 @@ class SolverServer:
         restarts from position 0 for every batch, so a request's
         trajectory is a pure function of the batch it rides in —
         repeated identical traffic is deterministic.
+    cache, cache_key:
+        An optional shared :class:`~repro.serve.SolutionCache`. When
+        present, a request submitted without ``x0`` is seeded from the
+        cache's nearest same-matrix solution (``cache_key`` names this
+        server's matrix in the shared cache — a
+        :class:`~repro.serve.MatrixRegistry` passes each entry's name;
+        a bare server defaults to ``"default"``), and every
+        successfully served solution is stored back. The cache only
+        seeds ``x0`` — the solve still runs and judges its own
+        convergence, so a hit saves sweeps but can never change an
+        answer beyond the request's tolerance.
     runtime:
         The concurrency seam (clock, queue, event, lock, thread spawn);
         defaults to the real primitives
@@ -351,6 +377,8 @@ class SolverServer:
         seed: int = 0,
         start_method: str | None = None,
         barrier_timeout: float = 300.0,
+        cache=None,
+        cache_key=None,
         runtime=None,
         solver_factory=None,
     ):
@@ -399,6 +427,8 @@ class SolverServer:
             barrier_timeout=barrier_timeout,
             capacity_k=capacity_k,
         )
+        self._cache = cache
+        self._cache_key = "default" if cache_key is None else cache_key
         self._queue = self._runtime.queue()
         self._lock = self._runtime.lock()
         self._closed = False
@@ -441,16 +471,21 @@ class SolverServer:
         x0: np.ndarray | None = None,
         request_id=None,
         matrix: str | None = None,
+        trace_id=None,
     ) -> RequestHandle:
         """Enqueue one solve request (thread-safe) and return its handle.
 
         ``b`` may be a vector (eligible for coalescing) or an ``(n, k)``
         block with ``k ≤ capacity_k`` (always its own batch). ``tol`` /
         ``max_sweeps`` / ``sync_every_sweeps`` override the server
-        defaults for this request; ``x0`` is the request's warm start.
-        ``matrix`` exists for wire-protocol symmetry with
+        defaults for this request; ``x0`` is the request's warm start
+        (when omitted and a solution cache is attached, the cache may
+        seed one). ``matrix`` exists for wire-protocol symmetry with
         :class:`~repro.serve.MatrixRegistry`: a bare server hosts a
         single anonymous matrix, so any non-``None`` id is rejected.
+        ``trace_id`` is the request's trace id — minted here when the
+        caller (wire traffic mints at
+        :func:`~repro.serve.protocol.parse_line`) did not supply one.
 
         The payload is copied at submission: the request is not read
         until its batch launches (possibly much later), and a caller
@@ -462,9 +497,18 @@ class SolverServer:
                 "resident matrix (run a MatrixRegistry front door — "
                 "`repro serve --matrix NAME=SPEC` — to route by id)"
             )
+        if trace_id is None:
+            trace_id = mint_trace_id()
         b = np.array(check_rhs(b, self.n, capacity=self.capacity_k))
         if x0 is not None:
             x0 = np.array(check_x0(x0, (self.x_rows,) + b.shape[1:]))
+        # Warm-start seeding: only when the caller brought no x0 of its
+        # own. The cache lock is a leaf — taken here, outside the server
+        # lock, never the other way around.
+        warm = False
+        if x0 is None and self._cache is not None:
+            x0 = self._cache.lookup(self._cache_key, b)
+            warm = x0 is not None
         key = _BatchKey(
             tol=self.default_tol if tol is None else float(tol),
             max_sweeps=(
@@ -484,7 +528,8 @@ class SolverServer:
             if request_id is None:
                 request_id = next(self._ids)
             pending = _Pending(
-                request_id, b, x0, key, self._runtime.event(), self._clock()
+                request_id, b, x0, key, self._runtime.event(),
+                self._clock(), trace_id, warm,
             )
             self._submitted += 1
             # `_stash` itself is dispatcher-private; `_stashed` is its
@@ -564,6 +609,14 @@ class SolverServer:
                 "spawn_count": stats.spawn_count,
             }
         ]
+
+    def cache_stats(self) -> dict | None:
+        """The attached solution cache's counter snapshot, or ``None``
+        when no cache is attached (the shape the metrics renderer and
+        the stats verbs report)."""
+        if self._cache is None:
+            return None
+        return self._cache.stats()
 
     @property
     def spawn_count(self) -> int:
@@ -800,6 +853,7 @@ class SolverServer:
                     column_converged=col_conv,
                     column_sweeps=col_sweeps,
                     column_residuals=col_res,
+                    trace_id=r.trace_id,
                 )
             )
         with self._lock:
@@ -811,6 +865,15 @@ class SolverServer:
             for out in results:
                 self._latency_sum += out.latency
                 self._latency_max = max(self._latency_max, out.latency)
+        if self._cache is not None:
+            # Store before releasing the waiters: a client that observes
+            # its result done can rely on its solution being cached.
+            # Crashed batches never reach here — a warm start that rode
+            # a crash is simply not recorded, and the entry that seeded
+            # it stays valid for the respawned pool.
+            for r, out in zip(batch, results):
+                self._cache.store(self._cache_key, r.b, out.x)
+                self._cache.record_outcome(warm=r.warm, sweeps=out.sweeps)
         for r, out in zip(batch, results):
             r.result = out
             r.event.set()

@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ServeError
-from repro.serve import FixedWait, MatrixRegistry, SolverServer
+from repro.serve import FixedWait, MatrixRegistry, SolutionCache, SolverServer
 
 from .fakes import FakePool, diagonal_system, fake_factory
 from .scheduler import SimScheduler
@@ -28,6 +28,9 @@ __all__ = [
     "GatePolicy",
     "explore",
     "run_adaptive_linger",
+    "run_cache_crash",
+    "run_cache_dedupe",
+    "run_cache_eviction_race",
     "run_dispatcher_death",
     "run_mixed_methods",
     "run_registry_policies",
@@ -667,3 +670,279 @@ def run_mixed_methods(
     assert registry.stats("rgs").method == "asyrgs"
     assert registry.stats("rk").method == "asyrk"
     return {"aggregate": agg, "pools_built": len(pools), "steps": sched.steps}
+
+
+# ---------------------------------------------------------------------------
+# Warm-start cache scenarios (see test_cache.py)
+# ---------------------------------------------------------------------------
+
+
+def run_cache_dedupe(seed: int, *, n_clients: int = 4):
+    """Concurrent identical requests deduping through the cache.
+
+    Every client races the *same* right-hand side plus one of its own.
+    Whatever the interleaving — all duplicates coalesced into one batch
+    before any store, or strung out so later ones hit the entry the
+    first one wrote — the cache must end with exactly one entry per
+    distinct fingerprint (storing an existing fingerprint replaces in
+    place), its counters must conserve (every lookup is a hit or a
+    miss, every served request a store, every hit a warm start), and
+    every answer must stay exact."""
+    sched = SimScheduler(seed)
+    pools: list = []
+    cache = SolutionCache(runtime=sched.runtime)
+    server = SolverServer(
+        diagonal_system(_DIAG),
+        nproc=2,
+        capacity_k=4,
+        max_wait=0.002,
+        runtime=sched.runtime,
+        solver_factory=fake_factory(
+            sleep=sched.sleep, solve_time=0.01, made=pools
+        ),
+        cache=cache,
+    )
+
+    def client(idx: int):
+        def work():
+            # The shared rhs everyone races, then one of this client's
+            # own. Distinct tags are far apart in relative L2 (>= 0.2),
+            # so the near-hit path can never alias them.
+            h_dup = server.submit(_rhs(0))
+            h_own = server.submit(_rhs(idx + 1))
+            res = h_dup.result()
+            assert np.array_equal(res.x, _rhs(0) / _DIAG)
+            res = h_own.result()
+            assert np.array_equal(res.x, _rhs(idx + 1) / _DIAG)
+
+        return work
+
+    clients = [
+        sched.task(client(i), name=f"client-{i}") for i in range(n_clients)
+    ]
+
+    def closer():
+        for h in clients:
+            h.join()
+        server.close()
+
+    sched.task(closer, name="closer")
+    sched.run()
+
+    total = 2 * n_clients
+    stats = server.stats()
+    assert stats.requests_served == total
+    assert stats.requests_failed == 0
+    assert sum(pools[0].solved_widths) == total
+    cs = cache.stats()
+    # Dedupe: N racing duplicates collapse to one entry per distinct
+    # fingerprint, never one per request.
+    assert cs["entries"] == n_clients + 1
+    assert len(cache) == n_clients + 1
+    # Conservation: every lookup resolved, every served request stored,
+    # every hit (and only a hit) warm-started a request.
+    assert cs["stores"] == total
+    assert cs["hits_exact"] + cs["hits_near"] + cs["misses"] == total
+    assert cs["hits_near"] == 0
+    # Each distinct rhs's chronologically-first lookup precedes any
+    # store of it, so it must miss.
+    assert cs["misses"] >= n_clients + 1
+    assert cs["warm_requests"] == cs["hits_exact"]
+    assert cs["warm_requests"] + cs["cold_requests"] == total
+    assert cs["evictions"] == 0 and cs["invalidations"] == 0
+    assert not sched.daemon_failures
+    return {"cache": cs, "stats": stats, "steps": sched.steps}
+
+
+def run_cache_eviction_race(seed: int, *, per_client: int = 3):
+    """A cache hit racing the LRU eviction of its matrix's pool.
+
+    One shared cache behind a registry whose pool cap is 1: a ``hot``
+    client lands an entry (store-before-wakeup guarantees it exists
+    when its ``result()`` returns) and goes idle; a ``cold`` client's
+    first submit then deterministically evicts the idle hot pool —
+    which invalidates hot's cache entries (the cap is soft and skips
+    busy pools, so this is the one hand-sequenced step). From there the
+    clients race freely: hot re-submits the same rhs, respawning its
+    pool and possibly re-evicting cold's, so every later lookup races
+    whatever invalidation the schedule produces. Whichever side each
+    one lands on, answers stay exact and counters conserve."""
+    sched = SimScheduler(seed)
+    pools: list = []
+    registry = MatrixRegistry(
+        nproc=1,
+        max_live_pools=1,
+        capacity_k=4,
+        max_wait=0.002,
+        cache_solutions=True,
+        runtime=sched.runtime,
+        solver_factory=fake_factory(
+            sleep=sched.sleep, solve_time=0.01, made=pools
+        ),
+    )
+    registry.register("hot", diagonal_system(_DIAG))
+    registry.register("cold", diagonal_system(2.0 * _DIAG))
+    seeded = sched.runtime.event()
+    evicted = sched.runtime.event()
+
+    def hot_client():
+        res = registry.submit(_rhs(0), matrix="hot").result()
+        assert np.array_equal(res.x, _rhs(0) / _DIAG)
+        seeded.set()  # the hot entry is stored: eviction now has prey
+        evicted.wait()  # stay idle until the cold spawn has evicted us
+        for _ in range(per_client):
+            res = registry.submit(_rhs(0), matrix="hot").result()
+            assert np.array_equal(res.x, _rhs(0) / _DIAG)
+
+    def cold_client():
+        seeded.wait()
+        # This spawn finds the hot pool idle, evicts it, and
+        # invalidates the seeded hot entry — then the race is on.
+        handle = registry.submit(_rhs(10), matrix="cold")
+        evicted.set()
+        res = handle.result()
+        assert np.array_equal(res.x, _rhs(10) / (2.0 * _DIAG))
+        for j in range(1, per_client):
+            res = registry.submit(_rhs(10 + j), matrix="cold").result()
+            assert np.array_equal(res.x, _rhs(10 + j) / (2.0 * _DIAG))
+
+    tasks = [
+        sched.task(hot_client, name="hot-client"),
+        sched.task(cold_client, name="cold-client"),
+    ]
+
+    def closer():
+        for h in tasks:
+            h.join()
+        registry.close()
+
+    sched.task(closer, name="closer")
+    sched.run()
+
+    total = 1 + 2 * per_client
+    agg = registry.stats()
+    assert agg.requests_served == total
+    assert agg.requests_failed == 0
+    cs = registry.cache_stats()
+    assert cs["stores"] == total
+    assert cs["hits_exact"] + cs["hits_near"] + cs["misses"] == total
+    assert cs["warm_requests"] == cs["hits_exact"] + cs["hits_near"]
+    assert cs["warm_requests"] + cs["cold_requests"] == total
+    # The cold spawn evicted the idle hot pool while the seeded hot
+    # entry provably existed, so it must have been invalidated.
+    assert cs["invalidations"] >= 1
+    # Entry conservation: entries leave only by LRU eviction,
+    # invalidation, or in-place replacement (uncounted) — never appear
+    # from nowhere.
+    assert cs["entries"] + cs["evictions"] + cs["invalidations"] <= cs["stores"]
+    # hot, cold, then hot respawned after its deterministic eviction —
+    # the soft cap may thrash further, never less.
+    assert len(pools) >= 3
+    assert not sched.daemon_failures
+    return {
+        "cache": cs,
+        "aggregate": agg,
+        "pools_built": len(pools),
+        "steps": sched.steps,
+    }
+
+
+def run_cache_crash(seed: int):
+    """A warm-started batch dies mid-solve; the entry that seeded it
+    must survive and must not poison the respawned pool.
+
+    Three event-sequenced single-request batches over one rhs: the
+    first solves cold and stores; the second hits the entry, warm-starts
+    — and its solve call is scripted to crash (worker death, the
+    contained ``Exception`` path); the third hits the same entry again
+    on the respawned pool and must solve exactly. The crashed batch
+    never reaches the store/record path, so the warm start that rode it
+    is simply not accounted: ``warm_requests`` counts only the third
+    request, while both the second and third were seeded (visible in
+    the pool's ``received_x0`` log)."""
+    sched = SimScheduler(seed)
+    pools: list = []
+    cache = SolutionCache(runtime=sched.runtime)
+    server = SolverServer(
+        diagonal_system(_DIAG),
+        nproc=1,
+        capacity_k=2,
+        max_wait=0.0,
+        runtime=sched.runtime,
+        solver_factory=fake_factory(
+            sleep=sched.sleep,
+            solve_time=0.01,
+            fail_on={2: Exception("injected worker crash")},
+            made=pools,
+        ),
+        cache=cache,
+    )
+    stored = sched.runtime.event()
+    crashed = sched.runtime.event()
+    outcome = {"error": None}
+
+    def first():
+        res = server.submit(_rhs(0)).result()
+        assert np.array_equal(res.x, _rhs(0) / _DIAG)
+        stored.set()  # store precedes wakeup: the entry now exists
+
+    def second():
+        stored.wait()
+        h = server.submit(_rhs(0))  # exact hit -> warm
+        try:
+            h.result()
+        except ServeError as exc:
+            outcome["error"] = str(exc)
+        finally:
+            crashed.set()
+
+    def third():
+        crashed.wait()
+        res = server.submit(_rhs(0)).result()  # warm again, fresh pool
+        assert np.array_equal(res.x, _rhs(0) / _DIAG)
+
+    tasks = [
+        sched.task(first, name="first-client"),
+        sched.task(second, name="second-client"),
+        sched.task(third, name="third-client"),
+    ]
+
+    def closer():
+        for h in tasks:
+            h.join()
+        server.close()
+
+    sched.task(closer, name="closer")
+    sched.run()
+
+    assert outcome["error"] is not None, (
+        "the crashed warm batch must fail, not hang or succeed"
+    )
+    assert "injected worker crash" in outcome["error"]
+    pool = pools[0]
+    assert pool.solve_calls == 3
+    # One open + one respawn after the worker crash.
+    assert pool.spawn_count == 2
+    # The cached solution really seeded batches two and three — and the
+    # crash did not drop it in between.
+    cached = _rhs(0) / _DIAG
+    assert pool.received_x0[0] is None
+    for x0 in pool.received_x0[1:]:
+        assert x0 is not None
+        assert np.array_equal(x0.reshape(-1), cached)
+    stats = server.stats()
+    assert stats.requests_submitted == 3
+    assert stats.requests_served == 2
+    assert stats.requests_failed == 1
+    cs = cache.stats()
+    assert cs["hits_exact"] == 2
+    assert cs["misses"] == 1
+    # The crashed batch never stores or records: only the first (cold)
+    # and third (warm) requests are accounted.
+    assert cs["stores"] == 2
+    assert cs["warm_requests"] == 1
+    assert cs["cold_requests"] == 1
+    assert cs["entries"] == 1
+    assert cs["invalidations"] == 0
+    assert not sched.daemon_failures
+    return {"cache": cs, "error": outcome["error"], "steps": sched.steps}

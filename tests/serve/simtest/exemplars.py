@@ -85,8 +85,11 @@ class RacyDepthServer(SolverServer):
                 raise ServeError("server is closed; no new requests accepted")
             if request_id is None:
                 request_id = next(self._ids)
+            # (trace_id post-dates this bug; None keeps the replica
+            # constructible against the current _Pending signature.)
             pending = _Pending(
-                request_id, b, x0, key, self._runtime.event(), self._clock()
+                request_id, b, x0, key, self._runtime.event(), self._clock(),
+                None,
             )
             self._submitted += 1
             # THE BUG: `_stash` belongs to the dispatcher thread; reading

@@ -132,6 +132,10 @@ class FakePool:
         self.spawn_count = 0
         self.solve_calls = 0
         self.solved_widths: list[int] = []
+        # One entry per solve call: None, or a copy of the x0 block the
+        # server passed — how cache drivers assert a batch really was
+        # (or was not) warm-started, and with which seed.
+        self.received_x0: list = []
         self._open = False
         self._respawn_pending = False
 
@@ -186,6 +190,7 @@ class FakePool:
             self._respawn_pending = False
         self.solve_calls += 1
         self.solved_widths.append(b.shape[1])
+        self.received_x0.append(None if x0 is None else np.array(x0))
         if self.solve_time:
             self._sleep(self.solve_time)
         guilty = self.fail_shard_on.get(self.solve_calls)

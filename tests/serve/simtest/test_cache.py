@@ -1,0 +1,52 @@
+"""Warm-start cache under seeded schedules: dedupe, eviction, crash.
+
+The cache's concurrency claims (module docstring of
+``repro/serve/cache.py``) each get a driver swept across its own seed
+family: concurrent identical requests collapse to one entry per
+fingerprint (``run_cache_dedupe``), a cache hit racing the LRU
+eviction of its matrix's pool stays exact with conserved counters and
+a guaranteed invalidation (``run_cache_eviction_race``), and a
+warm-started batch dying mid-solve neither drops the seeding entry nor
+poisons the respawned pool (``run_cache_crash``). Failing seeds replay
+with ``--sim-seed=N``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .drivers import (
+    explore,
+    run_cache_crash,
+    run_cache_dedupe,
+    run_cache_eviction_race,
+)
+
+pytestmark = [pytest.mark.simtest, pytest.mark.serve]
+
+
+def test_cache_dedupe_exploration(sim_seeds):
+    def check(out):
+        # Under every schedule the duplicates collapsed: strictly fewer
+        # entries than stores, and at least one request warm-started or
+        # every duplicate raced into flight before the first store.
+        assert out["cache"]["entries"] < out["cache"]["stores"]
+
+    explore(run_cache_dedupe, sim_seeds(90_000, 150), check=check)
+
+
+def test_cache_eviction_race_exploration(sim_seeds):
+    def check(out):
+        assert out["cache"]["invalidations"] >= 1
+        assert out["pools_built"] >= 2
+
+    explore(run_cache_eviction_race, sim_seeds(100_000, 150), check=check)
+
+
+def test_cache_crash_exploration(sim_seeds):
+    def check(out):
+        assert "injected worker crash" in out["error"]
+        # The crashed warm request is never accounted; the survivor is.
+        assert out["cache"]["warm_requests"] == 1
+
+    explore(run_cache_crash, sim_seeds(110_000, 100), check=check)

@@ -50,7 +50,12 @@ def registry(two_systems):
         yield reg
 
 
-def _snapshot(policy: dict, served: int = 1) -> ServerStats:
+def _snapshot(
+    policy: dict,
+    served: int = 1,
+    latency_mean: float = 0.5,
+    latency_max: float = 1.0,
+) -> ServerStats:
     """A minimal per-pool snapshot for merge arithmetic tests."""
     return ServerStats(
         requests_submitted=served,
@@ -60,8 +65,8 @@ def _snapshot(policy: dict, served: int = 1) -> ServerStats:
         batched_singles=0,
         max_batch_size=1,
         max_queue_depth=1,
-        latency_mean=0.5,
-        latency_max=1.0,
+        latency_mean=latency_mean,
+        latency_max=latency_max,
         spawn_count=1,
         worker_pids=[],
         policy=policy,
@@ -99,6 +104,58 @@ class TestMergeStats:
 
     def test_empty_merge_has_empty_policy(self):
         assert merge_stats([]).policy == {}
+
+
+class TestMergeLatency:
+    """The aggregate latency mean must be served-count-weighted — a
+    busy pool's mean outweighs an idle one's — and the max is the max
+    over pools. Naive mean-of-means would let a one-request pool skew
+    the fleet number; these pin the exact arithmetic the metrics
+    endpoint and ``/v1/stats`` report."""
+
+    _policy = {"policy": "fixed", "max_wait": 0.01}
+
+    def test_mean_is_served_weighted(self):
+        merged = merge_stats(
+            [
+                _snapshot(self._policy, served=9, latency_mean=0.1),
+                _snapshot(self._policy, served=1, latency_mean=1.1),
+            ]
+        )
+        # (9*0.1 + 1*1.1) / 10, not (0.1 + 1.1) / 2.
+        assert merged.latency_mean == pytest.approx(0.2)
+        assert merged.requests_served == 10
+
+    def test_max_is_max_over_pools(self):
+        merged = merge_stats(
+            [
+                _snapshot(self._policy, latency_max=0.3),
+                _snapshot(self._policy, latency_max=2.5),
+                _snapshot(self._policy, latency_max=0.9),
+            ]
+        )
+        assert merged.latency_max == 2.5
+
+    def test_zero_served_pools_cannot_poison_the_mean(self):
+        """An idle pool (served=0, mean=0) contributes nothing to the
+        weighted sum; a fleet of only idle pools reports 0.0, never a
+        division error."""
+        merged = merge_stats(
+            [
+                _snapshot(self._policy, served=4, latency_mean=0.25),
+                _snapshot(self._policy, served=0, latency_mean=0.0),
+            ]
+        )
+        assert merged.latency_mean == pytest.approx(0.25)
+        idle = merge_stats(
+            [
+                _snapshot(self._policy, served=0, latency_mean=0.0),
+                _snapshot(self._policy, served=0, latency_mean=0.0),
+            ]
+        )
+        assert idle.latency_mean == 0.0
+        assert merge_stats([]).latency_mean == 0.0
+        assert merge_stats([]).latency_max == 0.0
 
 
 class TestRegistration:
@@ -328,6 +385,7 @@ class TestWireProtocol:
         out = io.StringIO()
         serve_stream(registry, iter(lines), out)
         reg, s1, st, mx = [json.loads(ln) for ln in out.getvalue().splitlines()]
+        assert reg.pop("trace_id").startswith("t-")
         assert reg == {
             "id": "reg", "ok": True, "registered": "soc",
             "n": prob.n, "nnz": prob.A.nnz, "source": "social-small",

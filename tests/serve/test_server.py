@@ -261,6 +261,8 @@ class TestStats:
 class TestProtocol:
     def test_parse_minimal_request(self):
         kwargs = parse_request('{"b": [1.0, 2.0]}')
+        trace = kwargs.pop("trace_id")
+        assert trace.startswith("t-")  # minted at the parse seam
         assert kwargs == {"b": [1.0, 2.0]}
 
     def test_parse_full_request(self):
@@ -306,14 +308,22 @@ class TestProtocol:
 
     def test_encode_error(self):
         obj = json.loads(encode_error("r9", ValueError("boom")))
-        assert obj == {"id": "r9", "ok": False, "error": "boom"}
+        assert obj == {
+            "id": "r9", "ok": False, "trace_id": None, "error": "boom",
+        }
+        obj = json.loads(encode_error("r9", ValueError("boom"), "t-x-1"))
+        assert obj["trace_id"] == "t-x-1"
 
     def test_encode_info(self):
         obj = json.loads(encode_info("r2", {"registered": "m", "n": 4}))
-        assert obj == {"id": "r2", "ok": True, "registered": "m", "n": 4}
+        assert obj == {
+            "id": "r2", "ok": True, "trace_id": None,
+            "registered": "m", "n": 4,
+        }
 
     def test_parse_matrix_field(self):
         kwargs = parse_request('{"b": [1.0], "matrix": "lap"}')
+        kwargs.pop("trace_id")
         assert kwargs == {"b": [1.0], "matrix": "lap"}
         with pytest.raises(ServeError, match="string id"):
             parse_request('{"b": [1.0], "matrix": 7}')
@@ -335,17 +345,21 @@ class TestProtocol:
             assert err.value.request_id == expected_id
 
     def test_parse_line_dispatches_verbs(self):
-        assert parse_line('{"b": [1.0]}') == ("solve", {"b": [1.0]})
+        op, payload = parse_line('{"b": [1.0]}')
+        assert (op, payload["b"]) == ("solve", [1.0])
+        assert payload["trace_id"].startswith("t-")
         op, payload = parse_line(
             '{"op": "register", "id": "r", "matrix": "m", "problem": "p"}'
         )
         assert op == "register"
+        payload.pop("trace_id")
         assert payload == {"request_id": "r", "matrix": "m", "problem": "p"}
         op, payload = parse_line('{"op": "stats", "matrix": "m"}')
         assert (op, payload["matrix"]) == ("stats", "m")
-        assert parse_line('{"op": "matrices"}') == (
-            "matrices", {"request_id": None},
-        )
+        op, payload = parse_line('{"op": "matrices"}')
+        assert op == "matrices"
+        assert payload["request_id"] is None
+        assert payload["trace_id"].startswith("t-")
 
     @pytest.mark.parametrize(
         "line, match",
