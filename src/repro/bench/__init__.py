@@ -33,6 +33,7 @@ from .fig_block import (
     run_block,
     run_block_retirement,
 )
+from .fig_multinode import MultinodeBenchResult, run_multinode
 from .fig_shard import ShardBenchResult, run_shard
 from .fig_serve import (
     ServeBenchResult,
@@ -83,6 +84,8 @@ __all__ = [
     "run_fig2_left",
     "run_fig2_right",
     "run_fig3",
+    "run_multinode",
+    "MultinodeBenchResult",
     "run_serve",
     "run_serve_adaptive",
     "run_shard",

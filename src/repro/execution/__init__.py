@@ -41,6 +41,13 @@ from .delays import (
     UniformDelay,
     ZeroDelay,
 )
+from .halo import (
+    HaloTransport,
+    LocalBoard,
+    NodeShard,
+    WireHalo,
+    split_address,
+)
 from .kaczmarz import AsyRK, KaczmarzUpdate, LeastSquaresTracker
 from .pool import PoolSolver
 from .processes import (
@@ -99,9 +106,13 @@ __all__ = [
     "DelayStats",
     "ExecutionTrace",
     "FixedDelay",
+    "HaloTransport",
     "InconsistentAdversarial",
     "InconsistentUniform",
     "KaczmarzUpdate",
+    "LocalBoard",
+    "NodeShard",
+    "WireHalo",
     "LeastSquaresTracker",
     "LossyWrites",
     "MachineModel",
@@ -126,6 +137,7 @@ __all__ = [
     "contiguous_partition",
     "make_solver",
     "segment_bytes",
+    "split_address",
     "replay_trace",
     "round_robin_imbalance",
 ]

@@ -34,9 +34,12 @@ scatter only into rows they own.
 
 Halo exchange (no global barrier)
 ---------------------------------
-The coordinator keeps a plain *board*: an ``(n, k)`` array holding the
-most recently **published** owned block of every shard. Each shard is
-driven by its own parent-side thread::
+The exchange itself lives behind the :class:`~repro.execution.halo.
+HaloTransport` seam (``publish``/``pull``/``snapshot`` — see
+:mod:`repro.execution.halo`). In-process the transport is a
+:class:`~repro.execution.halo.LocalBoard`: an ``(n, k)`` array holding
+the most recently **published** owned block of every shard. Each shard
+is driven by its own parent-side thread::
 
     begin → [ advance(epoch) → publish owned block → pull halo → … ]
 
@@ -115,6 +118,7 @@ from ..exceptions import ModelError
 from ..rng import DirectionStream
 from ..sparse import CSRMatrix
 from ..validation import check_rhs, check_x0
+from .halo import LocalBoard, NodeShard, split_address
 from .kaczmarz import AsyRK
 from .pool import DelayStats, PoolSolver, ProcessRunResult, _layout
 from .processes import ProcessAsyRGS
@@ -375,6 +379,25 @@ class ShardedSolver:
     shard_factory:
         Test seam replacing per-shard pool construction (see module
         docstring).
+    nodes:
+        ``["HOST:PORT", ...]`` — one peer ``repro serve --shard-of``
+        instance per shard (``shards`` must equal ``len(nodes)``).
+        Shards become :class:`~repro.execution.halo.NodeShard` wire
+        proxies: each host runs its own pool and exchanges halos
+        node-to-node over its peer ring, while this coordinator
+        scatters the partition, drives per-node epochs, and judges
+        convergence on the assembled global residual. A dead peer
+        surfaces as ``shard s of S failed mid-solve`` naming its
+        ``HOST:PORT``.
+    node_matrix:
+        The matrix name the shard hosts were started with
+        (``repro serve --shard-of NAME``); halo and shard traffic is
+        addressed to it.
+    node_client_factory, transport_factory:
+        Test seams: the wire-client builder for node proxies, and the
+        :class:`~repro.execution.halo.HaloTransport` builder for the
+        coordinator's board (default
+        :class:`~repro.execution.halo.LocalBoard`).
     seed, beta, atomic, directions, adaptive, start_method,
     log_capacity, lock_stripes, block, barrier_timeout, capacity_k:
         As on :class:`~repro.execution.ProcessAsyRGS`. ``directions``
@@ -406,10 +429,39 @@ class ShardedSolver:
         seed: int = 0,
         shm_limit: int | None = None,
         shard_factory=None,
+        nodes: list[str] | None = None,
+        node_matrix: str = "default",
+        node_client_factory=None,
+        transport_factory=None,
     ):
         shards = int(shards)
         if shards < 1:
             raise ModelError(f"shards must be at least 1, got {shards}")
+        if nodes is not None:
+            nodes = [str(a) for a in nodes]
+            for address in nodes:
+                split_address(address)  # fail fast on malformed rings
+            if shards != len(nodes):
+                raise ModelError(
+                    f"shards={shards} does not match the {len(nodes)} "
+                    "node(s) given; with nodes=[...] every shard lives "
+                    "on exactly one peer"
+                )
+            if shards == 1:
+                raise ModelError(
+                    "a single-node solve has nothing to distribute; "
+                    "run the pool locally or pass 2+ nodes"
+                )
+            if shard_factory is not None:
+                raise ModelError(
+                    "shard_factory and nodes are mutually exclusive: "
+                    "node-backed shards build their own wire proxies"
+                )
+        self.nodes = nodes
+        self.node_matrix = str(node_matrix)
+        self._transport_factory = (
+            transport_factory if transport_factory is not None else LocalBoard
+        )
         self.shards = shards
         self.shm_limit = None if shm_limit is None else int(shm_limit)
         self._delegate = None
@@ -504,12 +556,16 @@ class ShardedSolver:
             (int(blk[0]), int(blk[-1]) + 1) for blk in blocks
         ]
         factory = shard_factory if shard_factory is not None else _default_shard_factory
+        if nodes is not None:
+            factory = self._node_factory(nodes, node_client_factory)
         self._halos: list[np.ndarray] = []
         budget_note = []
         for s, (r0, r1) in enumerate(self._bounds):
             A_s = _row_slice(A, r0, r1)
             n_s = r1 - r0
-            if self.shm_limit is not None:
+            # Node-backed shards budget shared memory on their own
+            # hosts; shm_limit bounds *local* pools only.
+            if self.shm_limit is not None and nodes is None:
                 need = segment_bytes(
                     n_rows=n_s,
                     x_rows=n,
@@ -612,6 +668,59 @@ class ShardedSolver:
         layer surfaces these as the per-shard stats breakdown."""
         return list(self._shard_total_updates)
 
+    def _node_factory(self, nodes: list[str], client_factory):
+        """A ``shard_factory`` building :class:`NodeShard` wire proxies:
+        shard ``s`` lives on ``nodes[s]``, a ``repro serve --shard-of``
+        host whose peer ring exchanges halos node-to-node. The
+        coordinator keeps its own :class:`LocalBoard` purely for
+        residual assembly."""
+
+        def build(
+            s,
+            A_s,
+            b_s,
+            norms_s,
+            *,
+            offset,
+            nproc,
+            beta,
+            atomic,
+            directions,
+            adaptive,
+            start_method,
+            log_capacity,
+            lock_stripes,
+            block,
+            barrier_timeout,
+            capacity_k,
+            **_geometry,
+        ):
+            return NodeShard(
+                s,
+                address=nodes[s],
+                matrix=self.node_matrix,
+                bounds=self._bounds,
+                shards=self.shards,
+                n=self.n,
+                nproc=nproc,
+                capacity_k=capacity_k,
+                seed=directions.seed,
+                params={
+                    "beta": beta,
+                    "atomic": atomic,
+                    "adaptive": adaptive,
+                    "start_method": start_method,
+                    "log_capacity": log_capacity,
+                    "lock_stripes": lock_stripes,
+                    "block": block,
+                    "barrier_timeout": barrier_timeout,
+                },
+                timeout=barrier_timeout,
+                client_factory=client_factory,
+            )
+
+        return build
+
     # -- the coordinated solve ------------------------------------------
 
     def solve(
@@ -690,8 +799,14 @@ class ShardedSolver:
                 shard_sweeps=[0] * S,
             )
         kreq = 1 if b.ndim == 1 else int(b.shape[1])
-        board = x0.reshape(self.n, kreq).copy()
-        board_lock = threading.Lock()
+        # The halo seam: publishes/pulls/snapshots go through the
+        # transport (a LocalBoard unless a test substitutes one). With
+        # node-backed shards the real exchange happens node-to-node on
+        # the hosts' own WireHalo rings; this board then only feeds the
+        # coordinator's residual assembly.
+        transport = self._transport_factory(
+            x0.reshape(self.n, kreq), self._bounds
+        )
         cond = threading.Condition()
         stop = threading.Event()
         epochs = [0] * S  # completed local sweeps per shard (cond-guarded)
@@ -729,13 +844,14 @@ class ShardedSolver:
                     # start gate — the parent owns *this* segment, and
                     # only this one.
                     xv = pool.x()
-                    with board_lock:
-                        board[r0:r1] = xv[r0:r1, :kreq]
-                    # Halo pull: deliberately unlocked — racing a foreign
-                    # publish yields a torn, stale mix of that shard's
-                    # epochs. Inconsistent reads by design.
+                    transport.publish(s, xv[r0:r1, :kreq], local)
+                    # Halo pull: served from whatever snapshot the
+                    # transport has — racing a foreign publish yields a
+                    # torn, stale mix of that shard's epochs.
+                    # Inconsistent reads by design.
                     if halo.size:
-                        xv[halo, :kreq] = board[halo]
+                        values, _ages = transport.pull(halo)
+                        xv[halo, :kreq] = values
                     with cond:
                         newly = retired_cols[applied:]
                         applied = len(retired_cols)
@@ -773,10 +889,8 @@ class ShardedSolver:
                     break
                 if esum > seen:
                     seen = esum
-                    with board_lock:
-                        xg = (
-                            board[:, 0].copy() if b.ndim == 1 else board.copy()
-                        )
+                    snap = transport.snapshot()
+                    xg = snap[:, 0].copy() if b.ndim == 1 else snap
                     newly = tracker.update(xg, max(epochs), retire)
                     if newly.size:
                         with cond:
@@ -805,8 +919,8 @@ class ShardedSolver:
             # re-measure honestly (later epochs may have landed after
             # the checkpoint that declared convergence; retired columns
             # are frozen in the tracker and cannot un-converge).
-            with board_lock:
-                xg = board[:, 0].copy() if b.ndim == 1 else board.copy()
+            snap = transport.snapshot()
+            xg = snap[:, 0].copy() if b.ndim == 1 else snap
             tracker.update(xg, max(epochs), retire)
             updates = sum(e * w for e, w in zip(epochs, sizes))
             checkpoints.append((updates, tracker.value))
@@ -842,6 +956,7 @@ class ShardedSolver:
             failed = False
         finally:
             stop.set()
+            transport.close()
             if failed or not self._persistent:
                 # The shards' pools live and die together: any failure
                 # (even one shard's) tears all of them down; the next

@@ -12,6 +12,10 @@ measured queue-depth/solve-wall EWMAs). :class:`MatrixRegistry` routes
 requests across several named resident matrices with lazily-spawned,
 LRU-evicted per-matrix pools. :mod:`repro.serve.frontend` exposes
 either over stdin JSON-lines, TCP, and HTTP/1.1 (``repro serve``).
+:class:`ShardHost` (``repro serve --shard-of NAME --peers ...``) turns
+an instance into one shard of a multi-node solve: a remote coordinator
+scatters the row partition and drives epochs over the shard verbs,
+while the hosts exchange halo rows directly on their peer ring.
 
 Observability and caching: every response carries a ``trace_id``
 (minted per request at :func:`parse_line`/submission, echoed on
@@ -44,6 +48,7 @@ from .protocol import (
 from .registry import MatrixRegistry, merge_stats
 from .runtime import THREAD_RUNTIME, ThreadRuntime
 from .server import RequestHandle, ServedResult, ServerStats, SolverServer
+from .shardhost import ShardHost
 
 __all__ = [
     "AdaptiveWait",
@@ -54,6 +59,7 @@ __all__ = [
     "RequestHandle",
     "ServedResult",
     "ServerStats",
+    "ShardHost",
     "SolutionCache",
     "SolverServer",
     "THREAD_RUNTIME",

@@ -57,6 +57,27 @@ default ``"solve"``:
     the HTTP front-end serves raw on ``GET /v1/metrics``), wrapped in
     the JSON envelope as ``{"ok": true, "metrics": "..."}``.
 
+Shard-host verbs
+----------------
+Multi-node sharding adds machine-to-machine verbs. A ``repro serve
+--shard-of NAME --peers ...`` instance (a *shard host*) answers all
+five; any other server rejects them with a clear error:
+
+``{"op": "halo_push", "matrix": ..., "shard": s, "r0": ..., "r1": ...,
+"generation": g, "rows": [[...], ...]}``
+    A peer shard publishing its owned iterate rows at its epoch
+    boundary — best-effort traffic the sender never blocks on.
+``{"op": "halo_pull", "matrix": ..., "rows": [i, ...]}``
+    The last published snapshot of the requested global rows plus
+    their generation stamps (stale data is served, never awaited).
+``{"op": "shard_begin", ...}`` / ``{"op": "shard_advance", "count":
+..., "retire": [...]}`` / ``{"op": "shard_stop"}``
+    The coordinator (``repro solve --nodes`` or a registry matrix
+    registered with ``nodes=[...]``) scattering the partition, driving
+    one epoch per call, and tearing the shard down. ``register`` also
+    accepts a ``"nodes"`` field (a list of ``"HOST:PORT"`` strings) to
+    back a registry matrix with node-hosted shards.
+
 Tracing
 -------
 Every response — success, protocol violation, failed solve — carries a
@@ -92,7 +113,18 @@ _ALLOWED_KEYS = {
     "id", "b", "x0", "tol", "max_sweeps", "sync_every_sweeps", "matrix",
     "trace_id",
 }
-_OPS = ("solve", "register", "stats", "matrices", "metrics")
+_OPS = (
+    "solve",
+    "register",
+    "stats",
+    "matrices",
+    "metrics",
+    "halo_push",
+    "halo_pull",
+    "shard_begin",
+    "shard_advance",
+    "shard_stop",
+)
 
 # Per-process trace prefix + a monotone counter: ids are unique within
 # a process and collision-resistant across the fleet, and minting is a
@@ -237,7 +269,9 @@ def parse_line(line: str) -> tuple[str, dict]:
     """Parse one protocol line into ``(op, payload)``.
 
     ``op`` is one of ``solve`` / ``register`` / ``stats`` /
-    ``matrices`` / ``metrics``; for ``solve`` the payload is the
+    ``matrices`` / ``metrics`` or a shard-host verb (``halo_push`` /
+    ``halo_pull`` / ``shard_begin`` / ``shard_advance`` /
+    ``shard_stop``); for ``solve`` the payload is the
     :meth:`SolverServer.submit` kwargs, for the control verbs it is
     ``{"request_id": ..., "trace_id": ..., ...verb fields...}``. This
     is the one parsing entry point the three transports share. A trace
@@ -269,10 +303,13 @@ def _parse_verb(obj: dict, request_id, trace_id: str) -> tuple[str, dict]:
     if op == "solve":
         return op, _solve_kwargs(obj, trace_id)
     payload: dict = {"request_id": request_id, "trace_id": trace_id}
+    if op in ("halo_push", "halo_pull", "shard_begin", "shard_advance",
+              "shard_stop"):
+        return op, _parse_shard_verb(op, obj, request_id, payload)
     if op == "register":
         allowed = {
             "op", "id", "trace_id", "matrix", "problem", "path", "method",
-            "shards",
+            "shards", "nodes",
         }
         unknown = set(obj) - allowed
         if unknown:
@@ -316,6 +353,17 @@ def _parse_verb(obj: dict, request_id, trace_id: str) -> tuple[str, dict]:
                     request_id=request_id,
                 )
             payload["shards"] = shards
+        nodes = obj.get("nodes")
+        if nodes is not None:
+            if not isinstance(nodes, list) or not all(
+                isinstance(a, str) and a for a in nodes
+            ):
+                raise ProtocolError(
+                    '"nodes" must be a list of "HOST:PORT" strings, '
+                    f"got {nodes!r}",
+                    request_id=request_id,
+                )
+            payload["nodes"] = nodes
         payload["matrix"] = matrix
         payload[sources[0]] = str(obj[sources[0]])
     elif op == "stats":
@@ -338,6 +386,119 @@ def _parse_verb(obj: dict, request_id, trace_id: str) -> tuple[str, dict]:
                 request_id=request_id,
             )
     return op, payload
+
+
+def _int_field(obj, key, request_id, *, minimum=0, default=None, required=False):
+    value = obj.get(key)
+    if value is None:
+        if required:
+            raise ProtocolError(
+                f'missing required field "{key}"', request_id=request_id
+            )
+        return default
+    if isinstance(value, bool) or not isinstance(value, int) or value < minimum:
+        raise ProtocolError(
+            f'"{key}" must be an integer >= {minimum}, got {value!r}',
+            request_id=request_id,
+        )
+    return value
+
+
+_SHARD_VERB_KEYS = {
+    "halo_push": {"matrix", "shard", "r0", "r1", "generation", "rows"},
+    "halo_pull": {"matrix", "rows"},
+    "shard_begin": {
+        "matrix", "shard", "shards", "bounds", "x0", "b", "nproc",
+        "capacity_k", "seed", "params", "retire",
+    },
+    "shard_advance": {"matrix", "count", "retire"},
+    "shard_stop": {"matrix"},
+}
+
+
+def _parse_shard_verb(op: str, obj: dict, request_id, payload: dict) -> dict:
+    """Validate one shard-host verb (machine-to-machine traffic: type
+    checks on the load-bearing fields, the rest passed through for the
+    shard host to interpret)."""
+    allowed = _SHARD_VERB_KEYS[op] | {"op", "id", "trace_id"}
+    unknown = set(obj) - allowed
+    if unknown:
+        raise ProtocolError(
+            f"unknown {op} field(s) {sorted(unknown)}; "
+            f"allowed: {sorted(allowed)}",
+            request_id=request_id,
+        )
+    matrix = _matrix_id(obj, request_id)
+    payload["matrix"] = matrix if matrix is not None else "default"
+    if op == "halo_push":
+        payload["shard"] = _int_field(obj, "shard", request_id, required=True)
+        payload["r0"] = _int_field(obj, "r0", request_id, required=True)
+        payload["r1"] = _int_field(obj, "r1", request_id, required=True)
+        payload["generation"] = _int_field(
+            obj, "generation", request_id, required=True
+        )
+        rows = obj.get("rows")
+        if not isinstance(rows, list):
+            raise ProtocolError(
+                '"rows" must be a list of row values, got '
+                f"{type(rows).__name__}",
+                request_id=request_id,
+            )
+        payload["rows"] = rows
+    elif op == "halo_pull":
+        rows = obj.get("rows")
+        if not isinstance(rows, list) or not all(
+            isinstance(i, int) and not isinstance(i, bool) and i >= 0
+            for i in rows
+        ):
+            raise ProtocolError(
+                '"rows" must be a list of row indices (integers >= 0)',
+                request_id=request_id,
+            )
+        payload["rows"] = rows
+    elif op == "shard_begin":
+        payload["shard"] = _int_field(obj, "shard", request_id, required=True)
+        payload["shards"] = _int_field(
+            obj, "shards", request_id, minimum=1, required=True
+        )
+        for key in ("bounds", "x0", "b"):
+            value = obj.get(key)
+            if not isinstance(value, list):
+                raise ProtocolError(
+                    f'missing or ill-typed required field "{key}" '
+                    "(a list)",
+                    request_id=request_id,
+                )
+            payload[key] = value
+        payload["nproc"] = _int_field(
+            obj, "nproc", request_id, minimum=1, default=1
+        )
+        payload["capacity_k"] = _int_field(
+            obj, "capacity_k", request_id, minimum=1, default=1
+        )
+        payload["seed"] = _int_field(obj, "seed", request_id, default=0)
+        params = obj.get("params")
+        if params is not None and not isinstance(params, dict):
+            raise ProtocolError(
+                f'"params" must be an object, got {type(params).__name__}',
+                request_id=request_id,
+            )
+        payload["params"] = params or {}
+        payload["retire"] = obj.get("retire") or []
+    elif op == "shard_advance":
+        payload["count"] = _int_field(
+            obj, "count", request_id, minimum=1, required=True
+        )
+        retire = obj.get("retire")
+        if retire is not None and not isinstance(retire, list):
+            raise ProtocolError(
+                f'"retire" must be a list of column indices, got '
+                f"{type(retire).__name__}",
+                request_id=request_id,
+            )
+        payload["retire"] = retire or []
+    # shard_stop carries the matrix id only.
+    return payload
 
 
 def encode_result(result) -> str:

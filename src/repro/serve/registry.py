@@ -301,13 +301,17 @@ class MatrixRegistry:
         path: str | None = None,
         method: str | None = None,
         shards: int | None = None,
+        nodes: list[str] | None = None,
     ) -> dict:
         """The wire-protocol ``register`` verb: resolve a named workload
         problem or a MatrixMarket file and register it. ``method``
         selects the matrix's update method (``"asyrgs"``/``"asyrk"``),
         ``shards`` the number of row-partitioned pools backing it
-        (``None`` inherits the registry default for either). Returns the
-        info payload echoed to the client."""
+        (``None`` inherits the registry default for either), and
+        ``nodes`` a list of ``"HOST:PORT"`` shard hosts backing the
+        matrix remotely (one per shard; ``shards`` then defaults to
+        ``len(nodes)`` and must match it otherwise). Returns the info
+        payload echoed to the client."""
         if (problem is None) == (path is None):
             raise ServeError(
                 "register requires exactly one of a named problem or a "
@@ -322,6 +326,16 @@ class MatrixRegistry:
             shards = int(shards)
             if shards < 1:
                 raise ServeError(f"shards must be at least 1, got {shards}")
+        if nodes is not None:
+            nodes = [str(a) for a in nodes]
+            if shards is None:
+                shards = len(nodes)
+            elif shards != len(nodes):
+                raise ServeError(
+                    f"shards={shards} does not match the {len(nodes)} "
+                    "node(s) given; with nodes=[...] every shard lives "
+                    "on exactly one peer"
+                )
         if problem is not None:
             from ..workloads import get_problem
 
@@ -338,8 +352,10 @@ class MatrixRegistry:
             overrides["method"] = method
         if shards is not None:
             overrides["shards"] = shards
+        if nodes is not None:
+            overrides["nodes"] = nodes
         self.register(name, A, **overrides)
-        return {
+        info = {
             "registered": name,
             "n": A.shape[0],
             "nnz": A.nnz,
@@ -347,6 +363,9 @@ class MatrixRegistry:
             "method": self._method_of(self._entries[name]),
             "shards": self._shards_of(self._entries[name]),
         }
+        if nodes is not None:
+            info["nodes"] = list(nodes)
+        return info
 
     # -- routing --------------------------------------------------------
 
@@ -385,7 +404,7 @@ class MatrixRegistry:
         pools live and die as one (closing some shards of a live solve
         would wedge the halo exchange)."""
         live = [e for e in self._entries.values() if e.server is not None]
-        pools = sum(self._shards_of(e) for e in live)
+        pools = sum(self._pool_weight_of(e) for e in live)
         if pools < self.max_live_pools:
             return
         idle = []
@@ -402,7 +421,7 @@ class MatrixRegistry:
             entry.retired.append(entry.server.stats())
             entry.server.close()
             entry.server = None
-            pools -= self._shards_of(entry)
+            pools -= self._pool_weight_of(entry)
             if self._cache is not None:
                 # LRU eviction is the memory-pressure signal: a matrix
                 # cold enough to lose its pool gives its cache capacity
@@ -505,10 +524,23 @@ class MatrixRegistry:
 
     def _shards_of(self, entry: _Entry) -> int:
         """How many row-shard pools back ``entry`` (its override, or the
-        registry default, or the classic single pool)."""
+        registry default, or the classic single pool). A node-backed
+        entry's shard count is its host count."""
+        nodes = entry.overrides.get("nodes")
+        if nodes is not None and "shards" not in entry.overrides:
+            return len(nodes)
         return int(
             entry.overrides.get("shards", self._defaults.get("shards", 1))
         )
+
+    def _pool_weight_of(self, entry: _Entry) -> int:
+        """What ``entry`` weighs against ``max_live_pools``. A local
+        sharded matrix really holds N pools; a node-backed one holds no
+        local workers at all — its shards are remote hosts' pools — so
+        it weighs 1 (a dispatcher thread and a few sockets)."""
+        if entry.overrides.get("nodes") is not None:
+            return 1
+        return self._shards_of(entry)
 
     def matrices_payload(self) -> list[dict]:
         """The ``matrices`` verb / ``GET /v1/matrices`` payload; each
@@ -519,25 +551,29 @@ class MatrixRegistry:
             out = []
             for name, entry in self._entries.items():
                 stats = entry.stats()
-                out.append(
-                    {
-                        "matrix": name,
-                        "default": name == default,
-                        "n": entry.A.shape[0],
-                        "nnz": entry.A.nnz,
-                        "capacity_k": entry.overrides.get(
-                            "capacity_k",
-                            self._defaults.get("capacity_k", 8),
-                        ),
-                        "method": self._method_of(entry),
-                        "shards": self._shards_of(entry),
-                        "live": entry.server is not None,
-                        "requests_submitted": stats.requests_submitted,
-                        "requests_served": stats.requests_served,
-                        "requests_failed": stats.requests_failed,
-                        "spawn_count": stats.spawn_count,
-                    }
-                )
+                listing = {
+                    "matrix": name,
+                    "default": name == default,
+                    "n": entry.A.shape[0],
+                    "nnz": entry.A.nnz,
+                    "capacity_k": entry.overrides.get(
+                        "capacity_k",
+                        self._defaults.get("capacity_k", 8),
+                    ),
+                    "method": self._method_of(entry),
+                    "shards": self._shards_of(entry),
+                    "live": entry.server is not None,
+                    "requests_submitted": stats.requests_submitted,
+                    "requests_served": stats.requests_served,
+                    "requests_failed": stats.requests_failed,
+                    "spawn_count": stats.spawn_count,
+                }
+                nodes = entry.overrides.get("nodes")
+                if nodes is not None:
+                    # Node-backed matrices list their shard hosts, so
+                    # clients can see where each shard actually runs.
+                    listing["nodes"] = list(nodes)
+                out.append(listing)
             return out
 
     # -- lifecycle ------------------------------------------------------

@@ -90,7 +90,7 @@ __all__ = ["SolverServer", "RequestHandle", "ServedResult", "ServerStats"]
 _SHUTDOWN = object()
 
 
-def _default_factory(A, b, *, method, shards=1, **kwargs):
+def _default_factory(A, b, *, method, shards=1, nodes=None, node_matrix="default", **kwargs):
     """The default ``solver_factory``: dispatch by wire-level method
     name through the execution layer's registry.
 
@@ -102,6 +102,11 @@ def _default_factory(A, b, *, method, shards=1, **kwargs):
     ``close``, ``solve``, ``spawn_count``, ``worker_pids``) matches the
     single-pool solvers, so the dispatcher cannot tell the difference.
     """
+    if nodes is not None:
+        return ShardedSolver(
+            A, b, shards=int(shards), method=method, nodes=list(nodes),
+            node_matrix=node_matrix, **kwargs,
+        )
     if int(shards) == 1:
         return make_solver(method, A, b, **kwargs)
     return ShardedSolver(A, b, shards=int(shards), method=method, **kwargs)
@@ -322,6 +327,16 @@ class SolverServer:
         single-pool shared-memory segment is too big for one box.
         Sharding requires ``method="asyrgs"``; the pools live and die
         together on eviction and crash.
+    nodes:
+        ``["HOST:PORT", ...]`` — back each shard with a remote
+        ``repro serve --shard-of`` host instead of a local pool (see
+        :class:`~repro.execution.ShardedSolver`'s ``nodes``). When
+        given, ``shards`` defaults to ``len(nodes)`` and must match it
+        otherwise. The hosts exchange halos node-to-node on their own
+        peer ring; this server scatters the partition, drives epochs,
+        and judges convergence on the assembled global residual. A
+        dead peer fails only the requests of the batch that hit it,
+        naming the peer's ``HOST:PORT``.
     beta, atomic, directions, seed, start_method, barrier_timeout:
         Forwarded to the pool solver (see
         :func:`~repro.execution.make_solver`). The direction stream
@@ -371,6 +386,7 @@ class SolverServer:
         policy="fixed",
         method: str = "asyrgs",
         shards: int = 1,
+        nodes: list[str] | None = None,
         beta: float = 1.0,
         atomic: bool = False,
         directions: DirectionStream | None = None,
@@ -391,6 +407,17 @@ class SolverServer:
         shards = int(shards)
         if shards < 1:
             raise ServeError(f"shards must be at least 1, got {shards}")
+        if nodes is not None:
+            nodes = [str(a) for a in nodes]
+            if shards == 1:
+                shards = len(nodes)
+            if shards != len(nodes):
+                raise ServeError(
+                    f"shards={shards} does not match the {len(nodes)} "
+                    "node(s) given; with nodes=[...] every shard lives "
+                    "on exactly one peer"
+                )
+        self.nodes = nodes
         self._runtime = THREAD_RUNTIME if runtime is None else runtime
         self._clock = self._runtime.monotonic
         self.method = method
@@ -413,7 +440,18 @@ class SolverServer:
         self.nnz = A.nnz
         if directions is None:
             directions = DirectionStream(self.n, seed=seed)
+        self._cache = cache
+        self._cache_key = "default" if cache_key is None else cache_key
         factory = _default_factory if solver_factory is None else solver_factory
+        # Node-backed matrices address their shard hosts by the matrix
+        # name (the registry's entry name doubles as the cache key);
+        # the kwargs only exist when nodes are given, so custom
+        # factories (the simulation fakes included) never see them.
+        node_kwargs = (
+            {"nodes": nodes, "node_matrix": self._cache_key}
+            if nodes is not None
+            else {}
+        )
         self._solver = factory(
             A,
             np.zeros((self.n, capacity_k)),
@@ -426,9 +464,8 @@ class SolverServer:
             start_method=start_method,
             barrier_timeout=barrier_timeout,
             capacity_k=capacity_k,
+            **node_kwargs,
         )
-        self._cache = cache
-        self._cache_key = "default" if cache_key is None else cache_key
         self._queue = self._runtime.queue()
         self._lock = self._runtime.lock()
         self._closed = False
